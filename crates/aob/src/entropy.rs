@@ -1,0 +1,147 @@
+//! Compressibility analysis of AoB values (§1.2 groundwork).
+//!
+//! The RE representation pays off exactly when "AoB representations often
+//! have very low entropy". This module quantifies that: run counts at bit
+//! and chunk granularity, the Shannon entropy of the chunk-symbol
+//! distribution, and a predicted RE compression ratio — the quantities
+//! that decide whether a value is worth keeping compressed.
+
+use crate::bitvec::Aob;
+use std::collections::HashMap;
+
+/// Compressibility statistics for one AoB value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyReport {
+    /// Maximal runs of equal bits.
+    pub bit_runs: u64,
+    /// Maximal runs of equal 64-bit chunks.
+    pub chunk_runs: u64,
+    /// Distinct 64-bit chunk patterns.
+    pub distinct_chunks: u64,
+    /// Shannon entropy of the chunk distribution, in bits per chunk.
+    pub chunk_entropy_bits: f64,
+    /// Explicit size in bytes.
+    pub explicit_bytes: u64,
+    /// Predicted single-level RE size in bytes (16 B per chunk run + one
+    /// interned pattern per distinct chunk).
+    pub re_bytes: u64,
+}
+
+impl EntropyReport {
+    /// Explicit-to-compressed ratio (> 1 means the RE form wins).
+    pub fn compression_ratio(&self) -> f64 {
+        self.explicit_bytes as f64 / self.re_bytes.max(1) as f64
+    }
+}
+
+impl Aob {
+    /// Analyze this value's compressibility.
+    pub fn entropy_report(&self) -> EntropyReport {
+        // Bit runs.
+        let mut bit_runs = 1u64;
+        let mut prev = self.get(0);
+        for e in 1..self.len() {
+            let b = self.get(e);
+            if b != prev {
+                bit_runs += 1;
+                prev = b;
+            }
+        }
+        // Chunk runs + distribution.
+        let mut chunk_runs = 1u64;
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let words = self.words();
+        counts.insert(words[0], 1);
+        for w in 1..words.len() {
+            if words[w] != words[w - 1] {
+                chunk_runs += 1;
+            }
+            *counts.entry(words[w]).or_insert(0) += 1;
+        }
+        let total = words.len() as f64;
+        let chunk_entropy_bits = counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum::<f64>();
+        let explicit_bytes = self.len() / 8;
+        let re_bytes = chunk_runs * 16 + counts.len() as u64 * 8;
+        EntropyReport {
+            bit_runs,
+            chunk_runs,
+            distinct_chunks: counts.len() as u64,
+            chunk_entropy_bits,
+            explicit_bytes: explicit_bytes.max(1),
+            re_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_maximally_compressible() {
+        let r = Aob::zeros(16).entropy_report();
+        assert_eq!(r.bit_runs, 1);
+        assert_eq!(r.chunk_runs, 1);
+        assert_eq!(r.distinct_chunks, 1);
+        assert_eq!(r.chunk_entropy_bits, 0.0);
+        assert!(r.compression_ratio() > 300.0);
+    }
+
+    #[test]
+    fn hadamards_have_structured_runs() {
+        // H(k): 2^(16-k) bit runs; chunk structure depends on k vs 6.
+        let h3 = Aob::hadamard(16, 3).entropy_report();
+        assert_eq!(h3.bit_runs, 1 << 13);
+        assert_eq!(h3.chunk_runs, 1); // one repeating lane constant
+        assert_eq!(h3.distinct_chunks, 1);
+
+        let h10 = Aob::hadamard(16, 10).entropy_report();
+        assert_eq!(h10.bit_runs, 1 << 6);
+        assert_eq!(h10.chunk_runs, 1 << 6); // alternating 0/1 chunk blocks
+        assert_eq!(h10.distinct_chunks, 2);
+        assert!((h10.chunk_entropy_bits - 1.0).abs() < 1e-9);
+        assert!(h10.compression_ratio() > 5.0);
+    }
+
+    #[test]
+    fn random_data_is_incompressible() {
+        let mut st = 0x12345u64;
+        let v = Aob::from_fn(14, |_| {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            st & 1 != 0
+        });
+        let r = v.entropy_report();
+        // Nearly every chunk distinct, entropy near log2(#chunks), ratio < 1.
+        assert!(r.distinct_chunks as f64 > 0.9 * 256.0);
+        assert!(r.chunk_entropy_bits > 7.5);
+        assert!(r.compression_ratio() < 1.0);
+    }
+
+    #[test]
+    fn factoring_predicate_is_sparse_and_compressible() {
+        // The e predicate from factoring 15: four 1-bits in 65,536.
+        let mut e = Aob::zeros(16);
+        for ch in [31u64, 53, 83, 241] {
+            e.set(ch, true);
+        }
+        let r = e.entropy_report();
+        assert_eq!(r.bit_runs, 9); // 4 ones as isolated runs + 5 zero spans
+        assert!(r.chunk_runs <= 9);
+        assert!(r.compression_ratio() > 30.0);
+    }
+
+    #[test]
+    fn report_on_tiny_values() {
+        let r = Aob::ones(0).entropy_report();
+        assert_eq!(r.bit_runs, 1);
+        assert!(r.explicit_bytes >= 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hadamard initializer patterns (`had @a,imm4`, paper §2.3 and Figure 7).
+//!
+//! The default Hadamard pattern for the `k`-th set of entanglement channels
+//! is a repeating sequence of `2^k` zero bits followed by `2^k` one bits:
+//! bit `e` of `H(k)` equals bit `k` of the binary representation of the
+//! channel number `e`. This is exactly the paper's Verilog
+//! `assign aob[i] = (i >> h)` (truncated to one bit).
+//!
+//! Two constructions are provided:
+//!
+//! * [`Aob::hadamard`] — the fast word-level construction. For `k < 6` each
+//!   64-bit word is one of six fixed lane constants (the classic
+//!   "magic masks"); for `k >= 6` word `w` is all-ones iff bit `k-6` of `w`
+//!   is set. This mirrors how cheap the hardware pattern generator is.
+//! * [`Aob::hadamard_reference`] — the per-bit Figure-7 transliteration,
+//!   kept as the differential-testing oracle.
+
+use crate::bitvec::Aob;
+
+/// The six sub-word Hadamard lane constants: `LANE[k]` has bit `b` set iff
+/// bit `k` of `b` is set, for `b` in `0..64`.
+pub const LANE: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA, // H(0): 01 repeating
+    0xCCCC_CCCC_CCCC_CCCC, // H(1): 0011 repeating
+    0xF0F0_F0F0_F0F0_F0F0, // H(2)
+    0xFF00_FF00_FF00_FF00, // H(3)
+    0xFFFF_0000_FFFF_0000, // H(4)
+    0xFFFF_FFFF_0000_0000, // H(5)
+];
+
+impl Aob {
+    /// The standard `k`-th Hadamard initializer for a `ways`-way value.
+    ///
+    /// For `k >= ways` the pattern's first run of zeros covers the whole
+    /// vector, so the result is all-zeros — consistent with the Figure-7
+    /// Verilog, which computes `(e >> k) & 1 == 0` for every channel.
+    pub fn hadamard(ways: u32, k: u32) -> Aob {
+        let mut v = Aob::zeros(ways);
+        if k >= ways {
+            return v;
+        }
+        if k < 6 {
+            let lane = LANE[k as usize];
+            for w in v.words_mut() {
+                *w = lane;
+            }
+            v.normalize();
+        } else {
+            let bit = k - 6;
+            for (i, w) in v.words_mut().iter_mut().enumerate() {
+                if (i >> bit) & 1 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        v
+    }
+
+    /// Per-bit reference construction of `H(k)` — a direct transliteration
+    /// of the paper's Figure 7 Verilog (`aob[i] = (i >> h)`), used as the
+    /// oracle for [`Aob::hadamard`].
+    pub fn hadamard_reference(ways: u32, k: u32) -> Aob {
+        Aob::from_fn(ways, |e| (e >> k) & 1 == 1)
+    }
+
+    /// All `ways` Hadamard constants plus the 0 and 1 constants, in the
+    /// §5 "constant register" order: `[0, 1, H(0), H(1), …, H(ways-1)]`.
+    /// This is the register-file preset the paper concludes should replace
+    /// the `zero`/`one`/`had` instructions.
+    pub fn constant_bank(ways: u32) -> Vec<Aob> {
+        let mut bank = Vec::with_capacity(ways as usize + 2);
+        bank.push(Aob::zeros(ways));
+        bank.push(Aob::ones(ways));
+        for k in 0..ways {
+            bank.push(Aob::hadamard(ways, k));
+        }
+        bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_constants_match_definition() {
+        for k in 0..6u32 {
+            for b in 0..64u64 {
+                assert_eq!((LANE[k as usize] >> b) & 1, (b >> k) & 1, "k={k} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_all_k() {
+        for ways in [0u32, 1, 4, 6, 7, 10, 13] {
+            for k in 0..=ways {
+                assert_eq!(
+                    Aob::hadamard(ways, k),
+                    Aob::hadamard_reference(ways, k),
+                    "ways={ways} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_e_of_hk_is_bit_k_of_e() {
+        // §2.3: "entanglement channel e in @a would be the value of bit k
+        // within the binary representation of the 16-bit number e".
+        let ways = 12;
+        for k in 0..ways {
+            let h = Aob::hadamard(ways, k);
+            for e in [0u64, 1, 2, 63, 64, 100, 4095] {
+                assert_eq!(h.get(e), (e >> k) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn had_zero_alternates() {
+        // "had @a,0 would make every even-numbered entanglement channel 0
+        // and every odd-numbered channel 1."
+        let h = Aob::hadamard(8, 0);
+        for e in 0..256u64 {
+            assert_eq!(h.get(e), e % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn had_top_is_half_zero_half_one() {
+        // "The AoB value created by had @a,15 would consist of 32,768 0
+        // bits followed by 32,768 1 bits." (scaled to 12-way here; the
+        // 16-way case is exercised in the integration tests)
+        let ways = 12;
+        let h = Aob::hadamard(ways, ways - 1);
+        let half = 1u64 << (ways - 1);
+        for e in 0..half {
+            assert!(!h.get(e));
+        }
+        for e in half..(1 << ways) {
+            assert!(h.get(e));
+        }
+    }
+
+    #[test]
+    fn had_16way_full_size() {
+        // The actual hardware size: 65,536-bit vectors.
+        let h = Aob::hadamard(16, 15);
+        assert_eq!(h.len(), 65_536);
+        assert!(!h.get(32_767));
+        assert!(h.get(32_768));
+        assert_eq!(h.pop_all(), 32_768);
+    }
+
+    #[test]
+    fn k_at_or_beyond_ways_is_zero() {
+        let h = Aob::hadamard(8, 8);
+        assert_eq!(h, Aob::zeros(8));
+        let h = Aob::hadamard(8, 15);
+        assert_eq!(h, Aob::zeros(8));
+    }
+
+    #[test]
+    fn hadamards_have_half_population() {
+        for ways in [4u32, 8, 16] {
+            for k in 0..ways {
+                assert_eq!(Aob::hadamard(ways, k).pop_all(), 1u64 << (ways - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_bank_layout() {
+        let bank = Aob::constant_bank(8);
+        assert_eq!(bank.len(), 10);
+        assert_eq!(bank[0], Aob::zeros(8));
+        assert_eq!(bank[1], Aob::ones(8));
+        for k in 0..8u32 {
+            assert_eq!(bank[2 + k as usize], Aob::hadamard(8, k));
+        }
+    }
+
+    #[test]
+    fn disjoint_channel_sets_compose_to_counter() {
+        // Using H(0..ways) as the bits of a counter: channel e encodes the
+        // integer e. This is the property Fig 9's factoring relies on.
+        let ways = 10;
+        let hs: Vec<Aob> = (0..ways).map(|k| Aob::hadamard(ways, k)).collect();
+        for e in [0u64, 1, 5, 500, 1023] {
+            let mut v = 0u64;
+            for (k, h) in hs.iter().enumerate() {
+                v |= (h.get(e) as u64) << k;
+            }
+            assert_eq!(v, e);
+        }
+    }
+}

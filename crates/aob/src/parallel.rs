@@ -1,0 +1,131 @@
+//! Multithreaded AoB operations for large vectors.
+//!
+//! The Qat datapath is "bit-level, massively-parallel, SIMD" hardware; the
+//! natural software rendering for vectors beyond the 65,536-bit hardware
+//! size (e.g. when AoB chunks serve as RE symbols for > 16-way
+//! entanglement) is to split the word array across threads. Operations here
+//! use `crossbeam::scope` so borrowed slices can be shared without `Arc`,
+//! following the data-race-freedom discipline of the workspace guides:
+//! each thread owns a disjoint `&mut` chunk, so results are identical to
+//! the sequential path (and are differentially tested to be).
+//!
+//! Below [`PAR_THRESHOLD_WORDS`] the scalar path is used — thread spawn
+//! overhead dwarfs the work for small vectors, and benches confirm the
+//! crossover.
+
+use crate::bitvec::Aob;
+
+/// Minimum word count before threads are spawned. 2^16 words = 2^22 bits.
+pub const PAR_THRESHOLD_WORDS: usize = 1 << 16;
+
+fn par_zip_into(dst: &mut [u64], src: &[u64], threads: usize, op: fn(u64, u64) -> u64) {
+    assert_eq!(dst.len(), src.len());
+    if dst.len() < PAR_THRESHOLD_WORDS || threads <= 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = op(*d, *s);
+        }
+        return;
+    }
+    let chunk = dst.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (dc, sc) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (d, s) in dc.iter_mut().zip(sc) {
+                    *d = op(*d, *s);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+impl Aob {
+    /// Parallel `self &= b` across `threads` threads.
+    pub fn par_and_assign(&mut self, b: &Aob, threads: usize) {
+        self.check_same_ways(b);
+        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x & y);
+    }
+
+    /// Parallel `self |= b`.
+    pub fn par_or_assign(&mut self, b: &Aob, threads: usize) {
+        self.check_same_ways(b);
+        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x | y);
+    }
+
+    /// Parallel `self ^= b`.
+    pub fn par_xor_assign(&mut self, b: &Aob, threads: usize) {
+        self.check_same_ways(b);
+        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x ^ y);
+    }
+
+    /// Parallel population count.
+    pub fn par_pop_all(&self, threads: usize) -> u64 {
+        let words = self.words();
+        if words.len() < PAR_THRESHOLD_WORDS || threads <= 1 {
+            return self.pop_all();
+        }
+        let chunk = words.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = words
+                .chunks(chunk)
+                .map(|c| scope.spawn(move |_| c.iter().map(|w| w.count_ones() as u64).sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("worker thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(seed: u64) -> Aob {
+        let mut s = seed | 1;
+        Aob::from_fn(23, |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s & 1 != 0
+        })
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // 2^23-bit vectors: comfortably above the threshold.
+        let a0 = big(1);
+        let b = big(2);
+        for threads in [1usize, 2, 4, 7] {
+            let mut seq = a0.clone();
+            seq.xor_assign(&b);
+            let mut par = a0.clone();
+            par.par_xor_assign(&b, threads);
+            assert_eq!(seq, par, "threads={threads}");
+
+            let mut seq = a0.clone();
+            seq.and_assign(&b);
+            let mut par = a0.clone();
+            par.par_and_assign(&b, threads);
+            assert_eq!(seq, par);
+
+            let mut seq = a0.clone();
+            seq.or_assign(&b);
+            let mut par = a0.clone();
+            par.par_or_assign(&b, threads);
+            assert_eq!(seq, par);
+
+            assert_eq!(a0.pop_all(), a0.par_pop_all(threads));
+        }
+    }
+
+    #[test]
+    fn small_vectors_take_scalar_path() {
+        // Below-threshold vectors must produce identical results too.
+        let a0 = Aob::hadamard(10, 3);
+        let b = Aob::hadamard(10, 7);
+        let mut par = a0.clone();
+        par.par_xor_assign(&b, 8);
+        assert_eq!(par, Aob::xor_of(&a0, &b));
+        assert_eq!(a0.par_pop_all(8), a0.pop_all());
+    }
+}

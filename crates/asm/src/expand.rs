@@ -1,0 +1,426 @@
+//! Statement expansion: mnemonics → pending instructions.
+//!
+//! Real instructions expand 1:1; Table 2 pseudo-instructions expand to the
+//! documented sequences; with [`AsmOptions::expand_reversible`] the §5
+//! reversible-gate macros replace the native `cnot`/`ccnot`/`swap`/`cswap`
+//! encodings.
+
+use crate::parser::{Operand, Stmt};
+use tangled_isa::{reg, Insn, QReg, Reg};
+
+/// Assembler behaviour switches.
+#[derive(Debug, Clone)]
+pub struct AsmOptions {
+    /// Assemble the reversible Qat gates as the §5 macro sequences instead
+    /// of native instructions (the hardware-simplification ablation).
+    pub expand_reversible: bool,
+    /// Scratch Qat register used by the `ccnot`/`cswap` macro expansions.
+    pub qat_temp: QReg,
+}
+
+impl Default for AsmOptions {
+    fn default() -> Self {
+        AsmOptions { expand_reversible: false, qat_temp: QReg(255) }
+    }
+}
+
+/// A label reference or absolute address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// Named label, resolved in pass 2.
+    Label(String),
+    /// Absolute word address.
+    Abs(u16),
+}
+
+/// An instruction (or word) whose final encoding may depend on label
+/// addresses. Every variant has a fixed size, so pass 1 can lay out
+/// addresses before labels resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pending {
+    /// Fully resolved instruction.
+    Concrete(Insn),
+    /// Raw data word (`.word`).
+    Word(u16),
+    /// `brt`/`brf` with a target needing offset computation.
+    Branch {
+        /// `true` for `brt`, `false` for `brf`.
+        true_sense: bool,
+        /// Condition register.
+        c: Reg,
+        /// Branch destination.
+        target: Target,
+    },
+    /// `lex $d, low8(target)`.
+    LexLow {
+        /// Destination register.
+        d: Reg,
+        /// Address whose low byte is loaded.
+        target: Target,
+    },
+    /// `lhi $d, high8(target)`.
+    LhiHigh {
+        /// Destination register.
+        d: Reg,
+        /// Address whose high byte is loaded.
+        target: Target,
+    },
+    /// `.word label` — a label's address emitted as data (jump tables).
+    AddrWord {
+        /// Address source.
+        target: Target,
+    },
+}
+
+impl Pending {
+    /// Encoded size in words (fixed before label resolution).
+    pub fn size(&self) -> u16 {
+        match self {
+            Pending::Concrete(i) => i.words(),
+            _ => 1,
+        }
+    }
+}
+
+fn want_reg(op: &Operand) -> Result<Reg, String> {
+    match op {
+        Operand::Reg(r) => Ok(*r),
+        other => Err(format!("expected a Tangled register ($n), got {other:?}")),
+    }
+}
+
+fn want_qreg(op: &Operand) -> Result<QReg, String> {
+    match op {
+        Operand::QReg(q) => Ok(*q),
+        other => Err(format!("expected a Qat register (@n), got {other:?}")),
+    }
+}
+
+fn want_imm(op: &Operand, lo: i32, hi: i32, what: &str) -> Result<i32, String> {
+    match op {
+        Operand::Imm(v) if (lo..=hi).contains(v) => Ok(*v),
+        Operand::Imm(v) => Err(format!("{what} {v} out of range {lo}..={hi}")),
+        other => Err(format!("expected {what}, got {other:?}")),
+    }
+}
+
+fn want_target(op: &Operand) -> Result<Target, String> {
+    match op {
+        Operand::Ident(name) => Ok(Target::Label(name.clone())),
+        Operand::Imm(v) if (0..=0xFFFF).contains(v) => Ok(Target::Abs(*v as u16)),
+        other => Err(format!("expected a label or address, got {other:?}")),
+    }
+}
+
+fn arity(stmt: &Stmt, n: usize) -> Result<(), String> {
+    if stmt.operands.len() == n {
+        Ok(())
+    } else {
+        Err(format!(
+            "`{}` takes {n} operand(s), got {}",
+            stmt.mnemonic,
+            stmt.operands.len()
+        ))
+    }
+}
+
+/// The unconditional-`jump` expansion (shared by `jump`, `jumpf`, `jumpt`).
+fn jump_seq(target: Target) -> Vec<Pending> {
+    vec![
+        Pending::LexLow { d: reg::AT, target: target.clone() },
+        Pending::LhiHigh { d: reg::AT, target },
+        Pending::Concrete(Insn::Jumpr { a: reg::AT }),
+    ]
+}
+
+/// Expand one statement into pending instructions.
+pub fn expand(stmt: Stmt, opts: &AsmOptions) -> Result<Vec<Pending>, String> {
+    let ops = &stmt.operands;
+    let c1 = |i: Insn| Ok(vec![Pending::Concrete(i)]);
+
+    // Sigil-overloaded mnemonics: and/or/xor/not serve both ISAs.
+    let qat_form = ops.first().is_some_and(|o| matches!(o, Operand::QReg(_)));
+
+    match (stmt.mnemonic.as_str(), qat_form) {
+        // ---- Tangled two-register ----
+        ("add", false) => { arity(&stmt, 2)?; c1(Insn::Add { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("addf", false) => { arity(&stmt, 2)?; c1(Insn::Addf { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("and", false) => { arity(&stmt, 2)?; c1(Insn::And { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("copy", false) => { arity(&stmt, 2)?; c1(Insn::Copy { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("load", false) => { arity(&stmt, 2)?; c1(Insn::Load { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("mul", false) => { arity(&stmt, 2)?; c1(Insn::Mul { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("mulf", false) => { arity(&stmt, 2)?; c1(Insn::Mulf { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("or", false) => { arity(&stmt, 2)?; c1(Insn::Or { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("shift", false) => { arity(&stmt, 2)?; c1(Insn::Shift { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("slt", false) => { arity(&stmt, 2)?; c1(Insn::Slt { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("store", false) => { arity(&stmt, 2)?; c1(Insn::Store { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+        ("xor", false) => { arity(&stmt, 2)?; c1(Insn::Xor { d: want_reg(&ops[0])?, s: want_reg(&ops[1])? }) }
+
+        // ---- Tangled one-register ----
+        ("float", _) => { arity(&stmt, 1)?; c1(Insn::Float { d: want_reg(&ops[0])? }) }
+        ("int", _) => { arity(&stmt, 1)?; c1(Insn::Int { d: want_reg(&ops[0])? }) }
+        ("neg", _) => { arity(&stmt, 1)?; c1(Insn::Neg { d: want_reg(&ops[0])? }) }
+        ("negf", _) => { arity(&stmt, 1)?; c1(Insn::Negf { d: want_reg(&ops[0])? }) }
+        ("not", false) => { arity(&stmt, 1)?; c1(Insn::Not { d: want_reg(&ops[0])? }) }
+        ("recip", _) => { arity(&stmt, 1)?; c1(Insn::Recip { d: want_reg(&ops[0])? }) }
+        ("jumpr", _) => { arity(&stmt, 1)?; c1(Insn::Jumpr { a: want_reg(&ops[0])? }) }
+        ("sys", _) => { arity(&stmt, 0)?; c1(Insn::Sys) }
+
+        // ---- Immediates ----
+        ("lex", _) => {
+            arity(&stmt, 2)?;
+            let d = want_reg(&ops[0])?;
+            let imm = want_imm(&ops[1], -128, 127, "lex immediate")? as i8;
+            c1(Insn::Lex { d, imm })
+        }
+        ("lhi", _) => {
+            arity(&stmt, 2)?;
+            let d = want_reg(&ops[0])?;
+            let imm = want_imm(&ops[1], -128, 255, "lhi immediate")?;
+            c1(Insn::Lhi { d, imm: (imm & 0xFF) as u8 })
+        }
+
+        // ---- Branches ----
+        ("brf", _) | ("brt", _) => {
+            arity(&stmt, 2)?;
+            let c = want_reg(&ops[0])?;
+            let target = want_target(&ops[1])?;
+            Ok(vec![Pending::Branch { true_sense: stmt.mnemonic == "brt", c, target }])
+        }
+
+        // ---- Table 2 pseudo-instructions ----
+        ("br", _) => {
+            arity(&stmt, 1)?;
+            let target = want_target(&ops[0])?;
+            // Complementary pair: exactly one of brf/brt takes.
+            Ok(vec![
+                Pending::Branch { true_sense: false, c: reg::AT, target: target.clone() },
+                Pending::Branch { true_sense: true, c: reg::AT, target },
+            ])
+        }
+        ("jump", _) => {
+            arity(&stmt, 1)?;
+            Ok(jump_seq(want_target(&ops[0])?))
+        }
+        ("jumpf", _) | ("jumpt", _) => {
+            arity(&stmt, 2)?;
+            let c = want_reg(&ops[0])?;
+            let target = want_target(&ops[1])?;
+            // Skip the 3-word jump when the condition does NOT select it:
+            // jumpf jumps when false, so a true condition skips (brt).
+            let skip_sense = stmt.mnemonic == "jumpf";
+            let mut out = vec![Pending::Concrete(match skip_sense {
+                true => Insn::Brt { c, off: 3 },
+                false => Insn::Brf { c, off: 3 },
+            })];
+            out.extend(jump_seq(target));
+            Ok(out)
+        }
+        ("li", _) => {
+            arity(&stmt, 2)?;
+            let d = want_reg(&ops[0])?;
+            if let Operand::Ident(_) = &ops[1] {
+                // Label literal: always the two-instruction form (its size
+                // must be known before the label resolves).
+                let target = want_target(&ops[1])?;
+                return Ok(vec![
+                    Pending::LexLow { d, target: target.clone() },
+                    Pending::LhiHigh { d, target },
+                ]);
+            }
+            let v = want_imm(&ops[1], -32768, 65535, "li literal")?;
+            let v16 = (v & 0xFFFF) as u16;
+            let as_i16 = v16 as i16;
+            if (-128..=127).contains(&as_i16) {
+                c1(Insn::Lex { d, imm: as_i16 as i8 })
+            } else {
+                Ok(vec![
+                    Pending::Concrete(Insn::Lex { d, imm: (v16 & 0xFF) as u8 as i8 }),
+                    Pending::Concrete(Insn::Lhi { d, imm: (v16 >> 8) as u8 }),
+                ])
+            }
+        }
+
+        // ---- Directives ----
+        (".word", _) => {
+            arity(&stmt, 1)?;
+            match &ops[0] {
+                Operand::Ident(_) => {
+                    // A label's address as data (e.g. jump tables).
+                    let target = want_target(&ops[0])?;
+                    Ok(vec![Pending::AddrWord { target }])
+                }
+                _ => {
+                    let v = want_imm(&ops[0], -32768, 65535, ".word value")?;
+                    Ok(vec![Pending::Word((v & 0xFFFF) as u16)])
+                }
+            }
+        }
+        (".space", _) => {
+            arity(&stmt, 1)?;
+            let n = want_imm(&ops[0], 0, 65535, ".space count")?;
+            Ok(vec![Pending::Word(0); n as usize])
+        }
+
+        // ---- Qat instructions ----
+        ("zero", true) => { arity(&stmt, 1)?; c1(Insn::QZero { a: want_qreg(&ops[0])? }) }
+        ("one", true) => { arity(&stmt, 1)?; c1(Insn::QOne { a: want_qreg(&ops[0])? }) }
+        ("not", true) => { arity(&stmt, 1)?; c1(Insn::QNot { a: want_qreg(&ops[0])? }) }
+        ("had", true) => {
+            arity(&stmt, 2)?;
+            let a = want_qreg(&ops[0])?;
+            let k = want_imm(&ops[1], 0, 15, "had channel-set")? as u8;
+            c1(Insn::QHad { a, k })
+        }
+        ("meas", false) => {
+            arity(&stmt, 2)?;
+            c1(Insn::QMeas { d: want_reg(&ops[0])?, a: want_qreg(&ops[1])? })
+        }
+        ("next", false) => {
+            arity(&stmt, 2)?;
+            c1(Insn::QNext { d: want_reg(&ops[0])?, a: want_qreg(&ops[1])? })
+        }
+        ("pop", false) => {
+            arity(&stmt, 2)?;
+            c1(Insn::QPop { d: want_reg(&ops[0])?, a: want_qreg(&ops[1])? })
+        }
+        ("and", true) | ("or", true) | ("xor", true) => {
+            arity(&stmt, 3)?;
+            let a = want_qreg(&ops[0])?;
+            let b = want_qreg(&ops[1])?;
+            let c = want_qreg(&ops[2])?;
+            c1(match stmt.mnemonic.as_str() {
+                "and" => Insn::QAnd { a, b, c },
+                "or" => Insn::QOr { a, b, c },
+                _ => Insn::QXor { a, b, c },
+            })
+        }
+        ("cnot", true) => {
+            arity(&stmt, 2)?;
+            let a = want_qreg(&ops[0])?;
+            let b = want_qreg(&ops[1])?;
+            if opts.expand_reversible {
+                // §5: "cnot @a,@b is actually equivalent to xor @a,@a,@b".
+                c1(Insn::QXor { a, b: a, c: b })
+            } else {
+                c1(Insn::QCnot { a, b })
+            }
+        }
+        ("ccnot", true) => {
+            arity(&stmt, 3)?;
+            let a = want_qreg(&ops[0])?;
+            let b = want_qreg(&ops[1])?;
+            let c = want_qreg(&ops[2])?;
+            if opts.expand_reversible {
+                let t = opts.qat_temp;
+                Ok(vec![
+                    Pending::Concrete(Insn::QAnd { a: t, b, c }),
+                    Pending::Concrete(Insn::QXor { a, b: a, c: t }),
+                ])
+            } else {
+                c1(Insn::QCcnot { a, b, c })
+            }
+        }
+        ("swap", true) => {
+            arity(&stmt, 2)?;
+            let a = want_qreg(&ops[0])?;
+            let b = want_qreg(&ops[1])?;
+            if opts.expand_reversible {
+                // xor-swap triple (the "three-instruction sequence" §5
+                // says swap replaces).
+                Ok(vec![
+                    Pending::Concrete(Insn::QXor { a, b: a, c: b }),
+                    Pending::Concrete(Insn::QXor { a: b, b, c: a }),
+                    Pending::Concrete(Insn::QXor { a, b: a, c: b }),
+                ])
+            } else {
+                c1(Insn::QSwap { a, b })
+            }
+        }
+        ("cswap", true) => {
+            arity(&stmt, 3)?;
+            let a = want_qreg(&ops[0])?;
+            let b = want_qreg(&ops[1])?;
+            let c = want_qreg(&ops[2])?;
+            if opts.expand_reversible {
+                let t = opts.qat_temp;
+                // Masked swap: t = (a^b)&c; a^=t; b^=t.
+                Ok(vec![
+                    Pending::Concrete(Insn::QXor { a: t, b: a, c: b }),
+                    Pending::Concrete(Insn::QAnd { a: t, b: t, c }),
+                    Pending::Concrete(Insn::QXor { a, b: a, c: t }),
+                    Pending::Concrete(Insn::QXor { a: b, b, c: t }),
+                ])
+            } else {
+                c1(Insn::QCswap { a, b, c })
+            }
+        }
+
+        // A Tangled-sigil form of a Qat-only mnemonic (or vice versa) falls
+        // through to here with a helpful message.
+        (m, _) => Err(format!("unknown instruction `{m}` (with these operand kinds)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_line;
+
+    fn exp(src: &str) -> Vec<Pending> {
+        expand(parse_line(src).unwrap().stmt.unwrap(), &AsmOptions::default()).unwrap()
+    }
+
+    fn exp_macro(src: &str) -> Vec<Pending> {
+        let opts = AsmOptions { expand_reversible: true, ..Default::default() };
+        expand(parse_line(src).unwrap().stmt.unwrap(), &opts).unwrap()
+    }
+
+    #[test]
+    fn space_directive() {
+        assert_eq!(exp(".space 3").len(), 3);
+        assert_eq!(exp(".space 0").len(), 0);
+    }
+
+    #[test]
+    fn li_boundary_values() {
+        assert_eq!(exp("li $1,127").len(), 1);
+        assert_eq!(exp("li $1,-128").len(), 1);
+        assert_eq!(exp("li $1,128").len(), 2);
+        assert_eq!(exp("li $1,-129").len(), 2);
+        assert_eq!(exp("li $1,65535").len(), 1); // 0xFFFF == -1 as i16
+    }
+
+    #[test]
+    fn ccnot_macro_uses_temp() {
+        let out = exp_macro("ccnot @1,@2,@3");
+        assert_eq!(
+            out,
+            vec![
+                Pending::Concrete(Insn::QAnd { a: QReg(255), b: QReg(2), c: QReg(3) }),
+                Pending::Concrete(Insn::QXor { a: QReg(1), b: QReg(1), c: QReg(255) }),
+            ]
+        );
+    }
+
+    #[test]
+    fn cswap_macro_is_masked_swap() {
+        let out = exp_macro("cswap @1,@2,@3");
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn wrong_sigil_reports_unknown() {
+        let stmt = parse_line("meas @1,@2").unwrap().stmt.unwrap();
+        assert!(expand(stmt, &AsmOptions::default()).is_err());
+        let stmt = parse_line("zero $1").unwrap().stmt.unwrap();
+        assert!(expand(stmt, &AsmOptions::default()).is_err());
+    }
+
+    #[test]
+    fn arity_errors() {
+        let stmt = parse_line("had @1").unwrap().stmt.unwrap();
+        let e = expand(stmt, &AsmOptions::default()).unwrap_err();
+        assert!(e.contains("2 operand"));
+    }
+}

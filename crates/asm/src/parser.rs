@@ -1,0 +1,249 @@
+//! Line parser: source text → labels + one statement per line.
+//!
+//! Grammar per line (all parts optional):
+//!
+//! ```text
+//! line    := { label ":" } [ stmt ] [ ";" comment ]
+//! stmt    := mnemonic [ operand { "," operand } ]
+//! operand := "$" reg | "@" qreg | number | identifier
+//! number  := [-] decimal | 0x hex
+//! ```
+
+use tangled_isa::{QReg, Reg};
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Tangled register `$n` / `$at` / …
+    Reg(Reg),
+    /// Qat register `@n`.
+    QReg(QReg),
+    /// Numeric literal (decimal or `0x` hex; may be negative).
+    Imm(i32),
+    /// Bare identifier — a label reference.
+    Ident(String),
+    /// Double-quoted string (only valid for `.ascii`).
+    Str(String),
+}
+
+/// One statement: mnemonic plus operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Lower-cased mnemonic or directive (directives keep their dot).
+    pub mnemonic: String,
+    /// Parsed operand list.
+    pub operands: Vec<Operand>,
+}
+
+/// Result of parsing one line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ast {
+    /// Labels defined on this line (zero or more).
+    pub labels: Vec<String>,
+    /// The statement, if the line has one.
+    pub stmt: Option<Stmt>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+fn parse_number(tok: &str) -> Option<i32> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    let v = if neg { -v } else { v };
+    (i32::MIN as i64..=u16::MAX as i64)
+        .contains(&v)
+        .then_some(v as i32)
+}
+
+fn parse_operand(tok: &str) -> Result<Operand, String> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err("empty operand".into());
+    }
+    if tok.starts_with('$') {
+        return Reg::parse(tok)
+            .map(Operand::Reg)
+            .ok_or_else(|| format!("invalid Tangled register `{tok}`"));
+    }
+    if tok.starts_with('@') {
+        return QReg::parse(tok)
+            .map(Operand::QReg)
+            .ok_or_else(|| format!("invalid Qat register `{tok}` (valid: @0..@255)"));
+    }
+    if tok.starts_with(|c: char| c.is_ascii_digit() || c == '-') {
+        return parse_number(tok)
+            .map(Operand::Imm)
+            .ok_or_else(|| format!("invalid numeric literal `{tok}`"));
+    }
+    if tok.starts_with(is_ident_start) && tok.chars().all(is_ident_char) {
+        return Ok(Operand::Ident(tok.to_string()));
+    }
+    Err(format!("unrecognized operand `{tok}`"))
+}
+
+/// Parse one source line.
+pub fn parse_line(raw: &str) -> Result<Ast, String> {
+    // Strip comment.
+    let code = match raw.find(';') {
+        Some(i) => &raw[..i],
+        None => raw,
+    };
+    let mut rest = code.trim();
+    let mut ast = Ast::default();
+
+    // Leading labels: `name:` possibly repeated.
+    while let Some(colon) = rest.find(':') {
+        let (head, tail) = rest.split_at(colon);
+        let name = head.trim();
+        if name.is_empty() || !name.starts_with(is_ident_start) || !name.chars().all(is_ident_char)
+        {
+            // Not a label — e.g. a stray colon inside operands; bail to stmt
+            // parsing and let it produce a clearer error.
+            break;
+        }
+        ast.labels.push(name.to_string());
+        rest = tail[1..].trim_start();
+    }
+
+    if rest.is_empty() {
+        return Ok(ast);
+    }
+
+    // Mnemonic is the first whitespace-delimited token.
+    let (mnemonic, args) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    if !mnemonic.starts_with(is_ident_start) || !mnemonic.chars().all(is_ident_char) {
+        return Err(format!("invalid mnemonic `{mnemonic}`"));
+    }
+    let mnemonic_lc = mnemonic.to_ascii_lowercase();
+    let operands = if args.is_empty() {
+        Vec::new()
+    } else if mnemonic_lc == ".ascii" {
+        // The whole remainder is one double-quoted string (commas allowed).
+        let t = args.trim();
+        let inner = t
+            .strip_prefix('"')
+            .and_then(|x| x.strip_suffix('"'))
+            .ok_or_else(|| format!(".ascii expects a double-quoted string, got `{t}`"))?;
+        vec![Operand::Str(inner.to_string())]
+    } else {
+        args.split(',').map(parse_operand).collect::<Result<_, _>>()?
+    };
+    ast.stmt = Some(Stmt { mnemonic: mnemonic_lc, operands });
+    Ok(ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_comment_lines() {
+        assert_eq!(parse_line("").unwrap(), Ast::default());
+        assert_eq!(parse_line("   ; just a comment").unwrap(), Ast::default());
+        assert_eq!(parse_line("\t").unwrap(), Ast::default());
+    }
+
+    #[test]
+    fn label_only_and_label_with_stmt() {
+        let a = parse_line("loop:").unwrap();
+        assert_eq!(a.labels, vec!["loop"]);
+        assert!(a.stmt.is_none());
+
+        let a = parse_line("start: lex $0,31 ; init").unwrap();
+        assert_eq!(a.labels, vec!["start"]);
+        let s = a.stmt.unwrap();
+        assert_eq!(s.mnemonic, "lex");
+        assert_eq!(s.operands, vec![Operand::Reg(Reg::new(0)), Operand::Imm(31)]);
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let a = parse_line("a: b: sys").unwrap();
+        assert_eq!(a.labels, vec!["a", "b"]);
+        assert_eq!(a.stmt.unwrap().mnemonic, "sys");
+    }
+
+    #[test]
+    fn fig10_style_lines() {
+        // Lines copied verbatim from the paper's Figure 10.
+        let a = parse_line("and  @30,@9,@23").unwrap();
+        assert_eq!(
+            a.stmt.unwrap().operands,
+            vec![
+                Operand::QReg(QReg(30)),
+                Operand::QReg(QReg(9)),
+                Operand::QReg(QReg(23))
+            ]
+        );
+        let a = parse_line("and $0,$2 ;5").unwrap();
+        assert_eq!(a.stmt.unwrap().mnemonic, "and");
+        let a = parse_line("next $1,@80").unwrap();
+        assert_eq!(
+            a.stmt.unwrap().operands,
+            vec![Operand::Reg(Reg::new(1)), Operand::QReg(QReg(80))]
+        );
+    }
+
+    #[test]
+    fn numeric_forms() {
+        let s = parse_line("lex $1,-128").unwrap().stmt.unwrap();
+        assert_eq!(s.operands[1], Operand::Imm(-128));
+        let s = parse_line(".word 0xBEEF").unwrap().stmt.unwrap();
+        assert_eq!(s.mnemonic, ".word");
+        assert_eq!(s.operands[0], Operand::Imm(0xBEEF));
+        let s = parse_line("lhi $1,0X7f").unwrap().stmt.unwrap();
+        assert_eq!(s.operands[1], Operand::Imm(0x7F));
+    }
+
+    #[test]
+    fn spacing_is_flexible() {
+        let s = parse_line("  add   $1 , $2  ").unwrap().stmt.unwrap();
+        assert_eq!(
+            s.operands,
+            vec![Operand::Reg(Reg::new(1)), Operand::Reg(Reg::new(2))]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_line("add $1,$99").is_err());
+        assert!(parse_line("add $1,@999").is_err());
+        assert!(parse_line("add $1,5bad").is_err());
+        assert!(parse_line("add $1,").is_err());
+        assert!(parse_line("lex $1,99999999").is_err());
+    }
+
+    #[test]
+    fn named_registers() {
+        let s = parse_line("copy $at,$sp").unwrap().stmt.unwrap();
+        assert_eq!(
+            s.operands,
+            vec![
+                Operand::Reg(tangled_isa::reg::AT),
+                Operand::Reg(tangled_isa::reg::SP)
+            ]
+        );
+    }
+
+    #[test]
+    fn mnemonic_case_insensitive() {
+        assert_eq!(parse_line("SYS").unwrap().stmt.unwrap().mnemonic, "sys");
+        assert_eq!(parse_line("Had @1,2").unwrap().stmt.unwrap().mnemonic, "had");
+    }
+}

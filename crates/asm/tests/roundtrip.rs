@@ -1,0 +1,110 @@
+//! Property tests: assembler ↔ disassembler round-trips over random
+//! instruction streams, and diagnostics never panic on arbitrary input.
+
+use proptest::prelude::*;
+use tangled_asm::{assemble, assemble_with, AsmOptions};
+use tangled_isa::{decode_stream, disassemble, Insn, QReg, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn qreg() -> impl Strategy<Value = QReg> {
+    any::<u8>().prop_map(QReg)
+}
+
+/// Instructions whose disassembly is directly re-assemblable (branches are
+/// excluded: their text form uses numeric offsets that the assembler treats
+/// as absolute targets).
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (reg(), reg()).prop_map(|(d, s)| Insn::Add { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Mulf { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Slt { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Store { d, s }),
+        reg().prop_map(|d| Insn::Recip { d }),
+        reg().prop_map(|d| Insn::Neg { d }),
+        (reg(), any::<i8>()).prop_map(|(d, imm)| Insn::Lex { d, imm }),
+        (reg(), any::<u8>()).prop_map(|(d, imm)| Insn::Lhi { d, imm }),
+        Just(Insn::Sys),
+        qreg().prop_map(|a| Insn::QZero { a }),
+        qreg().prop_map(|a| Insn::QNot { a }),
+        (qreg(), 0u8..16).prop_map(|(a, k)| Insn::QHad { a, k }),
+        (reg(), qreg()).prop_map(|(d, a)| Insn::QMeas { d, a }),
+        (reg(), qreg()).prop_map(|(d, a)| Insn::QNext { d, a }),
+        (reg(), qreg()).prop_map(|(d, a)| Insn::QPop { d, a }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QAnd { a, b, c }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QOr { a, b, c }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QXor { a, b, c }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QCcnot { a, b, c }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QCswap { a, b, c }),
+        (qreg(), qreg()).prop_map(|(a, b)| Insn::QCnot { a, b }),
+        (qreg(), qreg()).prop_map(|(a, b)| Insn::QSwap { a, b }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn disassemble_reassemble_is_identity(prog in proptest::collection::vec(insn(), 1..40)) {
+        let mut text = String::new();
+        for i in &prog {
+            text.push_str(&disassemble(*i));
+            text.push('\n');
+        }
+        let img = assemble(&text).unwrap();
+        let back: Vec<Insn> = decode_stream(&img.words)
+            .unwrap()
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
+        prop_assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn assembler_never_panics_on_garbage(lines in proptest::collection::vec("[ -~]{0,30}", 0..10)) {
+        let src = lines.join("\n");
+        let _ = assemble(&src); // any Result is fine; panics are not
+    }
+
+    #[test]
+    fn macro_mode_preserves_semantics_of_reversible_streams(
+        ops in proptest::collection::vec((0u8..4, 1u8..8, 1u8..8, 1u8..8), 1..15)
+    ) {
+        // Build a reversible-gate program; run it assembled natively and
+        // with the §5 macro expansion; Qat register state must agree.
+        use qat_coproc::QatConfig;
+        use tangled_sim::{Machine, MachineConfig};
+        let mut src = String::from("had @1,0\nhad @2,1\nhad @3,2\nhad @4,3\nhad @5,4\nhad @6,5\nhad @7,6\n");
+        for (op, a, b, c) in &ops {
+            let (a, b, c) = (a % 7 + 1, b % 7 + 1, c % 7 + 1);
+            match op {
+                0 => src.push_str(&format!("cnot @{a},@{b}\n")),
+                1 if a != b && b != c && a != c =>
+                    src.push_str(&format!("ccnot @{a},@{b},@{c}\n")),
+                2 if a != b => src.push_str(&format!("swap @{a},@{b}\n")),
+                3 if a != b && b != c && a != c =>
+                    src.push_str(&format!("cswap @{a},@{b},@{c}\n")),
+                _ => {}
+            }
+        }
+        src.push_str("sys\n");
+        let native = assemble(&src).unwrap();
+        let macros = assemble_with(
+            &src,
+            &AsmOptions { expand_reversible: true, ..Default::default() },
+        )
+        .unwrap();
+        let cfg = MachineConfig { qat: QatConfig::with_ways(6), ..Default::default() };
+        let mut m1 = Machine::with_image(cfg, &native.words);
+        m1.run().unwrap();
+        let mut m2 = Machine::with_image(cfg, &macros.words);
+        m2.run().unwrap();
+        for q in 0..8u8 {
+            prop_assert_eq!(
+                m1.qat.reg(QReg(q)),
+                m2.qat.reg(QReg(q)),
+                "register @{} differs between native and macro mode", q
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! E13 (§5): the paper's proposed hardware simplifications, quantified.
+//!
+//! 1. Reversible gates (`cnot`/`ccnot`/`swap`/`cswap`) as native
+//!    instructions vs assembler macros — instruction count, cycle count,
+//!    and register-file port pressure.
+//! 2. `zero`/`one`/`had` instructions vs the reserved constant-register
+//!    bank — instruction count and pattern-generator gate savings.
+//! 3. Compiler ablations: gate-level optimization on/off (ref [2]) and
+//!    greedy vs reusing register allocation (§4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gatec::factor::build_factoring;
+use gatec::{allocate, emit_asm, AllocStrategy, Compiler, EmitOptions};
+use qat_coproc::cost::constant_register_savings;
+use qat_coproc::{QatConfig, QatCoprocessor};
+use tangled_asm::{assemble_with, AsmOptions};
+use tangled_sim::{Machine, MachineConfig, PipelinedSim, PipelineConfig};
+
+/// A reversible-gate-heavy program (Toffoli/Fredkin mixing network).
+fn reversible_kernel() -> String {
+    let mut src = String::from("had @1,0\nhad @2,1\nhad @3,2\nhad @4,3\n");
+    for i in 0..40 {
+        let (a, b, c) = (1 + i % 4, 1 + (i + 1) % 4, 1 + (i + 2) % 4);
+        match i % 4 {
+            0 => src.push_str(&format!("ccnot @{a},@{b},@{c}\n")),
+            1 => src.push_str(&format!("cswap @{a},@{b},@{c}\n")),
+            2 => src.push_str(&format!("cnot @{a},@{b}\n")),
+            _ => src.push_str(&format!("swap @{a},@{b}\n")),
+        }
+    }
+    src.push_str("sys\n");
+    src
+}
+
+fn run_counted(words: &[u16], ways: u32) -> (u64, u64, QatCoprocessor) {
+    let cfg = MachineConfig { qat: QatConfig::with_ways(ways), ..Default::default() };
+    let mut p = PipelinedSim::new(Machine::with_image(cfg, words), PipelineConfig::default());
+    let st = p.run().unwrap();
+    (st.insns, st.cycles, p.machine.qat.clone())
+}
+
+fn print_reversible_ablation() {
+    let src = reversible_kernel();
+    let native = assemble_with(&src, &AsmOptions::default()).unwrap();
+    let macros =
+        assemble_with(&src, &AsmOptions { expand_reversible: true, ..Default::default() })
+            .unwrap();
+    let (ni, nc, nq) = run_counted(&native.words, 8);
+    let (mi, mc, mq) = run_counted(&macros.words, 8);
+    eprintln!("\n== §5 ablation: reversible gates native vs macros (40-gate kernel) ==");
+    eprintln!(
+        "native: insns {ni:>4} cycles {nc:>5}  3-read insns {:>3}  2-write insns {:>3}",
+        nq.ports.triple_read_insns, nq.ports.dual_write_insns
+    );
+    eprintln!(
+        "macros: insns {mi:>4} cycles {mc:>5}  3-read insns {:>3}  2-write insns {:>3}",
+        mq.ports.triple_read_insns, mq.ports.dual_write_insns
+    );
+
+    eprintln!("\n== §5 ablation: constant registers vs zero/one/had instructions ==");
+    for strategy in [AllocStrategy::GreedyFresh, AllocStrategy::LinearScanReuse] {
+        let prog = build_factoring(15, 4, true);
+        let (nl, outs) = prog.optimized();
+        let base = EmitOptions::default();
+        let cr = EmitOptions { constant_registers: true, ways: 16 };
+        let ab = allocate(&nl, &outs, strategy, &base).unwrap();
+        let ac = allocate(&nl, &outs, strategy, &cr).unwrap();
+        let eb = emit_asm(&nl, &outs, &ab, &base);
+        let ec = emit_asm(&nl, &outs, &ac, &cr);
+        eprintln!(
+            "{strategy:?}: instruction-init {} insns / {} regs; constant-regs {} insns / {} regs (+{} reserved); generator gates saved {}",
+            eb.qat_insns, ab.regs_used, ec.qat_insns, ac.regs_used, 18,
+            constant_register_savings(16)
+        );
+    }
+
+    eprintln!("\n== ref [2] ablation: gate-level optimization on the factor-15 netlist ==");
+    for (label, optimized) in [("optimized", true), ("unoptimized", false)] {
+        let prog = build_factoring(15, 4, optimized);
+        let (nl, _) = prog.optimized();
+        let s = nl.stats();
+        eprintln!(
+            "{label:<12} total {:>5}  binary {:>5}  not {:>4}  had {:>3}",
+            s.total(), s.binary, s.nots, s.hads
+        );
+    }
+    eprintln!();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_reversible_ablation();
+
+    let src = reversible_kernel();
+    let native = assemble_with(&src, &AsmOptions::default()).unwrap().words;
+    let macros = assemble_with(&src, &AsmOptions { expand_reversible: true, ..Default::default() })
+        .unwrap()
+        .words;
+    let mut g = c.benchmark_group("reversible_gates");
+    g.bench_function("native_instructions", |b| {
+        b.iter(|| run_counted(black_box(&native), 8).1)
+    });
+    g.bench_function("macro_expansion", |b| {
+        b.iter(|| run_counted(black_box(&macros), 8).1)
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("compile_factor15");
+    g.bench_function("optimized_reuse", |b| {
+        b.iter(|| {
+            let c = Compiler::default();
+            gatec::factor::compile_factoring(black_box(15), 4, &c).unwrap().qat_insns
+        })
+    });
+    g.bench_function("greedy_alloc", |b| {
+        b.iter(|| {
+            let c = Compiler { strategy: AllocStrategy::GreedyFresh, ..Default::default() };
+            gatec::factor::compile_factoring(black_box(15), 4, &c).unwrap().qat_insns
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E10/E15 (§4): end-to-end prime factoring. Benches the three paths that
+//! all produce the factors of 15 (and 221):
+//!
+//! 1. the word-level pint program on the RE-compressed PBP engine,
+//! 2. the gate-compiled Tangled/Qat assembly on the pipelined simulator,
+//! 3. the verbatim Figure 10 listing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbp::PbpContext;
+use tangled_bench::{assemble, factor15_asm, factor221_asm, figure10_asm, run_pipelined};
+use tangled_sim::PipelineConfig;
+
+fn pbp_factor(n: u64, width: usize, universe: u32) -> Vec<u64> {
+    let mut ctx = PbpContext::new(universe);
+    let target = ctx.pint_mk(width, n);
+    let b = ctx.pint_h_auto(width);
+    let c = ctx.pint_h_auto(width);
+    let d = ctx.pint_mul(&b, &c);
+    let e = ctx.pint_eq(&d, &target);
+    ctx.pint_measure_where(&b, &e)
+        .into_iter()
+        .map(|v| v.value)
+        .collect()
+}
+
+fn print_cycle_counts() {
+    eprintln!("\n== factoring cycle counts (4-stage forwarding pipeline) ==");
+    for (name, asm, ways) in [
+        ("compiled factor-15", factor15_asm(), 8u32),
+        ("figure-10 verbatim", figure10_asm(), 8),
+        ("compiled factor-221", factor221_asm(), 16),
+    ] {
+        let st = run_pipelined(&assemble(&asm), ways, PipelineConfig::default());
+        eprintln!(
+            "{name:<22} insns {:>5}  cycles {:>6}  CPI {:.3}  (qat {:>4}, 2-word {:>4})",
+            st.insns, st.cycles, st.cpi(), st.qat_insns, st.two_word_insns
+        );
+    }
+    eprintln!();
+}
+
+fn bench_factor(c: &mut Criterion) {
+    print_cycle_counts();
+
+    let mut g = c.benchmark_group("factor15");
+    let f15 = assemble(&factor15_asm());
+    let fig10 = assemble(&figure10_asm());
+    g.bench_function("pbp_word_level", |b| {
+        b.iter(|| {
+            let f = pbp_factor(black_box(15), 4, 8);
+            assert_eq!(f, vec![1, 3, 5, 15]);
+            f
+        })
+    });
+    g.bench_function("compiled_on_pipeline", |b| {
+        b.iter(|| run_pipelined(black_box(&f15), 8, PipelineConfig::default()).cycles)
+    });
+    g.bench_function("figure10_on_pipeline", |b| {
+        b.iter(|| run_pipelined(black_box(&fig10), 8, PipelineConfig::default()).cycles)
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("factor221");
+    g.sample_size(20);
+    let f221 = assemble(&factor221_asm());
+    g.bench_function("pbp_word_level", |b| {
+        b.iter(|| {
+            let f = pbp_factor(black_box(221), 8, 16);
+            assert_eq!(f, vec![1, 13, 17, 221]);
+            f
+        })
+    });
+    g.bench_function("compiled_on_pipeline_16way", |b| {
+        b.iter(|| run_pipelined(black_box(&f221), 16, PipelineConfig::default()).cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_factor);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E6/E7 (Figures 7 and 8): the `had` pattern generator and the `next`
+//! scanner. Benchmarks the fast word-level constructions against the
+//! per-bit Verilog transliterations, and prints the §3.3 gate-delay model
+//! for both OR-reduction variants (the O(WAYS) vs O(WAYS²) discussion).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbp_aob::Aob;
+use qat_coproc::cost::{gate_delay, pipeline_stages, AluOp, OrReduction};
+
+fn print_delay_model() {
+    eprintln!("\n== next gate-delay model (Fig 8 / §3.3) ==");
+    eprintln!("{:>5} {:>12} {:>12} {:>18}", "WAYS", "wide-OR", "tree-OR", "stages@40 (tree)");
+    for ways in [4u32, 8, 12, 16, 20] {
+        eprintln!(
+            "{:>5} {:>12} {:>12} {:>18}",
+            ways,
+            gate_delay(AluOp::Next, ways, OrReduction::WideOr),
+            gate_delay(AluOp::Next, ways, OrReduction::TreeOr),
+            pipeline_stages(AluOp::Next, ways, OrReduction::TreeOr, 40),
+        );
+    }
+    eprintln!();
+}
+
+fn bench_had_next(c: &mut Criterion) {
+    print_delay_model();
+
+    let mut g = c.benchmark_group("had");
+    for ways in [8u32, 16] {
+        for k in [0u32, 7, 15] {
+            if k >= ways {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("fast_w{ways}"), k),
+                &k,
+                |bch, &k| bch.iter(|| Aob::hadamard(black_box(ways), black_box(k))),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("per_bit_w{ways}"), k),
+                &k,
+                |bch, &k| bch.iter(|| Aob::hadamard_reference(black_box(ways), black_box(k))),
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("next");
+    for ways in [8u32, 16] {
+        // Sparse vector: single 1 near the end — worst case for scans.
+        let mut sparse = Aob::zeros(ways);
+        sparse.set((1 << ways) - 2, true);
+        g.bench_with_input(BenchmarkId::new("word_scan_sparse", ways), &ways, |bch, _| {
+            bch.iter(|| black_box(&sparse).next(black_box(0)))
+        });
+        g.bench_with_input(BenchmarkId::new("per_bit_sparse", ways), &ways, |bch, _| {
+            bch.iter(|| black_box(&sparse).next_reference(black_box(0)))
+        });
+        // The paper's worked example pattern.
+        let h4 = Aob::hadamard(ways, 4.min(ways - 1));
+        g.bench_with_input(BenchmarkId::new("word_scan_h4", ways), &ways, |bch, _| {
+            bch.iter(|| black_box(&h4).next(black_box(42)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_had_next);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 (§2.7): summarizing an entangled superposition. The paper's point:
+//! ANY/ALL/POP summaries are O(1)-ish via `next`+`meas` (and word-parallel
+//! reductions), while a full read-out loop of `meas` costs O(2^E).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbp_aob::Aob;
+
+fn bench_measure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summaries");
+    for ways in [8u32, 12, 16] {
+        // A value with a single 1 hidden at the end: worst case for ANY.
+        let mut v = Aob::zeros(ways);
+        v.set((1 << ways) - 1, true);
+
+        g.bench_with_input(BenchmarkId::new("any_via_next_meas", ways), &ways, |b, _| {
+            b.iter(|| black_box(&v).any_via_next())
+        });
+        g.bench_with_input(BenchmarkId::new("any_direct_reduction", ways), &ways, |b, _| {
+            b.iter(|| black_box(&v).any())
+        });
+        g.bench_with_input(BenchmarkId::new("any_via_meas_loop", ways), &ways, |b, _| {
+            // The O(2^E) brute-force read-out the paper warns about.
+            b.iter(|| (0..v.len()).any(|e| black_box(&v).meas(e)))
+        });
+
+        g.bench_with_input(BenchmarkId::new("pop_after_word", ways), &ways, |b, _| {
+            b.iter(|| black_box(&v).pop_after(black_box(0)))
+        });
+        g.bench_with_input(BenchmarkId::new("pop_via_meas_loop", ways), &ways, |b, _| {
+            b.iter(|| (1..v.len()).filter(|&e| black_box(&v).meas(e)).count() as u64)
+        });
+    }
+    g.finish();
+
+    // Enumerating a sparse answer set: next-chains touch only the answers,
+    // meas-loops touch every channel.
+    let mut g = c.benchmark_group("enumerate_sparse");
+    let ways = 16u32;
+    let mut v = Aob::zeros(ways);
+    for e in [31u64, 53, 83, 241] {
+        v.set(e, true); // the factoring-of-15 answer channels
+    }
+    g.bench_function("via_next_chain", |b| b.iter(|| black_box(&v).enumerate_ones()));
+    g.bench_function("via_meas_loop", |b| b.iter(|| black_box(&v).enumerate_ones_by_meas()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_measure);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E14 (§2.2/§2.7): PBP vs quantum measurement semantics, measured.
+//!
+//! The factoring answer set {1, 3, 5, 15} lives in an entangled
+//! superposition. PBP reads all of it in ONE non-destructive pass; a
+//! quantum computer samples one answer per run and collapses, so seeing
+//! all k answers is a coupon-collector process with k·H(k) expected runs —
+//! and no number of runs guarantees completeness. The bench also prints
+//! the memory scaling: 16 bytes/amplitude state vector vs 1 bit/channel
+//! AoB vs O(runs) RE.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbp::PbpContext;
+use qsim_baseline::{expected_runs_to_collect_all, runs_to_collect_all, QState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Factoring-of-15 answer channels in the 8-way universe (b | c<<4).
+const ANSWER_CHANNELS: [u64; 4] = [31, 53, 83, 241];
+
+fn print_comparison() {
+    eprintln!("\n== E14: measurement semantics, PBP vs quantum ==");
+    eprintln!("PBP passes to read ALL factors of 15: 1 (non-destructive)");
+    eprintln!(
+        "quantum expected runs (coupon collector, k=4): {:.3}",
+        expected_runs_to_collect_all(4)
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let s = QState::uniform_over(8, &ANSWER_CHANNELS);
+    let trials = 2000;
+    let total: u64 = (0..trials)
+        .map(|_| runs_to_collect_all(&s, &ANSWER_CHANNELS, &mut rng))
+        .sum();
+    eprintln!("quantum measured mean over {trials} trials: {:.3}", total as f64 / trials as f64);
+
+    eprintln!("\nstate memory at n qubits / E-way entanglement:");
+    eprintln!("{:>4} {:>16} {:>14} {:>12}", "n/E", "qsim bytes", "AoB bytes", "RE bytes(~)");
+    for n in [8u32, 16, 20, 24] {
+        let qs = (1u64 << n) * 16;
+        let aob = (1u64 << n) / 8;
+        let mut ctx = PbpContext::new(n.max(6));
+        let h = ctx.hadamard(n - 1);
+        let l = ctx.hadamard(2);
+        let v = ctx.and(&h, &l);
+        eprintln!("{n:>4} {qs:>16} {aob:>14} {:>12}", v.storage_runs() * 16);
+    }
+    eprintln!();
+}
+
+fn pbp_one_pass() -> Vec<u64> {
+    let mut ctx = PbpContext::new(8);
+    let n = ctx.pint_mk(4, 15);
+    let b = ctx.pint_h_auto(4);
+    let c = ctx.pint_h_auto(4);
+    let d = ctx.pint_mul(&b, &c);
+    let e = ctx.pint_eq(&d, &n);
+    ctx.pint_measure_where(&b, &e).into_iter().map(|v| v.value).collect()
+}
+
+fn bench_pbp_vs_qsim(c: &mut Criterion) {
+    print_comparison();
+
+    let mut g = c.benchmark_group("read_all_factors");
+    g.bench_function("pbp_single_nondestructive_pass", |b| {
+        b.iter(|| {
+            let f = pbp_one_pass();
+            assert_eq!(f.len(), 4);
+            f
+        })
+    });
+    g.bench_function("qsim_until_all_seen", |b| {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = QState::uniform_over(8, &ANSWER_CHANNELS);
+        b.iter(|| runs_to_collect_all(black_box(&s), &ANSWER_CHANNELS, &mut rng))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("state_prep");
+    g.bench_function("qsim_16_qubit_h_layer", |b| {
+        b.iter(|| {
+            let mut s = QState::new(16);
+            for q in 0..16 {
+                s.h(q);
+            }
+            black_box(s.norm())
+        })
+    });
+    g.bench_function("pbp_16way_hadamard_bank", |b| {
+        b.iter(|| {
+            let mut ctx = PbpContext::new(16);
+            let mut runs = 0usize;
+            for k in 0..16 {
+                runs += ctx.hadamard(k).storage_runs();
+            }
+            black_box(runs)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pbp_vs_qsim);
+criterion_main!(benches);

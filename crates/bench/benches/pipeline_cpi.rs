@@ -1,0 +1,71 @@
+//! E11 (§3.1): pipeline behaviour. Prints the CPI table for every
+//! simulator organization on characteristic kernels (hazard-free,
+//! dependence chain, branchy loop, Qat-heavy) and benches simulation
+//! throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tangled_bench::{
+    assemble, dependent_kernel, figure10_asm, loopy_kernel, run_multicycle, run_pipelined,
+    straightline_kernel,
+};
+use tangled_sim::{PipelineConfig, StageCount};
+
+fn configs() -> [(&'static str, PipelineConfig); 4] {
+    [
+        ("4-stage fw", PipelineConfig { stages: StageCount::Four, forwarding: true, ..Default::default() }),
+        ("4-stage nofw", PipelineConfig { stages: StageCount::Four, forwarding: false, ..Default::default() }),
+        ("5-stage fw", PipelineConfig { stages: StageCount::Five, forwarding: true, ..Default::default() }),
+        ("5-stage nofw", PipelineConfig { stages: StageCount::Five, forwarding: false, ..Default::default() }),
+    ]
+}
+
+fn print_cpi_table() {
+    let kernels: Vec<(&str, String, u32)> = vec![
+        ("straight-line x500", straightline_kernel(500), 8),
+        ("dependence chain x500", dependent_kernel(500), 8),
+        ("counted loop x200", loopy_kernel(200), 8),
+        ("figure-10 factoring", figure10_asm(), 8),
+    ];
+    eprintln!("\n== CPI by pipeline organization (multi-cycle baseline last) ==");
+    eprint!("{:<24}", "kernel");
+    for (name, _) in configs() {
+        eprint!("{name:>14}");
+    }
+    eprintln!("{:>14}", "multi-cycle");
+    for (kname, src, ways) in &kernels {
+        let words = assemble(src);
+        eprint!("{kname:<24}");
+        for (_, cfg) in configs() {
+            let st = run_pipelined(&words, *ways, cfg);
+            eprint!("{:>14.3}", st.cpi());
+        }
+        let (cyc, ins) = run_multicycle(&words, *ways);
+        eprintln!("{:>14.3}", cyc as f64 / ins as f64);
+    }
+    eprintln!();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    print_cpi_table();
+
+    // Simulation throughput: how fast the cycle-accurate model itself runs.
+    let words = assemble(&figure10_asm());
+    let mut g = c.benchmark_group("sim_throughput");
+    g.bench_function("functional_fig10", |b| {
+        b.iter(|| tangled_bench::run_functional(black_box(&words), 8).steps)
+    });
+    g.bench_function("pipelined_fig10", |b| {
+        b.iter(|| run_pipelined(black_box(&words), 8, PipelineConfig::default()).cycles)
+    });
+    g.bench_function("multicycle_fig10", |b| {
+        b.iter(|| run_multicycle(black_box(&words), 8).0)
+    });
+    // 16-way (full-size 65,536-bit AoB registers).
+    g.bench_function("pipelined_fig10_16way", |b| {
+        b.iter(|| run_pipelined(black_box(&words), 16, PipelineConfig::default()).cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

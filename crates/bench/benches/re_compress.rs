@@ -1,0 +1,117 @@
+//! E12 (§1.2): the RE representation. Storage and operation cost of the
+//! compressed form versus the explicit AoB form as entanglement grows —
+//! "reduces both storage requirements and computational complexity by as
+//! much as an exponential factor".
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbp::{PbpContext, TreeCtx};
+use pbp_aob::Aob;
+
+fn print_storage_table() {
+    eprintln!("\n== RE vs AoB storage (Hadamard workload: e = (H(2) & H(E-1)) ^ H(E-2)) ==");
+    eprintln!(
+        "{:>4} {:>16} {:>12} {:>14}",
+        "E", "AoB bytes", "RE runs", "RE bytes (~)"
+    );
+    for e in [8u32, 12, 16, 20, 24, 32, 40] {
+        let mut ctx = PbpContext::new(e);
+        let a = ctx.hadamard(2);
+        let b = ctx.hadamard(e - 1);
+        let c = ctx.hadamard(e.saturating_sub(2));
+        let ab = ctx.and(&a, &b);
+        let v = ctx.xor(&ab, &c);
+        let aob_bytes = (1u64 << e) / 8;
+        let runs = v.storage_runs();
+        eprintln!(
+            "{:>4} {:>16} {:>12} {:>14}",
+            e,
+            aob_bytes,
+            runs,
+            runs * 16 // (sym, len) pair
+        );
+    }
+    eprintln!();
+}
+
+fn bench_re(c: &mut Criterion) {
+    print_storage_table();
+
+    // Same logical operation, both representations, growing E (AoB capped
+    // at sizes that fit memory; RE keeps going far beyond).
+    let mut g = c.benchmark_group("and_op");
+    for e in [10u32, 16, 20] {
+        let aa = Aob::hadamard(e, 2);
+        let ab = Aob::hadamard(e, e - 1);
+        g.bench_with_input(BenchmarkId::new("aob", e), &e, |b, _| {
+            b.iter(|| Aob::and_of(black_box(&aa), black_box(&ab)))
+        });
+        g.bench_with_input(BenchmarkId::new("re", e), &e, |b, _| {
+            // Context construction outside the hot loop.
+            let mut ctx = PbpContext::new(e);
+            let ra = ctx.hadamard(2);
+            let rb = ctx.hadamard(e - 1);
+            b.iter(|| {
+                let r = ctx.and(black_box(&ra), black_box(&rb));
+                black_box(r.storage_runs())
+            })
+        });
+    }
+    // RE-only: universes far beyond any explicit representation.
+    for e in [28u32, 36] {
+        g.bench_with_input(BenchmarkId::new("re_only", e), &e, |b, _| {
+            let mut ctx = PbpContext::new(e);
+            let ra = ctx.hadamard(2);
+            let rb = ctx.hadamard(e - 1);
+            b.iter(|| {
+                let r = ctx.and(black_box(&ra), black_box(&rb));
+                black_box(r.storage_runs())
+            })
+        });
+    }
+    g.finish();
+
+    // Measurement summaries on compressed values.
+    let mut g = c.benchmark_group("re_measure");
+    for e in [16u32, 32] {
+        let mut ctx = PbpContext::new(e);
+        let h = ctx.hadamard(e - 1);
+        let lo = ctx.hadamard(4);
+        let v = ctx.and(&h, &lo);
+        g.bench_with_input(BenchmarkId::new("pop_all", e), &e, |b, _| {
+            b.iter(|| ctx.re_pop_all(black_box(&v)))
+        });
+        g.bench_with_input(BenchmarkId::new("next", e), &e, |b, _| {
+            b.iter(|| ctx.re_next(black_box(&v), black_box(1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    // The §5 future-work representation: nested patterns (hash-consed
+    // trees of chunk blocks). Handles the operand mix the flat RE cannot,
+    // at any universe size.
+    let mut g = c.benchmark_group("nested_tree");
+    for e in [16u32, 28, 40] {
+        g.bench_with_input(BenchmarkId::new("and_small_x_large_period", e), &e, |b, &e| {
+            let mut t = TreeCtx::new();
+            let a = t.hadamard(e, 6);
+            let hb = t.hadamard(e, e - 1);
+            b.iter(|| {
+                let c = t.and(black_box(&a), black_box(&hb));
+                black_box(t.pop_all(&c))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("next_after_and", e), &e, |b, &e| {
+            let mut t = TreeCtx::new();
+            let a = t.hadamard(e, 6);
+            let hb = t.hadamard(e, e - 1);
+            let c = t.and(&a, &hb);
+            b.iter(|| t.next(black_box(&c), black_box(1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_re, bench_tree);
+criterion_main!(benches);

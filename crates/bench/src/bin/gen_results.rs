@@ -1,0 +1,202 @@
+//! Regenerate the quantitative tables in EXPERIMENTS.md.
+//!
+//! Prints a Markdown report (and, with `--json`, a machine-readable dump)
+//! of every deterministic evaluation quantity: per-kernel CPI across
+//! pipeline organizations, factoring instruction/cycle counts, compiler
+//! ablations, the gate-delay model, circuit-level measurements, RE
+//! compression, and the PBP-vs-quantum measurement comparison. Criterion
+//! wall-clock numbers live in `bench_output.txt`; everything here is exact
+//! and machine-independent.
+
+use gatec::factor::build_factoring;
+use gatec::{allocate, emit_asm, AllocStrategy, EmitOptions};
+use pbp::PbpContext;
+use pbp_aob::Aob;
+use qat_coproc::circuit::{qatnext_circuit, qathad_circuit};
+use qat_coproc::cost::{gate_delay, pipeline_stages, AluOp, OrReduction};
+use qsim_baseline::{expected_runs_to_collect_all, grover_optimal_iterations};
+use serde::Serialize;
+use tangled_bench::*;
+use tangled_sim::{PipelineConfig, StageCount};
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    insns: u64,
+    cpi_4fw: f64,
+    cpi_4nofw: f64,
+    cpi_5fw: f64,
+    cpi_5nofw: f64,
+    cpi_multicycle: f64,
+}
+
+#[derive(Serialize, Default)]
+struct Report {
+    kernels: Vec<KernelRow>,
+    factoring: Vec<(String, u64, u64, f64)>,
+    next_delay: Vec<(u32, u64, u64, u64)>,
+    circuit_depth: Vec<(u32, u64, u64)>,
+    re_storage: Vec<(u32, u64, usize)>,
+    compiler: Vec<(String, usize)>,
+    quantum: Vec<(String, f64)>,
+}
+
+fn cfg(stages: StageCount, forwarding: bool) -> PipelineConfig {
+    PipelineConfig { stages, forwarding, ..Default::default() }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut report = Report::default();
+
+    // ---- E11: kernel CPI table ----
+    let kernels: Vec<(&str, String, u32)> = vec![
+        ("straight-line x500", straightline_kernel(500), 8),
+        ("dependence chain x500", dependent_kernel(500), 8),
+        ("counted loop x200", loopy_kernel(200), 8),
+        ("Figure 10 factoring", figure10_asm(), 8),
+        ("compiled factor-221", factor221_asm(), 16),
+    ];
+    for (name, src, ways) in &kernels {
+        let words = assemble(src);
+        let s4f = run_pipelined(&words, *ways, cfg(StageCount::Four, true));
+        let s4n = run_pipelined(&words, *ways, cfg(StageCount::Four, false));
+        let s5f = run_pipelined(&words, *ways, cfg(StageCount::Five, true));
+        let s5n = run_pipelined(&words, *ways, cfg(StageCount::Five, false));
+        let (mc_cycles, mc_insns) = run_multicycle(&words, *ways);
+        report.kernels.push(KernelRow {
+            kernel: name.to_string(),
+            insns: s4f.insns,
+            cpi_4fw: s4f.cpi(),
+            cpi_4nofw: s4n.cpi(),
+            cpi_5fw: s5f.cpi(),
+            cpi_5nofw: s5n.cpi(),
+            cpi_multicycle: mc_cycles as f64 / mc_insns as f64,
+        });
+    }
+
+    // ---- E10/E15: factoring programs ----
+    for (name, asm, ways) in [
+        ("Figure 10 verbatim (n=15)", figure10_asm(), 8u32),
+        ("compiled n=15", factor15_asm(), 8),
+        ("compiled n=221", factor221_asm(), 16),
+    ] {
+        let st = run_pipelined(&assemble(&asm), ways, PipelineConfig::default());
+        report.factoring.push((name.to_string(), st.insns, st.cycles, st.cpi()));
+    }
+
+    // ---- E7: next gate-delay model (§3.3) ----
+    for ways in [4u32, 8, 12, 16] {
+        report.next_delay.push((
+            ways,
+            gate_delay(AluOp::Next, ways, OrReduction::WideOr),
+            gate_delay(AluOp::Next, ways, OrReduction::TreeOr),
+            pipeline_stages(AluOp::Next, ways, OrReduction::TreeOr, 40),
+        ));
+    }
+
+    // ---- E6/E7: structural circuit measurements ----
+    for ways in [4u32, 6, 8, 10] {
+        let a = Aob::hadamard(ways, ways - 1);
+        let (_, tree) = qatnext_circuit(&a, 3, OrReduction::TreeOr);
+        let (_, wide) = qatnext_circuit(&a, 3, OrReduction::WideOr);
+        report.circuit_depth.push((ways, tree.depth, wide.depth));
+    }
+
+    // ---- E12: RE compression ----
+    for e in [8u32, 16, 24, 32, 40] {
+        let mut ctx = PbpContext::new(e);
+        let a = ctx.hadamard(2);
+        let b = ctx.hadamard(e - 1);
+        let ab = ctx.and(&a, &b);
+        let c = ctx.hadamard(e.saturating_sub(2));
+        let v = ctx.xor(&ab, &c);
+        report.re_storage.push((e, (1u64 << e) / 8, v.storage_runs()));
+    }
+
+    // ---- E13: compiler ablations on factor-15 ----
+    let opt = build_factoring(15, 4, true);
+    let unopt = build_factoring(15, 4, false);
+    let (nl_o, outs_o) = opt.optimized();
+    let (nl_u, _) = unopt.optimized();
+    report.compiler.push(("netlist gates (optimized)".into(), nl_o.len()));
+    report.compiler.push(("netlist gates (unoptimized)".into(), nl_u.len()));
+    let base = EmitOptions::default();
+    let crm = EmitOptions { constant_registers: true, ways: 16 };
+    for (label, strategy, opts) in [
+        ("insns greedy", AllocStrategy::GreedyFresh, &base),
+        ("insns linear-scan", AllocStrategy::LinearScanReuse, &base),
+        ("insns linear-scan + const-regs", AllocStrategy::LinearScanReuse, &crm),
+    ] {
+        let alloc = allocate(&nl_o, &outs_o, strategy, opts).unwrap();
+        let em = emit_asm(&nl_o, &outs_o, &alloc, opts);
+        report.compiler.push((format!("{label} (regs {})", alloc.regs_used), em.qat_insns));
+    }
+    let fig10_insns = figure10_asm().lines().filter(|l| !l.trim().is_empty()).count() - 10; // minus tail+sys
+    report.compiler.push(("Figure 10 gate instructions (paper)".into(), fig10_insns));
+
+    // ---- E14: quantum comparison ----
+    report.quantum.push(("PBP passes to read all 4 factors".into(), 1.0));
+    report
+        .quantum
+        .push(("quantum expected runs (coupon collector)".into(), expected_runs_to_collect_all(4)));
+    report.quantum.push((
+        "Grover iterations before EACH quantum sample (8-qubit oracle, k=4)".into(),
+        grover_optimal_iterations(8, 4) as f64,
+    ));
+
+    // ---- E6 gate counts for had ----
+    let (_, had8) = qathad_circuit(8, 3);
+    report.compiler.push(("had generator gates (8-way mux tree)".into(), had8.gates as usize));
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        return;
+    }
+
+    println!("## Kernel CPI by pipeline organization (E11)\n");
+    println!("| kernel | insns | 4-stage fw | 4-stage nofw | 5-stage fw | 5-stage nofw | multi-cycle |");
+    println!("|---|---|---|---|---|---|---|");
+    for k in &report.kernels {
+        println!(
+            "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |",
+            k.kernel, k.insns, k.cpi_4fw, k.cpi_4nofw, k.cpi_5fw, k.cpi_5nofw, k.cpi_multicycle
+        );
+    }
+    println!("\n## Factoring programs (E10/E15)\n");
+    println!("| program | instructions | cycles | CPI |");
+    println!("|---|---|---|---|");
+    for (n, i, c, cpi) in &report.factoring {
+        println!("| {n} | {i} | {c} | {cpi:.3} |");
+    }
+    println!("\n## `next` gate-delay model (E7, §3.3)\n");
+    println!("| WAYS | wide-OR delay | tree-OR delay | stages @ 40 levels |");
+    println!("|---|---|---|---|");
+    for (w, wd, td, st) in &report.next_delay {
+        println!("| {w} | {wd} | {td} | {st} |");
+    }
+    println!("\n## Structural circuit depth, Figure 8 wiring (E7)\n");
+    println!("| WAYS | tree-OR depth | wide-OR depth |");
+    println!("|---|---|---|");
+    for (w, t, d) in &report.circuit_depth {
+        println!("| {w} | {t} | {d} |");
+    }
+    println!("\n## RE compression (E12)\n");
+    println!("| E | explicit AoB bytes | RE runs |");
+    println!("|---|---|---|");
+    for (e, bytes, runs) in &report.re_storage {
+        println!("| {e} | {bytes} | {runs} |");
+    }
+    println!("\n## Compiler / §5 ablations (E13)\n");
+    println!("| quantity | value |");
+    println!("|---|---|");
+    for (n, v) in &report.compiler {
+        println!("| {n} | {v} |");
+    }
+    println!("\n## Measurement semantics (E14)\n");
+    println!("| quantity | value |");
+    println!("|---|---|");
+    for (n, v) in &report.quantum {
+        println!("| {n} | {v:.3} |");
+    }
+}

@@ -1,0 +1,78 @@
+//! The fraction-reciprocal lookup table.
+//!
+//! The course Verilog shipped this table as a VMEM file loaded into FPGA
+//! block RAM; here it is computed at compile time by the same formula.
+//!
+//! Entry `f` (for `f` in `0..128`) seeds the reciprocal of the significand
+//! `1.f = 1 + f/128`: it holds the 7 fraction bits `t` such that
+//! `(1 + t/128) / 2` is the rounded value of `1 / (1 + f/128)`. Entry 0
+//! would need `t = 128` (the reciprocal of exactly 1.0 is 1.0, just outside
+//! the halved-encoding range), so it clamps to 127 and the Newton–Raphson
+//! refinement step in [`crate::Bf16::recip`] absorbs the error.
+
+/// 128-entry reciprocal seed table: `RECIP_TABLE[f]` ≈ fraction bits of
+/// `2 / (1 + f/128)`, clamped to 7 bits.
+pub const RECIP_TABLE: [u16; 128] = make_table();
+
+const fn make_table() -> [u16; 128] {
+    let mut table = [0u16; 128];
+    let mut f: u32 = 0;
+    while f < 128 {
+        let denom = 128 + f;
+        // round(32768 / denom) via (2a + b) / (2b)
+        let rounded = (2 * 32768 + denom) / (2 * denom);
+        let t = if rounded >= 256 {
+            127 // only f = 0 clamps
+        } else {
+            (rounded - 128) as u16
+        };
+        // rounded is in (128, 256] for f in 0..128, so t fits in 7 bits
+        // after the clamp above.
+        table[f as usize] = if t > 127 { 127 } else { t };
+        f += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_fit_seven_bits() {
+        for (f, &t) in RECIP_TABLE.iter().enumerate() {
+            assert!(t <= 127, "entry {f} = {t} exceeds 7 bits");
+        }
+    }
+
+    #[test]
+    fn table_is_monotone_nonincreasing() {
+        // 1/(1.f) decreases as f grows, so seeds must not increase.
+        for w in RECIP_TABLE.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn seed_relative_error_bounded() {
+        // Every seed must be within 1% of the true significand reciprocal —
+        // tight enough that one Newton step lands within a bf16 ulp.
+        for f in 0..128u32 {
+            let x = 1.0 + f as f64 / 128.0;
+            let seed = (1.0 + RECIP_TABLE[f as usize] as f64 / 128.0) / 2.0;
+            let rel = ((seed - 1.0 / x) * x).abs();
+            assert!(rel < 0.01, "f={f} rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn known_entries() {
+        // f=0: clamped top entry.
+        assert_eq!(RECIP_TABLE[0], 127);
+        // f=128/2=64 -> 1.5; 1/1.5 = 2/3; seed fraction = round(32768/192)-128
+        // = round(170.67)-128 = 171-128 = 43.
+        assert_eq!(RECIP_TABLE[64], 43);
+        // f=127 -> 1.9921875; round(32768/255)-128 = 129-128 = 1.
+        assert_eq!(RECIP_TABLE[127], 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the bfloat16 ALU against the f32 oracle.
+
+use proptest::prelude::*;
+use tangled_bfloat::{ulp_distance, Bf16};
+
+/// Strategy: an arbitrary finite, non-NaN bf16 bit pattern.
+fn finite_bf16() -> impl Strategy<Value = Bf16> {
+    any::<u16>().prop_filter_map("finite", |bits| {
+        let v = Bf16(bits);
+        (!v.is_nan() && !v.is_infinite()).then_some(v)
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_through_f32_is_identity(v in finite_bf16()) {
+        // Every bf16 embeds exactly in f32 and must come back unchanged.
+        prop_assert_eq!(Bf16::from_f32(v.to_f32()), v);
+    }
+
+    #[test]
+    fn add_matches_f32_oracle(a in finite_bf16(), b in finite_bf16()) {
+        let got = a.add(b);
+        let want = Bf16::from_f32(a.to_f32() + b.to_f32());
+        prop_assert_eq!(got.0, want.0);
+    }
+
+    #[test]
+    fn add_commutes(a in finite_bf16(), b in finite_bf16()) {
+        let x = a.add(b);
+        let y = b.add(a);
+        // ±0 results may differ in sign only when both inputs are zeros of
+        // opposite sign; IEEE addition is still commutative bit-for-bit.
+        prop_assert_eq!(x.0, y.0);
+    }
+
+    #[test]
+    fn mul_commutes_and_matches_oracle(a in finite_bf16(), b in finite_bf16()) {
+        prop_assert_eq!(a.mul(b).0, b.mul(a).0);
+        let want = Bf16::from_f32(a.to_f32() * b.to_f32());
+        prop_assert_eq!(a.mul(b).0, want.0);
+    }
+
+    #[test]
+    fn neg_is_involution(v in any::<u16>().prop_map(Bf16)) {
+        prop_assert_eq!(v.neg().neg(), v);
+    }
+
+    #[test]
+    fn add_identity_zero(v in finite_bf16()) {
+        // x + 0.0 == x except that -0 + +0 = +0.
+        let r = v.add(Bf16::ZERO);
+        if v.is_zero() {
+            prop_assert!(r.is_zero());
+        } else {
+            prop_assert_eq!(r, v);
+        }
+    }
+
+    #[test]
+    fn mul_identity_one(v in finite_bf16()) {
+        prop_assert_eq!(v.mul(Bf16::ONE), v);
+    }
+
+    #[test]
+    fn recip_within_one_ulp(v in finite_bf16()) {
+        prop_assume!(v.exponent_bits() != 0); // skip zero/subnormal
+        let got = v.recip();
+        let want = v.recip_exact();
+        if got.is_infinite() || got.is_zero() || want.is_infinite() || want.is_zero() {
+            prop_assert_eq!(got, want);
+        } else {
+            prop_assert!(ulp_distance(got, want) <= 1);
+        }
+    }
+
+    #[test]
+    fn int_roundtrip_small(v in -256i16..=256) {
+        prop_assert_eq!(Bf16::from_i16(v).to_i16(), v);
+    }
+
+    #[test]
+    fn to_i16_truncates_toward_zero(v in finite_bf16()) {
+        let f = v.to_f32();
+        prop_assume!(f.abs() < 30000.0);
+        let i = v.to_i16();
+        prop_assert!((i as f32).abs() <= f.abs());
+        prop_assert!((f - i as f32).abs() < 1.0);
+    }
+}

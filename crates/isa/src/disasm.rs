@@ -1,0 +1,105 @@
+//! Disassembler: render instructions back to assembler-accepted text.
+//!
+//! `asm → encode → disassemble → asm` round-trips: the output of
+//! [`disassemble`] re-assembles to the identical image (tested in the
+//! `tangled-asm` crate's integration tests).
+
+use crate::insn::Insn;
+
+/// Render one instruction in assembler syntax. Branch offsets are printed
+/// as raw numeric word offsets (labels are an assembler-level concept).
+pub fn disassemble(i: Insn) -> String {
+    match i {
+        Insn::Add { d, s }
+        | Insn::Addf { d, s }
+        | Insn::And { d, s }
+        | Insn::Copy { d, s }
+        | Insn::Load { d, s }
+        | Insn::Mul { d, s }
+        | Insn::Mulf { d, s }
+        | Insn::Or { d, s }
+        | Insn::Shift { d, s }
+        | Insn::Slt { d, s }
+        | Insn::Store { d, s }
+        | Insn::Xor { d, s } => format!("{} {d},{s}", i.mnemonic()),
+        Insn::Brf { c, off } | Insn::Brt { c, off } => format!("{} {c},{off}", i.mnemonic()),
+        Insn::Float { d } | Insn::Int { d } | Insn::Neg { d } | Insn::Negf { d }
+        | Insn::Not { d } | Insn::Recip { d } => format!("{} {d}", i.mnemonic()),
+        Insn::Jumpr { a } => format!("jumpr {a}"),
+        Insn::Lex { d, imm } => format!("lex {d},{imm}"),
+        Insn::Lhi { d, imm } => format!("lhi {d},{imm}"),
+        Insn::Sys => "sys".to_string(),
+        Insn::QZero { a } => format!("zero {a}"),
+        Insn::QOne { a } => format!("one {a}"),
+        Insn::QNot { a } => format!("not {a}"),
+        Insn::QHad { a, k } => format!("had {a},{k}"),
+        Insn::QMeas { d, a } => format!("meas {d},{a}"),
+        Insn::QNext { d, a } => format!("next {d},{a}"),
+        Insn::QPop { d, a } => format!("pop {d},{a}"),
+        Insn::QAnd { a, b, c } => format!("and {a},{b},{c}"),
+        Insn::QOr { a, b, c } => format!("or {a},{b},{c}"),
+        Insn::QXor { a, b, c } => format!("xor {a},{b},{c}"),
+        Insn::QCnot { a, b } => format!("cnot {a},{b}"),
+        Insn::QCcnot { a, b, c } => format!("ccnot {a},{b},{c}"),
+        Insn::QSwap { a, b } => format!("swap {a},{b}"),
+        Insn::QCswap { a, b, c } => format!("cswap {a},{b},{c}"),
+    }
+}
+
+/// Disassemble a whole image into an address-annotated listing.
+pub fn listing(words: &[u16]) -> String {
+    let mut out = String::new();
+    let mut pc = 0usize;
+    while pc < words.len() {
+        match crate::encode::decode(&words[pc..]) {
+            Ok((insn, n)) => {
+                out.push_str(&format!("{pc:04x}: {}\n", disassemble(insn)));
+                pc += n as usize;
+            }
+            Err(_) => {
+                out.push_str(&format!("{pc:04x}: .word {:#06x}\n", words[pc]));
+                pc += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{QReg, Reg};
+
+    #[test]
+    fn representative_forms() {
+        let r = Reg::new;
+        assert_eq!(disassemble(Insn::Add { d: r(1), s: r(2) }), "add $1,$2");
+        assert_eq!(disassemble(Insn::Lex { d: r(8), imm: 42 }), "lex $8,42");
+        assert_eq!(disassemble(Insn::Lex { d: r(8), imm: -1 }), "lex $8,-1");
+        assert_eq!(
+            disassemble(Insn::QHad { a: QReg(123), k: 4 }),
+            "had @123,4"
+        );
+        assert_eq!(
+            disassemble(Insn::QNext { d: r(8), a: QReg(123) }),
+            "next $8,@123"
+        );
+        assert_eq!(
+            disassemble(Insn::QAnd { a: QReg(2), b: QReg(0), c: QReg(1) }),
+            "and @2,@0,@1"
+        );
+        assert_eq!(disassemble(Insn::Sys), "sys");
+        assert_eq!(
+            disassemble(Insn::Copy { d: r(11), s: r(12) }),
+            "copy $at,$rv"
+        );
+    }
+
+    #[test]
+    fn listing_marks_illegal_words() {
+        let words = [0x0010u16 /* add $0,$1 */, 0xF000 /* illegal */];
+        let l = listing(&words);
+        assert!(l.contains("0000: add $0,$1"));
+        assert!(l.contains("0001: .word 0xf000"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Binary encoding and decoding of Tangled/Qat instructions.
+//!
+//! See the crate-level docs for the word layout. [`encode`] produces one or
+//! two 16-bit words; [`decode`] consumes a word slice and reports how many
+//! words it used, exactly like the fetch stage of the pipelined hardware
+//! must (variable-length fetch was "the most common student question").
+
+use crate::insn::Insn;
+use crate::reg::{QReg, Reg};
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode/minor combination is not a defined instruction.
+    Illegal {
+        /// The offending instruction word.
+        word: u16,
+    },
+    /// A two-word instruction's second word lies beyond the given slice.
+    Truncated {
+        /// The first word of the truncated instruction.
+        word: u16,
+    },
+    /// The input slice is empty.
+    Empty,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Illegal { word } => write!(f, "illegal instruction word {word:#06x}"),
+            DecodeError::Truncated { word } => {
+                write!(f, "two-word instruction {word:#06x} truncated at end of memory")
+            }
+            DecodeError::Empty => write!(f, "empty instruction stream"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Minor codes for the 0x0 two-register ALU group.
+const ALU2: [&str; 12] = [
+    "add", "addf", "and", "copy", "load", "mul", "mulf", "or", "shift", "slt", "store", "xor",
+];
+// Minor codes for the 0x1 one-register group.
+const ALU1: [&str; 8] = ["float", "int", "neg", "negf", "not", "recip", "jumpr", "sys"];
+// Minor codes for the 0xD two-word Qat group.
+const QMULTI: [&str; 7] = ["and", "or", "xor", "cnot", "ccnot", "swap", "cswap"];
+
+fn alu2_minor(i: Insn) -> Option<(u16, Reg, Reg)> {
+    Some(match i {
+        Insn::Add { d, s } => (0, d, s),
+        Insn::Addf { d, s } => (1, d, s),
+        Insn::And { d, s } => (2, d, s),
+        Insn::Copy { d, s } => (3, d, s),
+        Insn::Load { d, s } => (4, d, s),
+        Insn::Mul { d, s } => (5, d, s),
+        Insn::Mulf { d, s } => (6, d, s),
+        Insn::Or { d, s } => (7, d, s),
+        Insn::Shift { d, s } => (8, d, s),
+        Insn::Slt { d, s } => (9, d, s),
+        Insn::Store { d, s } => (10, d, s),
+        Insn::Xor { d, s } => (11, d, s),
+        _ => return None,
+    })
+}
+
+fn alu1_minor(i: Insn) -> Option<(u16, Reg)> {
+    Some(match i {
+        Insn::Float { d } => (0, d),
+        Insn::Int { d } => (1, d),
+        Insn::Neg { d } => (2, d),
+        Insn::Negf { d } => (3, d),
+        Insn::Not { d } => (4, d),
+        Insn::Recip { d } => (5, d),
+        Insn::Jumpr { a } => (6, a),
+        Insn::Sys => (7, Reg::new(0)),
+        _ => return None,
+    })
+}
+
+fn qmulti_minor(i: Insn) -> Option<(u16, QReg, QReg, QReg)> {
+    Some(match i {
+        Insn::QAnd { a, b, c } => (0, a, b, c),
+        Insn::QOr { a, b, c } => (1, a, b, c),
+        Insn::QXor { a, b, c } => (2, a, b, c),
+        Insn::QCnot { a, b } => (3, a, b, QReg(0)),
+        Insn::QCcnot { a, b, c } => (4, a, b, c),
+        Insn::QSwap { a, b } => (5, a, b, QReg(0)),
+        Insn::QCswap { a, b, c } => (6, a, b, c),
+        _ => return None,
+    })
+}
+
+/// Encode an instruction to one or two 16-bit words.
+pub fn encode(i: Insn) -> Vec<u16> {
+    if let Some((minor, d, s)) = alu2_minor(i) {
+        return vec![(d.num() as u16) << 8 | (s.num() as u16) << 4 | minor];
+    }
+    if let Some((minor, d)) = alu1_minor(i) {
+        return vec![0x1000 | (d.num() as u16) << 8 | minor];
+    }
+    if let Some((minor, a, b, c)) = qmulti_minor(i) {
+        return vec![
+            0xD000 | minor << 8 | a.num() as u16,
+            (b.num() as u16) << 8 | c.num() as u16,
+        ];
+    }
+    match i {
+        Insn::Brf { c, off } => vec![0x2000 | (c.num() as u16) << 8 | (off as u8) as u16],
+        Insn::Brt { c, off } => vec![0x3000 | (c.num() as u16) << 8 | (off as u8) as u16],
+        Insn::Lex { d, imm } => vec![0x4000 | (d.num() as u16) << 8 | (imm as u8) as u16],
+        Insn::Lhi { d, imm } => vec![0x5000 | (d.num() as u16) << 8 | imm as u16],
+        Insn::QZero { a } => vec![0x8000 | a.num() as u16],
+        Insn::QOne { a } => vec![0x8100 | a.num() as u16],
+        Insn::QNot { a } => vec![0x8200 | a.num() as u16],
+        Insn::QHad { a, k } => {
+            assert!(k < 16, "had immediate is 4 bits");
+            vec![0x9000 | (k as u16) << 8 | a.num() as u16]
+        }
+        Insn::QMeas { d, a } => vec![0xA000 | (d.num() as u16) << 8 | a.num() as u16],
+        Insn::QNext { d, a } => vec![0xB000 | (d.num() as u16) << 8 | a.num() as u16],
+        Insn::QPop { d, a } => vec![0xC000 | (d.num() as u16) << 8 | a.num() as u16],
+        _ => unreachable!("covered by the group tables"),
+    }
+}
+
+/// Decode the instruction starting at `words[0]`. Returns the instruction
+/// and the number of words consumed (1 or 2).
+pub fn decode(words: &[u16]) -> Result<(Insn, u16), DecodeError> {
+    let &w = words.first().ok_or(DecodeError::Empty)?;
+    let op = w >> 12;
+    let f1 = (w >> 8) & 0xF;
+    let f2 = (w >> 4) & 0xF;
+    let f3 = w & 0xF;
+    let imm8 = (w & 0xFF) as u8;
+    let d = Reg::from_field(f1);
+    let s = Reg::from_field(f2);
+    let qa = QReg(imm8);
+    let one = |i| Ok((i, 1));
+    match op {
+        0x0 => match f3 {
+            0 => one(Insn::Add { d, s }),
+            1 => one(Insn::Addf { d, s }),
+            2 => one(Insn::And { d, s }),
+            3 => one(Insn::Copy { d, s }),
+            4 => one(Insn::Load { d, s }),
+            5 => one(Insn::Mul { d, s }),
+            6 => one(Insn::Mulf { d, s }),
+            7 => one(Insn::Or { d, s }),
+            8 => one(Insn::Shift { d, s }),
+            9 => one(Insn::Slt { d, s }),
+            10 => one(Insn::Store { d, s }),
+            11 => one(Insn::Xor { d, s }),
+            _ => Err(DecodeError::Illegal { word: w }),
+        },
+        0x1 => {
+            if f2 != 0 {
+                return Err(DecodeError::Illegal { word: w });
+            }
+            match f3 {
+                0 => one(Insn::Float { d }),
+                1 => one(Insn::Int { d }),
+                2 => one(Insn::Neg { d }),
+                3 => one(Insn::Negf { d }),
+                4 => one(Insn::Not { d }),
+                5 => one(Insn::Recip { d }),
+                6 => one(Insn::Jumpr { a: d }),
+                7 => {
+                    if f1 != 0 {
+                        return Err(DecodeError::Illegal { word: w });
+                    }
+                    one(Insn::Sys)
+                }
+                _ => Err(DecodeError::Illegal { word: w }),
+            }
+        }
+        0x2 => one(Insn::Brf { c: d, off: imm8 as i8 }),
+        0x3 => one(Insn::Brt { c: d, off: imm8 as i8 }),
+        0x4 => one(Insn::Lex { d, imm: imm8 as i8 }),
+        0x5 => one(Insn::Lhi { d, imm: imm8 }),
+        0x8 => match f1 {
+            0 => one(Insn::QZero { a: qa }),
+            1 => one(Insn::QOne { a: qa }),
+            2 => one(Insn::QNot { a: qa }),
+            _ => Err(DecodeError::Illegal { word: w }),
+        },
+        0x9 => one(Insn::QHad { a: qa, k: f1 as u8 }),
+        0xA => one(Insn::QMeas { d, a: qa }),
+        0xB => one(Insn::QNext { d, a: qa }),
+        0xC => one(Insn::QPop { d, a: qa }),
+        0xD => {
+            let &w2 = words.get(1).ok_or(DecodeError::Truncated { word: w })?;
+            let b = QReg((w2 >> 8) as u8);
+            let c = QReg((w2 & 0xFF) as u8);
+            let a = qa;
+            let insn = match f1 {
+                0 => Insn::QAnd { a, b, c },
+                1 => Insn::QOr { a, b, c },
+                2 => Insn::QXor { a, b, c },
+                3 => {
+                    if c.num() != 0 {
+                        return Err(DecodeError::Illegal { word: w2 });
+                    }
+                    Insn::QCnot { a, b }
+                }
+                4 => Insn::QCcnot { a, b, c },
+                5 => {
+                    if c.num() != 0 {
+                        return Err(DecodeError::Illegal { word: w2 });
+                    }
+                    Insn::QSwap { a, b }
+                }
+                6 => Insn::QCswap { a, b, c },
+                _ => return Err(DecodeError::Illegal { word: w }),
+            };
+            Ok((insn, 2))
+        }
+        _ => Err(DecodeError::Illegal { word: w }),
+    }
+}
+
+/// Decode an entire image into (address, instruction) pairs, stopping at
+/// the first error (useful for disassembly listings and test oracles).
+pub fn decode_stream(words: &[u16]) -> Result<Vec<(u16, Insn)>, (u16, DecodeError)> {
+    let mut out = Vec::new();
+    let mut pc = 0usize;
+    while pc < words.len() {
+        match decode(&words[pc..]) {
+            Ok((insn, n)) => {
+                out.push((pc as u16, insn));
+                pc += n as usize;
+            }
+            Err(e) => return Err((pc as u16, e)),
+        }
+    }
+    Ok(out)
+}
+
+/// All minor-code name tables, exposed for documentation tooling.
+pub fn minor_tables() -> (&'static [&'static str], &'static [&'static str], &'static [&'static str])
+{
+    (&ALU2, &ALU1, &QMULTI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    /// One instance of every instruction variant.
+    pub(crate) fn one_of_each() -> Vec<Insn> {
+        vec![
+            Insn::Add { d: r(1), s: r(2) },
+            Insn::Addf { d: r(3), s: r(4) },
+            Insn::And { d: r(5), s: r(6) },
+            Insn::Brf { c: r(7), off: -8 },
+            Insn::Brt { c: r(8), off: 127 },
+            Insn::Copy { d: r(9), s: r(10) },
+            Insn::Float { d: r(11) },
+            Insn::Int { d: r(12) },
+            Insn::Jumpr { a: r(13) },
+            Insn::Lex { d: r(14), imm: -128 },
+            Insn::Lhi { d: r(15), imm: 255 },
+            Insn::Load { d: r(0), s: r(1) },
+            Insn::Mul { d: r(2), s: r(3) },
+            Insn::Mulf { d: r(4), s: r(5) },
+            Insn::Neg { d: r(6) },
+            Insn::Negf { d: r(7) },
+            Insn::Not { d: r(8) },
+            Insn::Or { d: r(9), s: r(10) },
+            Insn::Recip { d: r(11) },
+            Insn::Shift { d: r(12), s: r(13) },
+            Insn::Slt { d: r(14), s: r(15) },
+            Insn::Store { d: r(0), s: r(2) },
+            Insn::Sys,
+            Insn::Xor { d: r(4), s: r(6) },
+            Insn::QZero { a: QReg(0) },
+            Insn::QOne { a: QReg(255) },
+            Insn::QNot { a: QReg(80) },
+            Insn::QHad { a: QReg(123), k: 4 },
+            Insn::QMeas { d: r(8), a: QReg(123) },
+            Insn::QNext { d: r(8), a: QReg(80) },
+            Insn::QPop { d: r(3), a: QReg(9) },
+            Insn::QAnd { a: QReg(2), b: QReg(0), c: QReg(1) },
+            Insn::QOr { a: QReg(80), b: QReg(79), c: QReg(79) },
+            Insn::QXor { a: QReg(32), b: QReg(15), c: QReg(16) },
+            Insn::QCnot { a: QReg(5), b: QReg(6) },
+            Insn::QCcnot { a: QReg(7), b: QReg(8), c: QReg(9) },
+            Insn::QSwap { a: QReg(10), b: QReg(11) },
+            Insn::QCswap { a: QReg(12), b: QReg(13), c: QReg(14) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for insn in one_of_each() {
+            let words = encode(insn);
+            assert_eq!(words.len() as u16, insn.words(), "{insn:?}");
+            let (back, n) = decode(&words).unwrap_or_else(|e| panic!("{insn:?}: {e}"));
+            assert_eq!(back, insn);
+            assert_eq!(n as usize, words.len());
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for insn in one_of_each() {
+            assert!(seen.insert(encode(insn)), "duplicate encoding for {insn:?}");
+        }
+    }
+
+    #[test]
+    fn undefined_opcodes_are_illegal() {
+        for op in [0x6u16, 0x7, 0xE, 0xF] {
+            let w = op << 12;
+            assert!(matches!(decode(&[w]), Err(DecodeError::Illegal { .. })), "{op:#x}");
+        }
+        // Unused ALU2 minors 12..=15:
+        for minor in 12u16..=15 {
+            assert!(matches!(decode(&[minor]), Err(DecodeError::Illegal { .. })));
+        }
+        // Unused ALU1 minors 8..=15:
+        for minor in 8u16..=15 {
+            assert!(matches!(decode(&[0x1000 | minor]), Err(DecodeError::Illegal { .. })));
+        }
+        // Qat unary minors 3..=15:
+        assert!(matches!(decode(&[0x8300]), Err(DecodeError::Illegal { .. })));
+        // Qat multi minor 7..=15:
+        assert!(matches!(decode(&[0xD700, 0x0000]), Err(DecodeError::Illegal { .. })));
+    }
+
+    #[test]
+    fn truncated_two_word_reports_error() {
+        let w = encode(Insn::QAnd { a: QReg(1), b: QReg(2), c: QReg(3) })[0];
+        assert!(matches!(decode(&[w]), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(decode(&[]), Err(DecodeError::Empty)));
+    }
+
+    #[test]
+    fn immediate_sign_handling() {
+        let (i, _) = decode(&encode(Insn::Lex { d: r(3), imm: -1 })).unwrap();
+        assert_eq!(i, Insn::Lex { d: r(3), imm: -1 });
+        let (i, _) = decode(&encode(Insn::Brf { c: r(2), off: -128 })).unwrap();
+        assert_eq!(i, Insn::Brf { c: r(2), off: -128 });
+    }
+
+    #[test]
+    fn decode_stream_walks_mixed_lengths() {
+        let prog = [
+            Insn::QHad { a: QReg(0), k: 3 },
+            Insn::QAnd { a: QReg(2), b: QReg(0), c: QReg(1) },
+            Insn::Lex { d: r(0), imm: 31 },
+            Insn::QNext { d: r(0), a: QReg(2) },
+            Insn::Sys,
+        ];
+        let mut words = Vec::new();
+        for i in prog {
+            words.extend(encode(i));
+        }
+        let decoded = decode_stream(&words).unwrap();
+        assert_eq!(decoded.len(), prog.len());
+        assert_eq!(decoded[0], (0, prog[0]));
+        assert_eq!(decoded[1], (1, prog[1])); // two-word insn at address 1
+        assert_eq!(decoded[2], (3, prog[2])); // next starts after both words
+        let insns: Vec<Insn> = decoded.into_iter().map(|(_, i)| i).collect();
+        assert_eq!(insns, prog);
+    }
+
+    #[test]
+    fn cnot_swap_reject_nonzero_pad() {
+        // cnot/swap leave the @c byte as padding; nonzero padding is an
+        // encoding error, which keeps the encoding bijective.
+        assert!(matches!(decode(&[0xD305, 0x0601]), Err(DecodeError::Illegal { .. })));
+        assert!(matches!(decode(&[0xD50A, 0x0B02]), Err(DecodeError::Illegal { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "4 bits")]
+    fn had_immediate_range_checked() {
+        encode(Insn::QHad { a: QReg(0), k: 16 });
+    }
+}
+
+#[cfg(test)]
+mod table_tests {
+    use super::*;
+
+    #[test]
+    fn minor_tables_expose_the_documented_encoding() {
+        let (alu2, alu1, qmulti) = minor_tables();
+        assert_eq!(alu2.len(), 12);
+        assert_eq!(alu1.len(), 8);
+        assert_eq!(qmulti.len(), 7);
+        // Spot-check the ordering the crate docs promise.
+        assert_eq!(alu2[0], "add");
+        assert_eq!(alu2[11], "xor");
+        assert_eq!(alu1[7], "sys");
+        assert_eq!(qmulti[6], "cswap");
+    }
+}

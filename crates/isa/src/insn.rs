@@ -1,0 +1,371 @@
+//! The instruction enumeration and its static properties.
+//!
+//! [`Insn`] covers the full Tangled base instruction set (Table 1) and the
+//! Qat coprocessor set (Table 3), plus the `pop` instruction that §2.7
+//! specifies but the class projects omitted. Pseudo-instructions (Table 2)
+//! are not `Insn`s — the assembler expands them.
+//!
+//! Besides the variants themselves, this module gives each instruction the
+//! static metadata the simulators need: encoded length in words, the
+//! Tangled registers read and written, the Qat registers read and written
+//! (with port counts — the §2.5/§5 hardware-cost discussion is about
+//! exactly these numbers), and whether the instruction can redirect
+//! control flow.
+
+use crate::reg::{QReg, Reg};
+
+/// One architectural instruction (Tangled Table 1 + Qat Table 3 + `pop`).
+///
+/// Operand field names follow the paper's tables: `d` destination, `s`
+/// source, `c` condition, `a`/`b`/`c` Qat registers (first named is the
+/// written one), `k` the Hadamard channel-set, `imm`/`off` immediates.
+#[allow(missing_docs)] // per-field docs would duplicate each variant's doc
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    // ---- Tangled base instruction set (Table 1) ----
+    /// `add $d,$s` — integer add: `$d += $s`.
+    Add { d: Reg, s: Reg },
+    /// `addf $d,$s` — bfloat16 add.
+    Addf { d: Reg, s: Reg },
+    /// `and $d,$s` — bitwise AND.
+    And { d: Reg, s: Reg },
+    /// `brf $c,lab` — branch (PC-relative) if `$c` is false (zero).
+    Brf { c: Reg, off: i8 },
+    /// `brt $c,lab` — branch if `$c` is true (non-zero).
+    Brt { c: Reg, off: i8 },
+    /// `copy $d,$s` — `$d = $s`.
+    Copy { d: Reg, s: Reg },
+    /// `float $d` — int to bfloat16 in place.
+    Float { d: Reg },
+    /// `int $d` — bfloat16 to int in place.
+    Int { d: Reg },
+    /// `jumpr $a` — `PC = $a`.
+    Jumpr { a: Reg },
+    /// `lex $d,imm8` — load sign-extended immediate.
+    Lex { d: Reg, imm: i8 },
+    /// `lhi $d,imm8` — load immediate into the high byte: `$d[15:8] = imm8`.
+    Lhi { d: Reg, imm: u8 },
+    /// `load $d,$s` — `$d = memory[$s]`.
+    Load { d: Reg, s: Reg },
+    /// `mul $d,$s` — integer multiply (low 16 bits).
+    Mul { d: Reg, s: Reg },
+    /// `mulf $d,$s` — bfloat16 multiply.
+    Mulf { d: Reg, s: Reg },
+    /// `neg $d` — integer two's-complement negate.
+    Neg { d: Reg },
+    /// `negf $d` — bfloat16 negate (sign-bit flip).
+    Negf { d: Reg },
+    /// `not $d` — bitwise NOT.
+    Not { d: Reg },
+    /// `or $d,$s` — bitwise OR.
+    Or { d: Reg, s: Reg },
+    /// `recip $d` — bfloat16 reciprocal.
+    Recip { d: Reg },
+    /// `shift $d,$s` — left shift for positive `$s`, right for negative.
+    Shift { d: Reg, s: Reg },
+    /// `slt $d,$s` — set less than (signed): `$d = ($d < $s)`.
+    Slt { d: Reg, s: Reg },
+    /// `store $d,$s` — `memory[$s] = $d`.
+    Store { d: Reg, s: Reg },
+    /// `sys` — system call (simulator trap; halts unless handled).
+    Sys,
+    /// `xor $d,$s` — bitwise XOR.
+    Xor { d: Reg, s: Reg },
+
+    // ---- Qat coprocessor instruction set (Table 3) ----
+    /// `zero @a` — initialize to the all-0 pbit.
+    QZero { a: QReg },
+    /// `one @a` — initialize to the all-1 pbit.
+    QOne { a: QReg },
+    /// `not @a` — Pauli-X: flip every entanglement channel.
+    QNot { a: QReg },
+    /// `had @a,imm4` — Hadamard initializer for channel-set `imm4`.
+    QHad { a: QReg, k: u8 },
+    /// `meas $d,@a` — non-destructive channel measure: `$d = @a[$d]`.
+    QMeas { d: Reg, a: QReg },
+    /// `next $d,@a` — entanglement channel of next 1 after `$d` (0 if none).
+    QNext { d: Reg, a: QReg },
+    /// `pop $d,@a` — count of 1s strictly after channel `$d` (§2.7
+    /// extension; low 16 bits).
+    QPop { d: Reg, a: QReg },
+    /// `and @a,@b,@c`.
+    QAnd { a: QReg, b: QReg, c: QReg },
+    /// `or @a,@b,@c`.
+    QOr { a: QReg, b: QReg, c: QReg },
+    /// `xor @a,@b,@c`.
+    QXor { a: QReg, b: QReg, c: QReg },
+    /// `cnot @a,@b` — controlled NOT: `@a ^= @b`.
+    QCnot { a: QReg, b: QReg },
+    /// `ccnot @a,@b,@c` — Toffoli: `@a ^= @b & @c`.
+    QCcnot { a: QReg, b: QReg, c: QReg },
+    /// `swap @a,@b`.
+    QSwap { a: QReg, b: QReg },
+    /// `cswap @a,@b,@c` — Fredkin: swap `@a`,`@b` where `@c`.
+    QCswap { a: QReg, b: QReg, c: QReg },
+}
+
+impl Insn {
+    /// Encoded length in 16-bit words (1 or 2). Only the multi-register
+    /// Qat group needs a second word.
+    pub fn words(self) -> u16 {
+        match self {
+            Insn::QAnd { .. }
+            | Insn::QOr { .. }
+            | Insn::QXor { .. }
+            | Insn::QCnot { .. }
+            | Insn::QCcnot { .. }
+            | Insn::QSwap { .. }
+            | Insn::QCswap { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Is this a Qat coprocessor instruction?
+    pub fn is_qat(self) -> bool {
+        matches!(
+            self,
+            Insn::QZero { .. }
+                | Insn::QOne { .. }
+                | Insn::QNot { .. }
+                | Insn::QHad { .. }
+                | Insn::QMeas { .. }
+                | Insn::QNext { .. }
+                | Insn::QPop { .. }
+                | Insn::QAnd { .. }
+                | Insn::QOr { .. }
+                | Insn::QXor { .. }
+                | Insn::QCnot { .. }
+                | Insn::QCcnot { .. }
+                | Insn::QSwap { .. }
+                | Insn::QCswap { .. }
+        )
+    }
+
+    /// Tangled registers this instruction reads (for hazard detection).
+    /// `meas`/`next`/`pop` read `$d` as the channel argument — the
+    /// coprocessor interface point the paper calls out for interlocks.
+    pub fn reads(self) -> Vec<Reg> {
+        match self {
+            Insn::Add { d, s }
+            | Insn::Addf { d, s }
+            | Insn::And { d, s }
+            | Insn::Mul { d, s }
+            | Insn::Mulf { d, s }
+            | Insn::Or { d, s }
+            | Insn::Shift { d, s }
+            | Insn::Slt { d, s }
+            | Insn::Xor { d, s }
+            | Insn::Store { d, s } => vec![d, s],
+            Insn::Copy { s, .. } | Insn::Load { s, .. } => vec![s],
+            Insn::Brf { c, .. } | Insn::Brt { c, .. } => vec![c],
+            Insn::Float { d } | Insn::Int { d } | Insn::Neg { d } | Insn::Negf { d }
+            | Insn::Not { d } | Insn::Recip { d } => vec![d],
+            Insn::Jumpr { a } => vec![a],
+            Insn::QMeas { d, .. } | Insn::QNext { d, .. } | Insn::QPop { d, .. } => vec![d],
+            Insn::Lex { .. } | Insn::Lhi { .. } | Insn::Sys => vec![],
+            _ => vec![], // pure Qat-register instructions
+        }
+    }
+
+    /// Tangled register this instruction writes, if any.
+    pub fn writes(self) -> Option<Reg> {
+        match self {
+            Insn::Add { d, .. }
+            | Insn::Addf { d, .. }
+            | Insn::And { d, .. }
+            | Insn::Copy { d, .. }
+            | Insn::Float { d }
+            | Insn::Int { d }
+            | Insn::Lex { d, .. }
+            | Insn::Lhi { d, .. }
+            | Insn::Load { d, .. }
+            | Insn::Mul { d, .. }
+            | Insn::Mulf { d, .. }
+            | Insn::Neg { d }
+            | Insn::Negf { d }
+            | Insn::Not { d }
+            | Insn::Or { d, .. }
+            | Insn::Recip { d }
+            | Insn::Shift { d, .. }
+            | Insn::Slt { d, .. }
+            | Insn::Xor { d, .. }
+            | Insn::QMeas { d, .. }
+            | Insn::QNext { d, .. }
+            | Insn::QPop { d, .. } => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Qat registers read. The lengths of these vectors are the register-
+    /// file read-port requirements §2.5 and §5 discuss: `ccnot`/`cswap`
+    /// need three read ports, everything else at most two.
+    pub fn qreads(self) -> Vec<QReg> {
+        match self {
+            Insn::QNot { a } => vec![a],
+            Insn::QMeas { a, .. } | Insn::QNext { a, .. } | Insn::QPop { a, .. } => vec![a],
+            Insn::QAnd { b, c, .. } | Insn::QOr { b, c, .. } | Insn::QXor { b, c, .. } => {
+                vec![b, c]
+            }
+            Insn::QCnot { a, b } => vec![a, b],
+            Insn::QCcnot { a, b, c } => vec![a, b, c],
+            Insn::QSwap { a, b } => vec![a, b],
+            Insn::QCswap { a, b, c } => vec![a, b, c],
+            _ => vec![],
+        }
+    }
+
+    /// Qat registers written. `swap`/`cswap` are the only instructions
+    /// needing two write ports — the §5 argument for demoting them to
+    /// assembler macros.
+    pub fn qwrites(self) -> Vec<QReg> {
+        match self {
+            Insn::QZero { a }
+            | Insn::QOne { a }
+            | Insn::QNot { a }
+            | Insn::QHad { a, .. }
+            | Insn::QAnd { a, .. }
+            | Insn::QOr { a, .. }
+            | Insn::QXor { a, .. }
+            | Insn::QCnot { a, .. }
+            | Insn::QCcnot { a, .. } => vec![a],
+            Insn::QSwap { a, b } | Insn::QCswap { a, b, .. } => vec![a, b],
+            _ => vec![],
+        }
+    }
+
+    /// Can this instruction change the PC (other than advancing)?
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Insn::Brf { .. } | Insn::Brt { .. } | Insn::Jumpr { .. } | Insn::Sys
+        )
+    }
+
+    /// Does the instruction access data memory? (`load`/`store` — the ops
+    /// that motivate a separate MEM stage in the 5-stage pipeline.)
+    pub fn is_mem(self) -> bool {
+        matches!(self, Insn::Load { .. } | Insn::Store { .. })
+    }
+
+    /// Assembly mnemonic for this instruction.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Insn::Add { .. } => "add",
+            Insn::Addf { .. } => "addf",
+            Insn::And { .. } => "and",
+            Insn::Brf { .. } => "brf",
+            Insn::Brt { .. } => "brt",
+            Insn::Copy { .. } => "copy",
+            Insn::Float { .. } => "float",
+            Insn::Int { .. } => "int",
+            Insn::Jumpr { .. } => "jumpr",
+            Insn::Lex { .. } => "lex",
+            Insn::Lhi { .. } => "lhi",
+            Insn::Load { .. } => "load",
+            Insn::Mul { .. } => "mul",
+            Insn::Mulf { .. } => "mulf",
+            Insn::Neg { .. } => "neg",
+            Insn::Negf { .. } => "negf",
+            Insn::Not { .. } => "not",
+            Insn::Or { .. } => "or",
+            Insn::Recip { .. } => "recip",
+            Insn::Shift { .. } => "shift",
+            Insn::Slt { .. } => "slt",
+            Insn::Store { .. } => "store",
+            Insn::Sys => "sys",
+            Insn::Xor { .. } => "xor",
+            Insn::QZero { .. } => "zero",
+            Insn::QOne { .. } => "one",
+            Insn::QNot { .. } => "not",
+            Insn::QHad { .. } => "had",
+            Insn::QMeas { .. } => "meas",
+            Insn::QNext { .. } => "next",
+            Insn::QPop { .. } => "pop",
+            Insn::QAnd { .. } => "and",
+            Insn::QOr { .. } => "or",
+            Insn::QXor { .. } => "xor",
+            Insn::QCnot { .. } => "cnot",
+            Insn::QCcnot { .. } => "ccnot",
+            Insn::QSwap { .. } => "swap",
+            Insn::QCswap { .. } => "cswap",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn lengths_match_paper() {
+        // "some Qat instructions encode as two 16-bit words" — exactly the
+        // multi-register group.
+        assert_eq!(Insn::Add { d: r(1), s: r(2) }.words(), 1);
+        assert_eq!(Insn::QHad { a: QReg(9), k: 3 }.words(), 1);
+        assert_eq!(Insn::QMeas { d: r(0), a: QReg(1) }.words(), 1);
+        assert_eq!(
+            Insn::QAnd { a: QReg(1), b: QReg(2), c: QReg(3) }.words(),
+            2
+        );
+        assert_eq!(Insn::QSwap { a: QReg(1), b: QReg(2) }.words(), 2);
+    }
+
+    #[test]
+    fn port_counts_match_section_5() {
+        // ccnot and cswap are "the only instructions requiring a third
+        // read port"; swap/cswap the only ones needing two write ports.
+        let ccnot = Insn::QCcnot { a: QReg(1), b: QReg(2), c: QReg(3) };
+        let cswap = Insn::QCswap { a: QReg(1), b: QReg(2), c: QReg(3) };
+        let qand = Insn::QAnd { a: QReg(1), b: QReg(2), c: QReg(3) };
+        let swap = Insn::QSwap { a: QReg(1), b: QReg(2) };
+        assert_eq!(ccnot.qreads().len(), 3);
+        assert_eq!(cswap.qreads().len(), 3);
+        assert_eq!(qand.qreads().len(), 2);
+        assert_eq!(swap.qwrites().len(), 2);
+        assert_eq!(cswap.qwrites().len(), 2);
+        assert_eq!(ccnot.qwrites().len(), 1);
+        assert_eq!(qand.qwrites().len(), 1);
+    }
+
+    #[test]
+    fn meas_family_couples_processors() {
+        // meas/next/pop read AND write a Tangled register while reading a
+        // Qat register — the tight-coupling point.
+        let m = Insn::QMeas { d: r(5), a: QReg(7) };
+        assert_eq!(m.reads(), vec![r(5)]);
+        assert_eq!(m.writes(), Some(r(5)));
+        assert_eq!(m.qreads(), vec![QReg(7)]);
+        assert!(m.qwrites().is_empty());
+        assert!(m.is_qat());
+    }
+
+    #[test]
+    fn store_reads_both_writes_none() {
+        let st = Insn::Store { d: r(3), s: r(4) };
+        assert_eq!(st.reads(), vec![r(3), r(4)]);
+        assert_eq!(st.writes(), None);
+        assert!(st.is_mem());
+    }
+
+    #[test]
+    fn branch_metadata() {
+        let b = Insn::Brt { c: r(2), off: -5 };
+        assert!(b.is_control());
+        assert_eq!(b.reads(), vec![r(2)]);
+        assert_eq!(b.writes(), None);
+        assert!(Insn::Jumpr { a: r(1) }.is_control());
+        assert!(Insn::Sys.is_control());
+        assert!(!Insn::Add { d: r(0), s: r(1) }.is_control());
+    }
+
+    #[test]
+    fn copy_reads_only_source() {
+        let c = Insn::Copy { d: r(1), s: r(2) };
+        assert_eq!(c.reads(), vec![r(2)]);
+        assert_eq!(c.writes(), Some(r(1)));
+    }
+}

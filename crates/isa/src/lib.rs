@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # tangled-isa — the Tangled/Qat instruction set architecture
+//!
+//! Instruction definitions for the Tangled host processor (paper Table 1),
+//! its pseudo-instructions (Table 2, implemented in `tangled-asm`), and the
+//! Qat coprocessor (Table 3), together with a concrete binary encoding,
+//! decoder, and disassembler.
+//!
+//! ## The encoding
+//!
+//! The paper deliberately leaves the encoding as a student exercise ("this
+//! instruction word size only has space for a 4-bit fixed opcode field, but
+//! there are more than 16 different types of instructions; thus, students
+//! needed to be slightly clever"). This crate fixes one such clever
+//! encoding; all tools in the workspace share it:
+//!
+//! ```text
+//! word layout (16 bits):            [15:12] [11:8] [7:4] [3:0]
+//! 0x0  ALU two-register group        0x0     d      s     minor
+//!        minor: 0 add, 1 addf, 2 and, 3 copy, 4 load, 5 mul, 6 mulf,
+//!               7 or, 8 shift, 9 slt, 10 store, 11 xor
+//! 0x1  ALU one-register group        0x1     d      0     minor
+//!        minor: 0 float, 1 int, 2 neg, 3 negf, 4 not, 5 recip,
+//!               6 jumpr, 7 sys (d ignored)
+//! 0x2  brf  $c,off8                  0x2     c      off8 (signed, words)
+//! 0x3  brt  $c,off8                  0x3     c      off8
+//! 0x4  lex  $d,imm8                  0x4     d      imm8 (sign-extended)
+//! 0x5  lhi  $d,imm8                  0x5     d      imm8 (into [15:8])
+//! 0x8  Qat unary                     0x8     minor  @a (8 bits)
+//!        minor: 0 zero, 1 one, 2 not
+//! 0x9  had  @a,imm4                  0x9     imm4   @a
+//! 0xA  meas $d,@a                    0xA     d      @a
+//! 0xB  next $d,@a                    0xB     d      @a
+//! 0xC  pop  $d,@a                    0xC     d      @a
+//! 0xD  Qat multi-register, TWO WORDS:
+//!        word 0:                     0xD     minor  @a
+//!        word 1:                     @b (bits 15:8)  @c (bits 7:0)
+//!        minor: 0 and, 1 or, 2 xor, 3 cnot, 4 ccnot, 5 swap, 6 cswap
+//! ```
+//!
+//! Opcodes `0x6`, `0x7`, `0xE`, `0xF` and unused minors decode to
+//! [`DecodeError::Illegal`] — exercised by the decoder fuzz tests.
+//!
+//! As the paper notes, only the three-or-more-register Qat instructions
+//! *need* a second word: 8-bit Qat register numbers "force some Qat
+//! instructions to be two 16-bit words long". The variable length is what
+//! makes the pipeline fetch stage interesting (§3.1).
+
+pub mod disasm;
+pub mod encode;
+pub mod insn;
+pub mod reg;
+
+pub use disasm::disassemble;
+pub use encode::{decode, decode_stream, encode, DecodeError};
+pub use insn::Insn;
+pub use reg::{QReg, Reg};

@@ -1,0 +1,108 @@
+//! Property tests: the encoding is a bijection between the instruction
+//! space and its image, and the decoder never panics on arbitrary words.
+
+use proptest::prelude::*;
+use tangled_isa::{decode, encode, Insn, QReg, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn qreg() -> impl Strategy<Value = QReg> {
+    any::<u8>().prop_map(QReg)
+}
+
+/// Strategy generating every instruction variant with arbitrary fields.
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (reg(), reg()).prop_map(|(d, s)| Insn::Add { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Addf { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::And { d, s }),
+        (reg(), any::<i8>()).prop_map(|(c, off)| Insn::Brf { c, off }),
+        (reg(), any::<i8>()).prop_map(|(c, off)| Insn::Brt { c, off }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Copy { d, s }),
+        reg().prop_map(|d| Insn::Float { d }),
+        reg().prop_map(|d| Insn::Int { d }),
+        reg().prop_map(|a| Insn::Jumpr { a }),
+        (reg(), any::<i8>()).prop_map(|(d, imm)| Insn::Lex { d, imm }),
+        (reg(), any::<u8>()).prop_map(|(d, imm)| Insn::Lhi { d, imm }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Load { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Mul { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Mulf { d, s }),
+        reg().prop_map(|d| Insn::Neg { d }),
+        reg().prop_map(|d| Insn::Negf { d }),
+        reg().prop_map(|d| Insn::Not { d }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Or { d, s }),
+        reg().prop_map(|d| Insn::Recip { d }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Shift { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Slt { d, s }),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Store { d, s }),
+        Just(Insn::Sys),
+        (reg(), reg()).prop_map(|(d, s)| Insn::Xor { d, s }),
+        qreg().prop_map(|a| Insn::QZero { a }),
+        qreg().prop_map(|a| Insn::QOne { a }),
+        qreg().prop_map(|a| Insn::QNot { a }),
+        (qreg(), 0u8..16).prop_map(|(a, k)| Insn::QHad { a, k }),
+        (reg(), qreg()).prop_map(|(d, a)| Insn::QMeas { d, a }),
+        (reg(), qreg()).prop_map(|(d, a)| Insn::QNext { d, a }),
+        (reg(), qreg()).prop_map(|(d, a)| Insn::QPop { d, a }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QAnd { a, b, c }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QOr { a, b, c }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QXor { a, b, c }),
+        (qreg(), qreg()).prop_map(|(a, b)| Insn::QCnot { a, b }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QCcnot { a, b, c }),
+        (qreg(), qreg()).prop_map(|(a, b)| Insn::QSwap { a, b }),
+        (qreg(), qreg(), qreg()).prop_map(|(a, b, c)| Insn::QCswap { a, b, c }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in insn()) {
+        let words = encode(i);
+        prop_assert_eq!(words.len() as u16, i.words());
+        let (back, n) = decode(&words).unwrap();
+        prop_assert_eq!(back, i);
+        prop_assert_eq!(n as usize, words.len());
+    }
+
+    #[test]
+    fn decoder_never_panics(w1 in any::<u16>(), w2 in any::<u16>()) {
+        // Any decode outcome is fine; panicking is not.
+        let _ = decode(&[w1, w2]);
+        let _ = decode(&[w1]);
+    }
+
+    #[test]
+    fn decode_then_encode_is_identity(w1 in any::<u16>(), w2 in any::<u16>()) {
+        // Wherever the decoder accepts, re-encoding reproduces the exact
+        // words: the encoding has no "don't care" bits.
+        if let Ok((i, n)) = decode(&[w1, w2]) {
+            let again = encode(i);
+            prop_assert_eq!(again.len(), n as usize);
+            prop_assert_eq!(again[0], w1);
+            if n == 2 {
+                prop_assert_eq!(again[1], w2);
+            }
+        }
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_and_prefixed(i in insn()) {
+        let text = tangled_isa::disassemble(i);
+        prop_assert!(text.starts_with(i.mnemonic()));
+    }
+
+    #[test]
+    fn qat_classification_consistent(i in insn()) {
+        // Qat instructions touch Qat registers or are initializers;
+        // non-Qat instructions never touch Qat registers.
+        if !i.is_qat() {
+            prop_assert!(i.qreads().is_empty());
+            prop_assert!(i.qwrites().is_empty());
+        }
+        // Port bounds from the paper: at most 3 reads, at most 2 writes.
+        prop_assert!(i.qreads().len() <= 3);
+        prop_assert!(i.qwrites().len() <= 2);
+    }
+}

@@ -1,0 +1,248 @@
+#![warn(missing_docs)]
+//! # pbp — the parallel bit pattern model (the software-only prototype)
+//!
+//! This crate rebuilds the LCPC'20 software-only PBP engine the paper's
+//! Figure 9 program runs on, and the §1.2 **RE representation**: instead of
+//! storing a `2^E`-bit AoB vector explicitly, a pbit is stored as a
+//! run-length-compressed *regular expression* over fixed-size chunk
+//! symbols, with an outer repetition — `(0^a 1^a)^b` style patterns.
+//! "By storing and operating directly on REs, parallel bit pattern
+//! computing reduces both storage requirements and computational
+//! complexity by as much as an exponential factor."
+//!
+//! * Chunks are 64-bit words, **hash-consed** in a [`PbpContext`] symbol
+//!   table (the prototype used 4096-bit chunks; the paper's own hardware
+//!   proposal is that 65,536-bit AoB values become the RE symbols — the
+//!   chunk size is a representation parameter, and 64 bits maps naturally
+//!   onto host words).
+//! * Gate operations act symbol-wise with memoization, so an operation on
+//!   two pbits costs `O(runs)` — independent of `2^E`.
+//! * Measurement (`get`/`next`/`pop`/`any`/`all`) walks runs, giving the
+//!   `O(1)`-ish summaries of §2.7 even for huge universes.
+//! * The [`Pint`] word-level API reproduces the Figure 9 programming
+//!   model: `pint_mk`, `pint_h`, `pint_add`, `pint_mul`, `pint_eq`,
+//!   non-destructive `measure`.
+//!
+//! The representation is differentially tested against the explicit
+//! [`pbp_aob::Aob`] substrate for universes small enough to expand.
+
+pub mod algos;
+mod pint;
+mod re;
+pub mod tree;
+
+pub use algos::Cnf;
+pub use pint::{MeasuredValue, Pint};
+pub use re::Re;
+pub use tree::{PTree, TPint, TreeCtx};
+
+use std::collections::HashMap;
+
+/// Chunk width in bits (one symbol covers this many entanglement channels).
+pub const CHUNK_BITS: u64 = 64;
+/// log2 of the chunk width.
+pub const CHUNK_WAYS: u32 = 6;
+
+/// Interned chunk-symbol id.
+pub type Sym = u32;
+
+/// Binary gate selector for memoized symbol ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum BinOp {
+    And,
+    Or,
+    Xor,
+}
+
+/// The PBP execution context: universe size, the hash-consed symbol table,
+/// operation memo tables, and the entanglement-channel allocator.
+#[derive(Debug)]
+pub struct PbpContext {
+    universe_ways: u32,
+    /// Symbol id → chunk pattern.
+    syms: Vec<u64>,
+    /// Chunk pattern → symbol id (hash-consing).
+    intern: HashMap<u64, Sym>,
+    /// Memoized binary symbol ops.
+    bin_memo: HashMap<(BinOp, Sym, Sym), Sym>,
+    /// Memoized NOT.
+    not_memo: HashMap<Sym, Sym>,
+    /// Next unallocated entanglement-channel dimension.
+    next_dim: u32,
+}
+
+/// Symbol id of the all-zeros chunk (always 0).
+pub const SYM_ZERO: Sym = 0;
+/// Symbol id of the all-ones chunk (always 1).
+pub const SYM_ONE: Sym = 1;
+
+impl PbpContext {
+    /// A context whose universe has `2^universe_ways` entanglement
+    /// channels. Must be at least [`CHUNK_WAYS`] (one chunk) and at most
+    /// 40 (the run arithmetic is exact far beyond that, but 2^40 channels
+    /// is already a trillion possible worlds).
+    pub fn new(universe_ways: u32) -> Self {
+        assert!(
+            (CHUNK_WAYS..=40).contains(&universe_ways),
+            "universe_ways must be in {CHUNK_WAYS}..=40, got {universe_ways}"
+        );
+        let mut ctx = PbpContext {
+            universe_ways,
+            syms: Vec::new(),
+            intern: HashMap::new(),
+            bin_memo: HashMap::new(),
+            not_memo: HashMap::new(),
+            next_dim: 0,
+        };
+        let z = ctx.sym(0);
+        let o = ctx.sym(u64::MAX);
+        debug_assert_eq!(z, SYM_ZERO);
+        debug_assert_eq!(o, SYM_ONE);
+        ctx
+    }
+
+    /// log2 of the number of entanglement channels.
+    pub fn universe_ways(&self) -> u32 {
+        self.universe_ways
+    }
+
+    /// Number of entanglement channels, `2^universe_ways`.
+    pub fn channels(&self) -> u64 {
+        1u64 << self.universe_ways
+    }
+
+    /// Universe size in chunks.
+    pub fn total_chunks(&self) -> u64 {
+        1u64 << (self.universe_ways - CHUNK_WAYS)
+    }
+
+    /// Number of distinct chunk symbols interned so far.
+    pub fn symbol_count(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Intern a chunk pattern.
+    pub(crate) fn sym(&mut self, chunk: u64) -> Sym {
+        if let Some(&s) = self.intern.get(&chunk) {
+            return s;
+        }
+        let id = self.syms.len() as Sym;
+        self.syms.push(chunk);
+        self.intern.insert(chunk, id);
+        id
+    }
+
+    /// Pattern of a symbol.
+    #[inline]
+    pub(crate) fn pattern(&self, s: Sym) -> u64 {
+        self.syms[s as usize]
+    }
+
+    /// Memoized binary op on symbols.
+    pub(crate) fn bin_sym(&mut self, op: BinOp, a: Sym, b: Sym) -> Sym {
+        if let Some(&s) = self.bin_memo.get(&(op, a, b)) {
+            return s;
+        }
+        let (x, y) = (self.pattern(a), self.pattern(b));
+        let r = match op {
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+        };
+        let s = self.sym(r);
+        self.bin_memo.insert((op, a, b), s);
+        s
+    }
+
+    /// Memoized NOT on a symbol.
+    pub(crate) fn not_sym(&mut self, a: Sym) -> Sym {
+        if let Some(&s) = self.not_memo.get(&a) {
+            return s;
+        }
+        let s = self.sym(!self.pattern(a));
+        self.not_memo.insert(a, s);
+        s
+    }
+
+    /// Allocate `n` fresh entanglement-channel dimensions (the "disjoint
+    /// channels" discipline Figure 9's factoring depends on). Returns the
+    /// first dimension index.
+    pub fn alloc_dims(&mut self, n: u32) -> u32 {
+        let first = self.next_dim;
+        assert!(
+            first + n <= self.universe_ways,
+            "out of entanglement dimensions: {} + {n} > {}",
+            first,
+            self.universe_ways
+        );
+        self.next_dim += n;
+        first
+    }
+
+    /// Dimensions allocated so far.
+    pub fn dims_used(&self) -> u32 {
+        self.next_dim
+    }
+
+    /// Reset the dimension allocator (symbols stay interned).
+    pub fn reset_dims(&mut self) {
+        self.next_dim = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_basics() {
+        let ctx = PbpContext::new(16);
+        assert_eq!(ctx.channels(), 65_536);
+        assert_eq!(ctx.total_chunks(), 1024);
+        assert_eq!(ctx.symbol_count(), 2); // zero + one preinterned
+    }
+
+    #[test]
+    #[should_panic(expected = "universe_ways")]
+    fn too_small_universe_rejected() {
+        PbpContext::new(5);
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let mut ctx = PbpContext::new(8);
+        let a = ctx.sym(0xDEAD_BEEF);
+        let b = ctx.sym(0xDEAD_BEEF);
+        assert_eq!(a, b);
+        assert_eq!(ctx.symbol_count(), 3);
+    }
+
+    #[test]
+    fn memoized_ops_hit_cache() {
+        let mut ctx = PbpContext::new(8);
+        let a = ctx.sym(0xF0F0_F0F0_F0F0_F0F0);
+        let r1 = ctx.bin_sym(BinOp::And, a, SYM_ONE);
+        let r2 = ctx.bin_sym(BinOp::And, a, SYM_ONE);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, a);
+        let n = ctx.not_sym(SYM_ZERO);
+        assert_eq!(n, SYM_ONE);
+    }
+
+    #[test]
+    fn dimension_allocator() {
+        let mut ctx = PbpContext::new(10);
+        assert_eq!(ctx.alloc_dims(4), 0);
+        assert_eq!(ctx.alloc_dims(4), 4);
+        assert_eq!(ctx.dims_used(), 8);
+        ctx.reset_dims();
+        assert_eq!(ctx.alloc_dims(10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of entanglement dimensions")]
+    fn overallocation_panics() {
+        let mut ctx = PbpContext::new(8);
+        ctx.alloc_dims(9);
+    }
+}

@@ -1,0 +1,681 @@
+//! Nested pattern representation — the paper's §5 future work.
+//!
+//! "The PBP model does not suggest representing higher degrees of entangled
+//! superposition using AoB, but instead using regular expressions
+//! compressing patterns in which AoB representations are treated as
+//! individual symbols. It remains to be seen if the manipulation of regular
+//! patterns of AoB blocks will effectively scale…"
+//!
+//! This module answers that question for one natural realization: a pbit
+//! over `2^E` channels is a **perfect binary tree** of height `E − 6` whose
+//! leaves are 64-bit chunks, with *hash-consing* (identical subtrees share
+//! one node) and *memoized* gate operations. Any value whose structure
+//! repeats — Hadamards, their combinations, sparse predicates — collapses
+//! to `O(E)`–`O(polylog)` distinct nodes, and every gate op runs in time
+//! proportional to the number of distinct node pairs, never `2^E`.
+//!
+//! Unlike the flat [`Re`] run-length form, this representation
+//! has no pathological operand pairs: `H(6) AND H(39)` at `E = 40` — which
+//! overflows the single-level encoding — is a handful of shared nodes here
+//! (demonstrated in the tests). Per-node population counts make `pop` O(1)
+//! after construction and `next` a single root-to-leaf descent.
+
+use crate::{PbpContext, Re};
+use pbp_aob::Aob;
+use std::collections::HashMap;
+
+/// Node id in a [`TreeCtx`] arena.
+pub type TId = u32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    /// One 64-bit chunk (level 0).
+    Leaf(u64),
+    /// Two children of the next level down (lo = lower channel half).
+    Branch(TId, TId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TOp {
+    And,
+    Or,
+    Xor,
+}
+
+/// A pbit in nested-tree form: a root node plus its level (the tree covers
+/// `2^(level+6)` channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PTree {
+    root: TId,
+    level: u32,
+}
+
+impl PTree {
+    /// Entanglement degree covered by this tree.
+    pub fn ways(&self) -> u32 {
+        self.level + crate::CHUNK_WAYS
+    }
+}
+
+/// Arena + memo tables for nested-pattern values.
+#[derive(Debug, Default)]
+pub struct TreeCtx {
+    nodes: Vec<Node>,
+    intern: HashMap<Node, TId>,
+    /// Per-node population count (ones under this subtree).
+    pops: Vec<u64>,
+    /// Per-node size in channels (cached from level implicitly; stored for
+    /// popcount bookkeeping convenience).
+    bin_memo: HashMap<(TOp, TId, TId), TId>,
+    not_memo: HashMap<TId, TId>,
+}
+
+impl TreeCtx {
+    /// Fresh context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nodes allocated — the storage measure.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn intern_node(&mut self, n: Node) -> TId {
+        if let Some(&id) = self.intern.get(&n) {
+            return id;
+        }
+        let id = self.nodes.len() as TId;
+        let pop = match n {
+            Node::Leaf(w) => w.count_ones() as u64,
+            Node::Branch(lo, hi) => self.pops[lo as usize] + self.pops[hi as usize],
+        };
+        self.nodes.push(n);
+        self.pops.push(pop);
+        self.intern.insert(n, id);
+        id
+    }
+
+    fn leaf(&mut self, w: u64) -> TId {
+        self.intern_node(Node::Leaf(w))
+    }
+
+    fn branch(&mut self, lo: TId, hi: TId) -> TId {
+        self.intern_node(Node::Branch(lo, hi))
+    }
+
+    /// A uniform subtree (all chunks equal) at the given level.
+    fn uniform(&mut self, w: u64, level: u32) -> TId {
+        let mut id = self.leaf(w);
+        for _ in 0..level {
+            id = self.branch(id, id);
+        }
+        id
+    }
+
+    /// The constant pbit over `2^ways` channels.
+    pub fn constant(&mut self, ways: u32, bit: bool) -> PTree {
+        assert!(ways >= crate::CHUNK_WAYS && ways <= 63, "ways out of range");
+        let level = ways - crate::CHUNK_WAYS;
+        PTree { root: self.uniform(if bit { u64::MAX } else { 0 }, level), level }
+    }
+
+    /// The Hadamard pattern `H(k)` over `2^ways` channels: `O(ways)` nodes.
+    pub fn hadamard(&mut self, ways: u32, k: u32) -> PTree {
+        assert!(ways >= crate::CHUNK_WAYS && ways <= 63);
+        let level = ways - crate::CHUNK_WAYS;
+        if k >= ways {
+            return self.constant(ways, false);
+        }
+        if k < crate::CHUNK_WAYS {
+            return PTree {
+                root: self.uniform(pbp_aob::hadamard::LANE[k as usize], level),
+                level,
+            };
+        }
+        // Below the split level the subtree is uniform 0 (lo) / 1 (hi);
+        // above it, both halves repeat the same structure.
+        let split = k - crate::CHUNK_WAYS; // level whose children differ
+        let lo = self.uniform(0, split);
+        let hi = self.uniform(u64::MAX, split);
+        let mut id = self.branch(lo, hi);
+        for _ in (split + 1)..level {
+            id = self.branch(id, id);
+        }
+        PTree { root: id, level }
+    }
+
+    /// Import an explicit AoB value.
+    pub fn from_aob(&mut self, a: &Aob) -> PTree {
+        let level = a.ways().saturating_sub(crate::CHUNK_WAYS);
+        assert!(a.ways() >= crate::CHUNK_WAYS, "tree form needs at least one chunk");
+        let mut layer: Vec<TId> = a.words().iter().map(|&w| self.leaf(w)).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| self.branch(pair[0], pair[1]))
+                .collect();
+        }
+        PTree { root: layer[0], level }
+    }
+
+    /// Export to an explicit AoB value (small universes only).
+    pub fn to_aob(&self, t: &PTree) -> Aob {
+        let ways = t.ways();
+        let mut v = Aob::zeros(ways);
+        let mut idx = 0usize;
+        self.fill_words(t.root, v.words_mut(), &mut idx);
+        v
+    }
+
+    fn fill_words(&self, id: TId, out: &mut [u64], idx: &mut usize) {
+        match self.nodes[id as usize] {
+            Node::Leaf(w) => {
+                out[*idx] = w;
+                *idx += 1;
+            }
+            Node::Branch(lo, hi) => {
+                self.fill_words(lo, out, idx);
+                self.fill_words(hi, out, idx);
+            }
+        }
+    }
+
+    fn binop(&mut self, op: TOp, a: TId, b: TId) -> TId {
+        if let Some(&r) = self.bin_memo.get(&(op, a, b)) {
+            return r;
+        }
+        let r = match (self.nodes[a as usize], self.nodes[b as usize]) {
+            (Node::Leaf(x), Node::Leaf(y)) => {
+                let w = match op {
+                    TOp::And => x & y,
+                    TOp::Or => x | y,
+                    TOp::Xor => x ^ y,
+                };
+                self.leaf(w)
+            }
+            (Node::Branch(al, ah), Node::Branch(bl, bh)) => {
+                let lo = self.binop(op, al, bl);
+                let hi = self.binop(op, ah, bh);
+                self.branch(lo, hi)
+            }
+            _ => panic!("operand trees have different heights"),
+        };
+        self.bin_memo.insert((op, a, b), r);
+        r
+    }
+
+    fn check(a: &PTree, b: &PTree) {
+        assert_eq!(a.level, b.level, "operands must cover the same universe");
+    }
+
+    /// Channel-wise AND.
+    pub fn and(&mut self, a: &PTree, b: &PTree) -> PTree {
+        Self::check(a, b);
+        PTree { root: self.binop(TOp::And, a.root, b.root), level: a.level }
+    }
+
+    /// Channel-wise OR.
+    pub fn or(&mut self, a: &PTree, b: &PTree) -> PTree {
+        Self::check(a, b);
+        PTree { root: self.binop(TOp::Or, a.root, b.root), level: a.level }
+    }
+
+    /// Channel-wise XOR.
+    pub fn xor(&mut self, a: &PTree, b: &PTree) -> PTree {
+        Self::check(a, b);
+        PTree { root: self.binop(TOp::Xor, a.root, b.root), level: a.level }
+    }
+
+    /// Channel-wise NOT.
+    pub fn not(&mut self, a: &PTree) -> PTree {
+        PTree { root: self.not_rec(a.root), level: a.level }
+    }
+
+    fn not_rec(&mut self, id: TId) -> TId {
+        if let Some(&r) = self.not_memo.get(&id) {
+            return r;
+        }
+        let r = match self.nodes[id as usize] {
+            Node::Leaf(w) => self.leaf(!w),
+            Node::Branch(lo, hi) => {
+                let l = self.not_rec(lo);
+                let h = self.not_rec(hi);
+                self.branch(l, h)
+            }
+        };
+        self.not_memo.insert(id, r);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement (non-destructive, sublinear)
+    // ------------------------------------------------------------------
+
+    /// Total ones — O(1): the root's cached population.
+    pub fn pop_all(&self, t: &PTree) -> u64 {
+        self.pops[t.root as usize]
+    }
+
+    /// ANY / ALL in O(1) via the population cache.
+    pub fn any(&self, t: &PTree) -> bool {
+        self.pop_all(t) != 0
+    }
+
+    /// ALL reduction.
+    pub fn all(&self, t: &PTree) -> bool {
+        self.pop_all(t) == 1u64 << t.ways()
+    }
+
+    /// `meas`: one root-to-leaf descent.
+    pub fn get(&self, t: &PTree, e: u64) -> bool {
+        let e = e & ((1u64 << t.ways()) - 1);
+        let mut id = t.root;
+        let mut level = t.level;
+        while let Node::Branch(lo, hi) = self.nodes[id as usize] {
+            level -= 1;
+            let half = 1u64 << (level + crate::CHUNK_WAYS);
+            id = if e & half != 0 { hi } else { lo };
+        }
+        let Node::Leaf(w) = self.nodes[id as usize] else { unreachable!() };
+        (w >> (e % crate::CHUNK_BITS)) & 1 != 0
+    }
+
+    /// `next`: lowest 1-channel strictly above `d` (0 if none) — a single
+    /// descent guided by subtree populations, O(height).
+    pub fn next(&self, t: &PTree, d: u64) -> u64 {
+        let n = 1u64 << t.ways();
+        let start = d.saturating_add(1);
+        if start >= n {
+            return 0;
+        }
+        self.next_rec(t.root, t.level, 0, start).unwrap_or(0)
+    }
+
+    fn next_rec(&self, id: TId, level: u32, base: u64, start: u64) -> Option<u64> {
+        if self.pops[id as usize] == 0 {
+            return None;
+        }
+        let size = 1u64 << (level + crate::CHUNK_WAYS);
+        if start >= base + size {
+            return None;
+        }
+        match self.nodes[id as usize] {
+            Node::Leaf(w) => {
+                let from = start.saturating_sub(base).min(63);
+                let masked = if start <= base { w } else { w & (u64::MAX << from) };
+                (masked != 0).then(|| base + masked.trailing_zeros() as u64)
+            }
+            Node::Branch(lo, hi) => {
+                let half = size / 2;
+                self.next_rec(lo, level - 1, base, start)
+                    .or_else(|| self.next_rec(hi, level - 1, base + half, start))
+            }
+        }
+    }
+
+    /// Convert a flat RE value into tree form (via channels; test helper
+    /// for cross-representation checks on small universes).
+    pub fn from_re(&mut self, ctx: &PbpContext, re: &Re) -> PTree {
+        self.from_aob(&ctx.to_aob(re))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_hadamards_are_tiny() {
+        let mut t = TreeCtx::new();
+        let z = t.constant(40, false);
+        let o = t.constant(40, true);
+        assert!(!t.any(&z));
+        assert!(t.all(&o));
+        // 2^40 channels in a few dozen shared nodes.
+        for k in 0..40 {
+            let h = t.hadamard(40, k);
+            assert_eq!(t.pop_all(&h), 1u64 << 39, "k={k}");
+        }
+        assert!(t.node_count() < 1000, "{} nodes for 40 Hadamards at E=40", t.node_count());
+    }
+
+    #[test]
+    fn matches_aob_semantics() {
+        let mut t = TreeCtx::new();
+        for ways in [6u32, 8, 10] {
+            for k in 0..ways {
+                let h = t.hadamard(ways, k);
+                assert_eq!(t.to_aob(&h), Aob::hadamard(ways, k), "ways={ways} k={k}");
+            }
+        }
+        let a = t.hadamard(9, 3);
+        let b = t.hadamard(9, 8);
+        let (aa, ab) = (Aob::hadamard(9, 3), Aob::hadamard(9, 8));
+        let and = t.and(&a, &b);
+        assert_eq!(t.to_aob(&and), Aob::and_of(&aa, &ab));
+        let or = t.or(&a, &b);
+        assert_eq!(t.to_aob(&or), Aob::or_of(&aa, &ab));
+        let xor = t.xor(&a, &b);
+        assert_eq!(t.to_aob(&xor), Aob::xor_of(&aa, &ab));
+        let not = t.not(&a);
+        assert_eq!(t.to_aob(&not), aa.not_of());
+    }
+
+    #[test]
+    fn measurement_matches_aob() {
+        let mut t = TreeCtx::new();
+        let a = t.hadamard(9, 2);
+        let b = t.hadamard(9, 7);
+        let v = t.and(&a, &b);
+        let oracle = Aob::and_of(&Aob::hadamard(9, 2), &Aob::hadamard(9, 7));
+        assert_eq!(t.pop_all(&v), oracle.pop_all());
+        for e in 0..512u64 {
+            assert_eq!(t.get(&v, e), oracle.get(e), "get {e}");
+            assert_eq!(t.next(&v, e), oracle.next(e), "next {e}");
+        }
+        assert_eq!(t.next(&v, 0), oracle.next(0));
+    }
+
+    #[test]
+    fn from_aob_roundtrip() {
+        let mut st = 99u64;
+        let v = Aob::from_fn(10, |_| {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            st & 1 != 0
+        });
+        let mut t = TreeCtx::new();
+        let tr = t.from_aob(&v);
+        assert_eq!(t.to_aob(&tr), v);
+        assert_eq!(t.pop_all(&tr), v.pop_all());
+    }
+
+    #[test]
+    fn pathological_flat_re_case_is_easy_here() {
+        // H(6) AND H(39) at E = 40: the flat single-level RE blows past its
+        // representation budget; the nested tree handles it in O(E) nodes.
+        let mut t = TreeCtx::new();
+        let before = t.node_count();
+        let a = t.hadamard(40, 6);
+        let b = t.hadamard(40, 39);
+        let c = t.and(&a, &b);
+        assert!(t.node_count() - before < 150, "{} new nodes", t.node_count() - before);
+        // Semantics: ones exactly where both bit 6 and bit 39 of e are set.
+        assert_eq!(t.pop_all(&c), 1u64 << 38);
+        assert!(!t.get(&c, 1 << 6));
+        assert!(!t.get(&c, 1 << 39));
+        assert!(t.get(&c, (1 << 6) | (1 << 39)));
+        assert_eq!(t.next(&c, 0), (1 << 39) | (1 << 6));
+        // And the flat representation indeed refuses:
+        let mut ctx = PbpContext::new(40);
+        let fa = ctx.hadamard(6);
+        let fb = ctx.hadamard(39);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.and(&fa, &fb)));
+        assert!(r.is_err(), "flat RE should hit its representation budget");
+    }
+
+    #[test]
+    fn hash_consing_shares_subtrees_across_values() {
+        let mut t = TreeCtx::new();
+        let h1 = t.hadamard(30, 10);
+        let h2 = t.hadamard(30, 10);
+        assert_eq!(h1, h2); // literally the same node id
+        let n1 = t.node_count();
+        let _h3 = t.hadamard(30, 11); // shares all the uniform subtrees
+        assert!(t.node_count() - n1 < 40);
+    }
+
+    #[test]
+    fn memoization_makes_repeated_ops_free() {
+        let mut t = TreeCtx::new();
+        let a = t.hadamard(32, 5);
+        let b = t.hadamard(32, 30);
+        let c1 = t.and(&a, &b);
+        let nodes_after_first = t.node_count();
+        let c2 = t.and(&a, &b);
+        assert_eq!(c1, c2);
+        assert_eq!(t.node_count(), nodes_after_first);
+    }
+
+    #[test]
+    fn gate_identities_hold_at_scale() {
+        let mut t = TreeCtx::new();
+        let a = t.hadamard(36, 7);
+        let b = t.hadamard(36, 33);
+        // De Morgan at 2^36 channels, structurally.
+        let and_ab = t.and(&a, &b);
+        let lhs = t.not(&and_ab);
+        let na = t.not(&a);
+        let nb = t.not(&b);
+        let rhs = t.or(&na, &nb);
+        assert_eq!(lhs, rhs, "hash-consing makes equal values identical nodes");
+        // x ^ x = 0.
+        let z = t.xor(&a, &a);
+        assert!(!t.any(&z));
+    }
+
+    #[test]
+    fn next_deep_descent() {
+        // A single 1 at the very last channel of a 2^36 universe.
+        let mut t = TreeCtx::new();
+        let h = (0..36).fold(t.constant(36, true), |acc, k| {
+            let hk = t.hadamard(36, k);
+            t.and(&acc, &hk)
+        });
+        // acc = AND of all H(k) = 1 only where every bit set = last channel.
+        assert_eq!(t.pop_all(&h), 1);
+        let last = (1u64 << 36) - 1;
+        assert_eq!(t.next(&h, 0), last);
+        assert_eq!(t.next(&h, last), 0);
+        assert!(t.get(&h, last));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Word-level (pint) layer over nested trees: the full Figure 9 algorithm
+// at entanglement degrees beyond the paper's 16-way hardware.
+// ---------------------------------------------------------------------
+
+/// A superposed integer over nested-tree pbits (little-endian).
+#[derive(Debug, Clone)]
+pub struct TPint {
+    bits: Vec<PTree>,
+}
+
+impl TPint {
+    /// Width in pbits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Bit `i`.
+    pub fn bit(&self, i: usize) -> PTree {
+        self.bits[i]
+    }
+}
+
+impl TreeCtx {
+    /// Constant `value` as a `width`-pbit integer over `2^ways` channels.
+    pub fn tpint_mk(&mut self, ways: u32, width: usize, value: u64) -> TPint {
+        let bits = (0..width)
+            .map(|i| self.constant(ways, (value >> i) & 1 != 0))
+            .collect();
+        TPint { bits }
+    }
+
+    /// Hadamard superposition: bit `i` uses channel dimension `dims + i`.
+    pub fn tpint_h(&mut self, ways: u32, width: usize, first_dim: u32) -> TPint {
+        let bits = (0..width as u32)
+            .map(|i| self.hadamard(ways, first_dim + i))
+            .collect();
+        TPint { bits }
+    }
+
+    /// Zero-extend or truncate.
+    pub fn tpint_resize(&mut self, a: &TPint, width: usize) -> TPint {
+        let ways = a.bits[0].ways();
+        let mut bits = a.bits.clone();
+        while bits.len() < width {
+            bits.push(self.constant(ways, false));
+        }
+        bits.truncate(width);
+        TPint { bits }
+    }
+
+    /// Ripple-carry addition (one pbit wider).
+    pub fn tpint_add(&mut self, a: &TPint, b: &TPint) -> TPint {
+        let w = a.width().max(b.width());
+        let ways = a.bits[0].ways();
+        let a = self.tpint_resize(a, w);
+        let b = self.tpint_resize(b, w);
+        let mut carry = self.constant(ways, false);
+        let mut bits = Vec::with_capacity(w + 1);
+        for i in 0..w {
+            let (x, y) = (a.bits[i], b.bits[i]);
+            let xy = self.xor(&x, &y);
+            let sum = self.xor(&xy, &carry);
+            let and_xy = self.and(&x, &y);
+            let and_cxy = self.and(&carry, &xy);
+            carry = self.or(&and_xy, &and_cxy);
+            bits.push(sum);
+        }
+        bits.push(carry);
+        TPint { bits }
+    }
+
+    /// Shift-and-add multiplication (exact).
+    pub fn tpint_mul(&mut self, a: &TPint, b: &TPint) -> TPint {
+        let ways = a.bits[0].ways();
+        let wr = a.width() + b.width();
+        let mut acc = self.tpint_mk(ways, wr, 0);
+        for i in 0..b.width() {
+            let bi = b.bits[i];
+            let masked: Vec<PTree> = a.bits.iter().map(|x| self.and(x, &bi)).collect();
+            let mut shifted: Vec<PTree> = (0..i).map(|_| self.constant(ways, false)).collect();
+            shifted.extend(masked);
+            let partial = self.tpint_resize(&TPint { bits: shifted }, wr);
+            let sum = self.tpint_add(&acc, &partial);
+            acc = self.tpint_resize(&sum, wr);
+        }
+        acc
+    }
+
+    /// Equality → a single pbit.
+    pub fn tpint_eq(&mut self, a: &TPint, b: &TPint) -> PTree {
+        let ways = a.bits[0].ways();
+        let w = a.width().max(b.width());
+        let a = self.tpint_resize(a, w);
+        let b = self.tpint_resize(b, w);
+        let mut acc = self.constant(ways, true);
+        for i in 0..w {
+            let x = self.xor(&a.bits[i], &b.bits[i]);
+            let eq = self.not(&x);
+            acc = self.and(&acc, &eq);
+        }
+        acc
+    }
+
+    /// Value of the integer in one channel (descents only).
+    pub fn tpint_value_at(&self, p: &TPint, e: u64) -> u64 {
+        p.bits
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (self.get(b, e) as u64) << i)
+            .sum()
+    }
+
+    /// Read the values of `p` on the 1-channels of `mask`, via `next`
+    /// chaining — O(answers × height), never O(2^E). Capped at `limit`.
+    pub fn tpint_measure_where(&self, p: &TPint, mask: &PTree, limit: usize) -> Vec<u64> {
+        let mut out = std::collections::BTreeSet::new();
+        if self.get(mask, 0) {
+            out.insert(self.tpint_value_at(p, 0));
+        }
+        let mut e = 0u64;
+        while out.len() < limit {
+            let nx = self.next(mask, e);
+            if nx == 0 {
+                break;
+            }
+            out.insert(self.tpint_value_at(p, nx));
+            e = nx;
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tpint_tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_u64_per_channel() {
+        let mut t = TreeCtx::new();
+        let a = t.tpint_h(12, 4, 0);
+        let b = t.tpint_h(12, 4, 4);
+        let s = t.tpint_add(&a, &b);
+        let m = t.tpint_mul(&a, &b);
+        for e in (0..4096u64).step_by(37) {
+            let (x, y) = (e & 0xF, (e >> 4) & 0xF);
+            assert_eq!(t.tpint_value_at(&s, e), x + y, "add e={e}");
+            assert_eq!(t.tpint_value_at(&m, e), x * y, "mul e={e}");
+        }
+    }
+
+    #[test]
+    fn figure9_factoring_on_trees_at_16_way() {
+        // Same algorithm, same answers as the flat engines.
+        let mut t = TreeCtx::new();
+        let n = t.tpint_mk(16, 8, 221);
+        let b = t.tpint_h(16, 8, 0);
+        let c = t.tpint_h(16, 8, 8);
+        let d = t.tpint_mul(&b, &c);
+        let e = t.tpint_eq(&d, &n);
+        assert_eq!(t.pop_all(&e), 4);
+        let factors = t.tpint_measure_where(&b, &e, 100);
+        assert_eq!(factors, vec![1, 13, 17, 221]);
+    }
+
+    #[test]
+    fn factoring_beyond_the_papers_hardware_20_way() {
+        // 899 = 29 × 31 with 10-bit operands: 20-way entanglement —
+        // 1,048,576 channels, beyond the 16-way Qat register and beyond
+        // what the flat RE survives for this op mix. The nested trees
+        // factor it symbolically.
+        let mut t = TreeCtx::new();
+        let n = t.tpint_mk(20, 10, 899);
+        let b = t.tpint_h(20, 10, 0);
+        let c = t.tpint_h(20, 10, 10);
+        let d = t.tpint_mul(&b, &c);
+        let e = t.tpint_eq(&d, &n);
+        assert_eq!(t.pop_all(&e), 4);
+        let factors = t.tpint_measure_where(&b, &e, 100);
+        assert_eq!(factors, vec![1, 29, 31, 899]);
+    }
+
+    #[test]
+    fn prime_detection_at_18_way() {
+        // 509 is prime: only the trivial pairs (1,509),(509,1) satisfy.
+        let mut t = TreeCtx::new();
+        let n = t.tpint_mk(18, 9, 509);
+        let b = t.tpint_h(18, 9, 0);
+        let c = t.tpint_h(18, 9, 9);
+        let d = t.tpint_mul(&b, &c);
+        let e = t.tpint_eq(&d, &n);
+        assert_eq!(t.pop_all(&e), 2);
+        assert_eq!(t.tpint_measure_where(&b, &e, 100), vec![1, 509]);
+    }
+
+    #[test]
+    fn measure_where_empty_and_capped() {
+        let mut t = TreeCtx::new();
+        let b = t.tpint_h(10, 4, 0);
+        let never = t.constant(10, false);
+        assert!(t.tpint_measure_where(&b, &never, 100).is_empty());
+        let always = t.constant(10, true);
+        let capped = t.tpint_measure_where(&b, &always, 3);
+        assert_eq!(capped.len(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: pint arithmetic on superpositions agrees with plain
+//! u64 arithmetic in *every* entanglement channel — the strongest possible
+//! statement of the PBP model's correctness (each channel is a complete
+//! classical computation).
+
+use pbp::PbpContext;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn add_matches_u64(wa in 1usize..5, wb in 1usize..4, ka in 0u64..16, kb in 0u64..16) {
+        let mut ctx = PbpContext::new(10);
+        let a = ctx.pint_h_auto(wa);
+        let b = ctx.pint_h_auto(wb);
+        let ca = ctx.pint_mk(wa, ka & ((1 << wa) - 1));
+        let cb = ctx.pint_mk(wb, kb & ((1 << wb) - 1));
+        let sab = ctx.pint_add(&a, &b);
+        let sac = ctx.pint_add(&a, &cb);
+        let scc = ctx.pint_add(&ca, &cb);
+        for e in (0..1024u64).step_by(7) {
+            let va = ctx.pint_value_at(&a, e);
+            let vb = ctx.pint_value_at(&b, e);
+            prop_assert_eq!(ctx.pint_value_at(&sab, e), va + vb);
+            prop_assert_eq!(ctx.pint_value_at(&sac, e), va + (kb & ((1 << wb) - 1)));
+            prop_assert_eq!(
+                ctx.pint_value_at(&scc, e),
+                (ka & ((1 << wa) - 1)) + (kb & ((1 << wb) - 1))
+            );
+        }
+    }
+
+    #[test]
+    fn mul_matches_u64(wa in 1usize..4, wb in 1usize..4) {
+        let mut ctx = PbpContext::new(10);
+        let a = ctx.pint_h_auto(wa);
+        let b = ctx.pint_h_auto(wb);
+        let p = ctx.pint_mul(&a, &b);
+        for e in (0..1024u64).step_by(11) {
+            let va = ctx.pint_value_at(&a, e);
+            let vb = ctx.pint_value_at(&b, e);
+            prop_assert_eq!(ctx.pint_value_at(&p, e), va * vb);
+        }
+    }
+
+    #[test]
+    fn sub_matches_wrapping_u64(w in 2usize..5, k in 0u64..32) {
+        let mut ctx = PbpContext::new(10);
+        let a = ctx.pint_h_auto(w);
+        let c = ctx.pint_mk(w, k & ((1 << w) - 1));
+        let d = ctx.pint_sub(&a, &c);
+        let mask = (1u64 << w) - 1;
+        for e in (0..1024u64).step_by(13) {
+            let va = ctx.pint_value_at(&a, e);
+            prop_assert_eq!(ctx.pint_value_at(&d, e), va.wrapping_sub(k & mask) & mask);
+        }
+    }
+
+    #[test]
+    fn predicates_match_u64(w in 1usize..5, k in 0u64..32) {
+        let mut ctx = PbpContext::new(10);
+        let a = ctx.pint_h_auto(w);
+        let c = ctx.pint_mk(w, k & ((1 << w) - 1));
+        let kk = k & ((1 << w) - 1);
+        let eq = ctx.pint_eq(&a, &c);
+        let ne = ctx.pint_ne(&a, &c);
+        let lt = ctx.pint_lt(&a, &c);
+        for e in (0..1024u64).step_by(9) {
+            let va = ctx.pint_value_at(&a, e);
+            prop_assert_eq!(ctx.re_get(&eq, e), va == kk);
+            prop_assert_eq!(ctx.re_get(&ne, e), va != kk);
+            prop_assert_eq!(ctx.re_get(&lt, e), va < kk);
+        }
+    }
+
+    #[test]
+    fn bitwise_matches_u64(w in 1usize..5) {
+        let mut ctx = PbpContext::new(10);
+        let a = ctx.pint_h_auto(w);
+        let b = ctx.pint_h_auto(w);
+        let and = ctx.pint_and(&a, &b);
+        let xor = ctx.pint_xor(&a, &b);
+        let not = ctx.pint_not(&a);
+        let mask = (1u64 << w) - 1;
+        for e in (0..1024u64).step_by(17) {
+            let va = ctx.pint_value_at(&a, e);
+            let vb = ctx.pint_value_at(&b, e);
+            prop_assert_eq!(ctx.pint_value_at(&and, e), va & vb);
+            prop_assert_eq!(ctx.pint_value_at(&xor, e), va ^ vb);
+            prop_assert_eq!(ctx.pint_value_at(&not, e), !va & mask);
+        }
+    }
+
+    #[test]
+    fn measure_counts_match_brute_force(w in 1usize..4, k in 1u64..8) {
+        let mut ctx = PbpContext::new(8);
+        let a = ctx.pint_h_auto(w);
+        let c = ctx.pint_mk(3, k);
+        let p = ctx.pint_mul(&a, &c);
+        let measured = ctx.pint_measure(&p);
+        // Brute-force histogram over all channels.
+        let mut expect = std::collections::BTreeMap::new();
+        for e in 0..256u64 {
+            *expect.entry(ctx.pint_value_at(&p, e)).or_insert(0u64) += 1;
+        }
+        prop_assert_eq!(measured.len(), expect.len());
+        for mv in measured {
+            prop_assert_eq!(expect[&mv.value], mv.count);
+        }
+    }
+}

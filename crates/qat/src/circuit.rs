@@ -1,0 +1,343 @@
+//! Gate-level structural models of the Figure 7 (`qathad`) and Figure 8
+//! (`qatnext`) circuits.
+//!
+//! The paper's two non-trivial hardware artifacts are given as Verilog
+//! (its only code figures). This module rebuilds them as *structural*
+//! gate networks evaluated signal-by-signal, with per-wire arrival-time
+//! tracking — so the circuits' measured gate counts and critical-path
+//! depths can be checked against the analytic [`crate::cost`] model, and
+//! their outputs checked against the behavioural `Aob` implementations.
+//!
+//! * [`qathad_circuit`] — the student "case statement (multiplexor)"
+//!   design: each output bit selects among the `WAYS` candidate constant
+//!   bits of its channel index through a binary mux tree driven by `h`.
+//! * [`qatnext_circuit`] — the Figure 8 design verbatim: a barrel shifter
+//!   clears channels `0..=s`, then a count-trailing-zeros recursion picks
+//!   halves from `2^WAYS` bits down to 2, emitting one result bit per
+//!   step. The OR-reductions can be built as trees of 2-input ORs or as
+//!   single wide ORs — the §3.3 delay trade-off, measured for real here.
+
+use crate::cost::OrReduction;
+use pbp_aob::Aob;
+
+/// One signal: a logic value plus its arrival time in gate delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signal {
+    /// Logic level.
+    pub value: bool,
+    /// Arrival time (gate levels from the inputs).
+    pub time: u64,
+}
+
+impl Signal {
+    /// A primary input (time 0).
+    pub fn input(value: bool) -> Signal {
+        Signal { value, time: 0 }
+    }
+
+    /// Constant driven at time 0.
+    pub const ZERO: Signal = Signal { value: false, time: 0 };
+}
+
+/// Running totals for a circuit evaluation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// 2-input-equivalent gates evaluated.
+    pub gates: u64,
+    /// Critical-path depth observed at the outputs.
+    pub depth: u64,
+}
+
+/// A builder that evaluates gates while accounting for them.
+#[derive(Debug, Default)]
+pub struct CircuitMeter {
+    /// Accumulated statistics.
+    pub stats: CircuitStats,
+}
+
+impl CircuitMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn gate2(&mut self, a: Signal, b: Signal, f: impl Fn(bool, bool) -> bool) -> Signal {
+        self.stats.gates += 1;
+        Signal { value: f(a.value, b.value), time: a.time.max(b.time) + 1 }
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.gate2(a, b, |x, y| x || y)
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.gate2(a, b, |x, y| x && y)
+    }
+
+    /// Inverter.
+    pub fn not1(&mut self, a: Signal) -> Signal {
+        self.stats.gates += 1;
+        Signal { value: !a.value, time: a.time + 1 }
+    }
+
+    /// 2:1 mux (one gate-equivalent, one level — the FPGA LUT view).
+    pub fn mux2(&mut self, sel: Signal, t: Signal, f: Signal) -> Signal {
+        self.stats.gates += 1;
+        Signal {
+            value: if sel.value { t.value } else { f.value },
+            time: sel.time.max(t.time).max(f.time) + 1,
+        }
+    }
+
+    /// OR-reduction of a bus, in the chosen §3.3 style.
+    pub fn or_reduce(&mut self, bus: &[Signal], style: OrReduction) -> Signal {
+        match style {
+            OrReduction::WideOr => {
+                // One wide gate: a single level regardless of fan-in.
+                self.stats.gates += 1;
+                let value = bus.iter().any(|s| s.value);
+                let time = bus.iter().map(|s| s.time).max().unwrap_or(0) + 1;
+                Signal { value, time }
+            }
+            OrReduction::TreeOr => {
+                // Balanced tree of 2-input ORs.
+                let mut layer: Vec<Signal> = bus.to_vec();
+                if layer.is_empty() {
+                    return Signal::ZERO;
+                }
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            self.or2(pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    fn observe(&mut self, out: &[Signal]) {
+        let d = out.iter().map(|s| s.time).max().unwrap_or(0);
+        self.stats.depth = self.stats.depth.max(d);
+    }
+}
+
+/// Figure 7: the `qathad` pattern generator, as the student multiplexor
+/// design. Output bit `i` is bit `h` of the constant `i`: a `WAYS`-level
+/// binary mux tree per output bit, select lines `h[0..WAYS]`.
+///
+/// Returns the generated AoB value and the circuit statistics.
+pub fn qathad_circuit(ways: u32, h: u16) -> (Aob, CircuitStats) {
+    let mut m = CircuitMeter::new();
+    let n = 1u64 << ways;
+    // The imm4 select lines are primary inputs.
+    let sel: Vec<Signal> = (0..4).map(|k| Signal::input((h >> k) & 1 == 1)).collect();
+    let mut out = Aob::zeros(ways);
+    let mut outs = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        // 16 candidate constants per output bit: bit k of the channel
+        // number i for k < ways, constant 0 beyond the machine degree
+        // (matching `(i >> h)` truncated to one bit).
+        let mut layer: Vec<Signal> = (0..16u32)
+            .map(|k| Signal::input(k < ways && (i >> k) & 1 == 1))
+            .collect();
+        for s in &sel {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(m.mux2(*s, pair[1], pair[0]));
+            }
+            layer = next;
+        }
+        let bit = layer[0];
+        out.set(i, bit.value);
+        outs.push(bit);
+    }
+    m.observe(&outs);
+    (out, m.stats)
+}
+
+/// Figure 8: the `qatnext` circuit, evaluated structurally.
+///
+/// Step 1 is the barrel shifter (`((aob[N-1:1] >> s) << s), 1'b0`): `WAYS`
+/// stages of 2:1 muxes clear channels `0..=s`. Step 2 is the recursive
+/// count-trailing-zeros: step `pow2` OR-reduces the low `2^pow2` bits (in
+/// the chosen style) and muxes the surviving half down. Returns the
+/// result channel number (0 when no 1 remains, per §2.7) and the stats.
+pub fn qatnext_circuit(aob: &Aob, s: u64, style: OrReduction) -> (u64, CircuitStats) {
+    let ways = aob.ways();
+    let n = 1u64 << ways;
+    let mut m = CircuitMeter::new();
+
+    // Primary inputs.
+    let mut v: Vec<Signal> = (0..n).map(|e| Signal::input(aob.get(e))).collect();
+    let sbits: Vec<Signal> = (0..ways).map(|k| Signal::input((s >> k) & 1 == 1)).collect();
+
+    // Pre-step from the Verilog: drop channel 0 (strictly-after) —
+    // v = {aob[N-1:1], 1'b0} conceptually before shifting.
+    // The shifter then clears s more channels. Equivalent wiring: first
+    // shift the whole bus right by (s+1) then left by (s+1); we implement
+    // exactly the figure's two logical shifts over the [N-1:1] slice.
+    let mut w: Vec<Signal> = v[1..].to_vec(); // aob[N-1:1]
+    // Right-shift by s (WAYS mux stages)...
+    for (k, &sb) in sbits.iter().enumerate() {
+        let shift = 1usize << k;
+        let mut next = Vec::with_capacity(w.len());
+        for i in 0..w.len() {
+            let shifted = if i + shift < w.len() { w[i + shift] } else { Signal::ZERO };
+            next.push(m.mux2(sb, shifted, w[i]));
+        }
+        w = next;
+    }
+    // ...then left-shift back by s (zero-filling), another WAYS stages.
+    for (k, &sb) in sbits.iter().enumerate() {
+        let shift = 1usize << k;
+        let mut next = Vec::with_capacity(w.len());
+        for i in 0..w.len() {
+            let shifted = if i >= shift { w[i - shift] } else { Signal::ZERO };
+            next.push(m.mux2(sb, shifted, w[i]));
+        }
+        w = next;
+    }
+    // Re-concatenate the 1'b0 at channel 0.
+    v[0] = Signal::ZERO;
+    v[1..].copy_from_slice(&w);
+
+    // Count-trailing-zeros recursion.
+    let mut tr: Vec<Signal> = vec![Signal::ZERO; ways as usize];
+    let mut cur = v; // t[WAYS-1].v, 2^WAYS bits
+    for pow2 in (1..ways as usize).rev() {
+        let half = 1usize << pow2;
+        let low_any = m.or_reduce(&cur[..half], style);
+        tr[pow2] = m.not1(low_any);
+        let mut next = Vec::with_capacity(half);
+        for i in 0..half {
+            next.push(m.mux2(low_any, cur[i], cur[half + i]));
+        }
+        cur = next;
+    }
+    tr[0] = m.not1(cur[0]);
+    // r = (|t[0].v) ? tr : 0
+    let any_final = m.or_reduce(&cur, style);
+    let outs: Vec<Signal> = tr.iter().map(|&b| m.and2(any_final, b)).collect();
+    m.observe(&outs);
+
+    let mut r = 0u64;
+    for (k, sig) in outs.iter().enumerate() {
+        r |= (sig.value as u64) << k;
+    }
+    (r, m.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{gate_delay, AluOp};
+
+    #[test]
+    fn qathad_matches_behavioural_model() {
+        for ways in [4u32, 6, 8] {
+            for h in 0..ways as u16 {
+                let (circuit, _) = qathad_circuit(ways, h);
+                assert_eq!(circuit, Aob::hadamard(ways, h as u32), "ways={ways} h={h}");
+            }
+            // h beyond ways-1 selects a zero pattern, like the Verilog.
+            let (circuit, _) = qathad_circuit(ways, 15);
+            assert_eq!(circuit, Aob::zeros(ways));
+        }
+    }
+
+    #[test]
+    fn qathad_depth_is_logarithmic_in_ways() {
+        let (_, s8) = qathad_circuit(8, 3);
+        assert_eq!(s8.depth, 4, "16:1 mux tree is 4 levels");
+        let (_, s4) = qathad_circuit(4, 1);
+        assert_eq!(s4.depth, 4);
+        // Gate count: a 16:1 tree is 15 muxes per output bit.
+        assert_eq!(s8.gates, 256 * 15);
+    }
+
+    #[test]
+    fn qatnext_matches_behavioural_next_exhaustively_small() {
+        for ways in [3u32, 4, 6] {
+            let n = 1u64 << ways;
+            // A few characteristic patterns, every start position.
+            let pats = [
+                Aob::zeros(ways),
+                Aob::ones(ways),
+                Aob::hadamard(ways, ways - 1),
+                Aob::hadamard(ways, 0),
+                Aob::from_fn(ways, |e| e == n - 1),
+                Aob::from_fn(ways, |e| e == 1),
+                Aob::from_fn(ways, |e| e % 5 == 2),
+            ];
+            for pat in &pats {
+                for s in 0..n {
+                    for style in [OrReduction::TreeOr, OrReduction::WideOr] {
+                        let (r, _) = qatnext_circuit(pat, s, style);
+                        assert_eq!(r, pat.next(s), "ways={ways} s={s} {pat:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qatnext_paper_example_through_the_gates() {
+        // had @123,4 ; next after 42 => 48, now at the gate level.
+        let a = Aob::hadamard(8, 4);
+        let (r, _) = qatnext_circuit(&a, 42, OrReduction::TreeOr);
+        assert_eq!(r, 48);
+    }
+
+    #[test]
+    fn qatnext_depth_matches_cost_model_asymptotics() {
+        // Measured tree-OR depth grows superlinearly; wide-OR stays ~linear
+        // in WAYS — the §3.3 claim, from the actual wiring.
+        let mut tree = Vec::new();
+        let mut wide = Vec::new();
+        for ways in [4u32, 6, 8, 10] {
+            let a = Aob::hadamard(ways, ways - 1);
+            let (_, st) = qatnext_circuit(&a, 3, OrReduction::TreeOr);
+            let (_, sw) = qatnext_circuit(&a, 3, OrReduction::WideOr);
+            tree.push(st.depth);
+            wide.push(sw.depth);
+        }
+        // Tree grows faster than wide.
+        let tree_growth = tree.last().unwrap() - tree.first().unwrap();
+        let wide_growth = wide.last().unwrap() - wide.first().unwrap();
+        assert!(
+            tree_growth > wide_growth + 6,
+            "tree {tree:?} vs wide {wide:?}"
+        );
+        // And the analytic model ranks them the same way.
+        assert!(
+            gate_delay(AluOp::Next, 10, OrReduction::TreeOr)
+                > gate_delay(AluOp::Next, 10, OrReduction::WideOr)
+        );
+    }
+
+    #[test]
+    fn student_8way_next_fits_one_generous_stage() {
+        // §3.3: "the student versions limited WAYS to 8, which is easily
+        // viable within a single pipeline stage."
+        let a = Aob::hadamard(8, 7);
+        let (_, st) = qatnext_circuit(&a, 1, OrReduction::TreeOr);
+        assert!(st.depth <= 60, "8-way tree-OR depth {}", st.depth);
+    }
+
+    #[test]
+    fn barrel_shifter_dominates_gate_count() {
+        let a = Aob::hadamard(8, 2);
+        let (_, st) = qatnext_circuit(&a, 5, OrReduction::TreeOr);
+        // 2 * WAYS stages of ~N muxes each = ~2*8*255; CTZ adds ~2N more.
+        assert!(st.gates > 2 * 8 * 200);
+        assert!(st.gates < 8 * 1024);
+    }
+}

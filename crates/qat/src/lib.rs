@@ -1,0 +1,467 @@
+#![warn(missing_docs)]
+//! # qat-coproc — the Qat quantum-inspired coprocessor
+//!
+//! Qat ("Quantum-like Accelerator for Tangled") is the paper's attached
+//! processor: 256 AoB registers (`@0`–`@255`), no access to host memory,
+//! and an ALU executing the Table 3 instruction set on `2^WAYS`-bit values.
+//!
+//! This crate models:
+//!
+//! * [`QatCoprocessor`] — the architectural register file + ALU dispatch,
+//!   with exact Table 3 semantics (including register aliasing such as
+//!   `and @2,@2,@3`).
+//! * [`PortStats`] — read/write-port usage accounting. The paper's §5
+//!   conclusions hinge on which instructions need a third read port
+//!   (`ccnot`, `cswap`) or a second write port (`swap`, `cswap`); the
+//!   stats let the ablation benches quantify that.
+//! * [`cost`] — the gate-count / gate-delay model for the Figure 7
+//!   (`had`) and Figure 8 (`next`) circuits, with both OR-reduction
+//!   variants §3.3 discusses (O(WAYS) wide-OR vs O(WAYS²) 2-input tree).
+//! * [`QatConfig::constant_registers`] — the §5 simplification where
+//!   `@0 = 0`, `@1 = 1`, `@2..=@(WAYS+1)` hold `H(0)..H(WAYS-1)` as
+//!   pre-initialized constants instead of using `zero`/`one`/`had`
+//!   instructions.
+//! * Energy metering via `pbp_aob::EnergyMeter`, for the adiabatic-logic
+//!   power argument.
+
+pub mod circuit;
+pub mod cost;
+
+use pbp_aob::{Aob, EnergyMeter};
+use tangled_isa::{Insn, QReg};
+
+/// Static configuration of a Qat instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QatConfig {
+    /// Entanglement degree: AoB values are `2^ways` bits. The paper's
+    /// hardware uses 16; student projects used 8 (and were permitted 256-bit
+    /// AoB = 8-way "to speed-up simulation").
+    pub ways: u32,
+    /// §5 mode: registers `@0`,`@1` hold the constants 0 and 1 and
+    /// `@2..@(2+ways)` hold `H(0)..H(ways-1)`; writes to those registers
+    /// are architectural errors.
+    pub constant_registers: bool,
+    /// Record before/after toggle counts for every register write
+    /// (costs a snapshot per op; off by default).
+    pub meter_energy: bool,
+}
+
+impl QatConfig {
+    /// The paper's full-size configuration: 16-way, instruction-based
+    /// initialization, no metering.
+    pub fn paper() -> Self {
+        QatConfig { ways: 16, constant_registers: false, meter_energy: false }
+    }
+
+    /// The student-project configuration: 8-way entanglement.
+    pub fn student() -> Self {
+        QatConfig { ways: 8, ..Self::paper() }
+    }
+
+    /// With the given entanglement degree.
+    pub fn with_ways(ways: u32) -> Self {
+        QatConfig { ways, ..Self::paper() }
+    }
+
+    /// Number of reserved constant registers in `constant_registers` mode.
+    pub fn reserved_regs(&self) -> u8 {
+        if self.constant_registers {
+            (2 + self.ways) as u8
+        } else {
+            0
+        }
+    }
+}
+
+/// Register-file port usage accounting (per-instruction peaks and totals).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PortStats {
+    /// Total AoB register reads performed.
+    pub reads: u64,
+    /// Total AoB register writes performed.
+    pub writes: u64,
+    /// Instructions that needed three read ports in one cycle.
+    pub triple_read_insns: u64,
+    /// Instructions that needed two write ports in one cycle.
+    pub dual_write_insns: u64,
+    /// Qat instructions executed.
+    pub insns: u64,
+}
+
+/// Architectural error raised by the coprocessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QatError {
+    /// Write to a reserved constant register in `constant_registers` mode.
+    ConstantRegisterWrite {
+        /// The register the program attempted to overwrite.
+        reg: QReg,
+    },
+    /// A non-Qat instruction was dispatched to the coprocessor.
+    NotAQatInstruction,
+}
+
+impl std::fmt::Display for QatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QatError::ConstantRegisterWrite { reg } => {
+                write!(f, "write to reserved constant register {reg}")
+            }
+            QatError::NotAQatInstruction => write!(f, "not a Qat instruction"),
+        }
+    }
+}
+
+impl std::error::Error for QatError {}
+
+/// The Qat coprocessor: 256 AoB registers plus execution machinery.
+#[derive(Debug, Clone)]
+pub struct QatCoprocessor {
+    config: QatConfig,
+    regs: Vec<Aob>,
+    /// Port-usage statistics (reset with [`QatCoprocessor::reset_stats`]).
+    pub ports: PortStats,
+    /// Switching-energy meter (active when `config.meter_energy`).
+    /// Imbalance is accounted **per instruction**, so the conservative
+    /// swap family nets zero adiabatic cost (§5's billiard-ball argument).
+    pub meter: EnergyMeter,
+    pending_toggles: u64,
+    pending_delta: i64,
+    pending_writes: u64,
+}
+
+impl QatCoprocessor {
+    /// Fresh coprocessor; all registers zero, or preloaded with the
+    /// constant bank when `config.constant_registers` is set.
+    pub fn new(config: QatConfig) -> Self {
+        let mut regs = vec![Aob::zeros(config.ways); 256];
+        if config.constant_registers {
+            for (i, c) in Aob::constant_bank(config.ways).into_iter().enumerate() {
+                regs[i] = c;
+            }
+        }
+        QatCoprocessor {
+            config,
+            regs,
+            ports: PortStats::default(),
+            meter: EnergyMeter::new(),
+            pending_toggles: 0,
+            pending_delta: 0,
+            pending_writes: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> QatConfig {
+        self.config
+    }
+
+    /// Read a register (architectural, not port-counted).
+    pub fn reg(&self, r: QReg) -> &Aob {
+        &self.regs[r.num() as usize]
+    }
+
+    /// Directly set a register (test/loader backdoor; bypasses the
+    /// constant-register protection and port accounting).
+    pub fn set_reg(&mut self, r: QReg, v: Aob) {
+        assert_eq!(v.ways(), self.config.ways, "register value has wrong entanglement degree");
+        self.regs[r.num() as usize] = v;
+    }
+
+    /// Zero all statistics.
+    pub fn reset_stats(&mut self) {
+        self.ports = PortStats::default();
+        self.meter = EnergyMeter::new();
+        self.pending_toggles = 0;
+        self.pending_delta = 0;
+        self.pending_writes = 0;
+    }
+
+    fn check_writable(&self, r: QReg) -> Result<(), QatError> {
+        if self.config.constant_registers && r.num() < self.config.reserved_regs() {
+            Err(QatError::ConstantRegisterWrite { reg: r })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn write(&mut self, r: QReg, v: Aob) {
+        if self.config.meter_energy {
+            // Accumulate per-instruction: an instruction that merely
+            // re-routes charge between its destinations (swap/cswap) nets
+            // zero adiabatic imbalance even when the individual registers
+            // change population.
+            let old = &self.regs[r.num() as usize];
+            self.pending_toggles += old.hamming(&v);
+            self.pending_delta += v.pop_all() as i64 - old.pop_all() as i64;
+            self.pending_writes += 1;
+        }
+        self.regs[r.num() as usize] = v;
+    }
+
+    fn flush_energy(&mut self) {
+        if self.config.meter_energy {
+            self.meter.toggles += self.pending_toggles;
+            self.meter.imbalance += self.pending_delta.unsigned_abs();
+            self.meter.writes += self.pending_writes;
+            self.pending_toggles = 0;
+            self.pending_delta = 0;
+            self.pending_writes = 0;
+        }
+    }
+
+    /// Execute one Qat instruction.
+    ///
+    /// `d_in` supplies the value of the Tangled `$d` register for the
+    /// `meas`/`next`/`pop` family; the return value is the new `$d`
+    /// (`Some`) for that family and `None` otherwise. This mirrors the
+    /// paper's tight coupling: these are the only datapaths between the
+    /// two processors.
+    pub fn execute(&mut self, insn: Insn, d_in: u16) -> Result<Option<u16>, QatError> {
+        if !insn.is_qat() {
+            return Err(QatError::NotAQatInstruction);
+        }
+        // Port accounting from the ISA metadata (identical for every insn).
+        let nreads = insn.qreads().len();
+        let nwrites = insn.qwrites().len();
+        self.ports.insns += 1;
+        self.ports.reads += nreads as u64;
+        self.ports.writes += nwrites as u64;
+        if nreads == 3 {
+            self.ports.triple_read_insns += 1;
+        }
+        if nwrites == 2 {
+            self.ports.dual_write_insns += 1;
+        }
+        for w in insn.qwrites() {
+            self.check_writable(w)?;
+        }
+
+        let ways = self.config.ways;
+        match insn {
+            Insn::QZero { a } => {
+                self.write(a, Aob::zeros(ways));
+            }
+            Insn::QOne { a } => {
+                self.write(a, Aob::ones(ways));
+            }
+            Insn::QNot { a } => {
+                let v = self.reg(a).not_of();
+                self.write(a, v);
+            }
+            Insn::QHad { a, k } => {
+                self.write(a, Aob::hadamard(ways, k as u32));
+            }
+            Insn::QAnd { a, b, c } => {
+                let v = Aob::and_of(self.reg(b), self.reg(c));
+                self.write(a, v);
+            }
+            Insn::QOr { a, b, c } => {
+                let v = Aob::or_of(self.reg(b), self.reg(c));
+                self.write(a, v);
+            }
+            Insn::QXor { a, b, c } => {
+                let v = Aob::xor_of(self.reg(b), self.reg(c));
+                self.write(a, v);
+            }
+            Insn::QCnot { a, b } => {
+                let v = Aob::xor_of(self.reg(a), self.reg(b));
+                self.write(a, v);
+            }
+            Insn::QCcnot { a, b, c } => {
+                let mut v = self.reg(a).clone();
+                v.ccnot_assign(&self.reg(b).clone(), &self.reg(c).clone());
+                self.write(a, v);
+            }
+            Insn::QSwap { a, b } => {
+                let (va, vb) = (self.reg(a).clone(), self.reg(b).clone());
+                self.write(a, vb);
+                self.write(b, va);
+            }
+            Insn::QCswap { a, b, c } => {
+                let (mut va, mut vb) = (self.reg(a).clone(), self.reg(b).clone());
+                Aob::cswap(&mut va, &mut vb, &self.reg(c).clone());
+                self.write(a, va);
+                self.write(b, vb);
+            }
+            Insn::QMeas { d: _, a } => {
+                self.flush_energy();
+                return Ok(Some(self.reg(a).meas(d_in as u64) as u16));
+            }
+            Insn::QNext { d: _, a } => {
+                self.flush_energy();
+                return Ok(Some(self.reg(a).next(d_in as u64) as u16));
+            }
+            Insn::QPop { d: _, a } => {
+                self.flush_energy();
+                return Ok(Some((self.reg(a).pop_after(d_in as u64) & 0xFFFF) as u16));
+            }
+            _ => unreachable!("is_qat() guarantees a Qat variant"),
+        }
+        self.flush_energy();
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_isa::Reg;
+
+    fn q(n: u8) -> QReg {
+        QReg(n)
+    }
+
+    fn coproc(ways: u32) -> QatCoprocessor {
+        QatCoprocessor::new(QatConfig::with_ways(ways))
+    }
+
+    #[test]
+    fn initializers() {
+        let mut c = coproc(8);
+        c.execute(Insn::QOne { a: q(5) }, 0).unwrap();
+        assert_eq!(*c.reg(q(5)), Aob::ones(8));
+        c.execute(Insn::QZero { a: q(5) }, 0).unwrap();
+        assert_eq!(*c.reg(q(5)), Aob::zeros(8));
+        c.execute(Insn::QHad { a: q(7), k: 3 }, 0).unwrap();
+        assert_eq!(*c.reg(q(7)), Aob::hadamard(8, 3));
+    }
+
+    #[test]
+    fn paper_next_example_end_to_end() {
+        // had @123,4 ; lex $8,42 ; next $8,@123  =>  $8 = 48  (§2.7)
+        let mut c = coproc(16);
+        c.execute(Insn::QHad { a: q(123), k: 4 }, 0).unwrap();
+        let d = c
+            .execute(Insn::QNext { d: Reg::new(8), a: q(123) }, 42)
+            .unwrap();
+        assert_eq!(d, Some(48));
+    }
+
+    #[test]
+    fn gate_ops_and_aliasing() {
+        let mut c = coproc(8);
+        c.execute(Insn::QHad { a: q(0), k: 2 }, 0).unwrap();
+        c.execute(Insn::QHad { a: q(1), k: 5 }, 0).unwrap();
+        c.execute(Insn::QAnd { a: q(2), b: q(0), c: q(1) }, 0).unwrap();
+        assert_eq!(
+            *c.reg(q(2)),
+            Aob::and_of(&Aob::hadamard(8, 2), &Aob::hadamard(8, 5))
+        );
+        // Aliased destination: and @0,@0,@1
+        c.execute(Insn::QAnd { a: q(0), b: q(0), c: q(1) }, 0).unwrap();
+        assert_eq!(*c.reg(q(0)), *c.reg(q(2)));
+        // Fully aliased: or @3,@3,@3 is a copy of itself (paper uses
+        // `or @80,@79,@79` as a copy idiom).
+        c.execute(Insn::QOr { a: q(3), b: q(2), c: q(2) }, 0).unwrap();
+        assert_eq!(*c.reg(q(3)), *c.reg(q(2)));
+    }
+
+    #[test]
+    fn cnot_equals_xor_with_self() {
+        // §5: "cnot @a,@b is actually equivalent to xor @a,@a,@b".
+        let mut c1 = coproc(8);
+        let mut c2 = coproc(8);
+        for c in [&mut c1, &mut c2] {
+            c.execute(Insn::QHad { a: q(0), k: 1 }, 0).unwrap();
+            c.execute(Insn::QHad { a: q(1), k: 4 }, 0).unwrap();
+        }
+        c1.execute(Insn::QCnot { a: q(0), b: q(1) }, 0).unwrap();
+        c2.execute(Insn::QXor { a: q(0), b: q(0), c: q(1) }, 0).unwrap();
+        assert_eq!(c1.reg(q(0)), c2.reg(q(0)));
+    }
+
+    #[test]
+    fn swap_and_cswap() {
+        let mut c = coproc(8);
+        c.execute(Insn::QHad { a: q(0), k: 0 }, 0).unwrap();
+        c.execute(Insn::QOne { a: q(1) }, 0).unwrap();
+        c.execute(Insn::QSwap { a: q(0), b: q(1) }, 0).unwrap();
+        assert_eq!(*c.reg(q(0)), Aob::ones(8));
+        assert_eq!(*c.reg(q(1)), Aob::hadamard(8, 0));
+        // cswap with control H(1): exchanged only in odd channel-pairs.
+        c.execute(Insn::QHad { a: q(2), k: 1 }, 0).unwrap();
+        c.execute(Insn::QCswap { a: q(0), b: q(1), c: q(2) }, 0).unwrap();
+        let h1 = Aob::hadamard(8, 1);
+        for e in 0..256u64 {
+            if h1.get(e) {
+                assert_eq!(c.reg(q(0)).get(e), Aob::hadamard(8, 0).get(e));
+            } else {
+                assert!(c.reg(q(0)).get(e)); // untouched ones()
+            }
+        }
+    }
+
+    #[test]
+    fn meas_pop_family() {
+        let mut c = coproc(8);
+        c.execute(Insn::QHad { a: q(9), k: 0 }, 0).unwrap();
+        let d = Reg::new(3);
+        assert_eq!(c.execute(Insn::QMeas { d, a: q(9) }, 7).unwrap(), Some(1));
+        assert_eq!(c.execute(Insn::QMeas { d, a: q(9) }, 8).unwrap(), Some(0));
+        // pop after channel 0 of H(0) on 8-way: 128 ones, channel 0 is 0,
+        // so pop_after(0) = 128.
+        assert_eq!(c.execute(Insn::QPop { d, a: q(9) }, 0).unwrap(), Some(128));
+    }
+
+    #[test]
+    fn port_statistics_track_section5_hardware_costs() {
+        let mut c = coproc(8);
+        c.execute(Insn::QCcnot { a: q(1), b: q(2), c: q(3) }, 0).unwrap();
+        c.execute(Insn::QCswap { a: q(1), b: q(2), c: q(3) }, 0).unwrap();
+        c.execute(Insn::QSwap { a: q(1), b: q(2) }, 0).unwrap();
+        c.execute(Insn::QAnd { a: q(1), b: q(2), c: q(3) }, 0).unwrap();
+        assert_eq!(c.ports.insns, 4);
+        assert_eq!(c.ports.triple_read_insns, 2); // ccnot + cswap
+        assert_eq!(c.ports.dual_write_insns, 2); // cswap + swap
+        assert_eq!(c.ports.reads, 3 + 3 + 2 + 2);
+        assert_eq!(c.ports.writes, 1 + 2 + 2 + 1);
+    }
+
+    #[test]
+    fn constant_register_mode() {
+        let cfg = QatConfig { ways: 8, constant_registers: true, meter_energy: false };
+        let mut c = QatCoprocessor::new(cfg);
+        // @0 = 0, @1 = 1, @2.. = H(0)..
+        assert_eq!(*c.reg(q(0)), Aob::zeros(8));
+        assert_eq!(*c.reg(q(1)), Aob::ones(8));
+        for k in 0..8u8 {
+            assert_eq!(*c.reg(q(2 + k)), Aob::hadamard(8, k as u32));
+        }
+        // Writing a reserved register is an error; the general ones are fine.
+        assert_eq!(
+            c.execute(Insn::QZero { a: q(1) }, 0),
+            Err(QatError::ConstantRegisterWrite { reg: q(1) })
+        );
+        assert!(c.execute(Insn::QZero { a: q(10) }, 0).is_ok());
+        // Reading constants works through normal operand fields:
+        c.execute(Insn::QXor { a: q(20), b: q(2), c: q(1) }, 0).unwrap();
+        assert_eq!(*c.reg(q(20)), Aob::hadamard(8, 0).not_of());
+    }
+
+    #[test]
+    fn energy_metering_when_enabled() {
+        let cfg = QatConfig { ways: 8, constant_registers: false, meter_energy: true };
+        let mut c = QatCoprocessor::new(cfg);
+        c.execute(Insn::QOne { a: q(0) }, 0).unwrap(); // 0 -> 256 ones
+        assert_eq!(c.meter.toggles, 256);
+        assert_eq!(c.meter.imbalance, 256);
+        c.execute(Insn::QNot { a: q(0) }, 0).unwrap(); // all flip back
+        assert_eq!(c.meter.toggles, 512);
+        assert_eq!(c.meter.imbalance, 512);
+    }
+
+    #[test]
+    fn rejects_non_qat_instructions() {
+        let mut c = coproc(8);
+        let r = c.execute(Insn::Add { d: Reg::new(0), s: Reg::new(1) }, 0);
+        assert_eq!(r, Err(QatError::NotAQatInstruction));
+    }
+
+    #[test]
+    fn swap_self_is_identity() {
+        let mut c = coproc(8);
+        c.execute(Insn::QHad { a: q(4), k: 2 }, 0).unwrap();
+        c.execute(Insn::QSwap { a: q(4), b: q(4) }, 0).unwrap();
+        assert_eq!(*c.reg(q(4)), Aob::hadamard(8, 2));
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # tangled-sim — the Tangled host processor, integrated with Qat
+//!
+//! The paper's core contribution is the *tight integration* of a
+//! conventional 16-bit host (Tangled) with the quantum-inspired Qat
+//! coprocessor: Qat instructions are fetched and decoded by Tangled, share
+//! its pipeline, and exchange data with it only through the
+//! `meas`/`next`/`pop` instructions (a Tangled register supplies the
+//! channel number and receives the result).
+//!
+//! Three simulators share one reference semantics:
+//!
+//! * [`Machine`] + [`Machine::step`] — the **functional / single-cycle
+//!   model** (paper Figure 6): one instruction per step, the oracle for
+//!   everything else.
+//! * [`MultiCycleSim`] — the course's first implementation target: each
+//!   instruction takes fetch (1 cycle per word) + decode + execute +
+//!   writeback.
+//! * [`PipelinedSim`] — a cycle-accurate timing model of the 4-stage and
+//!   5-stage pipelines the student teams built (§3.1): per-stage in-order
+//!   occupancy, data-hazard interlocks with or without forwarding,
+//!   branches resolved in EX with squash, and the variable-length fetch
+//!   that was "the most common student question". It executes
+//!   functionally via [`Machine::step`] and computes exact cycle timing
+//!   with a stage-recurrence scoreboard, so architectural results are
+//!   identical to the functional model *by construction* — and the
+//!   differential property tests confirm the timing model never changes
+//!   results.
+//!
+//! Statistics ([`PipeStats`]) report cycles, instructions, CPI, stall
+//! breakdowns, and Qat-coprocessor activity — the quantities behind the
+//! paper's "capable of sustaining completion of one instruction every
+//! clock cycle, provided there were no pipeline interlocks" claim.
+
+pub mod loader;
+pub mod machine;
+pub mod multicycle;
+pub mod pipeline;
+pub mod proggen;
+pub mod trace;
+
+pub use loader::{VmemError, VmemImage};
+pub use machine::{Machine, MachineConfig, SimError, StepEvent, SysOutput};
+pub use multicycle::{MultiCycleSim, MultiCycleStats};
+pub use pipeline::{InsnTiming, PipeStats, PipelineConfig, PipelinedSim, StageCount};

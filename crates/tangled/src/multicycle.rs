@@ -1,0 +1,122 @@
+//! The multi-cycle simulator — the course's first implementation target.
+//!
+//! Each instruction passes through fetch (one cycle per instruction word),
+//! decode, execute, and writeback as separate cycles, with no overlap.
+//! Architectural behaviour is delegated to [`Machine::step`], so this model
+//! differs from the functional simulator only in its cycle accounting —
+//! exactly the relationship the students' multi-cycle and pipelined Verilog
+//! designs had to preserve.
+
+use crate::machine::{Machine, SimError, StepEvent};
+
+/// Cycle/instruction counts from a multi-cycle run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MultiCycleStats {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// Instructions completed.
+    pub insns: u64,
+    /// Cycles spent fetching second words of two-word Qat instructions.
+    pub extra_fetch_cycles: u64,
+}
+
+impl MultiCycleStats {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.insns.max(1) as f64
+    }
+}
+
+/// Multi-cycle wrapper around a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MultiCycleSim {
+    /// The architectural machine.
+    pub machine: Machine,
+    /// Accumulated statistics.
+    pub stats: MultiCycleStats,
+}
+
+/// decode + execute + writeback, on top of one fetch cycle per word.
+const NON_FETCH_CYCLES: u64 = 3;
+
+impl MultiCycleSim {
+    /// Wrap a machine.
+    pub fn new(machine: Machine) -> Self {
+        MultiCycleSim { machine, stats: MultiCycleStats::default() }
+    }
+
+    /// Execute one instruction, accounting its cycles.
+    pub fn step(&mut self) -> Result<StepEvent, SimError> {
+        let ev = self.machine.step()?;
+        let words = ev.insn.words() as u64;
+        self.stats.cycles += words + NON_FETCH_CYCLES;
+        self.stats.extra_fetch_cycles += words - 1;
+        self.stats.insns += 1;
+        Ok(ev)
+    }
+
+    /// Run to halt.
+    pub fn run(&mut self) -> Result<MultiCycleStats, SimError> {
+        while !self.machine.halted {
+            self.step()?;
+        }
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use tangled_asm::assemble_ok;
+
+    fn sim(src: &str) -> MultiCycleSim {
+        let img = assemble_ok(src);
+        MultiCycleSim::new(Machine::with_image(MachineConfig::default(), &img.words))
+    }
+
+    #[test]
+    fn one_word_instructions_cost_four_cycles() {
+        let mut s = sim("lex $1,1\nadd $1,$1\nsys\n");
+        let st = s.run().unwrap();
+        assert_eq!(st.insns, 3);
+        assert_eq!(st.cycles, 3 * 4);
+        assert_eq!(st.extra_fetch_cycles, 0);
+        assert_eq!(st.cpi(), 4.0);
+    }
+
+    #[test]
+    fn two_word_qat_instructions_cost_five() {
+        let mut s = sim("and @1,@2,@3\nsys\n");
+        let st = s.run().unwrap();
+        assert_eq!(st.insns, 2);
+        assert_eq!(st.cycles, 5 + 4);
+        assert_eq!(st.extra_fetch_cycles, 1);
+    }
+
+    #[test]
+    fn architectural_state_matches_functional() {
+        let src = "lex $1,5\nlex $2,-1\nloop: add $3,$1\nadd $1,$2\nbrt $1,loop\nsys\n";
+        let img = assemble_ok(src);
+        let mut f = Machine::with_image(MachineConfig::default(), &img.words);
+        f.run().unwrap();
+        let mut s = sim(src);
+        s.run().unwrap();
+        assert_eq!(s.machine.regs, f.regs);
+        assert_eq!(s.machine.pc, f.pc);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn stats_fields_are_consistent() {
+        let s = MultiCycleStats { cycles: 40, insns: 10, extra_fetch_cycles: 2 };
+        assert_eq!(s.cpi(), 4.0);
+        // cpi() of an empty run must not divide by zero.
+        let empty = MultiCycleStats::default();
+        assert_eq!(empty.cpi(), 0.0);
+    }
+}

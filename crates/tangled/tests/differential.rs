@@ -1,0 +1,123 @@
+//! Differential testing: every simulator (functional, multi-cycle, both
+//! pipeline depths, with and without forwarding) must produce the exact
+//! same architectural state on randomly generated programs — registers,
+//! PC, data memory, and all 256 Qat AoB registers.
+
+use proptest::prelude::*;
+use qat_coproc::QatConfig;
+use tangled_isa::QReg;
+use tangled_sim::proggen::{encode_program, random_program, ProgGenOptions};
+use tangled_sim::{
+    Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
+};
+
+fn fresh(words: &[u16], ways: u32) -> Machine {
+    let cfg = MachineConfig { qat: QatConfig::with_ways(ways), max_steps: 500_000 };
+    Machine::with_image(cfg, words)
+}
+
+fn assert_same_state(a: &Machine, b: &Machine, label: &str) {
+    assert_eq!(a.regs, b.regs, "{label}: registers differ");
+    assert_eq!(a.pc, b.pc, "{label}: PC differs");
+    assert_eq!(a.mem, b.mem, "{label}: memory differs");
+    for q in 0..=255u8 {
+        assert_eq!(
+            a.qat.reg(QReg(q)),
+            b.qat.reg(QReg(q)),
+            "{label}: Qat register @{q} differs"
+        );
+    }
+}
+
+fn all_pipe_configs() -> [PipelineConfig; 4] {
+    [
+        PipelineConfig { stages: StageCount::Four, forwarding: true, ..Default::default() },
+        PipelineConfig { stages: StageCount::Four, forwarding: false, ..Default::default() },
+        PipelineConfig { stages: StageCount::Five, forwarding: true, ..Default::default() },
+        PipelineConfig { stages: StageCount::Five, forwarding: false, ..Default::default() },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_simulators_agree(seed in 1u64..1_000_000, len in 10usize..120) {
+        let opts = ProgGenOptions { len, ways: 8, ..Default::default() };
+        let prog = random_program(seed, &opts);
+        let words = encode_program(&prog);
+
+        let mut oracle = fresh(&words, 8);
+        oracle.run().unwrap();
+
+        let mut mc = MultiCycleSim::new(fresh(&words, 8));
+        mc.run().unwrap();
+        assert_same_state(&oracle, &mc.machine, "multi-cycle");
+        prop_assert_eq!(mc.stats.insns, oracle.steps);
+
+        for cfg in all_pipe_configs() {
+            let mut p = PipelinedSim::new(fresh(&words, 8), cfg);
+            let stats = p.run().unwrap();
+            assert_same_state(&oracle, &p.machine, &format!("{cfg:?}"));
+            prop_assert_eq!(stats.insns, oracle.steps);
+            // Pipelining can never be slower than multi-cycle or faster
+            // than 1 CPI + startup.
+            prop_assert!(stats.cycles <= mc.stats.cycles);
+            let depth = match cfg.stages { StageCount::Four => 4, StageCount::Five => 5 };
+            prop_assert!(stats.cycles >= stats.insns + depth - 1);
+        }
+    }
+
+    #[test]
+    fn forwarding_never_hurts(seed in 1u64..1_000_000) {
+        let opts = ProgGenOptions { len: 80, ways: 8, ..Default::default() };
+        let words = encode_program(&random_program(seed, &opts));
+        for stages in [StageCount::Four, StageCount::Five] {
+            let mut fw = PipelinedSim::new(
+                fresh(&words, 8),
+                PipelineConfig { stages, forwarding: true, ..Default::default() },
+            );
+            let sfw = fw.run().unwrap();
+            let mut nofw = PipelinedSim::new(
+                fresh(&words, 8),
+                PipelineConfig { stages, forwarding: false, ..Default::default() },
+            );
+            let snofw = nofw.run().unwrap();
+            prop_assert!(sfw.cycles <= snofw.cycles);
+            prop_assert!(sfw.data_stalls <= snofw.data_stalls);
+        }
+    }
+
+    #[test]
+    fn four_stage_never_slower_than_five(seed in 1u64..1_000_000) {
+        // With memory folded into EX and the same hazards otherwise, the
+        // shallower pipeline retires at least as early in this model.
+        let opts = ProgGenOptions { len: 60, ways: 8, ..Default::default() };
+        let words = encode_program(&random_program(seed, &opts));
+        let mut four = PipelinedSim::new(
+            fresh(&words, 8),
+            PipelineConfig { stages: StageCount::Four, forwarding: true, ..Default::default() },
+        );
+        let s4 = four.run().unwrap();
+        let mut five = PipelinedSim::new(
+            fresh(&words, 8),
+            PipelineConfig { stages: StageCount::Five, forwarding: true, ..Default::default() },
+        );
+        let s5 = five.run().unwrap();
+        prop_assert!(s4.cycles <= s5.cycles);
+    }
+}
+
+#[test]
+fn hazard_free_kernel_reaches_ideal_ipc_at_scale() {
+    // 1000 independent instructions: IPC must approach 1.0.
+    let mut src = String::new();
+    for i in 0..1000 {
+        src.push_str(&format!("lex ${},{}\n", i % 8, i % 100));
+    }
+    src.push_str("sys\n");
+    let img = tangled_asm::assemble_ok(&src);
+    let mut p = PipelinedSim::new(fresh(&img.words, 8), PipelineConfig::default());
+    let stats = p.run().unwrap();
+    assert!(stats.ipc() > 0.99, "ipc = {}", stats.ipc());
+}

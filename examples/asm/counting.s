@@ -1,0 +1,12 @@
+; Countdown demo: prints 5 4 3 2 1 using the sys print-int service, then
+; halts. Exercises branches, the assembler pseudo-instructions, and the
+; repo-defined sys ABI.
+        li   $1,5          ; counter
+        lex  $2,-1         ; decrement
+        lex  $rv,1         ; sys service: print $0 as int
+loop:   copy $0,$1
+        sys                ; print
+        add  $1,$2
+        brt  $1,loop
+        lex  $rv,0
+        sys                ; halt

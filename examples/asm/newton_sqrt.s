@@ -1,0 +1,26 @@
+; Newton-Raphson square root of 2 in bfloat16 on the Tangled float unit:
+;   x' = 0.5 * (x + a/x)
+; Exercises float/addf/mulf/recip end-to-end. Result (~1.414) is printed
+; with the sys print-float service, then converted to int (1) and halted.
+        .equ HALF,0x3F00    ; bfloat16 0.5
+        lex  $1,2
+        float $1            ; a = 2.0
+        lex  $2,1
+        float $2            ; x = 1.0 (initial guess)
+        li   $3,HALF        ; 0.5
+        lex  $4,5           ; 5 iterations
+        lex  $5,-1
+loop:   copy $6,$1          ; a
+        copy $7,$2
+        recip $7            ; 1/x
+        mulf $6,$7          ; a/x
+        addf $6,$2          ; x + a/x
+        mulf $6,$3          ; * 0.5
+        copy $2,$6
+        add  $4,$5
+        brt  $4,loop
+        lex  $rv,2          ; print bfloat16 in $0
+        copy $0,$2
+        sys
+        lex  $rv,0
+        sys

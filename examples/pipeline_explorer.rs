@@ -1,0 +1,101 @@
+//! Pipeline design-space explorer: the §3.1 implementation study as a
+//! table. Runs characteristic kernels over every pipeline organization
+//! (4/5-stage × forwarding on/off) and the multi-cycle baseline, printing
+//! CPI and stall breakdowns — the numbers behind "capable of sustaining
+//! completion of one instruction every clock cycle, provided there were no
+//! pipeline interlocks".
+//!
+//! Run with: `cargo run --example pipeline_explorer`
+
+use tangled_qat::asm::assemble;
+use tangled_qat::gatec::factor::FIGURE_10;
+use tangled_qat::qat::QatConfig;
+use tangled_qat::sim::{
+    Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
+};
+
+fn kernels() -> Vec<(&'static str, String)> {
+    let mut straight = String::new();
+    for i in 0..200 {
+        straight.push_str(&format!("lex ${},{}\n", i % 8, i % 100));
+    }
+    straight.push_str("sys\n");
+
+    let mut chain = String::from("lex $1,1\n");
+    for _ in 0..200 {
+        chain.push_str("add $1,$1\n");
+    }
+    chain.push_str("sys\n");
+
+    let loopy = "li $1,100\nlex $2,-1\nloop: add $3,$1\nadd $1,$2\nbrt $1,loop\nsys\n".to_string();
+
+    let mut qat_heavy = String::from("had @1,0\nhad @2,3\n");
+    for i in 0..60 {
+        qat_heavy.push_str(&format!("and @{},@1,@2\n", 3 + i % 100));
+    }
+    qat_heavy.push_str("sys\n");
+
+    let mut load_use = String::from("li $2,0x4000\nli $1,7\nstore $1,$2\n");
+    for _ in 0..50 {
+        load_use.push_str("load $3,$2\nadd $3,$3\n");
+    }
+    load_use.push_str("sys\n");
+
+    vec![
+        ("straight-line", straight),
+        ("dependence chain", chain),
+        ("counted loop", loopy),
+        ("Qat two-word heavy", qat_heavy),
+        ("load-use pairs", load_use),
+        ("Figure 10 factoring", format!("{FIGURE_10}sys\n")),
+    ]
+}
+
+fn main() {
+    let configs = [
+        ("4fw", PipelineConfig { stages: StageCount::Four, forwarding: true, ..Default::default() }),
+        ("4nofw", PipelineConfig { stages: StageCount::Four, forwarding: false, ..Default::default() }),
+        ("5fw", PipelineConfig { stages: StageCount::Five, forwarding: true, ..Default::default() }),
+        ("5nofw", PipelineConfig { stages: StageCount::Five, forwarding: false, ..Default::default() }),
+    ];
+    println!(
+        "{:<20} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "kernel (CPI)", "insns", "4fw", "4nofw", "5fw", "5nofw", "multi"
+    );
+    for (name, src) in kernels() {
+        let img = assemble(&src).expect("kernel assembles");
+        let mut row = format!("{name:<20}");
+        let mut insns = 0;
+        let mut cpis = Vec::new();
+        for (_, cfg) in configs {
+            let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+            let mut p = PipelinedSim::new(Machine::with_image(mcfg, &img.words), cfg);
+            let st = p.run().unwrap();
+            insns = st.insns;
+            cpis.push(st.cpi());
+        }
+        let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+        let mut mc = MultiCycleSim::new(Machine::with_image(mcfg, &img.words));
+        let mst = mc.run().unwrap();
+        row.push_str(&format!(" {insns:>7}"));
+        for c in cpis {
+            row.push_str(&format!(" {c:>8.3}"));
+        }
+        row.push_str(&format!(" {:>8.3}", mst.cpi()));
+        println!("{row}");
+    }
+
+    // Detailed stall anatomy for the Figure 10 program.
+    println!("\nFigure 10 stall anatomy (4-stage, forwarding):");
+    let img = assemble(&format!("{FIGURE_10}sys\n")).unwrap();
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    let mut p = PipelinedSim::new(Machine::with_image(mcfg, &img.words), PipelineConfig::default());
+    let st = p.run().unwrap();
+    println!(
+        "  {} insns ({} Qat, {} two-word) in {} cycles\n  \
+         {} fetch bubbles, {} data stalls, {} control stalls, {} taken branches",
+        st.insns, st.qat_insns, st.two_word_insns, st.cycles,
+        st.fetch_extra, st.data_stalls, st.control_stalls, st.taken
+    );
+    assert_eq!((p.machine.regs[0], p.machine.regs[1]), (5, 3));
+}

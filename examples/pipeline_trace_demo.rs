@@ -1,0 +1,62 @@
+//! Pipeline-diagram walkthrough: the textbook stage chart for the hazards
+//! §3.1 says the students wrestled with — variable-length fetch bubbles,
+//! coprocessor-coupled data hazards, and branch squash — drawn from the
+//! cycle-accurate model's trace.
+//!
+//! Run with: `cargo run --example pipeline_trace_demo`
+
+use tangled_qat::asm::assemble;
+use tangled_qat::qat::QatConfig;
+use tangled_qat::sim::{trace, Machine, MachineConfig, PipelineConfig, PipelinedSim, StageCount};
+
+fn show(title: &str, src: &str, cfg: PipelineConfig) {
+    let img = assemble(src).expect("assembles");
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    let mut sim = PipelinedSim::with_trace(Machine::with_image(mcfg, &img.words), cfg);
+    let stats = sim.run().expect("halts");
+    println!("== {title} ==");
+    println!(
+        "{} instructions, {} cycles (CPI {:.2}); {} fetch bubbles, {} data stalls, {} control stalls",
+        stats.insns, stats.cycles, stats.cpi(),
+        stats.fetch_extra, stats.data_stalls, stats.control_stalls
+    );
+    print!("{}", trace::render(sim.trace.as_ref().unwrap(), cfg, 30));
+    println!();
+}
+
+fn main() {
+    let four = PipelineConfig::default();
+    let four_nofw = PipelineConfig { forwarding: false, ..four };
+    let five = PipelineConfig { stages: StageCount::Five, ..four };
+
+    // 1. The ideal diagonal.
+    show("ideal: independent one-word instructions", "lex $1,1\nlex $2,2\nlex $3,3\nsys\n", four);
+
+    // 2. Two-word Qat instructions occupy IF twice (the variable-length
+    //    fetch the paper calls the most common student question).
+    show(
+        "variable-length fetch: two-word Qat instructions",
+        "zero @1\nand @2,@1,@1\nxor @3,@2,@1\nsys\n",
+        four,
+    );
+
+    // 3. The coprocessor-coupled hazard: meas feeds an add. With
+    //    forwarding the value bypasses; without it the add waits for WB.
+    let coupled = "had @5,0\nlex $1,3\nmeas $1,@5\nadd $1,$1\nsys\n";
+    show("meas -> add with forwarding", coupled, four);
+    show("meas -> add WITHOUT forwarding (interlock visible)", coupled, four_nofw);
+
+    // 4. Branch squash: two bubbles after a taken branch.
+    show(
+        "taken branch: two-cycle redirect",
+        "lex $1,1\nbrt $1,over\nlex $2,9\nlex $3,9\nover: sys\n",
+        four,
+    );
+
+    // 5. The 5-stage load-use bubble.
+    show(
+        "5-stage load-use hazard",
+        "li $2,0x4000\nli $1,7\nstore $1,$2\nload $3,$2\nadd $3,$3\nsys\n",
+        five,
+    );
+}

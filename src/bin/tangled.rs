@@ -1,0 +1,518 @@
+//! `tangled` — command-line driver for the Tangled/Qat toolchain.
+//!
+//! ```text
+//! tangled asm  <prog.s> [--vmem]         assemble; print hex words (or VMEM)
+//! tangled dis  <prog.s>                  assemble then disassemble (listing)
+//! tangled run  <prog.s|img.vmem> [opts]  assemble (or load VMEM) and execute
+//!     --ways N          entanglement degree (default 16)
+//!     --multicycle      use the multi-cycle model
+//!     --stages 4|5      pipeline depth (default 4)
+//!     --no-forwarding   disable result bypassing
+//!     --trace           print the stage-occupancy chart
+//!     --regs            dump registers at halt
+//!     --macros          assemble reversible gates as §5 macros
+//! tangled factor <n> [--width W]         compile & run the §4 factoring demo
+//! tangled verilog <n> [--width W]        emit the factoring circuit as Verilog
+//! tangled sat <file.cnf> [--count]       exhaustive DIMACS SAT via the PBP model
+//! tangled debug <prog.s> [--ways N]      interactive debugger (stdin REPL):
+//!     s [n]       step n instructions (default 1)
+//!     r           run to halt / breakpoint
+//!     b <addr>    toggle a breakpoint (hex or decimal word address)
+//!     regs        dump Tangled registers
+//!     q <n>       inspect Qat register @n (population + first 1-channels)
+//!     m <addr>    dump 8 memory words
+//!     l           disassemble around PC
+//!     quit
+//! ```
+
+use std::process::ExitCode;
+
+use tangled_qat::asm::{assemble_with, AsmOptions};
+use tangled_qat::gatec::factor::compile_factoring;
+use tangled_qat::gatec::Compiler;
+use tangled_qat::qat::QatConfig;
+use tangled_qat::sim::{
+    trace, Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tangled <asm|dis|run> <prog.s> [options]\n       tangled factor <n> [--width W]\n(see `src/bin/tangled.rs` docs for options)"
+    );
+    ExitCode::from(2)
+}
+
+struct RunOpts {
+    ways: u32,
+    multicycle: bool,
+    stages: StageCount,
+    forwarding: bool,
+    trace: bool,
+    regs: bool,
+    macros: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            ways: 16,
+            multicycle: false,
+            stages: StageCount::Four,
+            forwarding: true,
+            trace: false,
+            regs: false,
+            macros: false,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut o = RunOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ways" => {
+                o.ways = it
+                    .next()
+                    .ok_or("--ways needs a value")?
+                    .parse()
+                    .map_err(|_| "--ways: not a number")?;
+            }
+            "--multicycle" => o.multicycle = true,
+            "--stages" => match it.next().map(String::as_str) {
+                Some("4") => o.stages = StageCount::Four,
+                Some("5") => o.stages = StageCount::Five,
+                _ => return Err("--stages takes 4 or 5".into()),
+            },
+            "--no-forwarding" => o.forwarding = false,
+            "--trace" => o.trace = true,
+            "--regs" => o.regs = true,
+            "--macros" => o.macros = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn load_and_assemble(path: &str, macros: bool) -> Result<tangled_qat::asm::Image, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".vmem") {
+        // A pre-assembled memory image.
+        let vm = tangled_qat::sim::VmemImage::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+        let top = vm.words.keys().next_back().copied().unwrap_or(0);
+        let mut words = vec![0u16; top as usize + 1];
+        for (&a, &w) in &vm.words {
+            words[a as usize] = w;
+        }
+        return Ok(tangled_qat::asm::Image { words, ..Default::default() });
+    }
+    let opts = AsmOptions { expand_reversible: macros, ..Default::default() };
+    assemble_with(&src, &opts).map_err(|e| format!("{path}:{e}"))
+}
+
+fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
+    let img = load_and_assemble(path, o.macros)?;
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(o.ways), ..Default::default() };
+    let machine = Machine::with_image(mcfg, &img.words);
+
+    let finished = if o.multicycle {
+        let mut sim = MultiCycleSim::new(machine);
+        let st = sim.run().map_err(|e| e.to_string())?;
+        println!(
+            "multi-cycle: {} instructions in {} cycles (CPI {:.3})",
+            st.insns,
+            st.cycles,
+            st.cpi()
+        );
+        sim.machine
+    } else {
+        let cfg = PipelineConfig { stages: o.stages, forwarding: o.forwarding, ..Default::default() };
+        let mut sim = if o.trace {
+            PipelinedSim::with_trace(machine, cfg)
+        } else {
+            PipelinedSim::new(machine, cfg)
+        };
+        let st = sim.run().map_err(|e| e.to_string())?;
+        println!(
+            "{:?}/fw={}: {} instructions in {} cycles (CPI {:.3}; {} fetch bubbles, {} data stalls, {} control stalls)",
+            o.stages, o.forwarding, st.insns, st.cycles, st.cpi(),
+            st.fetch_extra, st.data_stalls, st.control_stalls
+        );
+        if let Some(t) = &sim.trace {
+            print!("{}", trace::render(t, cfg, 120));
+        }
+        sim.machine
+    };
+
+    if !finished.output.is_empty() {
+        println!("-- sys output --");
+        let mut line = String::new();
+        for rec in &finished.output {
+            line.push_str(&rec.to_string());
+            line.push(' ');
+        }
+        println!("{}", line.trim_end());
+    }
+    if o.regs {
+        for (i, v) in finished.regs.iter().enumerate() {
+            print!("${i}={v:#06x} ");
+            if i % 8 == 7 {
+                println!();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_asm(path: &str, vmem: bool) -> Result<(), String> {
+    let img = load_and_assemble(path, false)?;
+    if vmem {
+        print!("{}", tangled_qat::sim::VmemImage::from_words(&img.words).render());
+        return Ok(());
+    }
+    for (i, w) in img.words.iter().enumerate() {
+        print!("{w:04x}");
+        if i % 8 == 7 {
+            println!();
+        } else {
+            print!(" ");
+        }
+    }
+    if img.words.len() % 8 != 0 {
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_dis(path: &str) -> Result<(), String> {
+    let img = load_and_assemble(path, false)?;
+    print!("{}", tangled_qat::isa::disasm::listing(&img.words));
+    Ok(())
+}
+
+fn cmd_factor(n_str: &str, args: &[String]) -> Result<(), String> {
+    let n: u64 = n_str.parse().map_err(|_| "factor: n must be a number")?;
+    let mut width = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--width" => {
+                width = it
+                    .next()
+                    .ok_or("--width needs a value")?
+                    .parse()
+                    .map_err(|_| "--width: not a number")?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if width == 0 {
+        width = (64 - n.leading_zeros() as usize).max(2);
+    }
+    if width > 8 {
+        return Err("factor: n must fit 8 bits (two operands need ≤16-way entanglement)".into());
+    }
+    let prog = compile_factoring(n, width, &Compiler::default()).map_err(|e| e.to_string())?;
+    let img = tangled_qat::asm::assemble(&prog.asm).map_err(|e| e.to_string())?;
+    let ways = (2 * width) as u32;
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(ways), ..Default::default() };
+    let mut sim = PipelinedSim::new(Machine::with_image(mcfg, &img.words), PipelineConfig::default());
+    let st = sim.run().map_err(|e| e.to_string())?;
+    println!(
+        "factoring {n} ({width}-bit operands, {ways}-way entanglement): {} Qat gate instructions, {} cycles",
+        prog.qat_insns, st.cycles
+    );
+    let (a, b) = (sim.machine.regs[0], sim.machine.regs[1]);
+    if (a, b) == (1, 0) {
+        println!("{n} is prime (only the trivial factorization exists)");
+    } else {
+        println!("non-trivial factors: {a} x {b} = {}", a as u64 * b as u64);
+    }
+    Ok(())
+}
+
+struct Debugger {
+    machine: Machine,
+    breakpoints: std::collections::BTreeSet<u16>,
+}
+
+impl Debugger {
+    fn prompt_loop(&mut self) -> Result<(), String> {
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        println!("tangled debugger — 's' step, 'r' run, 'b <addr>' break, 'regs', 'q <n>', 'm <addr>', 'l', 'quit'");
+        self.show_location();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                None => continue,
+                Some("s") | Some("step") => {
+                    let n: u64 = parts.next().and_then(|t| t.parse().ok()).unwrap_or(1);
+                    for _ in 0..n {
+                        if self.machine.halted {
+                            println!("machine is halted");
+                            break;
+                        }
+                        match self.machine.step() {
+                            Ok(ev) => {
+                                println!(
+                                    "{:04x}: {}{}",
+                                    ev.pc,
+                                    tangled_qat::isa::disassemble(ev.insn),
+                                    if ev.taken { "   [taken]" } else { "" }
+                                );
+                            }
+                            Err(e) => {
+                                println!("fault: {e}");
+                                break;
+                            }
+                        }
+                    }
+                    self.show_location();
+                }
+                Some("r") | Some("run") => {
+                    while !self.machine.halted {
+                        if let Err(e) = self.machine.step() {
+                            println!("fault: {e}");
+                            break;
+                        }
+                        if self.breakpoints.contains(&self.machine.pc) {
+                            println!("breakpoint at {:04x}", self.machine.pc);
+                            break;
+                        }
+                    }
+                    if self.machine.halted {
+                        println!("halted after {} instructions", self.machine.steps);
+                    }
+                    self.show_location();
+                }
+                Some("b") | Some("break") => match parts.next().map(parse_addr) {
+                    Some(Some(a)) => {
+                        if self.breakpoints.remove(&a) {
+                            println!("breakpoint at {a:04x} removed");
+                        } else {
+                            self.breakpoints.insert(a);
+                            println!("breakpoint at {a:04x} set");
+                        }
+                    }
+                    _ => println!("usage: b <addr>"),
+                },
+                Some("regs") => {
+                    for (i, v) in self.machine.regs.iter().enumerate() {
+                        print!("${i}={v:#06x} ");
+                        if i % 4 == 3 {
+                            println!();
+                        }
+                    }
+                    println!("pc={:04x} halted={}", self.machine.pc, self.machine.halted);
+                }
+                Some("q") => match parts.next().and_then(|t| t.parse::<u8>().ok()) {
+                    Some(n) => {
+                        let r = self.machine.qat.reg(tangled_qat::isa::QReg(n));
+                        let ones: Vec<u64> = r.enumerate_ones().into_iter().take(8).collect();
+                        println!(
+                            "@{n}: {}-way, pop {} / {}, first 1-channels {:?}",
+                            r.ways(),
+                            r.pop_all(),
+                            r.len(),
+                            ones
+                        );
+                    }
+                    None => println!("usage: q <0..255>"),
+                },
+                Some("m") | Some("mem") => match parts.next().map(parse_addr) {
+                    Some(Some(a)) => {
+                        print!("{a:04x}:");
+                        for i in 0..8u16 {
+                            print!(" {:04x}", self.machine.mem[a.wrapping_add(i) as usize]);
+                        }
+                        println!();
+                    }
+                    _ => println!("usage: m <addr>"),
+                },
+                Some("l") | Some("list") => {
+                    let pc = self.machine.pc as usize;
+                    let hi = (pc + 12).min(self.machine.mem.len());
+                    print!("{}", tangled_qat::isa::disasm::listing(&self.machine.mem[pc..hi]));
+                }
+                Some("quit") | Some("exit") => break,
+                Some(other) => println!("unknown command `{other}`"),
+            }
+        }
+        Ok(())
+    }
+
+    fn show_location(&self) {
+        match self.machine.peek() {
+            Ok((insn, _)) => println!(
+                "=> {:04x}: {}",
+                self.machine.pc,
+                tangled_qat::isa::disassemble(insn)
+            ),
+            Err(e) => println!("=> {e}"),
+        }
+    }
+}
+
+fn parse_addr(t: &str) -> Option<u16> {
+    if let Some(h) = t.strip_prefix("0x") {
+        u16::from_str_radix(h, 16).ok()
+    } else {
+        t.parse().ok().or_else(|| u16::from_str_radix(t, 16).ok())
+    }
+}
+
+fn cmd_sat(path: &str, args: &[String]) -> Result<(), String> {
+    use tangled_qat::pbp::{Cnf, PbpContext};
+    let count_only = args.iter().any(|a| a == "--count");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // DIMACS: "p cnf <vars> <clauses>" header, clauses of 0-terminated
+    // literals, 'c' comment lines.
+    let mut cnf: Option<Cnf> = None;
+    let mut pending: Vec<i32> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [kind, vars, _clauses] = parts[..] else {
+                return Err(format!("{path}:{}: malformed problem line", idx + 1));
+            };
+            if kind != "cnf" {
+                return Err(format!("{path}: only `p cnf` supported, got `{kind}`"));
+            }
+            let nv: u32 = vars.parse().map_err(|_| "bad variable count".to_string())?;
+            if nv == 0 || nv > 16 {
+                return Err(format!(
+                    "{nv} variables: the PBP engine supports 1..=16 (one entanglement dimension per variable)"
+                ));
+            }
+            cnf = Some(Cnf::new(nv));
+            continue;
+        }
+        let f = cnf.as_mut().ok_or_else(|| format!("{path}: clause before `p cnf` header"))?;
+        for tok in line.split_whitespace() {
+            let lit: i32 = tok
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad literal `{tok}`", idx + 1))?;
+            if lit == 0 {
+                if pending.is_empty() {
+                    return Err(format!("{path}:{}: empty clause", idx + 1));
+                }
+                f.clause(&pending);
+                pending.clear();
+            } else {
+                pending.push(lit);
+            }
+        }
+    }
+    let mut cnf = cnf.ok_or_else(|| format!("{path}: missing `p cnf` header"))?;
+    if !pending.is_empty() {
+        cnf.clause(&pending);
+    }
+    let ways = cnf.num_vars.max(6);
+    let mut ctx = PbpContext::new(ways);
+    let models = ctx.sat_count(&cnf);
+    println!(
+        "{} variables, {} clauses: {} model(s) (one symbolic evaluation over 2^{} channels)",
+        cnf.num_vars,
+        cnf.clauses.len(),
+        models,
+        ways
+    );
+    if !count_only && models > 0 {
+        for a in ctx.sat_assignments(&cnf) {
+            let lits: Vec<String> = (0..cnf.num_vars)
+                .map(|v| {
+                    if (a >> v) & 1 == 1 { format!("{}", v + 1) } else { format!("-{}", v + 1) }
+                })
+                .collect();
+            println!("v {} 0", lits.join(" "));
+        }
+    }
+    println!("s {}", if models > 0 { "SATISFIABLE" } else { "UNSATISFIABLE" });
+    Ok(())
+}
+
+fn cmd_verilog(n_str: &str, args: &[String]) -> Result<(), String> {
+    let n: u64 = n_str.parse().map_err(|_| "verilog: n must be a number")?;
+    let mut width = (64 - n.leading_zeros() as usize).max(2);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--width" => {
+                width = it
+                    .next()
+                    .ok_or("--width needs a value")?
+                    .parse()
+                    .map_err(|_| "--width: not a number")?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if width > 8 {
+        return Err("verilog: width > 8 needs more than 16-way entanglement".into());
+    }
+    let prog = tangled_qat::gatec::factor::build_factoring(n, width, true);
+    let (nl, outs) = prog.optimized();
+    print!(
+        "{}",
+        tangled_qat::gatec::to_verilog(&nl, &outs, &format!("factor{n}"), (2 * width) as u32)
+    );
+    Ok(())
+}
+
+fn cmd_debug(path: &str, args: &[String]) -> Result<(), String> {
+    let mut ways = 16u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ways" => {
+                ways = it
+                    .next()
+                    .ok_or("--ways needs a value")?
+                    .parse()
+                    .map_err(|_| "--ways: not a number")?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let img = load_and_assemble(path, false)?;
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(ways), ..Default::default() };
+    let mut dbg = Debugger {
+        machine: Machine::with_image(mcfg, &img.words),
+        breakpoints: Default::default(),
+    };
+    dbg.prompt_loop()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let result = match (cmd, rest.split_first()) {
+        ("asm", Some((path, opts))) => cmd_asm(path, opts.iter().any(|o| o == "--vmem")),
+        ("dis", Some((path, _))) => cmd_dis(path),
+        ("run", Some((path, opts))) => match parse_opts(opts) {
+            Ok(o) => cmd_run(path, o),
+            Err(e) => Err(e),
+        },
+        ("factor", Some((n, opts))) => cmd_factor(n, opts),
+        ("debug", Some((path, opts))) => cmd_debug(path, opts),
+        ("verilog", Some((n, opts))) => cmd_verilog(n, opts),
+        ("sat", Some((path, opts))) => cmd_sat(path, opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tangled: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Every shipped assembly example must assemble, run to completion on all
+//! simulator configurations, and produce its documented output.
+
+use tangled_qat::asm::assemble;
+use tangled_qat::qat::QatConfig;
+use tangled_qat::sim::{
+    Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
+};
+
+fn source(name: &str) -> String {
+    let path = format!("{}/examples/asm/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn run_everywhere(src: &str) -> Vec<Machine> {
+    let img = assemble(src).expect("assembles");
+    let mut out = Vec::new();
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    let mut m = Machine::with_image(mcfg, &img.words);
+    m.run().unwrap();
+    out.push(m);
+    let mut mc = MultiCycleSim::new(Machine::with_image(mcfg, &img.words));
+    mc.run().unwrap();
+    out.push(mc.machine);
+    for stages in [StageCount::Four, StageCount::Five] {
+        for forwarding in [true, false] {
+            let cfg = PipelineConfig { stages, forwarding, ..Default::default() };
+            let mut p = PipelinedSim::new(Machine::with_image(mcfg, &img.words), cfg);
+            p.run().unwrap();
+            out.push(p.machine);
+        }
+    }
+    out
+}
+
+fn outputs(m: &Machine) -> String {
+    m.output.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+#[test]
+fn counting_example_everywhere() {
+    for m in run_everywhere(&source("counting.s")) {
+        assert_eq!(outputs(&m), "5 4 3 2 1");
+    }
+}
+
+#[test]
+fn factor15_example_everywhere() {
+    for m in run_everywhere(&source("factor15.s")) {
+        assert_eq!(outputs(&m), "5 3");
+        assert_eq!((m.regs[3], m.regs[4]), (5, 3));
+    }
+}
+
+#[test]
+fn newton_sqrt_example_everywhere() {
+    for m in run_everywhere(&source("newton_sqrt.s")) {
+        assert_eq!(outputs(&m), "1.4140625");
+    }
+}
+
+#[test]
+fn all_example_sources_have_docs_and_halt() {
+    let dir = format!("{}/examples/asm", env!("CARGO_MANIFEST_DIR"));
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("s") {
+            continue;
+        }
+        count += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            src.lines().next().unwrap_or("").trim_start().starts_with(';'),
+            "{path:?} must start with a comment header"
+        );
+        let machines = run_everywhere(&src);
+        assert!(machines.iter().all(|m| m.halted), "{path:?} must halt");
+    }
+    assert!(count >= 3, "expected at least three assembly examples, found {count}");
+}

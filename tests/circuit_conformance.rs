@@ -1,0 +1,58 @@
+//! E6/E7 at the gate level, property-tested: the structural Figure 7/8
+//! circuits agree with the behavioural AoB operations on arbitrary inputs.
+
+use proptest::prelude::*;
+use tangled_qat::aob::Aob;
+use tangled_qat::qat::circuit::{qathad_circuit, qatnext_circuit};
+use tangled_qat::qat::cost::OrReduction;
+
+fn aob(ways: u32) -> impl Strategy<Value = Aob> {
+    proptest::collection::vec(any::<u64>(), Aob::words_for(ways)).prop_map(move |ws| {
+        let mut v = Aob::zeros(ways);
+        v.words_mut().copy_from_slice(&ws);
+        v.normalize();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qatnext_circuit_matches_behavioural(a in aob(8), s in 0u64..256) {
+        for style in [OrReduction::TreeOr, OrReduction::WideOr] {
+            let (r, stats) = qatnext_circuit(&a, s, style);
+            prop_assert_eq!(r, a.next(s), "{:?}", style);
+            prop_assert!(stats.gates > 0);
+            prop_assert!(stats.depth > 0);
+        }
+    }
+
+    #[test]
+    fn qatnext_or_style_never_changes_the_answer(a in aob(6), s in 0u64..64) {
+        let (r1, st1) = qatnext_circuit(&a, s, OrReduction::TreeOr);
+        let (r2, st2) = qatnext_circuit(&a, s, OrReduction::WideOr);
+        prop_assert_eq!(r1, r2);
+        // The implementations differ only in delay, never in gate output.
+        prop_assert!(st1.depth >= st2.depth);
+    }
+
+    #[test]
+    fn qathad_circuit_matches_every_select(ways in 4u32..9, h in 0u16..16) {
+        let (v, stats) = qathad_circuit(ways, h);
+        prop_assert_eq!(v, Aob::hadamard(ways, h as u32));
+        prop_assert_eq!(stats.depth, 4); // 16:1 mux tree
+    }
+}
+
+#[test]
+fn full_16way_next_circuit_once() {
+    // One full-size (65,536-bit) structural evaluation of the paper's
+    // worked example — slow enough to run once, not under proptest.
+    let a = Aob::hadamard(16, 4);
+    let (r, stats) = qatnext_circuit(&a, 42, OrReduction::WideOr);
+    assert_eq!(r, 48);
+    // 2×16 shifter stages over 65,535 bits dominate the gate count.
+    assert!(stats.gates > 2_000_000);
+    assert!(stats.depth >= 32);
+}

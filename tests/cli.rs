@@ -1,0 +1,177 @@
+//! End-to-end tests of the `tangled` command-line driver.
+
+use std::process::Command;
+
+fn tangled(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tangled"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn asm_path(name: &str) -> String {
+    format!("{}/examples/asm/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn run_counting_prints_countdown() {
+    let (stdout, _, ok) = tangled(&["run", &asm_path("counting.s"), "--ways", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("5 4 3 2 1"), "{stdout}");
+    assert!(stdout.contains("CPI"));
+}
+
+#[test]
+fn run_factor15_prints_factors() {
+    let (stdout, _, ok) = tangled(&["run", &asm_path("factor15.s"), "--ways", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("5 3"), "{stdout}");
+}
+
+#[test]
+fn run_options_select_models() {
+    let (s4, _, _) = tangled(&["run", &asm_path("counting.s"), "--ways", "8"]);
+    let (s5, _, _) =
+        tangled(&["run", &asm_path("counting.s"), "--ways", "8", "--stages", "5"]);
+    let (mc, _, _) = tangled(&["run", &asm_path("counting.s"), "--ways", "8", "--multicycle"]);
+    assert!(s4.contains("Four"));
+    assert!(s5.contains("Five"));
+    assert!(mc.contains("multi-cycle"));
+}
+
+#[test]
+fn run_trace_prints_stage_chart() {
+    let (stdout, _, ok) = tangled(&["run", &asm_path("counting.s"), "--ways", "8", "--trace"]);
+    assert!(ok);
+    assert!(stdout.contains(" F "), "{stdout}");
+    assert!(stdout.contains(" W "));
+}
+
+#[test]
+fn factor_command() {
+    let (stdout, _, ok) = tangled(&["factor", "15"]);
+    assert!(ok);
+    assert!(stdout.contains("5 x 3"), "{stdout}");
+    let (stdout, _, ok) = tangled(&["factor", "13"]);
+    assert!(ok);
+    assert!(stdout.contains("prime"), "{stdout}");
+    let (stdout, _, ok) = tangled(&["factor", "221"]);
+    assert!(ok);
+    assert!(stdout.contains("17 x 13"), "{stdout}");
+}
+
+#[test]
+fn asm_and_dis_roundtrip() {
+    let (hex, _, ok) = tangled(&["asm", &asm_path("counting.s")]);
+    assert!(ok);
+    assert!(hex.split_whitespace().all(|w| u16::from_str_radix(w, 16).is_ok()));
+    let (listing, _, ok) = tangled(&["dis", &asm_path("counting.s")]);
+    assert!(ok);
+    assert!(listing.contains("lex $1,5"));
+    assert!(listing.contains("sys"));
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let (_, stderr, ok) = tangled(&["run", "/nonexistent/prog.s"]);
+    assert!(!ok);
+    assert!(stderr.contains("tangled:"));
+    let (_, stderr, ok) = tangled(&["run", &asm_path("counting.s"), "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"));
+    let (_, _, ok) = tangled(&["frobnicate"]);
+    assert!(!ok);
+    let (_, stderr, ok) = tangled(&["factor", "999"]);
+    assert!(!ok);
+    assert!(stderr.contains("8 bits"));
+}
+
+#[test]
+fn debugger_scripted_session() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tangled"))
+        .args(["debug", &asm_path("counting.s"), "--ways", "8"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"s 2\nregs\nb 5\nr\nq 3\nm 0\nl\nbogus\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lex $1,5"), "{text}");
+    assert!(text.contains("$1=0x0005"));
+    assert!(text.contains("breakpoint at 0005 set"));
+    assert!(text.contains("breakpoint at 0005\n") || text.contains("halted"));
+    assert!(text.contains("unknown command `bogus`"));
+}
+
+#[test]
+fn verilog_export() {
+    let (v, _, ok) = tangled(&["verilog", "15"]);
+    assert!(ok);
+    assert!(v.contains("module factor15("));
+    assert!(v.contains("output wire [255:0] e"));
+    assert!(v.contains("(i >> 7)")); // Figure 7 idiom
+    assert!(v.trim_end().ends_with("endmodule"));
+}
+
+#[test]
+fn vmem_roundtrip_through_cli() {
+    // asm --vmem then run the .vmem file: same output as the .s file.
+    let (vmem, _, ok) = tangled(&["asm", &asm_path("counting.s"), "--vmem"]);
+    assert!(ok);
+    assert!(vmem.contains("@0000"));
+    let dir = std::env::temp_dir().join("tangled_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("counting.vmem");
+    std::fs::write(&path, &vmem).unwrap();
+    let (out, _, ok) = tangled(&["run", path.to_str().unwrap(), "--ways", "8"]);
+    assert!(ok);
+    assert!(out.contains("5 4 3 2 1"), "{out}");
+}
+
+#[test]
+fn newton_sqrt_converges_in_bfloat16() {
+    let (out, _, ok) = tangled(&["run", &asm_path("newton_sqrt.s"), "--ways", "8"]);
+    assert!(ok);
+    // bf16 sqrt(2): 1.4140625 (the representable value nearest √2).
+    assert!(out.contains("1.4140625"), "{out}");
+}
+
+#[test]
+fn sat_solves_dimacs() {
+    let dir = std::env::temp_dir().join("tangled_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sat_path = dir.join("xor.cnf");
+    std::fs::write(&sat_path, "c xor\np cnf 2 2\n1 2 0\n-1 -2 0\n").unwrap();
+    let (out, _, ok) = tangled(&["sat", sat_path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("2 model(s)"), "{out}");
+    assert!(out.contains("s SATISFIABLE"));
+    assert!(out.contains("v 1 -2 0"));
+    assert!(out.contains("v -1 2 0"));
+
+    let unsat_path = dir.join("unsat.cnf");
+    std::fs::write(&unsat_path, "p cnf 1 2\n1 0\n-1 0\n").unwrap();
+    let (out, _, ok) = tangled(&["sat", unsat_path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("s UNSATISFIABLE"));
+
+    let bad_path = dir.join("big.cnf");
+    std::fs::write(&bad_path, "p cnf 40 1\n1 0\n").unwrap();
+    let (_, stderr, ok) = tangled(&["sat", bad_path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("1..=16"));
+}

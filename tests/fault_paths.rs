@@ -1,0 +1,105 @@
+//! Failure-injection tests: every simulator surfaces faults (illegal
+//! opcodes, truncated instructions, coprocessor violations, runaway loops)
+//! as typed errors with the faulting PC — never a panic, never silence.
+
+use tangled_qat::asm::assemble;
+use tangled_qat::isa::DecodeError;
+use tangled_qat::qat::{QatConfig, QatError};
+use tangled_qat::sim::{
+    Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, SimError,
+};
+
+fn cfg(ways: u32) -> MachineConfig {
+    MachineConfig { qat: QatConfig::with_ways(ways), max_steps: 10_000 }
+}
+
+#[test]
+fn illegal_opcode_faults_every_model() {
+    // 0xF000 is an undefined major opcode.
+    let words = [0x4001u16 /* lex $0,1 */, 0xF000];
+    let expect = |e: SimError| {
+        assert!(
+            matches!(e, SimError::Decode { pc: 1, err: DecodeError::Illegal { .. } }),
+            "{e:?}"
+        );
+    };
+    let mut m = Machine::with_image(cfg(8), &words);
+    expect(m.run().unwrap_err());
+    let mut mc = MultiCycleSim::new(Machine::with_image(cfg(8), &words));
+    expect(mc.run().unwrap_err());
+    let mut p = PipelinedSim::new(Machine::with_image(cfg(8), &words), PipelineConfig::default());
+    expect(p.run().unwrap_err());
+}
+
+#[test]
+fn truncated_two_word_instruction_at_end_of_memory() {
+    // Place the first word of a two-word Qat instruction at the last
+    // memory address.
+    let mut m = Machine::new(cfg(8));
+    m.mem[0xFFFF] = 0xD000; // and @a,... missing second word
+    m.pc = 0xFFFF;
+    let e = m.step().unwrap_err();
+    assert!(
+        matches!(e, SimError::Decode { pc: 0xFFFF, err: DecodeError::Truncated { .. } }),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn constant_register_write_faults_with_pc() {
+    let img = assemble("zero @200\nhad @3,1\nsys\n").unwrap();
+    let mcfg = MachineConfig {
+        qat: QatConfig { ways: 8, constant_registers: true, meter_energy: false },
+        max_steps: 10_000,
+    };
+    // @200 is fine (unreserved); @3 = H(1) is reserved -> fault at word 1.
+    let mut m = Machine::with_image(mcfg, &img.words);
+    let e = m.run().unwrap_err();
+    assert!(
+        matches!(
+            e,
+            SimError::Qat { pc: 1, err: QatError::ConstantRegisterWrite { .. } }
+        ),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn runaway_program_hits_step_limit_not_hang() {
+    let img = assemble("loop: br loop\n").unwrap();
+    for pipelined in [false, true] {
+        let e = if pipelined {
+            PipelinedSim::new(Machine::with_image(cfg(8), &img.words), PipelineConfig::default())
+                .run()
+                .unwrap_err()
+        } else {
+            Machine::with_image(cfg(8), &img.words).run().unwrap_err()
+        };
+        assert_eq!(e, SimError::StepLimit);
+    }
+}
+
+#[test]
+fn fault_preserves_prior_architectural_state() {
+    // State up to the fault must be observable for debugging.
+    let words = {
+        let img = assemble("lex $1,42\nlex $2,7\n.word 0xF000\n").unwrap();
+        img.words
+    };
+    let mut m = Machine::with_image(cfg(8), &words);
+    let e = m.run().unwrap_err();
+    assert!(matches!(e, SimError::Decode { pc: 2, .. }));
+    assert_eq!(m.regs[1], 42);
+    assert_eq!(m.regs[2], 7);
+    assert_eq!(m.pc, 2);
+    assert!(!m.halted);
+}
+
+#[test]
+fn run_after_fault_reports_again_not_corrupt() {
+    let words = [0xF000u16];
+    let mut m = Machine::with_image(cfg(8), &words);
+    let e1 = m.run().unwrap_err();
+    let e2 = m.run().unwrap_err();
+    assert_eq!(e1, e2, "faults are repeatable, not state-corrupting");
+}

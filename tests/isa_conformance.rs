@@ -1,0 +1,260 @@
+//! E2/E3/E4: behavioural conformance of every instruction in Tables 1-3,
+//! exercised through the full stack (assembler → encoder → simulator).
+
+use tangled_qat::asm::assemble;
+use tangled_qat::bfloat::Bf16;
+use tangled_qat::isa::QReg;
+use tangled_qat::qat::QatConfig;
+use tangled_qat::sim::{Machine, MachineConfig};
+
+fn run(src: &str) -> Machine {
+    let img = assemble(src).unwrap_or_else(|e| panic!("{e}"));
+    let cfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    let mut m = Machine::with_image(cfg, &img.words);
+    m.run().expect("halts");
+    m
+}
+
+// ---------------------------------------------------------------------
+// Table 1, row by row.
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_add() {
+    // add $d,$s : $d += $s
+    assert_eq!(run("lex $1,20\nlex $2,22\nadd $1,$2\nsys\n").regs[1], 42);
+    // wrapping
+    assert_eq!(run("li $1,0x7FFF\nlex $2,1\nadd $1,$2\nsys\n").regs[1], 0x8000);
+}
+
+#[test]
+fn table1_addf() {
+    // addf: bfloat16 add
+    let m = run("lex $1,3\nfloat $1\nlex $2,4\nfloat $2\naddf $1,$2\nint $1\nsys\n");
+    assert_eq!(m.regs[1], 7);
+}
+
+#[test]
+fn table1_and_or_xor_not() {
+    let m = run("li $1,0x0FF0\nli $2,0x00FF\nand $1,$2\nsys\n");
+    assert_eq!(m.regs[1], 0x00F0);
+    let m = run("li $1,0x0F00\nli $2,0x00F0\nor $1,$2\nsys\n");
+    assert_eq!(m.regs[1], 0x0FF0);
+    let m = run("li $1,0x0FF0\nli $2,0x00FF\nxor $1,$2\nsys\n");
+    assert_eq!(m.regs[1], 0x0F0F);
+    let m = run("li $1,0x00FF\nnot $1\nsys\n");
+    assert_eq!(m.regs[1], 0xFF00);
+}
+
+#[test]
+fn table1_brf_brt() {
+    // brf: branch when condition is false (zero).
+    let m = run("lex $1,0\nbrf $1,skip\nlex $2,1\nskip: sys\n");
+    assert_eq!(m.regs[2], 0);
+    let m = run("lex $1,1\nbrf $1,skip\nlex $2,1\nskip: sys\n");
+    assert_eq!(m.regs[2], 1);
+    // brt: branch when true (non-zero).
+    let m = run("lex $1,1\nbrt $1,skip\nlex $2,1\nskip: sys\n");
+    assert_eq!(m.regs[2], 0);
+}
+
+#[test]
+fn table1_copy() {
+    let m = run("lex $1,-77\ncopy $2,$1\nsys\n");
+    assert_eq!(m.regs[2] as i16, -77);
+    assert_eq!(m.regs[1] as i16, -77); // source unchanged
+}
+
+#[test]
+fn table1_float_int_roundtrip() {
+    let m = run("lex $1,-19\nfloat $1\nint $1\nsys\n");
+    assert_eq!(m.regs[1] as i16, -19);
+    // float produces the bfloat16 pattern:
+    let m = run("lex $1,3\nfloat $1\nsys\n");
+    assert_eq!(Bf16(m.regs[1]).to_f32(), 3.0);
+}
+
+#[test]
+fn table1_jumpr() {
+    let m = run("li $1,target\njumpr $1\nlex $2,9\ntarget: sys\n");
+    assert_eq!(m.regs[2], 0);
+}
+
+#[test]
+fn table1_lex_sign_extends() {
+    // "$d = {{8{imm8[7]}}, imm8}"
+    assert_eq!(run("lex $1,-1\nsys\n").regs[1], 0xFFFF);
+    assert_eq!(run("lex $1,127\nsys\n").regs[1], 0x007F);
+    assert_eq!(run("lex $1,-128\nsys\n").regs[1], 0xFF80);
+}
+
+#[test]
+fn table1_lhi_sets_high_byte_only() {
+    // "$d[15:8] = imm8"
+    let m = run("lex $1,0x34\nlhi $1,0x12\nsys\n");
+    assert_eq!(m.regs[1], 0x1234);
+    // low byte preserved even when lex loaded negative:
+    let m = run("lex $1,-1\nlhi $1,0\nsys\n");
+    assert_eq!(m.regs[1], 0x00FF);
+}
+
+#[test]
+fn table1_load_store() {
+    let m = run("li $1,0xABCD\nli $2,0x5000\nstore $1,$2\nlex $3,0\nload $3,$2\nsys\n");
+    assert_eq!(m.mem[0x5000], 0xABCD);
+    assert_eq!(m.regs[3], 0xABCD);
+}
+
+#[test]
+fn table1_mul_low_16() {
+    assert_eq!(run("lex $1,7\nlex $2,6\nmul $1,$2\nsys\n").regs[1], 42);
+    // wrapping low half:
+    assert_eq!(run("li $1,0x0100\nli $2,0x0100\nmul $1,$2\nsys\n").regs[1], 0);
+}
+
+#[test]
+fn table1_mulf_recip_negf() {
+    let m = run("lex $1,10\nfloat $1\nlex $2,4\nfloat $2\nrecip $2\nmulf $1,$2\nint $1\nsys\n");
+    assert_eq!(m.regs[1], 2); // 10 * (1/4) = 2.5, truncates to 2
+    let m = run("lex $1,5\nfloat $1\nnegf $1\nint $1\nsys\n");
+    assert_eq!(m.regs[1] as i16, -5);
+}
+
+#[test]
+fn table1_neg() {
+    assert_eq!(run("lex $1,42\nneg $1\nsys\n").regs[1] as i16, -42);
+    assert_eq!(run("lex $1,0\nneg $1\nsys\n").regs[1], 0);
+    // i16::MIN negates to itself (two's complement wrap):
+    assert_eq!(run("li $1,0x8000\nneg $1\nsys\n").regs[1], 0x8000);
+}
+
+#[test]
+fn table1_shift_left_and_right() {
+    // "$d = $d << $s" with negative $s shifting right.
+    assert_eq!(run("lex $1,1\nlex $2,10\nshift $1,$2\nsys\n").regs[1], 1 << 10);
+    assert_eq!(run("li $1,0x4000\nlex $2,-14\nshift $1,$2\nsys\n").regs[1], 1);
+    // Right shift is arithmetic:
+    assert_eq!(run("li $1,0x8000\nlex $2,-15\nshift $1,$2\nsys\n").regs[1], 0xFFFF);
+}
+
+#[test]
+fn table1_slt() {
+    assert_eq!(run("lex $1,-3\nlex $2,5\nslt $1,$2\nsys\n").regs[1], 1);
+    assert_eq!(run("lex $1,5\nlex $2,5\nslt $1,$2\nsys\n").regs[1], 0);
+    assert_eq!(run("lex $1,6\nlex $2,5\nslt $1,$2\nsys\n").regs[1], 0);
+}
+
+#[test]
+fn table1_sys_halts() {
+    let m = run("sys\nlex $1,1\nsys\n");
+    assert_eq!(m.regs[1], 0); // nothing after the first sys executed
+    assert!(m.halted);
+}
+
+// ---------------------------------------------------------------------
+// Table 2: pseudo-instructions behave per their Functionality column.
+// ---------------------------------------------------------------------
+
+#[test]
+fn table2_br_jump_jumpf_jumpt() {
+    // br: unconditional PC-relative.
+    let m = run("br over\nlex $1,1\nover: sys\n");
+    assert_eq!(m.regs[1], 0);
+    // jump: absolute.
+    let m = run("jump far\nlex $1,1\nfar: sys\n");
+    assert_eq!(m.regs[1], 0);
+    // jumpf: jumps only when condition false.
+    let m = run("lex $1,0\njumpf $1,far\nlex $2,1\nfar: sys\n");
+    assert_eq!(m.regs[2], 0);
+    let m = run("lex $1,1\njumpf $1,far\nlex $2,1\nfar: sys\n");
+    assert_eq!(m.regs[2], 1);
+    // jumpt: jumps only when true.
+    let m = run("lex $1,1\njumpt $1,far\nlex $2,1\nfar: sys\n");
+    assert_eq!(m.regs[2], 0);
+}
+
+// ---------------------------------------------------------------------
+// Table 3, row by row (through the integrated machine).
+// ---------------------------------------------------------------------
+
+#[test]
+fn table3_initializers_and_not() {
+    let m = run("one @5\nzero @6\nhad @7,2\nnot @7\nsys\n");
+    use tangled_qat::aob::Aob;
+    assert_eq!(*m.qat.reg(QReg(5)), Aob::ones(8));
+    assert_eq!(*m.qat.reg(QReg(6)), Aob::zeros(8));
+    assert_eq!(*m.qat.reg(QReg(7)), Aob::hadamard(8, 2).not_of());
+}
+
+#[test]
+fn table3_and_or_xor() {
+    use tangled_qat::aob::Aob;
+    let m = run("had @0,1\nhad @1,4\nand @2,@0,@1\nor @3,@0,@1\nxor @4,@0,@1\nsys\n");
+    let (a, b) = (Aob::hadamard(8, 1), Aob::hadamard(8, 4));
+    assert_eq!(*m.qat.reg(QReg(2)), Aob::and_of(&a, &b));
+    assert_eq!(*m.qat.reg(QReg(3)), Aob::or_of(&a, &b));
+    assert_eq!(*m.qat.reg(QReg(4)), Aob::xor_of(&a, &b));
+}
+
+#[test]
+fn table3_cnot_ccnot() {
+    use tangled_qat::aob::Aob;
+    // cnot: "@a = XOR(@a, @b)"; ccnot: "@a = XOR(@a, AND(@b, @c))".
+    let m = run("had @0,1\nhad @1,4\nhad @2,6\ncnot @0,@1\nccnot @1,@2,@0\nsys\n");
+    let h1 = Aob::hadamard(8, 1);
+    let h4 = Aob::hadamard(8, 4);
+    let h6 = Aob::hadamard(8, 6);
+    let a0 = Aob::xor_of(&h1, &h4);
+    assert_eq!(*m.qat.reg(QReg(0)), a0);
+    assert_eq!(*m.qat.reg(QReg(1)), Aob::xor_of(&h4, &Aob::and_of(&h6, &a0)));
+}
+
+#[test]
+fn table3_swap_cswap() {
+    use tangled_qat::aob::Aob;
+    let m = run("had @0,2\none @1\nswap @0,@1\nsys\n");
+    assert_eq!(*m.qat.reg(QReg(0)), Aob::ones(8));
+    assert_eq!(*m.qat.reg(QReg(1)), Aob::hadamard(8, 2));
+    // cswap: "where (@c) swap(@a,@b)".
+    let m = run("had @0,2\none @1\nhad @2,0\ncswap @0,@1,@2\nsys\n");
+    let (mut ea, mut eb) = (Aob::hadamard(8, 2), Aob::ones(8));
+    Aob::cswap(&mut ea, &mut eb, &Aob::hadamard(8, 0));
+    assert_eq!(*m.qat.reg(QReg(0)), ea);
+    assert_eq!(*m.qat.reg(QReg(1)), eb);
+}
+
+#[test]
+fn table3_meas() {
+    // "meas $d,@a : $d = @a[$d]"
+    let m = run("had @9,3\nlex $1,8\nmeas $1,@9\nlex $2,7\nmeas $2,@9\nsys\n");
+    assert_eq!(m.regs[1], 1); // bit 3 of 8 is 1
+    assert_eq!(m.regs[2], 0); // bit 3 of 7 is 0
+}
+
+#[test]
+fn table3_next() {
+    // "$d = next($d, @a)" with the paper's semantics.
+    let m = run("had @9,4\nlex $1,42\nnext $1,@9\nsys\n");
+    assert_eq!(m.regs[1], 48);
+    // No remaining 1 → 0:
+    let m = run("zero @9\nlex $1,5\nnext $1,@9\nsys\n");
+    assert_eq!(m.regs[1], 0);
+}
+
+#[test]
+fn table3_pop_extension() {
+    // §2.7's pop: ones strictly after channel $d.
+    let m = run("one @9\nlex $1,0\npop $1,@9\nsys\n");
+    assert_eq!(m.regs[1], 255); // 256 ones, channel 0 excluded
+}
+
+#[test]
+fn qat_registers_count_and_isolation() {
+    // 256 registers; Qat ops never touch Tangled state except through
+    // meas/next/pop.
+    let m = run("lex $1,99\none @0\none @255\nhad @128,5\nsys\n");
+    assert_eq!(m.regs[1], 99);
+    use tangled_qat::aob::Aob;
+    assert_eq!(*m.qat.reg(QReg(255)), Aob::ones(8));
+    assert_eq!(*m.qat.reg(QReg(128)), Aob::hadamard(8, 5));
+}

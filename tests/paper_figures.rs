@@ -1,0 +1,173 @@
+//! E1, E6, E7: every worked example and figure-level claim in the paper,
+//! reproduced exactly.
+
+use tangled_qat::aob::Aob;
+use tangled_qat::pbp::PbpContext;
+
+// ---------------------------------------------------------------------
+// Figure 1: the AoB model.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig1_equiprobable_two_pbit_value() {
+    // "the vectors encode the decimal values {0,1,2,3} as four
+    // equiprobable values, each having a probability of 1/4"
+    let lo = Aob::from_bits(2, 0b1010); // {0,1,0,1} (channel 0 first)
+    let hi = Aob::from_bits(2, 0b1100); // {0,0,1,1}
+    let mut seen = Vec::new();
+    for e in 0..4u64 {
+        seen.push(lo.meas(e) as u64 | ((hi.meas(e) as u64) << 1));
+    }
+    assert_eq!(seen, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn fig1_nonuniform_density() {
+    // "if the pbit vectors were {0,0,1,0} and {0,0,1,1}, the two-bit values
+    // encoded would be {0,0,3,2}, which implies a 50% chance the value is
+    // 0, 0% it is 1, 25% it is 2, and 25% it is 3."
+    let lo = Aob::from_bits(2, 0b0100);
+    let hi = Aob::from_bits(2, 0b1100);
+    let mut counts = [0u32; 4];
+    for e in 0..4u64 {
+        let v = lo.meas(e) as usize | ((hi.meas(e) as usize) << 1);
+        counts[v] += 1;
+    }
+    assert_eq!(counts, [2, 0, 1, 1]);
+}
+
+#[test]
+fn fig1_run_length_examples() {
+    // §1.2: "{0,1,0,1} can reduce to (01)^2 and {0,0,1,1} is 0^2 1^2".
+    // At chunk granularity the same patterns compress to 1-2 runs.
+    let mut ctx = PbpContext::new(16);
+    let h0 = ctx.hadamard(0); // (01)^32768
+    let h15 = ctx.hadamard(15); // 0^32768 1^32768
+    assert_eq!(h0.storage_runs(), 1); // one repeating chunk symbol
+    assert_eq!(h15.storage_runs(), 2); // a zero run then a one run
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 / §2.3: the Hadamard initializers.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig7_had_bit_rule_full_size() {
+    // "entanglement channel e in @a would be the value of bit k within the
+    // binary representation of the 16-bit number e" — at the hardware's
+    // full 65,536-bit size.
+    for k in [0u32, 1, 7, 15] {
+        let h = Aob::hadamard(16, k);
+        for e in [0u64, 1, 255, 256, 32_767, 32_768, 65_535] {
+            assert_eq!(h.get(e), (e >> k) & 1 == 1, "k={k} e={e}");
+        }
+    }
+}
+
+#[test]
+fn fig7_had_0_and_15_shapes() {
+    // "had @a,0 would make every even-numbered entanglement channel 0 and
+    // every odd-numbered channel 1."
+    let h0 = Aob::hadamard(16, 0);
+    assert!(!h0.get(0) && h0.get(1) && !h0.get(2) && h0.get(65_535) && !h0.get(65_534));
+    // "The AoB value created by had @a,15 would consist of 32,768 0 bits
+    // followed by 32,768 1 bits."
+    let h15 = Aob::hadamard(16, 15);
+    assert_eq!(h15.pop_after(32_767), 32_768);
+    assert_eq!(h15.pop_all(), 32_768);
+    assert!(!h15.get(32_767));
+    assert!(h15.get(32_768));
+}
+
+#[test]
+fn fig7_verilog_reference_agrees_with_fast_path() {
+    for k in 0..16u32 {
+        assert_eq!(Aob::hadamard(16, k), Aob::hadamard_reference(16, k), "k={k}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 / §2.7: next.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig8_worked_example() {
+    // "had @123,4 creates a repeating pattern of sixteen 0 followed by
+    // sixteen 1, and the first non-0 bit after position 42 in that pattern
+    // is in entanglement channel 48."
+    let a = Aob::hadamard(16, 4);
+    // Verify the pattern shape first:
+    for e in 0..64u64 {
+        assert_eq!(a.get(e), (e / 16) % 2 == 1, "e={e}");
+    }
+    assert_eq!(a.next(42), 48);
+}
+
+#[test]
+fn fig8_next_zero_means_none() {
+    // "If there is no 1 in the remainder of the AoB vector, the value
+    // returned is 0."
+    let a = Aob::hadamard(16, 15);
+    assert_eq!(a.next(65_535), 0);
+    let z = Aob::zeros(16);
+    assert_eq!(z.next(0), 0);
+    assert_eq!(z.next(42), 0);
+}
+
+#[test]
+fn sec27_any_all_recipes() {
+    // The exact ANY/ALL constructions the paper gives, on tricky cases.
+    let mut only_ch0 = Aob::zeros(16);
+    only_ch0.set(0, true);
+    assert!(only_ch0.any_via_next());
+    assert!(!only_ch0.all_via_next());
+
+    let mut all_but_ch0 = Aob::ones(16);
+    all_but_ch0.set(0, false);
+    assert!(all_but_ch0.any_via_next());
+    assert!(!all_but_ch0.all_via_next());
+
+    assert!(Aob::ones(16).all_via_next());
+    assert!(!Aob::zeros(16).any_via_next());
+}
+
+#[test]
+fn sec27_pop_split_detects_overflow() {
+    // "the number of 1 bits in a 16-way entangled superposition ranges
+    // from 0 to 65,536, which is one greater range than fits in a 16-bit
+    // Tangled register" — the pop(0)+meas(0) split catches it.
+    let full = Aob::ones(16);
+    let (low, overflow) = full.pop_via_parts();
+    assert_eq!(low, 0);
+    assert!(overflow);
+    let h = Aob::hadamard(16, 0);
+    let (low, overflow) = h.pop_via_parts();
+    assert_eq!(low, 32_768);
+    assert!(!overflow);
+}
+
+// ---------------------------------------------------------------------
+// §2.3: constant-register layout proposed in §5.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sec5_constant_bank_matches_proposal() {
+    // "making @0 be 0, @1 be 1, @2 be H(0), @3 be H(1), etc."
+    let bank = Aob::constant_bank(16);
+    assert_eq!(bank[0], Aob::zeros(16));
+    assert_eq!(bank[1], Aob::ones(16));
+    for k in 0..16u32 {
+        assert_eq!(bank[(2 + k) as usize], Aob::hadamard(16, k));
+    }
+}
+
+#[test]
+fn sec5_reversible_hadamard_via_xor() {
+    // "a quantum-like reversible Hadamard operator can be implemented by
+    // XOR with a Hadamard constant register" — XOR twice restores.
+    let v = Aob::hadamard(16, 3);
+    let h7 = Aob::hadamard(16, 7);
+    let once = Aob::xor_of(&v, &h7);
+    assert_ne!(once, v);
+    assert_eq!(Aob::xor_of(&once, &h7), v);
+}

@@ -1,0 +1,127 @@
+//! E11: the §3.1 implementation claims, as executable checks.
+
+use tangled_qat::asm::assemble;
+use tangled_qat::qat::QatConfig;
+use tangled_qat::sim::{
+    Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
+};
+
+fn pipe(src: &str, cfg: PipelineConfig) -> PipelinedSim {
+    let img = assemble(src).unwrap();
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    PipelinedSim::new(Machine::with_image(mcfg, &img.words), cfg)
+}
+
+#[test]
+fn claim_sustained_one_instruction_per_cycle() {
+    // "All implementations were capable of sustaining completion of one
+    // instruction every clock cycle, provided there were no pipeline
+    // interlocks encountered."
+    let mut src = String::new();
+    for i in 0..256 {
+        src.push_str(&format!("lex ${},{}\n", i % 8, i % 128));
+    }
+    src.push_str("sys\n");
+    for (stages, depth) in [(StageCount::Four, 4u64), (StageCount::Five, 5)] {
+        let cfg = PipelineConfig { stages, forwarding: true, ..Default::default() };
+        let mut p = pipe(&src, cfg);
+        let st = p.run().unwrap();
+        // Exactly depth-1 startup cycles beyond one per instruction.
+        assert_eq!(st.cycles, st.insns + depth - 1, "{stages:?}");
+        assert_eq!(st.data_stalls, 0);
+        assert_eq!(st.control_stalls, 0);
+    }
+}
+
+#[test]
+fn claim_four_and_five_stage_organizations_both_work() {
+    // "Six of the eight pipelines the students implemented used four
+    // stages; two used five stages." Both organizations must be
+    // architecturally indistinguishable.
+    let src = "\
+        lex $1,5\nlex $2,-1\n\
+        loop: had @3,2\nlex $4,10\nnext $4,@3\nadd $1,$2\nbrt $1,loop\nsys\n";
+    let mut results = Vec::new();
+    for stages in [StageCount::Four, StageCount::Five] {
+        for forwarding in [true, false] {
+            let mut p = pipe(src, PipelineConfig { stages, forwarding, ..Default::default() });
+            p.run().unwrap();
+            results.push(p.machine.regs);
+        }
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn claim_variable_length_fetch_is_handled() {
+    // "The most common student questions involved the fetch and decode
+    // handling of variable-length instructions." A stream alternating
+    // one- and two-word instructions must execute correctly and cost
+    // exactly one extra cycle per second word.
+    let mut src = String::new();
+    for i in 0..40 {
+        if i % 2 == 0 {
+            src.push_str(&format!("lex ${},1\n", i % 8));
+        } else {
+            src.push_str(&format!("and @{},@1,@2\n", 3 + i));
+        }
+    }
+    src.push_str("sys\n");
+    let mut p = pipe(&src, PipelineConfig::default());
+    let st = p.run().unwrap();
+    assert_eq!(st.two_word_insns, 20);
+    assert_eq!(st.fetch_extra, 20);
+    assert_eq!(st.cycles, (st.insns + 20) + 3); // 1/instr + bubbles + fill
+}
+
+#[test]
+fn claim_interlocks_from_coprocessor_operations() {
+    // "processor pipeline interlocks and forwarding are determined in part
+    // by coprocessor operations": a meas result consumed immediately must
+    // stall without forwarding and not with it.
+    let src = "had @5,0\nlex $1,3\nmeas $1,@5\nadd $1,$1\nsys\n";
+    let fw = {
+        let mut p = pipe(src, PipelineConfig { stages: StageCount::Four, forwarding: true, ..Default::default() });
+        p.run().unwrap()
+    };
+    let nofw = {
+        let mut p = pipe(src, PipelineConfig { stages: StageCount::Four, forwarding: false, ..Default::default() });
+        p.run().unwrap()
+    };
+    assert_eq!(fw.data_stalls, 0);
+    assert!(nofw.data_stalls > 0);
+    assert!(nofw.cycles > fw.cycles);
+}
+
+#[test]
+fn multicycle_vs_pipeline_speedup_shape() {
+    // The pipelined design must beat multi-cycle by roughly the depth on
+    // hazard-free code (the whole point of pipelining).
+    let mut src = String::new();
+    for i in 0..300 {
+        src.push_str(&format!("lex ${},2\n", i % 8));
+    }
+    src.push_str("sys\n");
+    let img = assemble(&src).unwrap();
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    let mut mc = MultiCycleSim::new(Machine::with_image(mcfg, &img.words));
+    let mst = mc.run().unwrap();
+    let mut p = pipe(&src, PipelineConfig::default());
+    let pst = p.run().unwrap();
+    let speedup = mst.cycles as f64 / pst.cycles as f64;
+    assert!(
+        (3.5..=4.0).contains(&speedup),
+        "4-deep pipeline speedup should approach 4x, got {speedup:.2}"
+    );
+}
+
+#[test]
+fn branch_penalty_matches_two_bubble_design() {
+    // Predict-not-taken with EX resolution: 2 bubbles per taken branch.
+    let taken = 100u64;
+    let src = format!("li $1,{taken}\nlex $2,-1\nloop: add $1,$2\nbrt $1,loop\nsys\n");
+    let mut p = pipe(&src, PipelineConfig::default());
+    let st = p.run().unwrap();
+    assert_eq!(st.taken, taken - 1);
+    assert_eq!(st.control_stalls, 2 * (taken - 1));
+}

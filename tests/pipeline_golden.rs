@@ -1,0 +1,110 @@
+//! Golden pipeline schedules: hand-computed stage timings for small
+//! programs, checked cycle-by-cycle against the timing model. These pin
+//! the model's exact behaviour (beyond the aggregate CPI checks).
+
+use tangled_qat::asm::assemble;
+use tangled_qat::qat::QatConfig;
+use tangled_qat::sim::{
+    InsnTiming, Machine, MachineConfig, PipelineConfig, PipelinedSim, StageCount,
+};
+
+fn trace_of(src: &str, cfg: PipelineConfig) -> Vec<InsnTiming> {
+    let img = assemble(src).unwrap();
+    let mcfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    let mut p = PipelinedSim::with_trace(Machine::with_image(mcfg, &img.words), cfg);
+    p.run().unwrap();
+    p.trace.unwrap()
+}
+
+fn stages(t: &InsnTiming) -> (u64, u64, u64, u64) {
+    (t.if_start, t.id, t.ex, t.wb)
+}
+
+#[test]
+fn golden_ideal_diagonal() {
+    let t = trace_of("lex $1,1\nlex $2,2\nsys\n", PipelineConfig::default());
+    assert_eq!(stages(&t[0]), (0, 1, 2, 3));
+    assert_eq!(stages(&t[1]), (1, 2, 3, 4));
+    assert_eq!(stages(&t[2]), (2, 3, 4, 5));
+}
+
+#[test]
+fn golden_two_word_fetch() {
+    // and @1,@2,@3 occupies IF at cycles 1 AND 2; everything downstream
+    // slips one cycle.
+    let t = trace_of("lex $1,1\nand @1,@2,@3\nsys\n", PipelineConfig::default());
+    assert_eq!(stages(&t[0]), (0, 1, 2, 3));
+    assert_eq!((t[1].if_start, t[1].if_end), (1, 2));
+    assert_eq!((t[1].id, t[1].ex, t[1].wb), (3, 4, 5));
+    assert_eq!(stages(&t[2]), (3, 4, 5, 6));
+}
+
+#[test]
+fn golden_no_forwarding_raw_stall() {
+    // add depends on lex; without forwarding ID waits for the producer's
+    // WB cycle (write-first register file: same-cycle read allowed).
+    let cfg = PipelineConfig {
+        stages: StageCount::Four,
+        forwarding: false,
+        ..Default::default()
+    };
+    let t = trace_of("lex $1,1\nadd $1,$1\nsys\n", cfg);
+    assert_eq!(stages(&t[0]), (0, 1, 2, 3)); // lex WB at 3
+    assert_eq!(t[1].id, 3); // add reads in the WB cycle
+    assert_eq!(t[1].ex, 4);
+    assert_eq!(t[1].wb, 5);
+}
+
+#[test]
+fn golden_taken_branch_redirect() {
+    // brt resolves in EX (cycle 3); the target fetch restarts at cycle 4.
+    let t = trace_of("lex $1,1\nbrt $1,over\nlex $2,9\nover: sys\n", PipelineConfig::default());
+    assert_eq!(stages(&t[1]), (1, 2, 3, 4)); // the branch
+    // Next retired instruction is `sys` (the skipped lex never retires).
+    assert_eq!(t[2].pc, 3);
+    assert_eq!(t[2].if_start, 4);
+    assert_eq!(stages(&t[2]), (4, 5, 6, 7));
+}
+
+#[test]
+fn golden_five_stage_load_use() {
+    let cfg = PipelineConfig {
+        stages: StageCount::Five,
+        forwarding: true,
+        ..Default::default()
+    };
+    let t = trace_of(
+        "li $2,0x4000\nstore $1,$2\nload $3,$2\nadd $3,$3\nsys\n",
+        cfg,
+    );
+    // li expands to lex+lhi => instructions: lex, lhi, store, load, add, sys
+    let load = &t[3];
+    let add = &t[4];
+    assert_eq!(add.ex, load.mem + 1, "consumer EX waits for the load's MEM");
+    assert_eq!(add.ex - add.id, 2, "exactly one bubble between ID and EX");
+}
+
+#[test]
+fn golden_multicycle_mul_occupancy() {
+    let cfg = PipelineConfig { mul_ex_cycles: 3, ..Default::default() };
+    let t = trace_of("lex $1,3\nmul $1,$1\nlex $2,1\nsys\n", cfg);
+    let mul = &t[1];
+    let lex2 = &t[2];
+    // mul enters EX at 3 and holds it through 5; the next instruction's EX
+    // cannot start before 6.
+    assert_eq!(mul.ex, 3);
+    assert_eq!(lex2.ex, 6);
+}
+
+#[test]
+fn retirement_is_monotone_and_dense_for_ideal_code() {
+    let mut src = String::new();
+    for i in 0..50 {
+        src.push_str(&format!("lex ${},{}\n", i % 8, i));
+    }
+    src.push_str("sys\n");
+    let t = trace_of(&src, PipelineConfig::default());
+    for w in t.windows(2) {
+        assert_eq!(w[1].wb, w[0].wb + 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The README's code snippets, compiled and executed verbatim (minus
+//! formatting) — documentation that cannot rot.
+
+use tangled_qat::prelude::*;
+
+#[test]
+fn readme_word_level_snippet() {
+    use tangled_qat::pbp::PbpContext;
+
+    let mut ctx = PbpContext::new(8); // 8-way entangled universe
+    let a = ctx.pint_mk(4, 15); //       the constant 15
+    let b = ctx.pint_h(4, 0x0f); //      0..15 superposed on channels 0-3
+    let c = ctx.pint_h(4, 0xf0); //      0..15 superposed on channels 4-7
+    let d = ctx.pint_mul(&b, &c); //     all 256 products, at once
+    let e = ctx.pint_eq(&d, &a); //      a pbit: "b*c == 15"
+    let values: Vec<u64> = ctx
+        .pint_measure_where(&b, &e)
+        .into_iter()
+        .map(|v| v.value)
+        .collect();
+    assert_eq!(values, vec![1, 3, 5, 15]);
+}
+
+#[test]
+fn readme_compiled_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = gatec::factor::compile_factoring(15, 4, &Compiler::default())?;
+    let img = assemble(&prog.asm)?;
+    let mut sim = PipelinedSim::new(
+        Machine::with_image(Default::default(), &img.words),
+        PipelineConfig::default(),
+    );
+    let stats = sim.run()?;
+    assert_eq!((sim.machine.regs[0], sim.machine.regs[1]), (5, 3));
+    assert!(stats.cpi() > 1.0 && stats.cpi() < 2.0);
+    Ok(())
+}
+
+#[test]
+fn prelude_covers_the_advertised_types() {
+    // Every name the prelude promises must exist and be usable.
+    let _m: Machine = Machine::new(Default::default());
+    let _c: QatConfig = QatConfig::paper();
+    let _q: QatCoprocessor = QatCoprocessor::new(QatConfig::student());
+    let _a: Aob = Aob::hadamard(8, 2);
+    let mut ctx: PbpContext = PbpContext::new(8);
+    let p: Pint = ctx.pint_mk(4, 7);
+    assert_eq!(p.width(), 4);
+    let _prog: PintProgram = PintProgram::new();
+    let img = assemble("sys\n").unwrap();
+    let mut mc: MultiCycleSim =
+        MultiCycleSim::new(Machine::with_image(Default::default(), &img.words));
+    mc.run().unwrap();
+}
