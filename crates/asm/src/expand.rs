@@ -184,8 +184,16 @@ pub fn expand(stmt: Stmt, opts: &AsmOptions) -> Result<Vec<Pending>, String> {
         ("brf", _) | ("brt", _) => {
             arity(&stmt, 2)?;
             let c = want_reg(&ops[0])?;
+            let true_sense = stmt.mnemonic == "brt";
+            // A numeric operand is the raw signed word offset relative to
+            // the fallthrough PC — the form the disassembler emits — not an
+            // absolute address. Labels still resolve in pass 2.
+            if let Operand::Imm(_) = &ops[1] {
+                let off = want_imm(&ops[1], -128, 127, "branch offset")? as i8;
+                return c1(if true_sense { Insn::Brt { c, off } } else { Insn::Brf { c, off } });
+            }
             let target = want_target(&ops[1])?;
-            Ok(vec![Pending::Branch { true_sense: stmt.mnemonic == "brt", c, target }])
+            Ok(vec![Pending::Branch { true_sense, c, target }])
         }
 
         // ---- Table 2 pseudo-instructions ----

@@ -13,12 +13,15 @@ fn qreg() -> impl Strategy<Value = QReg> {
     any::<u8>().prop_map(QReg)
 }
 
-/// Instructions whose disassembly is directly re-assemblable (branches are
-/// excluded: their text form uses numeric offsets that the assembler treats
-/// as absolute targets).
+/// Instructions whose disassembly is directly re-assemblable — all of them,
+/// including branches: the assembler accepts the disassembler's numeric
+/// form (`brt $c,-5`) as a raw signed word offset.
 fn insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
         (reg(), reg()).prop_map(|(d, s)| Insn::Add { d, s }),
+        (reg(), any::<i8>()).prop_map(|(c, off)| Insn::Brf { c, off }),
+        (reg(), any::<i8>()).prop_map(|(c, off)| Insn::Brt { c, off }),
+        reg().prop_map(|a| Insn::Jumpr { a }),
         (reg(), reg()).prop_map(|(d, s)| Insn::Mulf { d, s }),
         (reg(), reg()).prop_map(|(d, s)| Insn::Slt { d, s }),
         (reg(), reg()).prop_map(|(d, s)| Insn::Store { d, s }),

@@ -15,11 +15,10 @@ use pbp_aob::Aob;
 use qat_coproc::circuit::{qatnext_circuit, qathad_circuit};
 use qat_coproc::cost::{gate_delay, pipeline_stages, AluOp, OrReduction};
 use qsim_baseline::{expected_runs_to_collect_all, grover_optimal_iterations};
-use serde::Serialize;
+use tangled_bench::json::Json;
 use tangled_bench::*;
 use tangled_sim::{PipelineConfig, StageCount};
 
-#[derive(Serialize)]
 struct KernelRow {
     kernel: String,
     insns: u64,
@@ -30,7 +29,7 @@ struct KernelRow {
     cpi_multicycle: f64,
 }
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Report {
     kernels: Vec<KernelRow>,
     factoring: Vec<(String, u64, u64, f64)>,
@@ -39,6 +38,92 @@ struct Report {
     re_storage: Vec<(u32, u64, usize)>,
     compiler: Vec<(String, usize)>,
     quantum: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Machine-readable dump mirroring the old serde layout: structs become
+    /// objects, tuples become arrays.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "kernels",
+                Json::Arr(
+                    self.kernels
+                        .iter()
+                        .map(|k| {
+                            Json::obj([
+                                ("kernel", k.kernel.as_str().into()),
+                                ("insns", k.insns.into()),
+                                ("cpi_4fw", k.cpi_4fw.into()),
+                                ("cpi_4nofw", k.cpi_4nofw.into()),
+                                ("cpi_5fw", k.cpi_5fw.into()),
+                                ("cpi_5nofw", k.cpi_5nofw.into()),
+                                ("cpi_multicycle", k.cpi_multicycle.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "factoring",
+                Json::Arr(
+                    self.factoring
+                        .iter()
+                        .map(|(n, i, c, cpi)| {
+                            Json::Arr(vec![n.as_str().into(), (*i).into(), (*c).into(), (*cpi).into()])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "next_delay",
+                Json::Arr(
+                    self.next_delay
+                        .iter()
+                        .map(|(w, wd, td, st)| {
+                            Json::Arr(vec![(*w).into(), (*wd).into(), (*td).into(), (*st).into()])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "circuit_depth",
+                Json::Arr(
+                    self.circuit_depth
+                        .iter()
+                        .map(|(w, t, d)| Json::Arr(vec![(*w).into(), (*t).into(), (*d).into()]))
+                        .collect(),
+                ),
+            ),
+            (
+                "re_storage",
+                Json::Arr(
+                    self.re_storage
+                        .iter()
+                        .map(|(e, b, r)| Json::Arr(vec![(*e).into(), (*b).into(), (*r).into()]))
+                        .collect(),
+                ),
+            ),
+            (
+                "compiler",
+                Json::Arr(
+                    self.compiler
+                        .iter()
+                        .map(|(n, v)| Json::Arr(vec![n.as_str().into(), (*v).into()]))
+                        .collect(),
+                ),
+            ),
+            (
+                "quantum",
+                Json::Arr(
+                    self.quantum
+                        .iter()
+                        .map(|(n, v)| Json::Arr(vec![n.as_str().into(), (*v).into()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn cfg(stages: StageCount, forwarding: bool) -> PipelineConfig {
@@ -150,7 +235,7 @@ fn main() {
     report.compiler.push(("had generator gates (8-way mux tree)".into(), had8.gates as usize));
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        println!("{}", report.to_json());
         return;
     }
 

@@ -1,0 +1,432 @@
+//! Dependency-free JSON value, writer, and parser.
+//!
+//! The results generator needs to emit a machine-readable report and its
+//! shape test needs to read it back; with no crates.io access in the build
+//! environment this small module replaces `serde`/`serde_json`. It covers
+//! the JSON the report uses: objects, arrays, strings, numbers (emitted
+//! losslessly for `u64` and `f64`), booleans, and null.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number; stored as `f64`, emitted without loss for integers
+    /// that fit `i64`/`u64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is stable (sorted) for reproducible output.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Index<&str> for Json {
+    type Output = Json;
+    fn index(&self, key: &str) -> &Json {
+        static NULL: Json = Json::Null;
+        match self {
+            Json::Obj(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Index<usize> for Json {
+    type Output = Json;
+    fn index(&self, i: usize) -> &Json {
+        static NULL: Json = Json::Null;
+        match self {
+            Json::Arr(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+fn write_num(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        write!(f, "{}", n as i64)
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+impl fmt::Display for Json {
+    /// Pretty-prints with two-space indentation (`{:#}` and `{}` identical).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(v: &Json, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            let pad_in = "  ".repeat(indent + 1);
+            match v {
+                Json::Null => write!(f, "null"),
+                Json::Bool(b) => write!(f, "{b}"),
+                Json::Num(n) => write_num(f, *n),
+                Json::Str(s) => write_escaped(f, s),
+                Json::Arr(a) if a.is_empty() => write!(f, "[]"),
+                Json::Arr(a) => {
+                    writeln!(f, "[")?;
+                    for (i, x) in a.iter().enumerate() {
+                        write!(f, "{pad_in}")?;
+                        go(x, f, indent + 1)?;
+                        writeln!(f, "{}", if i + 1 < a.len() { "," } else { "" })?;
+                    }
+                    write!(f, "{pad}]")
+                }
+                Json::Obj(m) if m.is_empty() => write!(f, "{{}}"),
+                Json::Obj(m) => {
+                    writeln!(f, "{{")?;
+                    for (i, (k, x)) in m.iter().enumerate() {
+                        write!(f, "{pad_in}")?;
+                        write_escaped(f, k)?;
+                        write!(f, ": ")?;
+                        go(x, f, indent + 1)?;
+                        writeln!(f, "{}", if i + 1 < m.len() { "," } else { "" })?;
+                    }
+                    write!(f, "{pad}}}")
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at offset {}", other, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{s}': {e}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Json;
+
+    #[test]
+    fn roundtrip_report_shape() {
+        let doc = Json::obj([
+            (
+                "kernels",
+                Json::Arr(vec![Json::obj([
+                    ("kernel", "straight-line \"x\"".into()),
+                    ("insns", 1503u64.into()),
+                    ("cpi_4fw", 1.002.into()),
+                ])]),
+            ),
+            (
+                "next_delay",
+                Json::Arr(vec![Json::Arr(vec![
+                    4u64.into(),
+                    10u64.into(),
+                    12u64.into(),
+                ])]),
+            ),
+        ]);
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back["kernels"][0]["insns"].as_u64(), Some(1503));
+        assert_eq!(back["kernels"][0]["cpi_4fw"].as_f64(), Some(1.002));
+        assert_eq!(back["next_delay"][0][2].as_u64(), Some(12));
+        assert_eq!(back["missing"].as_f64(), None);
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let v = Json::parse(r#"{"s": "a\nbA", "n": -2.5e3, "b": true, "z": null}"#).unwrap();
+        assert_eq!(v["s"].as_str(), Some("a\nbA"));
+        assert_eq!(v["n"].as_f64(), Some(-2500.0));
+        assert_eq!(v["b"], Json::Bool(true));
+        assert_eq!(v["z"], Json::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("[] trailing").is_err());
+    }
+}

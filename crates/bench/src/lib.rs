@@ -6,6 +6,8 @@
 //! results). This library hosts the workload builders the benches share,
 //! so the benches themselves stay declarative.
 
+pub mod json;
+
 use gatec::factor::compile_factoring;
 use gatec::Compiler;
 use qat_coproc::QatConfig;

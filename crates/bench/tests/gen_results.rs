@@ -10,8 +10,8 @@ fn json_report_satisfies_shape_invariants() {
         .output()
         .expect("gen_results runs");
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("gen_results emits valid JSON");
+    let text = String::from_utf8(out.stdout).expect("gen_results emits UTF-8");
+    let v = tangled_bench::json::Json::parse(&text).expect("gen_results emits valid JSON");
 
     // E11: straight-line code reaches ~1 CPI with forwarding; multi-cycle
     // sits at 4; no-forwarding never beats forwarding.

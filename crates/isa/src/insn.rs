@@ -104,6 +104,9 @@ pub enum Insn {
     QCswap { a: QReg, b: QReg, c: QReg },
 }
 
+/// Number of distinct instruction kinds (see [`Insn::kind`]).
+pub const KIND_COUNT: usize = 38;
+
 impl Insn {
     /// Encoded length in 16-bit words (1 or 2). Only the multi-register
     /// Qat group needs a second word.
@@ -245,6 +248,65 @@ impl Insn {
     /// that motivate a separate MEM stage in the 5-stage pipeline.)
     pub fn is_mem(self) -> bool {
         matches!(self, Insn::Load { .. } | Insn::Store { .. })
+    }
+
+    /// Dense opcode-kind index in `0..KIND_COUNT`, one per enum variant.
+    ///
+    /// Unlike [`mnemonic`](Self::mnemonic) — where `and`/`or`/`xor`/`not`
+    /// collide between the Tangled and Qat sets — kinds are unambiguous,
+    /// which is what the fuzzer's coverage accounting needs.
+    pub fn kind(self) -> usize {
+        match self {
+            Insn::Add { .. } => 0,
+            Insn::Addf { .. } => 1,
+            Insn::And { .. } => 2,
+            Insn::Brf { .. } => 3,
+            Insn::Brt { .. } => 4,
+            Insn::Copy { .. } => 5,
+            Insn::Float { .. } => 6,
+            Insn::Int { .. } => 7,
+            Insn::Jumpr { .. } => 8,
+            Insn::Lex { .. } => 9,
+            Insn::Lhi { .. } => 10,
+            Insn::Load { .. } => 11,
+            Insn::Mul { .. } => 12,
+            Insn::Mulf { .. } => 13,
+            Insn::Neg { .. } => 14,
+            Insn::Negf { .. } => 15,
+            Insn::Not { .. } => 16,
+            Insn::Or { .. } => 17,
+            Insn::Recip { .. } => 18,
+            Insn::Shift { .. } => 19,
+            Insn::Slt { .. } => 20,
+            Insn::Store { .. } => 21,
+            Insn::Sys => 22,
+            Insn::Xor { .. } => 23,
+            Insn::QZero { .. } => 24,
+            Insn::QOne { .. } => 25,
+            Insn::QNot { .. } => 26,
+            Insn::QHad { .. } => 27,
+            Insn::QMeas { .. } => 28,
+            Insn::QNext { .. } => 29,
+            Insn::QPop { .. } => 30,
+            Insn::QAnd { .. } => 31,
+            Insn::QOr { .. } => 32,
+            Insn::QXor { .. } => 33,
+            Insn::QCnot { .. } => 34,
+            Insn::QCcnot { .. } => 35,
+            Insn::QSwap { .. } => 36,
+            Insn::QCswap { .. } => 37,
+        }
+    }
+
+    /// Unambiguous name for a kind index (Qat kinds carry a `q` prefix).
+    pub fn kind_name(kind: usize) -> &'static str {
+        const NAMES: [&str; KIND_COUNT] = [
+            "add", "addf", "and", "brf", "brt", "copy", "float", "int", "jumpr", "lex", "lhi",
+            "load", "mul", "mulf", "neg", "negf", "not", "or", "recip", "shift", "slt", "store",
+            "sys", "xor", "qzero", "qone", "qnot", "qhad", "qmeas", "qnext", "qpop", "qand",
+            "qor", "qxor", "qcnot", "qccnot", "qswap", "qcswap",
+        ];
+        NAMES[kind]
     }
 
     /// Assembly mnemonic for this instruction.

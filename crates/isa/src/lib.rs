@@ -53,5 +53,5 @@ pub mod reg;
 
 pub use disasm::disassemble;
 pub use encode::{decode, decode_stream, encode, DecodeError};
-pub use insn::Insn;
+pub use insn::{Insn, KIND_COUNT};
 pub use reg::{QReg, Reg};

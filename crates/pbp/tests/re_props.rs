@@ -1,0 +1,102 @@
+//! Property tests for the RE-compressed pbit representation: compression
+//! must be invisible. Every RE operation must agree with the flat-AoB
+//! ground truth on arbitrary (incompressible) inputs, and the round trip
+//! `from_aob → to_aob` must be the identity.
+
+use pbp::PbpContext;
+use pbp_aob::Aob;
+use proptest::prelude::*;
+
+/// Universe sizes to exercise: one chunk (64 ways = 2^6), a few chunks,
+/// and a non-trivial repetition count.
+const WAYS: [u32; 3] = [6, 8, 10];
+
+/// An arbitrary (generally incompressible) AoB for a `ways`-universe,
+/// built from random 64-bit chunks.
+fn aob(ways: u32) -> impl Strategy<Value = Aob> {
+    let chunks = 1usize << (ways - 6);
+    proptest::collection::vec(any::<u64>(), chunks)
+        .prop_map(move |words| Aob::from_fn(ways, |e| (words[(e / 64) as usize] >> (e % 64)) & 1 == 1))
+}
+
+proptest! {
+    #[test]
+    fn from_aob_to_aob_round_trips(ix in 0usize..3, seed_words in proptest::collection::vec(any::<u64>(), 16)) {
+        let ways = WAYS[ix];
+        let chunks = 1u64 << (ways - 6);
+        let a = Aob::from_fn(ways, |e| {
+            (seed_words[(e / 64 % chunks.min(16)) as usize] >> (e % 64)) & 1 == 1
+        });
+        let mut ctx = PbpContext::new(ways);
+        let re = ctx.from_aob(&a);
+        prop_assert_eq!(ctx.to_aob(&re), a);
+    }
+
+    #[test]
+    fn unary_and_binary_gates_match_flat_aob(pair in (0usize..3).prop_flat_map(|i| (aob(WAYS[i]), aob(WAYS[i]), Just(i)))) {
+        let (a, b, widx) = pair;
+        let ways = WAYS[widx];
+        let mut ctx = PbpContext::new(ways);
+        let ra = ctx.from_aob(&a);
+        let rb = ctx.from_aob(&b);
+
+        let rnot = ctx.not(&ra);
+        prop_assert_eq!(ctx.to_aob(&rnot), a.not_of());
+        let rand_ = ctx.and(&ra, &rb);
+        prop_assert_eq!(ctx.to_aob(&rand_), Aob::and_of(&a, &b));
+        let ror = ctx.or(&ra, &rb);
+        prop_assert_eq!(ctx.to_aob(&ror), Aob::or_of(&a, &b));
+        let rxor = ctx.xor(&ra, &rb);
+        prop_assert_eq!(ctx.to_aob(&rxor), Aob::xor_of(&a, &b));
+    }
+
+    #[test]
+    fn mux_matches_flat_aob(trip in (0usize..3).prop_flat_map(|i| (aob(WAYS[i]), aob(WAYS[i]), aob(WAYS[i]), Just(i)))) {
+        let (sel, t, f, widx) = trip;
+        let ways = WAYS[widx];
+        let mut ctx = PbpContext::new(ways);
+        let rs = ctx.from_aob(&sel);
+        let rt = ctx.from_aob(&t);
+        let rf = ctx.from_aob(&f);
+        let rmux = ctx.mux(&rs, &rt, &rf);
+        prop_assert_eq!(ctx.to_aob(&rmux), Aob::mux_of(&sel, &t, &f));
+    }
+
+    #[test]
+    fn measurements_match_flat_aob(pair in (0usize..3).prop_flat_map(|i| (aob(WAYS[i]), Just(i))), d in any::<u64>(), e in any::<u64>()) {
+        let (a, widx) = pair;
+        let ways = WAYS[widx];
+        let n = 1u64 << ways;
+        let (d, e) = (d % ways as u64, e % n);
+        let mut ctx = PbpContext::new(ways);
+        let re = ctx.from_aob(&a);
+        prop_assert_eq!(ctx.re_get(&re, e), a.get(e));
+        prop_assert_eq!(ctx.re_next(&re, d), a.next(d));
+        prop_assert_eq!(ctx.re_pop_after(&re, d), a.pop_after(d));
+        prop_assert_eq!(ctx.re_pop_all(&re), a.pop_all());
+        prop_assert_eq!(ctx.re_any(&re), a.pop_all() > 0);
+        prop_assert_eq!(ctx.re_all(&re), a.pop_all() == n);
+    }
+
+    #[test]
+    fn hadamard_constants_compress_and_match(k in 0u32..10, ix in 0usize..3) {
+        let ways = WAYS[ix];
+        let mut ctx = PbpContext::new(ways);
+        let re = ctx.hadamard(k);
+        prop_assert_eq!(ctx.to_aob(&re), Aob::hadamard(ways, k));
+        // The paper's §1.2 point: H(k) stays run-length tiny no matter
+        // how large the universe is.
+        prop_assert!(re.storage_runs() <= 2, "H({k}) uses {} runs", re.storage_runs());
+    }
+
+    #[test]
+    fn re_eq_agrees_with_aob_equality(pair in (0usize..3).prop_flat_map(|i| (aob(WAYS[i]), aob(WAYS[i]), Just(i)))) {
+        let (a, b, widx) = pair;
+        let mut ctx = PbpContext::new(WAYS[widx]);
+        let ra = ctx.from_aob(&a);
+        let rb = ctx.from_aob(&b);
+        prop_assert_eq!(ctx.re_eq(&ra, &rb), a == b);
+        let ra2 = ctx.from_aob(&a);
+        prop_assert!(ctx.re_eq(&ra, &ra2));
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline drop-in subset of the `crossbeam` crate.
+//!
+//! Only the scoped-thread API the workspace uses is provided:
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); ... })`. Since Rust 1.63 the
+//! standard library's `std::thread::scope` offers the same structured
+//! concurrency guarantee, so this shim is a thin adapter that keeps the
+//! crossbeam 0.8 call shape (closures receive a `&Scope` argument, `scope`
+//! returns `thread::Result`).
+
+use std::thread;
+
+/// Mirror of `crossbeam::thread::Scope`, wrapping the std scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle returned by [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker; the closure receives the scope (crossbeam shape) so
+    /// workers could spawn nested workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before this
+/// returns. Returns `Err` with the first panic payload if any worker
+/// panicked, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_see_borrowed_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

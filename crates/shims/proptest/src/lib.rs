@@ -1,0 +1,137 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment cannot fetch crates.io, so the workspace vendors the
+//! slice of proptest 1.x it uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_filter_map`, integer range and
+//! `any::<T>()` strategies, tuple strategies, `Just`, `prop_oneof!`,
+//! `proptest::collection::vec`, a tiny `[class]{m,n}` regex-subset string
+//! strategy, and the `proptest!` / `prop_assert*` / `prop_assume!` macros
+//! with `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: generation is deterministic per test (seeded
+//! from the test name, overridable via `PROPTEST_SEED`), and failing cases
+//! are reported but **not shrunk** — the workspace's differential fuzzer
+//! (`qat-fuzz`) carries its own domain-aware shrinker instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+pub mod string {
+    pub use crate::strategy::StringParam;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Union of heterogeneous strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Property-test entry point. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(stringify!($name), &config, |rng| {
+                let ($($arg,)+) = match $crate::strategy::Strategy::generate(&strategy, rng) {
+                    ::core::option::Option::Some(v) => v,
+                    ::core::option::Option::None => return $crate::test_runner::CaseOutcome::Reject,
+                };
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match result {
+                    Ok(()) => $crate::test_runner::CaseOutcome::Pass,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) =>
+                        $crate::test_runner::CaseOutcome::Reject,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) =>
+                        $crate::test_runner::CaseOutcome::Fail(msg),
+                }
+            });
+        }
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a proptest body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Discard the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}

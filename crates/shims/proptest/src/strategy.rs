@@ -1,0 +1,500 @@
+//! Value-generation strategies: the [`Strategy`] trait, combinators, and the
+//! built-in strategies for integers, tuples, vectors, and simple strings.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `generate` returns `None` when a candidate is rejected (filtered out);
+/// the runner treats this as a discarded case, mirroring proptest's
+/// rejection semantics. There is no shrinking in this shim.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<R, F>(self, _reason: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    fn prop_filter_map<R, T, F>(self, _reason: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(Self::Value) -> Option<T>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy {
+            gen: Rc::new(move |rng| s.generate(rng)),
+        }
+    }
+}
+
+/// How many times filtering combinators retry locally before reporting a
+/// rejection to the runner.
+const LOCAL_RETRIES: u32 = 16;
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.f)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.generate(rng) {
+                if let Some(out) = (self.f)(v) {
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Type-erased strategy handle (cheaply cloneable).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> Option<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let k = rng.below(self.arms.len() as u64) as usize;
+        self.arms[k].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Full-range strategy for `T` (`any::<u16>()`, ...).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty range strategy {}..{}", self.start, self.end);
+                let span = (hi - lo) as u64;
+                Some((lo + rng.below(span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy {}..={}", self.start(), self.end());
+                let span = (hi - lo + 1) as u128;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                Some((lo + off as i128) as $t)
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `proptest::collection::vec(element, len)` — `len` may be a `usize`,
+/// `Range<usize>`, or `RangeInclusive<usize>`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings (tiny regex subset: `[class]{m,n}`)
+// ---------------------------------------------------------------------------
+
+/// Marker type so `proptest::string` has something to name; the workspace
+/// uses `&str` patterns directly as strategies.
+pub struct StringParam;
+
+struct CharClass {
+    chars: Vec<char>,
+}
+
+fn parse_class(body: &str) -> Option<CharClass> {
+    let cs: Vec<char> = body.chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (lo, hi) = (cs[i] as u32, cs[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        None
+    } else {
+        Some(CharClass { chars })
+    }
+}
+
+/// Parse `[class]{m,n}` / `[class]{n}` / `[class]` patterns.
+fn parse_pattern(pat: &str) -> Option<(CharClass, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = parse_class(&rest[..close])?;
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((class, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((class, lo, hi))
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let (class, lo, hi) = match parse_pattern(self) {
+            Some(p) => p,
+            None => {
+                // Unsupported pattern: fall back to printable ASCII, 0..=16.
+                let n = rng.below(17) as usize;
+                return Some(
+                    (0..n)
+                        .map(|_| char::from_u32(0x20 + rng.below(95) as u32).unwrap())
+                        .collect(),
+                );
+            }
+        };
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        Some(
+            (0..n)
+                .map(|_| class.chars[rng.below(class.chars.len() as u64) as usize])
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (0u8..16).generate(&mut rng).unwrap();
+            assert!(v < 16);
+            let w = (-256i16..=256).generate(&mut rng).unwrap();
+            assert!((-256..=256).contains(&w));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = crate::prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = TestRng::new(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng).unwrap() as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let s = vec(any::<u8>(), 3usize..7);
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = "[ -~]{0,30}".generate(&mut rng).unwrap();
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_then_accepts() {
+        let s = any::<u8>().prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng).unwrap() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_generation() {
+        let s = (1usize..5).prop_flat_map(|n| vec(any::<u8>(), n));
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

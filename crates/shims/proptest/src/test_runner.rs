@@ -1,0 +1,199 @@
+//! Deterministic case runner: config, RNG, and the pass/reject/fail loop.
+
+/// Error type returned (via the `prop_assert*` / `prop_assume!` macros) from
+/// a proptest case body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold; the message describes the violation.
+    Fail(String),
+    /// The generated inputs do not satisfy a precondition; discard the case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Result of running one generated case.
+pub enum CaseOutcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+/// Runner configuration (subset of proptest's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic xorshift64* stream used for all generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed.max(1),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "TestRng::below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn base_seed(name: &str) -> u64 {
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    fnv1a(name) ^ env.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `config.cases` generated cases of `f`, panicking on the first failure.
+///
+/// Rejections (filtered inputs, `prop_assume!`) draw a replacement case, up
+/// to a global cap; a test whose generator rejects everything fails loudly
+/// instead of passing vacuously.
+pub fn run(name: &str, config: &ProptestConfig, mut f: impl FnMut(&mut TestRng) -> CaseOutcome) {
+    let seed = base_seed(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects: u64 = config.cases as u64 * 64 + 1024;
+    let mut case: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::new(seed ^ (case.wrapping_mul(0xA076_1D64_78BD_642F) | 1));
+        case += 1;
+        match f(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed}/{} passes); \
+                         generator preconditions are unsatisfiable",
+                        config.cases
+                    );
+                }
+            }
+            CaseOutcome::Fail(msg) => {
+                panic!(
+                    "proptest '{name}' failed at case #{case} \
+                     (base seed {seed:#018x}, rerun is deterministic):\n{msg}\n\
+                     note: this offline proptest shim does not shrink failures"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut n = 0;
+        run("counter", &ProptestConfig::with_cases(40), |_| {
+            n += 1;
+            CaseOutcome::Pass
+        });
+        assert_eq!(n, 40);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = Vec::new();
+        run("det", &ProptestConfig::with_cases(10), |rng| {
+            a.push(rng.next_u64());
+            CaseOutcome::Pass
+        });
+        let mut b = Vec::new();
+        run("det", &ProptestConfig::with_cases(10), |rng| {
+            b.push(rng.next_u64());
+            CaseOutcome::Pass
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics() {
+        run("boom", &ProptestConfig::with_cases(5), |_| {
+            CaseOutcome::Fail("nope".into())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn all_rejections_panic() {
+        run("rejector", &ProptestConfig::with_cases(5), |_| CaseOutcome::Reject);
+    }
+
+    #[test]
+    fn rejections_are_replaced() {
+        let mut toggle = false;
+        let mut passes = 0;
+        run("alternating", &ProptestConfig::with_cases(8), |_| {
+            toggle = !toggle;
+            if toggle {
+                CaseOutcome::Reject
+            } else {
+                passes += 1;
+                CaseOutcome::Pass
+            }
+        });
+        assert_eq!(passes, 8);
+    }
+}

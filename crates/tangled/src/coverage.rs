@@ -1,0 +1,149 @@
+//! Opcode and branch-direction coverage accounting for the fuzzer.
+//!
+//! Two per-kind counters track how often each of the 38 instruction kinds
+//! was *generated* and how often one was actually *executed* by the
+//! functional reference (a branch can skip generated instructions, so the
+//! two differ). Branches additionally count taken vs not-taken outcomes.
+//! The fuzzer's exit report — and the ≥ 90 % opcode-coverage acceptance
+//! bar — comes from [`Coverage::opcode_coverage`].
+
+use tangled_isa::{Insn, KIND_COUNT};
+
+/// Accumulated coverage counters.
+#[derive(Debug, Clone)]
+pub struct Coverage {
+    /// Instructions emitted by the generator, by kind.
+    pub generated: [u64; KIND_COUNT],
+    /// Instructions retired by the functional model, by kind.
+    pub executed: [u64; KIND_COUNT],
+    /// Branch instructions that took their offset.
+    pub branch_taken: u64,
+    /// Branch instructions that fell through.
+    pub branch_not_taken: u64,
+}
+
+impl Default for Coverage {
+    fn default() -> Self {
+        Coverage {
+            generated: [0; KIND_COUNT],
+            executed: [0; KIND_COUNT],
+            branch_taken: 0,
+            branch_not_taken: 0,
+        }
+    }
+}
+
+impl Coverage {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count a generated program.
+    pub fn note_generated(&mut self, prog: &[Insn]) {
+        for i in prog {
+            self.generated[i.kind()] += 1;
+        }
+    }
+
+    /// Count one retired instruction (with its branch outcome).
+    pub fn note_executed(&mut self, insn: Insn, taken: bool) {
+        self.executed[insn.kind()] += 1;
+        if matches!(insn, Insn::Brf { .. } | Insn::Brt { .. }) {
+            if taken {
+                self.branch_taken += 1;
+            } else {
+                self.branch_not_taken += 1;
+            }
+        }
+    }
+
+    /// Fraction of instruction kinds executed at least once.
+    pub fn opcode_coverage(&self) -> f64 {
+        let hit = self.executed.iter().filter(|&&c| c > 0).count();
+        hit as f64 / KIND_COUNT as f64
+    }
+
+    /// Kind names never executed.
+    pub fn missing(&self) -> Vec<&'static str> {
+        (0..KIND_COUNT)
+            .filter(|&k| self.executed[k] == 0)
+            .map(Insn::kind_name)
+            .collect()
+    }
+
+    /// Both branch directions exercised?
+    pub fn both_branch_directions(&self) -> bool {
+        self.branch_taken > 0 && self.branch_not_taken > 0
+    }
+
+    /// Multi-line human-readable report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "opcode coverage: {:.1}% ({}/{} kinds executed)",
+            100.0 * self.opcode_coverage(),
+            self.executed.iter().filter(|&&c| c > 0).count(),
+            KIND_COUNT
+        );
+        let _ = writeln!(
+            s,
+            "branches: {} taken, {} not taken",
+            self.branch_taken, self.branch_not_taken
+        );
+        let missing = self.missing();
+        if !missing.is_empty() {
+            let _ = writeln!(s, "never executed: {}", missing.join(", "));
+        }
+        let mut rows: Vec<(usize, u64, u64)> = (0..KIND_COUNT)
+            .map(|k| (k, self.generated[k], self.executed[k]))
+            .collect();
+        rows.sort_by_key(|&(_, _, ex)| std::cmp::Reverse(ex));
+        let _ = writeln!(s, "{:<8} {:>12} {:>12}", "kind", "generated", "executed");
+        for (k, gen, ex) in rows {
+            let _ = writeln!(s, "{:<8} {:>12} {:>12}", Insn::kind_name(k), gen, ex);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangled_isa::Reg;
+
+    #[test]
+    fn coverage_tracks_kinds_and_branches() {
+        let mut c = Coverage::new();
+        let prog = [
+            Insn::Lex { d: Reg::new(1), imm: 1 },
+            Insn::Brt { c: Reg::new(1), off: 1 },
+            Insn::Sys,
+        ];
+        c.note_generated(&prog);
+        assert_eq!(c.generated.iter().sum::<u64>(), 3);
+        c.note_executed(prog[0], false);
+        c.note_executed(prog[1], true);
+        c.note_executed(prog[2], false);
+        assert_eq!(c.branch_taken, 1);
+        assert_eq!(c.branch_not_taken, 0);
+        assert!(!c.both_branch_directions());
+        c.note_executed(Insn::Brf { c: Reg::new(0), off: 2 }, false);
+        assert!(c.both_branch_directions());
+        assert!(c.opcode_coverage() > 0.0 && c.opcode_coverage() < 1.0);
+        assert!(c.missing().contains(&"qccnot"));
+        assert!(c.report().contains("opcode coverage"));
+    }
+
+    #[test]
+    fn full_coverage_reports_one() {
+        let mut c = Coverage::new();
+        for k in 0..KIND_COUNT {
+            c.executed[k] = 1;
+        }
+        assert_eq!(c.opcode_coverage(), 1.0);
+        assert!(c.missing().is_empty());
+    }
+}

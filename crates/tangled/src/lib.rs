@@ -32,14 +32,32 @@
 //! paper's "capable of sustaining completion of one instruction every
 //! clock cycle, provided there were no pipeline interlocks" claim.
 
+//!
+//! On top of the simulators sits the **differential fuzzing subsystem**:
+//! [`proggen`] generates weighted random programs over the complete ISA,
+//! [`difftest`] runs each one across the whole model matrix (plus `qsim`
+//! state-vector and PBP word-level baselines for Qat-only programs) and
+//! compares full architectural state, [`shrink`] minimizes any divergence
+//! to a few-instruction reproducer, and [`coverage`] accounts opcode and
+//! branch coverage. The `qat-fuzz` binary drives it all.
+
+pub mod coverage;
+pub mod difftest;
 pub mod loader;
 pub mod machine;
 pub mod multicycle;
 pub mod pipeline;
 pub mod proggen;
+pub mod shrink;
 pub mod trace;
 
+pub use coverage::Coverage;
+pub use difftest::{
+    compare_all, forwarding_bug_diverges, DiffConfig, Divergence, ForwardingBugSim, Outcome,
+};
 pub use loader::{VmemError, VmemImage};
 pub use machine::{Machine, MachineConfig, SimError, StepEvent, SysOutput};
 pub use multicycle::{MultiCycleSim, MultiCycleStats};
 pub use pipeline::{InsnTiming, PipeStats, PipelineConfig, PipelinedSim, StageCount};
+pub use proggen::{ProgGenOptions, Profile};
+pub use shrink::shrink;

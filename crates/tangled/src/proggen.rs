@@ -1,16 +1,28 @@
 //! Random-program generation for differential testing.
 //!
 //! Generates arbitrary-but-valid Tangled/Qat programs that are guaranteed
-//! to halt: straight-line ALU/Qat work, memory traffic confined to a data
-//! page, and forward-only branches, terminated by `sys`. The same program
-//! is then run on the functional, multi-cycle, and pipelined simulators and
-//! the architectural states compared — the strongest correctness evidence
-//! the paper's student projects aimed at with "100% line coverage" testing.
+//! to halt: ALU/Qat work, memory traffic confined to a data page, forward
+//! branches, bounded countdown loops, forward indirect jumps, and `sys`
+//! service calls, terminated by a halting `sys`. The same program is then
+//! run on the functional, multi-cycle, and pipelined simulators and the
+//! architectural states compared (see [`crate::difftest`]) — the strongest
+//! correctness evidence the paper's student projects aimed at with "100%
+//! line coverage" testing.
+//!
+//! Register conventions inside generated programs:
+//!
+//! * `$0..$5` — general work registers.
+//! * `$5` doubles as the loop counter inside countdown-loop templates.
+//! * `$6` — data-page pointer; only the memory template writes it, so all
+//!   load/store traffic stays on page `0x40xx`.
+//! * `$7` — template scratch (shift amounts, loop decrement, jump target).
+//! * `$rv` — written only inside `sys` service windows, restored to zero
+//!   before the window ends, so the terminating `sys` always halts.
 //!
 //! A tiny xorshift PRNG keeps this module dependency-free and the streams
 //! reproducible from a seed.
 
-use tangled_isa::{Insn, QReg, Reg};
+use tangled_isa::{reg, Insn, QReg, Reg};
 
 /// Deterministic xorshift64* PRNG.
 #[derive(Debug, Clone)]
@@ -38,6 +50,79 @@ impl XorShift {
     }
 }
 
+/// Instruction-mix profile: a weight table over the generator's op classes.
+///
+/// Profiles bias the fuzzer toward different hazard populations — ALU-heavy
+/// streams stress forwarding, Qat-heavy streams stress the coprocessor
+/// interface, branch-heavy streams stress redirect/flush logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// Roughly the seed generator's historical mix.
+    #[default]
+    Balanced,
+    /// Mostly integer ALU and immediate traffic (forwarding stress).
+    AluHeavy,
+    /// Mostly Qat gate/measurement traffic (coprocessor stress).
+    QatHeavy,
+    /// Dense branches, loops, and indirect jumps (redirect stress).
+    BranchHeavy,
+    /// Dense load/store traffic (MEM-stage stress).
+    MemHeavy,
+}
+
+/// Op-class indices into a profile's weight table.
+mod class {
+    pub const IMM: usize = 0;
+    pub const ALU: usize = 1;
+    pub const FLOAT: usize = 2;
+    pub const MEM: usize = 3;
+    pub const QINIT: usize = 4;
+    pub const QGATE: usize = 5;
+    pub const QMEAS: usize = 6;
+    pub const BRANCH: usize = 7;
+    pub const LOOP: usize = 8;
+    pub const JUMP: usize = 9;
+    pub const SYS: usize = 10;
+    pub const COUNT: usize = 11;
+}
+
+impl Profile {
+    /// Relative class weights `[imm, alu, float, mem, qinit, qgate, qmeas,
+    /// branch, loop, jump, sys]`.
+    pub fn weights(self) -> [u32; class::COUNT] {
+        match self {
+            Profile::Balanced => [12, 22, 6, 6, 12, 17, 10, 6, 3, 2, 4],
+            Profile::AluHeavy => [20, 50, 8, 4, 4, 4, 2, 4, 2, 1, 1],
+            Profile::QatHeavy => [8, 6, 1, 2, 24, 34, 18, 3, 2, 1, 1],
+            Profile::BranchHeavy => [12, 20, 2, 4, 6, 6, 6, 26, 10, 6, 2],
+            Profile::MemHeavy => [14, 20, 2, 40, 4, 6, 6, 4, 2, 1, 1],
+        }
+    }
+
+    /// Parse a CLI spelling (`balanced`, `alu`, `qat`, `branch`, `mem`).
+    pub fn parse(name: &str) -> Option<Profile> {
+        match name {
+            "balanced" => Some(Profile::Balanced),
+            "alu" | "alu-heavy" => Some(Profile::AluHeavy),
+            "qat" | "qat-heavy" => Some(Profile::QatHeavy),
+            "branch" | "branch-heavy" => Some(Profile::BranchHeavy),
+            "mem" | "mem-heavy" => Some(Profile::MemHeavy),
+            _ => None,
+        }
+    }
+
+    /// All profiles, for round-robin fuzzing.
+    pub fn all() -> [Profile; 5] {
+        [
+            Profile::Balanced,
+            Profile::AluHeavy,
+            Profile::QatHeavy,
+            Profile::BranchHeavy,
+            Profile::MemHeavy,
+        ]
+    }
+}
+
 /// Knobs for the generator.
 #[derive(Debug, Clone, Copy)]
 pub struct ProgGenOptions {
@@ -47,12 +132,26 @@ pub struct ProgGenOptions {
     pub ways: u32,
     /// Include `load`/`store` traffic (to the 0x4000 data page).
     pub memory_ops: bool,
-    /// Include forward branches.
+    /// Include forward branches (and forward indirect jumps).
     pub branches: bool,
     /// Include bfloat16 instructions.
     pub float_ops: bool,
     /// Include bounded countdown loops (backward branches).
     pub loops: bool,
+    /// Instruction-mix profile (class weight table).
+    pub profile: Profile,
+    /// Include non-halting `sys` service windows (print calls with `$rv`
+    /// set and restored around them).
+    pub sys_services: bool,
+    /// All Qat register operands are drawn from `qreg_floor..qreg_floor+16`.
+    /// Set this to `QatConfig::reserved_regs()` when fuzzing a machine with
+    /// the constant-register file enabled and faults are unwanted.
+    pub qreg_floor: u8,
+    /// Occasionally emit a Qat *write* to a register below `qreg_floor` —
+    /// fault-adjacent encodings that trip `ConstantRegisterWrite` on
+    /// constant-register machines (the oracle then compares fault identity
+    /// and PC instead of final state).
+    pub allow_qat_faults: bool,
 }
 
 impl Default for ProgGenOptions {
@@ -64,137 +163,317 @@ impl Default for ProgGenOptions {
             branches: true,
             float_ops: true,
             loops: true,
+            profile: Profile::Balanced,
+            sys_services: true,
+            qreg_floor: 0,
+            allow_qat_faults: false,
         }
+    }
+}
+
+/// Generator state threaded through the op-class emitters.
+struct Emitter<'a> {
+    rng: XorShift,
+    opts: &'a ProgGenOptions,
+    body: Vec<Insn>,
+    /// `protected[i]` — index `i` must not become a branch/jump landing
+    /// site (mid-template instruction whose register setup must run).
+    protected: Vec<bool>,
+    /// `(lex_index, skip)` — forward indirect jumps whose `lex`/`lhi` pair
+    /// is patched with the target's absolute address after layout.
+    jump_fixups: Vec<(usize, usize)>,
+}
+
+impl Emitter<'_> {
+    fn push(&mut self, i: Insn) {
+        self.body.push(i);
+        self.protected.push(false);
+    }
+
+    /// Push a template-interior instruction (not a valid landing site).
+    fn push_protected(&mut self, i: Insn) {
+        self.body.push(i);
+        self.protected.push(true);
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::new(self.rng.below(6) as u8)
+    }
+
+    fn qreg(&mut self) -> QReg {
+        QReg(self.opts.qreg_floor.saturating_add(self.rng.below(16) as u8))
+    }
+
+    /// Destination Qat register; with `allow_qat_faults`, sometimes a
+    /// register below the floor (a constant register on constant machines).
+    fn qdest(&mut self) -> QReg {
+        if self.opts.allow_qat_faults && self.opts.qreg_floor > 0 && self.rng.below(12) == 0 {
+            QReg(self.rng.below(self.opts.qreg_floor as u64) as u8)
+        } else {
+            self.qreg()
+        }
+    }
+
+    fn emit_imm(&mut self) {
+        let d = self.reg();
+        if self.rng.below(3) == 0 {
+            let imm = self.rng.next_u64() as u8;
+            self.push(Insn::Lhi { d, imm });
+        } else {
+            let imm = self.rng.next_u64() as i8;
+            self.push(Insn::Lex { d, imm });
+        }
+    }
+
+    fn emit_alu(&mut self) {
+        let d = self.reg();
+        let s = self.reg();
+        match self.rng.below(12) {
+            0 | 1 => self.push(Insn::Add { d, s }),
+            2 => self.push(Insn::Mul { d, s }),
+            3 => self.push(Insn::And { d, s }),
+            4 => self.push(Insn::Or { d, s }),
+            5 => self.push(Insn::Xor { d, s }),
+            6 => self.push(Insn::Not { d }),
+            7 => self.push(Insn::Neg { d }),
+            8 => self.push(Insn::Slt { d, s }),
+            9 | 10 => self.push(Insn::Copy { d, s }),
+            _ => {
+                // Bounded shift amount in -4..=4 to keep values lively.
+                let amt = (self.rng.below(9) as i8) - 4;
+                self.push(Insn::Lex { d: Reg::new(7), imm: amt });
+                self.push(Insn::Shift { d, s: Reg::new(7) });
+            }
+        }
+    }
+
+    fn emit_float(&mut self) {
+        let d = self.reg();
+        let s = self.reg();
+        match self.rng.below(6) {
+            0 => self.push(Insn::Float { d }),
+            1 => self.push(Insn::Int { d }),
+            2 => self.push(Insn::Addf { d, s }),
+            3 => self.push(Insn::Mulf { d, s }),
+            4 => self.push(Insn::Negf { d }),
+            _ => self.push(Insn::Recip { d }),
+        }
+    }
+
+    fn emit_mem(&mut self) {
+        // $6 = 0x40xx — all traffic stays in the data page, away from the
+        // code, so the pipeline's fetch-ahead can never observe
+        // self-modifying code. The interior is protected: a branch may land
+        // on the template start but never between the pointer setup and the
+        // access.
+        let d = self.reg();
+        let lo = self.rng.next_u64() as i8;
+        self.push(Insn::Lex { d: Reg::new(6), imm: lo });
+        self.push_protected(Insn::Lhi { d: Reg::new(6), imm: 0x40 });
+        if self.rng.below(2) == 0 {
+            self.push_protected(Insn::Store { d, s: Reg::new(6) });
+        } else {
+            self.push_protected(Insn::Load { d, s: Reg::new(6) });
+        }
+    }
+
+    fn emit_qinit(&mut self) {
+        let a = self.qdest();
+        match self.rng.below(4) {
+            0 | 1 => {
+                let k = self.rng.below(self.opts.ways as u64) as u8;
+                self.push(Insn::QHad { a, k });
+            }
+            2 => self.push(Insn::QZero { a }),
+            _ => self.push(Insn::QOne { a }),
+        }
+    }
+
+    fn emit_qgate(&mut self) {
+        let a = self.qdest();
+        let b = self.qreg();
+        let c = self.qreg();
+        match self.rng.below(10) {
+            0 | 1 => self.push(Insn::QNot { a }),
+            2 => self.push(Insn::QAnd { a, b, c }),
+            3 => self.push(Insn::QOr { a, b, c }),
+            4 | 5 => self.push(Insn::QXor { a, b, c }),
+            6 => self.push(Insn::QCnot { a, b }),
+            7 => self.push(Insn::QCcnot { a, b, c }),
+            8 => self.push(Insn::QSwap { a, b }),
+            _ => self.push(Insn::QCswap { a, b, c }),
+        }
+    }
+
+    fn emit_qmeas(&mut self) {
+        let d = self.reg();
+        let a = self.qreg();
+        match self.rng.below(5) {
+            0 | 1 => self.push(Insn::QMeas { d, a }),
+            2 | 3 => self.push(Insn::QNext { d, a }),
+            _ => self.push(Insn::QPop { d, a }),
+        }
+    }
+
+    fn emit_branch(&mut self) {
+        // Forward branch over 1..=4 instructions. The offset field holds an
+        // instruction-count placeholder until the fixup pass converts it to
+        // a word offset.
+        let c = self.reg();
+        let skip = 1 + self.rng.below(4) as i8;
+        if self.rng.below(2) == 0 {
+            self.push(Insn::Brt { c, off: skip });
+        } else {
+            self.push(Insn::Brf { c, off: skip });
+        }
+    }
+
+    fn emit_loop(&mut self) {
+        // Bounded countdown loop: $5 counts down from 2..=5; the body is
+        // branch-free, so termination is structural. Registers $5 and $7
+        // are reserved for the loop machinery.
+        let k = 2 + self.rng.below(4) as i8;
+        self.push(Insn::Lex { d: Reg::new(5), imm: k });
+        let loop_top = self.body.len();
+        for _ in 0..=self.rng.below(2) {
+            let d = Reg::new(self.rng.below(5) as u8);
+            let s = Reg::new(self.rng.below(5) as u8);
+            let a = self.qreg();
+            match self.rng.below(4) {
+                0 => self.push(Insn::Add { d, s }),
+                1 => self.push(Insn::QNot { a }),
+                2 => self.push(Insn::QMeas { d, a }),
+                _ => self.push(Insn::Xor { d, s }),
+            }
+        }
+        self.push(Insn::Lex { d: Reg::new(7), imm: -1 });
+        self.push(Insn::Add { d: Reg::new(5), s: Reg::new(7) });
+        // Mask the counter to 3 bits so even a forward branch that lands
+        // inside the template (skipping the initializer) loops at most 7
+        // times.
+        self.push(Insn::Lex { d: Reg::new(7), imm: 7 });
+        self.push(Insn::And { d: Reg::new(5), s: Reg::new(7) });
+        // Backward branch, resolved by the fixup pass using the
+        // instruction-index delta encoded in the offset.
+        let back = (self.body.len() - loop_top) as i8;
+        self.push(Insn::Brt { c: Reg::new(5), off: -back });
+    }
+
+    fn emit_jump(&mut self) {
+        // Forward indirect jump: $7 = absolute address of an instruction
+        // 1..=6 ahead, then `jumpr $7`. The lex/lhi pair is patched after
+        // layout; `lhi` overwrites the sign-extended high byte, so the pair
+        // reconstructs any 16-bit address exactly. The interior is
+        // protected — a branch landing directly on `jumpr` would read an
+        // arbitrary $7.
+        let skip = 1 + self.rng.below(6) as usize;
+        self.jump_fixups.push((self.body.len(), skip));
+        self.push(Insn::Lex { d: Reg::new(7), imm: 0 });
+        self.push_protected(Insn::Lhi { d: Reg::new(7), imm: 0 });
+        self.push_protected(Insn::Jumpr { a: Reg::new(7) });
+    }
+
+    fn emit_sys_service(&mut self) {
+        // A non-halting system call: $rv selects print-int (1), print-float
+        // (2), or print-char (3), then $rv is restored to zero so the
+        // terminating `sys` still halts. The `sys` itself is protected so a
+        // branch cannot land on it with a live (non-zero) $rv — though in
+        // fact $rv is zero everywhere outside these windows.
+        let svc = 1 + self.rng.below(3) as i8;
+        self.push(Insn::Lex { d: reg::RV, imm: svc });
+        self.push_protected(Insn::Sys);
+        self.push_protected(Insn::Lex { d: reg::RV, imm: 0 });
     }
 }
 
 /// Generate a random halting program as an instruction list.
 pub fn random_program(seed: u64, opts: &ProgGenOptions) -> Vec<Insn> {
-    let mut rng = XorShift::new(seed);
-    let mut body: Vec<Insn> = Vec::with_capacity(opts.len + 4);
-    // Registers $0..$7 hold work values; $6 is re-seeded before memory ops.
-    let reg = |rng: &mut XorShift| Reg::new(rng.below(8) as u8);
-    let qreg = |rng: &mut XorShift| QReg(rng.below(16) as u8);
+    let mut em = Emitter {
+        rng: XorShift::new(seed),
+        opts,
+        body: Vec::with_capacity(opts.len + 4),
+        protected: Vec::new(),
+        jump_fixups: Vec::new(),
+    };
 
-    while body.len() < opts.len {
-        let roll = rng.below(100);
-        let d = reg(&mut rng);
-        let s = reg(&mut rng);
-        let a = qreg(&mut rng);
-        let b = qreg(&mut rng);
-        let c = qreg(&mut rng);
-        match roll {
-            0..=7 => body.push(Insn::Lex { d, imm: rng.next_u64() as i8 }),
-            8..=11 => body.push(Insn::Lhi { d, imm: rng.next_u64() as u8 }),
-            12..=16 => body.push(Insn::Add { d, s }),
-            17..=20 => body.push(Insn::Mul { d, s }),
-            21..=23 => body.push(Insn::And { d, s }),
-            24..=26 => body.push(Insn::Or { d, s }),
-            27..=29 => body.push(Insn::Xor { d, s }),
-            30..=31 => body.push(Insn::Not { d }),
-            32..=33 => body.push(Insn::Neg { d }),
-            34..=35 => body.push(Insn::Slt { d, s }),
-            36..=38 => body.push(Insn::Copy { d, s }),
-            39..=40 => {
-                // Bounded shift amount in -4..=4 to keep values lively.
-                body.push(Insn::Lex { d: Reg::new(7), imm: (rng.below(9) as i8) - 4 });
-                body.push(Insn::Shift { d, s: Reg::new(7) });
+    // Zero out classes the options disable, then draw from the remainder.
+    let mut weights = opts.profile.weights();
+    if !opts.float_ops {
+        weights[class::FLOAT] = 0;
+    }
+    if !opts.memory_ops {
+        weights[class::MEM] = 0;
+    }
+    if !opts.branches {
+        weights[class::BRANCH] = 0;
+        weights[class::JUMP] = 0;
+    }
+    if !opts.loops {
+        weights[class::LOOP] = 0;
+    }
+    if !opts.sys_services {
+        weights[class::SYS] = 0;
+    }
+    let total: u32 = weights.iter().sum();
+
+    while em.body.len() < opts.len {
+        let mut roll = em.rng.below(total.max(1) as u64) as u32;
+        let mut cls = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w {
+                cls = i;
+                break;
             }
-            41..=46 if opts.float_ops => {
-                match rng.below(5) {
-                    0 => body.push(Insn::Float { d }),
-                    1 => body.push(Insn::Int { d }),
-                    2 => body.push(Insn::Addf { d, s }),
-                    3 => body.push(Insn::Mulf { d, s }),
-                    _ => body.push(Insn::Negf { d }),
-                }
-            }
-            47..=52 if opts.memory_ops => {
-                // $6 = 0x40xx — all traffic stays in the data page, away
-                // from the code, so the pipeline's fetch-ahead can never
-                // observe self-modifying code.
-                body.push(Insn::Lex { d: Reg::new(6), imm: rng.next_u64() as i8 });
-                body.push(Insn::Lhi { d: Reg::new(6), imm: 0x40 });
-                if rng.below(2) == 0 {
-                    body.push(Insn::Store { d, s: Reg::new(6) });
-                } else {
-                    body.push(Insn::Load { d, s: Reg::new(6) });
-                }
-            }
-            53..=60 => body.push(Insn::QHad { a, k: rng.below(opts.ways as u64) as u8 }),
-            61..=64 => body.push(Insn::QZero { a }),
-            65..=66 => body.push(Insn::QOne { a }),
-            67..=69 => body.push(Insn::QNot { a }),
-            70..=73 => body.push(Insn::QAnd { a, b, c }),
-            74..=76 => body.push(Insn::QOr { a, b, c }),
-            77..=79 => body.push(Insn::QXor { a, b, c }),
-            80..=81 => body.push(Insn::QCnot { a, b }),
-            82..=83 => body.push(Insn::QCcnot { a, b, c }),
-            84 => body.push(Insn::QSwap { a, b }),
-            85 => body.push(Insn::QCswap { a, b, c }),
-            86..=89 => body.push(Insn::QMeas { d, a }),
-            90..=93 => body.push(Insn::QNext { d, a }),
-            94..=95 => body.push(Insn::QPop { d, a }),
-            96..=97 if opts.loops => {
-                // Bounded countdown loop: $5 counts down from 2..=5; the
-                // body is branch-free, so termination is structural.
-                // Registers $5 and $7 are reserved for the loop machinery.
-                let k = 2 + rng.below(4) as i8;
-                body.push(Insn::Lex { d: Reg::new(5), imm: k });
-                let loop_top = body.len();
-                for _ in 0..=rng.below(2) {
-                    let d = Reg::new(rng.below(5) as u8);
-                    let a = QReg(rng.below(16) as u8);
-                    match rng.below(4) {
-                        0 => body.push(Insn::Add { d, s: Reg::new(rng.below(5) as u8) }),
-                        1 => body.push(Insn::QNot { a }),
-                        2 => body.push(Insn::QMeas { d, a }),
-                        _ => body.push(Insn::Xor { d, s: Reg::new(rng.below(5) as u8) }),
-                    }
-                }
-                body.push(Insn::Lex { d: Reg::new(7), imm: -1 });
-                body.push(Insn::Add { d: Reg::new(5), s: Reg::new(7) });
-                // Mask the counter to 3 bits so even a forward branch that
-                // lands inside the template (skipping the initializer)
-                // loops at most 7 times.
-                body.push(Insn::Lex { d: Reg::new(7), imm: 7 });
-                body.push(Insn::And { d: Reg::new(5), s: Reg::new(7) });
-                // Backward branch, resolved by the fixup pass below using
-                // the instruction-index delta encoded in the offset.
-                let back = (body.len() - loop_top) as i8;
-                body.push(Insn::Brt { c: Reg::new(5), off: -back });
-            }
-            _ if opts.branches => {
-                // Forward branch over 1..=4 instructions (fixed up below).
-                let skip = 1 + rng.below(4) as usize;
-                let sense = rng.below(2) == 0;
-                body.push(if sense {
-                    Insn::Brt { c: d, off: skip as i8 } // placeholder offset
-                } else {
-                    Insn::Brf { c: d, off: skip as i8 }
-                });
-            }
-            _ => body.push(Insn::Copy { d, s }),
+            roll -= w;
+        }
+        match cls {
+            class::IMM => em.emit_imm(),
+            class::ALU => em.emit_alu(),
+            class::FLOAT => em.emit_float(),
+            class::MEM => em.emit_mem(),
+            class::QINIT => em.emit_qinit(),
+            class::QGATE => em.emit_qgate(),
+            class::QMEAS => em.emit_qmeas(),
+            class::BRANCH => em.emit_branch(),
+            class::LOOP => em.emit_loop(),
+            class::JUMP => em.emit_jump(),
+            class::SYS => em.emit_sys_service(),
+            _ => unreachable!(),
         }
     }
-    body.push(Insn::Sys);
+    em.push(Insn::Sys);
 
-    // Fix up branch offsets: the placeholder counts *instructions*; convert
-    // to a word offset relative to the following instruction.
+    let Emitter { mut body, protected, jump_fixups, .. } = em;
+
+    // Layout: word address of each instruction (plus the end address).
     let mut addr = Vec::with_capacity(body.len() + 1);
     let mut pc = 0u16;
     for i in &body {
         addr.push(pc);
         pc += i.words();
     }
-    addr.push(pc); // end address
+    addr.push(pc);
+    let last = body.len() - 1; // the terminating sys — never protected
+
+    // A landing site must not be a protected template interior; slide
+    // forward to the next legal instruction (the final sys qualifies).
+    let land = |mut idx: usize| -> usize {
+        idx = idx.min(last);
+        while idx < last && protected[idx] {
+            idx += 1;
+        }
+        idx
+    };
+
+    // Fix up branch offsets: the placeholder counts *instructions*; convert
+    // to a word offset relative to the following instruction.
     for idx in 0..body.len() {
         let fix = |skip: i8, sense: bool, c: Reg| -> Insn {
             // Positive skip: forward over `skip` instructions; negative:
-            // backward to `|skip|` instructions before this one. Never
-            // target past the final `sys` (the last instruction).
+            // backward to `|skip|` instructions before this one (loop tops
+            // are never protected). Never target past the final `sys`.
             let target_idx = if skip >= 0 {
-                (idx + 1 + skip as usize).min(body.len() - 1)
+                land(idx + 1 + skip as usize)
             } else {
                 idx.saturating_sub((-skip) as usize)
             };
@@ -211,6 +490,121 @@ pub fn random_program(seed: u64, opts: &ProgGenOptions) -> Vec<Insn> {
             _ => {}
         }
     }
+
+    // Patch indirect-jump address pairs with the laid-out target address.
+    for (lex_idx, skip) in jump_fixups {
+        let target = addr[land(lex_idx + 3 + skip)];
+        body[lex_idx] = Insn::Lex { d: Reg::new(7), imm: (target & 0xFF) as u8 as i8 };
+        body[lex_idx + 1] = Insn::Lhi { d: Reg::new(7), imm: (target >> 8) as u8 };
+    }
+    body
+}
+
+/// Generate a Qat-only program (gates, `meas`/`next`/`pop` with `lex`-set
+/// channel arguments, final `sys`) for word-level cross-checking against
+/// the PBP RE layer. Straight-line, so it trivially halts.
+///
+/// `nregs` Qat registers starting at `@0` are used; channel arguments stay
+/// below `min(2^ways, 64)` so they fit a `lex` immediate.
+pub fn random_qat_only_program(seed: u64, len: usize, ways: u32, nregs: u8) -> Vec<Insn> {
+    let mut rng = XorShift::new(seed);
+    let mut body = Vec::with_capacity(len + 1);
+    let chan_limit = (1u64 << ways.min(6)).min(64);
+    let qr = |rng: &mut XorShift| QReg(rng.below(nregs.max(1) as u64) as u8);
+    while body.len() < len {
+        let a = qr(&mut rng);
+        let b = qr(&mut rng);
+        let c = qr(&mut rng);
+        let d = Reg::new(rng.below(4) as u8);
+        match rng.below(14) {
+            0 => body.push(Insn::QZero { a }),
+            1 => body.push(Insn::QOne { a }),
+            2 | 3 => body.push(Insn::QHad { a, k: rng.below(ways as u64) as u8 }),
+            4 => body.push(Insn::QNot { a }),
+            5 => body.push(Insn::QAnd { a, b, c }),
+            6 => body.push(Insn::QOr { a, b, c }),
+            7 => body.push(Insn::QXor { a, b, c }),
+            8 => body.push(Insn::QCnot { a, b }),
+            9 => body.push(Insn::QCcnot { a, b, c }),
+            10 => body.push(Insn::QSwap { a, b }),
+            11 => body.push(Insn::QCswap { a, b, c }),
+            _ => {
+                // Channel argument in $d, then a measurement-family op.
+                body.push(Insn::Lex { d, imm: rng.below(chan_limit) as i8 });
+                match rng.below(3) {
+                    0 => body.push(Insn::QMeas { d, a }),
+                    1 => body.push(Insn::QNext { d, a }),
+                    _ => body.push(Insn::QPop { d, a }),
+                }
+            }
+        }
+    }
+    body.push(Insn::Sys);
+    body
+}
+
+/// Generate a reversible-only Qat program: an initialization prologue
+/// (`zero`/`one`/`had k`, one per register) followed by a body of purely
+/// reversible gates (`not`/`cnot`/`ccnot`/`swap`/`cswap` with distinct
+/// operands), terminated by `sys`.
+///
+/// Such programs map directly onto unitary circuits, so the AoB register
+/// file can be cross-checked channel-by-channel against the `qsim`
+/// state-vector baseline (each channel is one basis-state evolution).
+pub fn random_reversible_qat_program(seed: u64, ways: u32, nregs: u8, len: usize) -> Vec<Insn> {
+    let mut rng = XorShift::new(seed);
+    let n = nregs.max(2);
+    let mut body = Vec::with_capacity(n as usize + len + 1);
+    for q in 0..n {
+        let a = QReg(q);
+        match rng.below(4) {
+            0 => body.push(Insn::QZero { a }),
+            1 => body.push(Insn::QOne { a }),
+            _ => body.push(Insn::QHad { a, k: rng.below(ways as u64) as u8 }),
+        }
+    }
+    let distinct2 = |rng: &mut XorShift| {
+        let a = rng.below(n as u64) as u8;
+        let b = (a + 1 + rng.below(n as u64 - 1) as u8) % n;
+        (QReg(a), QReg(b))
+    };
+    for _ in 0..len {
+        match rng.below(5) {
+            0 => {
+                let a = QReg(rng.below(n as u64) as u8);
+                body.push(Insn::QNot { a });
+            }
+            1 => {
+                let (a, b) = distinct2(&mut rng);
+                body.push(Insn::QCnot { a, b });
+            }
+            2 if n >= 3 => {
+                let (a, b) = distinct2(&mut rng);
+                let mut c = QReg(rng.below(n as u64) as u8);
+                while c == a || c == b {
+                    c = QReg((c.0 + 1) % n);
+                }
+                body.push(Insn::QCcnot { a, b, c });
+            }
+            3 => {
+                let (a, b) = distinct2(&mut rng);
+                body.push(Insn::QSwap { a, b });
+            }
+            _ if n >= 3 => {
+                let (a, b) = distinct2(&mut rng);
+                let mut c = QReg(rng.below(n as u64) as u8);
+                while c == a || c == b {
+                    c = QReg((c.0 + 1) % n);
+                }
+                body.push(Insn::QCswap { a, b, c });
+            }
+            _ => {
+                let (a, b) = distinct2(&mut rng);
+                body.push(Insn::QCnot { a, b });
+            }
+        }
+    }
+    body.push(Insn::Sys);
     body
 }
 
@@ -236,23 +630,31 @@ mod tests {
 
     #[test]
     fn generated_programs_decode_and_halt() {
-        for seed in 1..=25u64 {
-            let prog = random_program(seed, &ProgGenOptions::default());
-            let words = encode_program(&prog);
-            // Whole image decodes back to the same instruction list.
-            let decoded: Vec<_> = tangled_isa::decode_stream(&words)
-                .unwrap()
-                .into_iter()
-                .map(|(_, i)| i)
-                .collect();
-            assert_eq!(decoded, prog, "seed {seed}");
-            // And the program halts (forward-only branches guarantee it).
-            let mut m = machine_for(&words, 8);
-            m.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert!(m.halted);
-            // Bounded loops may re-execute instructions, but only a small
-            // constant factor beyond the static length.
-            assert!(m.steps <= 40 * prog.len() as u64, "seed {seed}: {} steps", m.steps);
+        for profile in Profile::all() {
+            for seed in 1..=25u64 {
+                let opts = ProgGenOptions { profile, ..Default::default() };
+                let prog = random_program(seed, &opts);
+                let words = encode_program(&prog);
+                // Whole image decodes back to the same instruction list.
+                let decoded: Vec<_> = tangled_isa::decode_stream(&words)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, i)| i)
+                    .collect();
+                assert_eq!(decoded, prog, "seed {seed} {profile:?}");
+                // And the program halts (forward-only control flow plus
+                // bounded loops guarantees it).
+                let mut m = machine_for(&words, 8);
+                m.run().unwrap_or_else(|e| panic!("seed {seed} {profile:?}: {e}"));
+                assert!(m.halted);
+                // Bounded loops may re-execute instructions, but only a
+                // small constant factor beyond the static length.
+                assert!(
+                    m.steps <= 40 * prog.len() as u64,
+                    "seed {seed} {profile:?}: {} steps",
+                    m.steps
+                );
+            }
         }
     }
 
@@ -275,6 +677,7 @@ mod tests {
             branches: false,
             float_ops: false,
             loops: false,
+            sys_services: false,
             ..Default::default()
         };
         for seed in 1..=10u64 {
@@ -286,8 +689,114 @@ mod tests {
                 );
                 assert!(!matches!(
                     i,
-                    Insn::Addf { .. } | Insn::Mulf { .. } | Insn::Float { .. } | Insn::Int { .. }
+                    Insn::Addf { .. }
+                        | Insn::Mulf { .. }
+                        | Insn::Float { .. }
+                        | Insn::Int { .. }
+                        | Insn::Recip { .. }
+                        | Insn::Negf { .. }
                 ));
+            }
+        }
+    }
+
+    #[test]
+    fn qreg_floor_confines_qat_operands() {
+        let opts = ProgGenOptions { qreg_floor: 10, ..Default::default() };
+        for seed in 1..=10u64 {
+            for i in random_program(seed, &opts) {
+                for q in i.qreads().into_iter().chain(i.qwrites()) {
+                    assert!(q.0 >= 10, "seed {seed}: {i:?} uses @{}", q.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_adjacent_mode_emits_low_register_writes() {
+        let opts = ProgGenOptions {
+            qreg_floor: 10,
+            allow_qat_faults: true,
+            len: 400,
+            ..Default::default()
+        };
+        let mut hit = false;
+        for seed in 1..=10u64 {
+            for i in random_program(seed, &opts) {
+                hit |= i.qwrites().iter().any(|q| q.0 < 10);
+            }
+        }
+        assert!(hit, "no fault-adjacent write in 10 seeds x 400 insns");
+    }
+
+    #[test]
+    fn profiles_bias_the_mix() {
+        let count = |profile: Profile, pred: &dyn Fn(&Insn) -> bool| -> usize {
+            let opts = ProgGenOptions { len: 400, profile, ..Default::default() };
+            (1..=5u64)
+                .flat_map(|s| random_program(s, &opts))
+                .filter(|i| pred(i))
+                .count()
+        };
+        let qat = |i: &Insn| i.is_qat();
+        let mem = |i: &Insn| i.is_mem();
+        let ctl = |i: &Insn| matches!(i, Insn::Brf { .. } | Insn::Brt { .. } | Insn::Jumpr { .. });
+        assert!(count(Profile::QatHeavy, &qat) > 2 * count(Profile::AluHeavy, &qat));
+        assert!(count(Profile::MemHeavy, &mem) > 2 * count(Profile::QatHeavy, &mem));
+        assert!(count(Profile::BranchHeavy, &ctl) > 2 * count(Profile::AluHeavy, &ctl));
+    }
+
+    #[test]
+    fn qat_only_programs_halt_and_stay_qat(){
+        for seed in 1..=10u64 {
+            let prog = random_qat_only_program(seed, 40, 6, 8);
+            for i in &prog {
+                assert!(
+                    i.is_qat() || matches!(i, Insn::Lex { .. } | Insn::Sys),
+                    "seed {seed}: {i:?}"
+                );
+            }
+            let words = encode_program(&prog);
+            let mut m = machine_for(&words, 6);
+            m.run().unwrap();
+            assert!(m.halted);
+        }
+    }
+
+    #[test]
+    fn reversible_programs_use_only_reversible_gates() {
+        for seed in 1..=10u64 {
+            let prog = random_reversible_qat_program(seed, 4, 6, 30);
+            let (prologue, rest) = prog.split_at(6);
+            for i in prologue {
+                assert!(matches!(
+                    i,
+                    Insn::QZero { .. } | Insn::QOne { .. } | Insn::QHad { .. }
+                ));
+            }
+            for i in rest {
+                assert!(
+                    matches!(
+                        i,
+                        Insn::QNot { .. }
+                            | Insn::QCnot { .. }
+                            | Insn::QCcnot { .. }
+                            | Insn::QSwap { .. }
+                            | Insn::QCswap { .. }
+                            | Insn::Sys
+                    ),
+                    "seed {seed}: {i:?}"
+                );
+            }
+            // Operands of the controlled gates are pairwise distinct.
+            for i in rest {
+                match i {
+                    Insn::QCnot { a, b } | Insn::QSwap { a, b } => assert_ne!(a, b),
+                    Insn::QCcnot { a, b, c } | Insn::QCswap { a, b, c } => {
+                        assert!(a != b && b != c && a != c);
+                    }
+                    _ => {}
+                }
             }
         }
     }

@@ -1,0 +1,324 @@
+//! Test-case shrinking for divergence reproducers.
+//!
+//! Given a failing program and a predicate that re-checks the failure, the
+//! shrinker alternates two passes until a fixpoint:
+//!
+//! 1. **Delta-debugging deletion** — remove chunks of instructions,
+//!    halving the chunk size from `len/2` down to single instructions.
+//! 2. **Operand simplification** — rewrite each surviving instruction
+//!    toward canonical operands (immediate → 0 or 1, registers → `$0`/`$1`,
+//!    Qat registers → `@0`, `had` channel-set → 0), keeping a rewrite only
+//!    if the failure still reproduces.
+//!
+//! The predicate runs whole programs, so candidates that stop failing —
+//! including ones that stop halting (both models hit the step limit
+//! identically, which is not a divergence) — are simply rejected.
+
+use tangled_isa::{Insn, QReg, Reg};
+
+/// Candidate one-instruction simplifications, strictly "simpler" than the
+/// input and excluding the input itself.
+fn simplify_candidates(insn: Insn) -> Vec<Insn> {
+    let r0 = Reg::new(0);
+    let r1 = Reg::new(1);
+    let q0 = QReg(0);
+    let mut out = Vec::new();
+    match insn {
+        Insn::Lex { d, imm } => {
+            for i in [0i8, 1] {
+                if imm != i {
+                    out.push(Insn::Lex { d, imm: i });
+                }
+            }
+            if d != r1 {
+                out.push(Insn::Lex { d: r1, imm });
+            }
+        }
+        Insn::Lhi { d, imm } => {
+            if imm != 0 {
+                out.push(Insn::Lhi { d, imm: 0 });
+            }
+            if d != r1 {
+                out.push(Insn::Lhi { d: r1, imm });
+            }
+        }
+        Insn::Add { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Add { d, s }),
+        Insn::Addf { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Addf { d, s }),
+        Insn::And { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::And { d, s }),
+        Insn::Copy { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Copy { d, s }),
+        Insn::Load { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Load { d, s }),
+        Insn::Mul { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Mul { d, s }),
+        Insn::Mulf { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Mulf { d, s }),
+        Insn::Or { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Or { d, s }),
+        Insn::Shift { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Shift { d, s }),
+        Insn::Slt { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Slt { d, s }),
+        Insn::Store { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Store { d, s }),
+        Insn::Xor { d, s } => simplify_ds(&mut out, d, s, |d, s| Insn::Xor { d, s }),
+        Insn::Float { d } if d != r1 => out.push(Insn::Float { d: r1 }),
+        Insn::Int { d } if d != r1 => out.push(Insn::Int { d: r1 }),
+        Insn::Neg { d } if d != r1 => out.push(Insn::Neg { d: r1 }),
+        Insn::Negf { d } if d != r1 => out.push(Insn::Negf { d: r1 }),
+        Insn::Not { d } if d != r1 => out.push(Insn::Not { d: r1 }),
+        Insn::Recip { d } if d != r1 => out.push(Insn::Recip { d: r1 }),
+        Insn::Jumpr { a } if a != r0 => out.push(Insn::Jumpr { a: r0 }),
+        Insn::Brf { c, off } => {
+            if c != r0 {
+                out.push(Insn::Brf { c: r0, off });
+            }
+            if off != 1 {
+                out.push(Insn::Brf { c, off: 1 });
+            }
+        }
+        Insn::Brt { c, off } => {
+            if c != r0 {
+                out.push(Insn::Brt { c: r0, off });
+            }
+            if off != 1 {
+                out.push(Insn::Brt { c, off: 1 });
+            }
+        }
+        Insn::QHad { a, k } => {
+            if k != 0 {
+                out.push(Insn::QHad { a, k: 0 });
+            }
+            if a != q0 {
+                out.push(Insn::QHad { a: q0, k });
+            }
+        }
+        Insn::QZero { a } if a != q0 => out.push(Insn::QZero { a: q0 }),
+        Insn::QOne { a } if a != q0 => out.push(Insn::QOne { a: q0 }),
+        Insn::QNot { a } if a != q0 => out.push(Insn::QNot { a: q0 }),
+        Insn::QMeas { d, a } => simplify_da(&mut out, d, a, |d, a| Insn::QMeas { d, a }),
+        Insn::QNext { d, a } => simplify_da(&mut out, d, a, |d, a| Insn::QNext { d, a }),
+        Insn::QPop { d, a } => simplify_da(&mut out, d, a, |d, a| Insn::QPop { d, a }),
+        Insn::QCnot { a, b } => simplify_qab(&mut out, a, b, |a, b| Insn::QCnot { a, b }),
+        Insn::QSwap { a, b } => simplify_qab(&mut out, a, b, |a, b| Insn::QSwap { a, b }),
+        Insn::QAnd { a, b, c } => simplify_qabc(&mut out, a, b, c, |a, b, c| Insn::QAnd { a, b, c }),
+        Insn::QOr { a, b, c } => simplify_qabc(&mut out, a, b, c, |a, b, c| Insn::QOr { a, b, c }),
+        Insn::QXor { a, b, c } => simplify_qabc(&mut out, a, b, c, |a, b, c| Insn::QXor { a, b, c }),
+        Insn::QCcnot { a, b, c } => {
+            simplify_qabc(&mut out, a, b, c, |a, b, c| Insn::QCcnot { a, b, c })
+        }
+        Insn::QCswap { a, b, c } => {
+            simplify_qabc(&mut out, a, b, c, |a, b, c| Insn::QCswap { a, b, c })
+        }
+        _ => {}
+    }
+    out
+}
+
+fn simplify_ds(out: &mut Vec<Insn>, d: Reg, s: Reg, mk: impl Fn(Reg, Reg) -> Insn) {
+    let r1 = Reg::new(1);
+    if d != r1 {
+        out.push(mk(r1, s));
+    }
+    if s != r1 {
+        out.push(mk(d, r1));
+    }
+}
+
+fn simplify_da(out: &mut Vec<Insn>, d: Reg, a: QReg, mk: impl Fn(Reg, QReg) -> Insn) {
+    if d != Reg::new(1) {
+        out.push(mk(Reg::new(1), a));
+    }
+    if a != QReg(0) {
+        out.push(mk(d, QReg(0)));
+    }
+}
+
+fn simplify_qab(out: &mut Vec<Insn>, a: QReg, b: QReg, mk: impl Fn(QReg, QReg) -> Insn) {
+    if a != QReg(0) {
+        out.push(mk(QReg(0), b));
+    }
+    if b != QReg(1) {
+        out.push(mk(a, QReg(1)));
+    }
+}
+
+fn simplify_qabc(
+    out: &mut Vec<Insn>,
+    a: QReg,
+    b: QReg,
+    c: QReg,
+    mk: impl Fn(QReg, QReg, QReg) -> Insn,
+) {
+    if a != QReg(0) {
+        out.push(mk(QReg(0), b, c));
+    }
+    if b != QReg(1) {
+        out.push(mk(a, QReg(1), c));
+    }
+    if c != QReg(2) {
+        out.push(mk(a, b, QReg(2)));
+    }
+}
+
+/// Operand-complexity measure; simplification only accepts rewrites that
+/// strictly decrease it, so the pass terminates.
+fn measure(insn: Insn) -> u64 {
+    let r = |x: Reg| x.num() as u64;
+    let q = |x: QReg| x.0 as u64;
+    match insn {
+        Insn::Lex { d, imm } => r(d) + imm.unsigned_abs() as u64,
+        Insn::Lhi { d, imm } => r(d) + imm as u64,
+        Insn::Brf { c, off } | Insn::Brt { c, off } => r(c) + off.unsigned_abs() as u64,
+        Insn::Add { d, s }
+        | Insn::Addf { d, s }
+        | Insn::And { d, s }
+        | Insn::Copy { d, s }
+        | Insn::Load { d, s }
+        | Insn::Mul { d, s }
+        | Insn::Mulf { d, s }
+        | Insn::Or { d, s }
+        | Insn::Shift { d, s }
+        | Insn::Slt { d, s }
+        | Insn::Store { d, s }
+        | Insn::Xor { d, s } => r(d) + r(s),
+        Insn::Float { d }
+        | Insn::Int { d }
+        | Insn::Neg { d }
+        | Insn::Negf { d }
+        | Insn::Not { d }
+        | Insn::Recip { d } => r(d),
+        Insn::Jumpr { a } => r(a),
+        Insn::Sys => 0,
+        Insn::QZero { a } | Insn::QOne { a } | Insn::QNot { a } => q(a),
+        Insn::QHad { a, k } => q(a) + k as u64,
+        Insn::QMeas { d, a } | Insn::QNext { d, a } | Insn::QPop { d, a } => r(d) + q(a),
+        Insn::QCnot { a, b } | Insn::QSwap { a, b } => q(a) + q(b),
+        Insn::QAnd { a, b, c }
+        | Insn::QOr { a, b, c }
+        | Insn::QXor { a, b, c }
+        | Insn::QCcnot { a, b, c }
+        | Insn::QCswap { a, b, c } => q(a) + q(b) + q(c),
+    }
+}
+
+/// Shrink `prog` while `still_fails` keeps returning `true`. The input
+/// itself must fail the predicate; the returned program always does.
+pub fn shrink(prog: &[Insn], mut still_fails: impl FnMut(&[Insn]) -> bool) -> Vec<Insn> {
+    debug_assert!(still_fails(prog), "shrink called with a passing program");
+    let mut cur = prog.to_vec();
+    // Fixpoint over deletion + simplification, bounded for pathological
+    // predicates (each round either shrinks or is the last).
+    for _round in 0..16 {
+        let mut changed = false;
+
+        // Pass 1: delta-debugging chunk deletion.
+        let mut chunk = (cur.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.len() {
+                let end = (i + chunk).min(cur.len());
+                let mut cand = Vec::with_capacity(cur.len() - (end - i));
+                cand.extend_from_slice(&cur[..i]);
+                cand.extend_from_slice(&cur[end..]);
+                if !cand.is_empty() && still_fails(&cand) {
+                    cur = cand;
+                    changed = true;
+                    // Re-test the same index: the next chunk slid into it.
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Pass 2: per-instruction operand simplification.
+        for i in 0..cur.len() {
+            loop {
+                let mut improved = false;
+                for cand_insn in simplify_candidates(cur[i]) {
+                    if measure(cand_insn) >= measure(cur[i]) {
+                        continue;
+                    }
+                    let mut cand = cur.clone();
+                    cand[i] = cand_insn;
+                    if still_fails(&cand) {
+                        cur = cand;
+                        changed = true;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn deletion_reduces_to_the_failing_core() {
+        // Predicate: program contains a Mul preceded (anywhere) by a Lex.
+        let prog = vec![
+            Insn::Copy { d: r(1), s: r(2) },
+            Insn::Lex { d: r(3), imm: 7 },
+            Insn::Add { d: r(1), s: r(2) },
+            Insn::Not { d: r(4) },
+            Insn::Mul { d: r(3), s: r(3) },
+            Insn::Neg { d: r(0) },
+            Insn::Sys,
+        ];
+        let fails = |p: &[Insn]| {
+            let lex = p.iter().position(|i| matches!(i, Insn::Lex { .. }));
+            let mul = p.iter().position(|i| matches!(i, Insn::Mul { .. }));
+            matches!((lex, mul), (Some(l), Some(m)) if l < m)
+        };
+        let small = shrink(&prog, fails);
+        assert_eq!(small.len(), 2, "{small:?}");
+        assert!(fails(&small));
+    }
+
+    #[test]
+    fn operands_are_simplified() {
+        let prog = vec![Insn::Lex { d: r(5), imm: -77 }, Insn::Sys];
+        // Predicate: any Lex present at all.
+        let fails = |p: &[Insn]| p.iter().any(|i| matches!(i, Insn::Lex { .. }));
+        let small = shrink(&prog, fails);
+        assert_eq!(small, vec![Insn::Lex { d: r(1), imm: 0 }]);
+    }
+
+    #[test]
+    fn shrunk_program_still_fails_forwarding_bug() {
+        use crate::difftest::{forwarding_bug_diverges, DiffConfig};
+        use crate::proggen::{random_program, ProgGenOptions};
+        // Find a seed whose program trips the forwarding-bug model, then
+        // shrink it: the acceptance bar is a reproducer of ≤ 8 insns.
+        let cfg = DiffConfig::default();
+        let mut found = false;
+        for seed in 1..=50u64 {
+            let prog = random_program(seed, &ProgGenOptions::default());
+            if !forwarding_bug_diverges(&prog, &cfg) {
+                continue;
+            }
+            let small = shrink(&prog, |p| forwarding_bug_diverges(p, &cfg));
+            assert!(
+                small.len() <= 8,
+                "seed {seed}: shrunk to {} insns: {small:?}",
+                small.len()
+            );
+            assert!(forwarding_bug_diverges(&small, &cfg));
+            found = true;
+            break;
+        }
+        assert!(found, "no seed in 1..=50 tripped the forwarding bug");
+    }
+}

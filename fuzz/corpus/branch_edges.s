@@ -1,0 +1,16 @@
+; ways 8
+; Branch edge cases: taken/not-taken in both senses, a numeric backward
+; offset closing a bounded countdown loop, and a branch whose offset
+; skips straight to the halt.
+lex $1,2
+lex $2,-1
+brf $1,2
+add $3,$1
+add $3,$1
+brt $0,1
+add $3,$3
+add $1,$2
+brt $1,-6
+brf $3,3
+lex $4,7
+sys

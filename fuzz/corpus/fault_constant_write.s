@@ -1,0 +1,9 @@
+; ways 8
+; constant-registers 1
+; A write to constant register @0 on a constant-register-file machine.
+; Every model must report the same fault identity at the same PC (word 2,
+; after the two lex words).
+lex $1,5
+lex $2,6
+zero @0
+sys

@@ -1,0 +1,12 @@
+; ways 8
+; Back-to-back RAW dependency chains — the canonical pipeline-forwarding
+; hazard. A model that reads a stale value of a register written by the
+; immediately preceding instruction diverges here (see
+; tangled_sim::difftest::ForwardingBugSim); all shipped models must agree.
+lex $1,21
+add $1,$1
+mul $1,$1
+lex $2,3
+xor $2,$1
+shift $2,$2
+sys

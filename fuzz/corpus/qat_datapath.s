@@ -1,0 +1,17 @@
+; ways 8
+; The three Tangled<->Qat datapaths (meas/next/pop) after a superposition
+; workout: had, entangling cnot/ccnot, and the two-word three-operand
+; gate forms (the @-sigil picks the Qat form of not/and/or/xor).
+lex $1,0
+had @16,3
+one @17
+cnot @18,@16
+ccnot @19,@16,@17
+and @20,@16,@17
+xor @21,@18,@19
+meas $2,@16
+next $3,@18
+pop $4,@21
+swap @16,@17
+meas $5,@17
+sys

@@ -1,0 +1,15 @@
+; ways 8
+; Data-page memory traffic: stores then dependent loads through the $6
+; page pointer, including a store->load to the same address with no gap
+; (a memory-forwarding hazard in a pipelined model).
+lhi $6,64
+lex $1,77
+store $1,$6
+load $2,$6
+lex $6,16
+lhi $6,64
+lex $3,-5
+store $3,$6
+load $4,$6
+add $4,$2
+sys

@@ -1,0 +1,341 @@
+//! `qat-fuzz` — the cross-model conformance fuzzer.
+//!
+//! Replays the checked-in reproducer corpus, then runs N random-program
+//! seeds through the full differential oracle (functional vs multi-cycle
+//! vs 4/5-stage pipelines, with periodic `qsim` state-vector and PBP
+//! word-level cross-checks of the Qat register file). Any divergence is
+//! minimized with the shrinker and written to the corpus as a reassemblable
+//! `.s` file. Exit status 0 means zero divergences.
+//!
+//! ```text
+//! qat-fuzz --seeds 1000                 # the acceptance run
+//! qat-fuzz --max-seconds 30             # CI smoke budget
+//! qat-fuzz --inject-forwarding-bug      # negative control: must be caught
+//! qat-fuzz --constant-registers         # fault-adjacent fuzzing
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tangled_qat::asm;
+use tangled_qat::isa::{disassemble, Insn};
+use tangled_qat::sim::difftest::{
+    compare_all, diff_outcomes, pbp_crosscheck, qsim_crosscheck, run_forwarding_bug,
+    run_functional, DiffConfig,
+};
+use tangled_qat::sim::proggen::{
+    encode_program, random_program, random_qat_only_program, random_reversible_qat_program,
+    ProgGenOptions, Profile,
+};
+use tangled_qat::sim::{shrink, Coverage};
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    len: usize,
+    ways: u32,
+    profile: Option<Profile>,
+    corpus: PathBuf,
+    replay: bool,
+    inject_forwarding_bug: bool,
+    constant_registers: bool,
+    max_seconds: u64,
+    cross_every: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            seeds: 200,
+            start_seed: 1,
+            len: 60,
+            ways: 8,
+            profile: None,
+            corpus: PathBuf::from("fuzz/corpus"),
+            replay: true,
+            inject_forwarding_bug: false,
+            constant_registers: false,
+            max_seconds: 0,
+            cross_every: 10,
+        }
+    }
+}
+
+const USAGE: &str = "\
+qat-fuzz — differential fuzzer for the Tangled/Qat simulator family
+
+USAGE: qat-fuzz [OPTIONS]
+
+OPTIONS:
+  --seeds N                random programs to run (default 200)
+  --start-seed S           first seed (default 1)
+  --len N                  body instructions per program (default 60)
+  --ways W                 Qat entanglement degree (default 8)
+  --profile P              balanced|alu|qat|branch|mem (default: round-robin)
+  --corpus DIR             reproducer corpus directory (default fuzz/corpus)
+  --no-replay              skip replaying the corpus first
+  --constant-registers     enable the §5 constant-register file and emit
+                           fault-adjacent Qat writes
+  --inject-forwarding-bug  negative control: run a deliberately broken
+                           model; exit 0 only if the harness catches it and
+                           shrinks the reproducer to <= 8 instructions
+  --max-seconds S          stop fuzzing after S seconds (0 = no limit)
+  --cross-every K          qsim/PBP cross-check every K seeds (default 10)
+  -h, --help               this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = val("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start-seed" => {
+                args.start_seed = val("--start-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--len" => args.len = val("--len")?.parse().map_err(|e| format!("{e}"))?,
+            "--ways" => args.ways = val("--ways")?.parse().map_err(|e| format!("{e}"))?,
+            "--profile" => {
+                let p = val("--profile")?;
+                args.profile =
+                    Some(Profile::parse(&p).ok_or_else(|| format!("unknown profile `{p}`"))?);
+            }
+            "--corpus" => args.corpus = PathBuf::from(val("--corpus")?),
+            "--no-replay" => args.replay = false,
+            "--constant-registers" => args.constant_registers = true,
+            "--inject-forwarding-bug" => args.inject_forwarding_bug = true,
+            "--max-seconds" => {
+                args.max_seconds = val("--max-seconds")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--cross-every" => {
+                args.cross_every = val("--cross-every")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.ways == 0 || args.ways > 16 {
+        return Err("--ways must be 1..=16".into());
+    }
+    Ok(args)
+}
+
+/// Write a minimized reproducer as a reassemblable `.s` file.
+fn write_reproducer(dir: &Path, name: &str, prog: &[Insn], header: &[String]) -> PathBuf {
+    let _ = std::fs::create_dir_all(dir);
+    let mut text = String::new();
+    for line in header {
+        text.push_str("; ");
+        text.push_str(line);
+        text.push('\n');
+    }
+    for &i in prog {
+        text.push_str(&disassemble(i));
+        text.push('\n');
+    }
+    let path = dir.join(format!("{name}.s"));
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// Parse `; key value` headers from a corpus file.
+fn corpus_header(text: &str, key: &str, default: u64) -> u64 {
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix(';'))
+        .filter_map(|l| l.trim().strip_prefix(key))
+        .find_map(|rest| rest.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Replay every `.s` file in the corpus through the oracle.
+fn replay_corpus(dir: &Path) -> Result<usize, String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Ok(0); // no corpus yet
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "s"))
+        .collect();
+    paths.sort();
+    let mut ran = 0;
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let img = asm::assemble(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let cfg = DiffConfig {
+            ways: corpus_header(&text, "ways", 8) as u32,
+            constant_registers: corpus_header(&text, "constant-registers", 0) != 0,
+            ..Default::default()
+        };
+        compare_all(&img.words, &cfg, None)
+            .map_err(|d| format!("{}: {d}", path.display()))?;
+        ran += 1;
+    }
+    Ok(ran)
+}
+
+/// Negative control: run the stale-read model, require a divergence, and
+/// require the shrinker to cut it to <= 8 instructions.
+fn injected_bug_run(args: &Args) -> ExitCode {
+    let cfg = DiffConfig {
+        ways: args.ways,
+        constant_registers: args.constant_registers,
+        ..Default::default()
+    };
+    let diverges = |p: &[Insn]| {
+        let words = encode_program(p);
+        let mc = cfg.machine_config();
+        let reference = run_functional(&words, mc, None);
+        let buggy = run_forwarding_bug(&words, mc);
+        diff_outcomes("forwarding-bug", &reference, &buggy).is_some()
+    };
+    for seed in args.start_seed..args.start_seed + args.seeds {
+        let opts = ProgGenOptions {
+            len: args.len,
+            ways: args.ways,
+            profile: args.profile.unwrap_or(Profile::AluHeavy),
+            ..Default::default()
+        };
+        let prog = random_program(seed, &opts);
+        if !diverges(&prog) {
+            continue;
+        }
+        let small = shrink(&prog, diverges);
+        let header = vec![
+            format!("minimized forwarding-bug reproducer, seed {seed}"),
+            format!("ways {}", args.ways),
+            format!("{} instructions (from {})", small.len(), prog.len()),
+        ];
+        let path = write_reproducer(&args.corpus, &format!("forwarding_bug_seed{seed}"), &small, &header);
+        println!(
+            "injected forwarding bug caught at seed {seed}; minimized {} -> {} insns ({})",
+            prog.len(),
+            small.len(),
+            path.display()
+        );
+        for i in &small {
+            println!("    {}", disassemble(*i));
+        }
+        return if small.len() <= 8 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("FAIL: reproducer longer than 8 instructions");
+            ExitCode::FAILURE
+        };
+    }
+    eprintln!("FAIL: injected forwarding bug never diverged in {} seeds", args.seeds);
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.inject_forwarding_bug {
+        return injected_bug_run(&args);
+    }
+
+    if args.replay {
+        match replay_corpus(&args.corpus) {
+            Ok(n) => println!("corpus: {n} reproducer(s) replayed clean"),
+            Err(e) => {
+                eprintln!("corpus replay divergence: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = DiffConfig {
+        ways: args.ways,
+        constant_registers: args.constant_registers,
+        ..Default::default()
+    };
+    let reserved = if args.constant_registers { 2 + args.ways as u8 } else { 0 };
+    let mut cov = Coverage::new();
+    let start = Instant::now();
+    let mut divergences = 0u64;
+    let mut ran = 0u64;
+    let profiles = Profile::all();
+
+    for seed in args.start_seed..args.start_seed + args.seeds {
+        if args.max_seconds > 0 && start.elapsed().as_secs() >= args.max_seconds {
+            println!("time budget reached after {ran} seeds");
+            break;
+        }
+        let profile = args
+            .profile
+            .unwrap_or_else(|| profiles[(seed % profiles.len() as u64) as usize]);
+        let opts = ProgGenOptions {
+            len: args.len,
+            ways: args.ways,
+            profile,
+            qreg_floor: reserved,
+            allow_qat_faults: args.constant_registers,
+            ..Default::default()
+        };
+        let prog = random_program(seed, &opts);
+        cov.note_generated(&prog);
+        let words = encode_program(&prog);
+        if let Err(d) = compare_all(&words, &cfg, Some(&mut cov)) {
+            divergences += 1;
+            eprintln!("seed {seed}: divergence {d}");
+            let small = shrink(&prog, |p| compare_all(&encode_program(p), &cfg, None).is_err());
+            let header = vec![
+                format!("divergence reproducer, seed {seed}, profile {profile:?}"),
+                format!("ways {}", args.ways),
+                format!("constant-registers {}", args.constant_registers as u8),
+                format!("{d}"),
+            ];
+            let path = write_reproducer(&args.corpus, &format!("div_seed{seed}"), &small, &header);
+            eprintln!("  minimized to {} insns: {}", small.len(), path.display());
+        }
+        ran += 1;
+
+        // Periodic Qat-only cross-checks against the external baselines.
+        if args.cross_every > 0 && seed % args.cross_every == 0 {
+            let rev = random_reversible_qat_program(seed, args.ways.min(4), 6, 25);
+            if let Err(e) = qsim_crosscheck(&rev, args.ways.min(4)) {
+                divergences += 1;
+                eprintln!("seed {seed}: qsim cross-check divergence: {e}");
+                let header =
+                    vec![format!("qsim cross-check divergence, seed {seed}"), e.clone()];
+                write_reproducer(&args.corpus, &format!("qsim_seed{seed}"), &rev, &header);
+            }
+            let ways = args.ways.max(6); // the RE layer needs >= one chunk
+            let qat_only = random_qat_only_program(seed, 40, ways, 8);
+            if let Err(e) = pbp_crosscheck(&qat_only, ways) {
+                divergences += 1;
+                eprintln!("seed {seed}: PBP cross-check divergence: {e}");
+                let header =
+                    vec![format!("PBP cross-check divergence, seed {seed}"), e.clone()];
+                write_reproducer(&args.corpus, &format!("pbp_seed{seed}"), &qat_only, &header);
+            }
+        }
+    }
+
+    println!(
+        "\n{ran} seeds fuzzed in {:.1}s, {divergences} divergence(s)",
+        start.elapsed().as_secs_f64()
+    );
+    print!("{}", cov.report());
+
+    if divergences > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,49 @@
+//! Replay the checked-in minimized-reproducer corpus (`fuzz/corpus/*.s`)
+//! through the differential oracle. Every file is a program that once
+//! exposed (or canonically represents) a cross-model hazard; they must
+//! all assemble and agree across the full model matrix forever.
+
+use std::path::PathBuf;
+use tangled_qat::asm;
+use tangled_qat::sim::difftest::{compare_all, DiffConfig};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus")
+}
+
+/// `; key value` headers let a reproducer pin its machine configuration.
+fn header(text: &str, key: &str, default: u64) -> u64 {
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix(';'))
+        .filter_map(|l| l.trim().strip_prefix(key))
+        .find_map(|rest| rest.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn corpus_exists_and_replays_clean() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("fuzz/corpus directory is checked in")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "s"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 5,
+        "expected the seed corpus (>= 5 reproducers), found {}",
+        paths.len()
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let img = asm::assemble(&text)
+            .unwrap_or_else(|e| panic!("{}: assembly failed: {e}", path.display()));
+        let cfg = DiffConfig {
+            ways: header(&text, "ways", 8) as u32,
+            constant_registers: header(&text, "constant-registers", 0) != 0,
+            ..Default::default()
+        };
+        if let Err(d) = compare_all(&img.words, &cfg, None) {
+            panic!("{}: {d}", path.display());
+        }
+    }
+}
