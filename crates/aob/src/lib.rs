@@ -45,9 +45,12 @@ pub mod energy;
 pub mod entropy;
 pub mod gates;
 pub mod hadamard;
+pub mod intern;
 pub mod measure;
 pub mod parallel;
 
 pub use bitvec::{Aob, MAX_WAYS};
 pub use energy::{EnergyMeter, EnergyModel};
 pub use entropy::EntropyReport;
+pub use intern::{ChunkId, ChunkStore, GateOp, InternStats, ID_ONE, ID_ZERO};
+pub use parallel::ParallelError;

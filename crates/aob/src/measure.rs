@@ -24,6 +24,22 @@ impl Aob {
     /// greater than** `d` holding a 1; `0` if no such channel exists
     /// (paper §2.7).
     ///
+    /// # The `0` sentinel
+    ///
+    /// The return value `0` is overloaded in the paper's ISA: it means "no
+    /// later 1-channel". This is unambiguous **only** because a real hit on
+    /// channel 0 is unreachable — results are strictly greater than `d`
+    /// and `d` is unsigned, so the smallest reportable channel is 1. A
+    /// 1-valued channel 0 is therefore *invisible* to `next`, and §2.7
+    /// resolves that by pairing `next` with `meas(0)` (see
+    /// [`Aob::any_via_next`]). Three consequences pinned by tests:
+    ///
+    /// * `d >= len - 1` always returns `0` (nothing lies strictly after),
+    /// * an all-zeros vector returns `0` for every `d`,
+    /// * a vector whose only 1 is channel 0 returns `0` everywhere — a
+    ///   caller must follow up with `meas(0)` to distinguish it from
+    ///   all-zeros.
+    ///
     /// The implementation mirrors the Figure-8 hardware: mask off channels
     /// `0..=d` (the barrel-shifter step), then count trailing zeros
     /// word-by-word (the recursive-decomposition step).
@@ -212,6 +228,68 @@ mod tests {
                 let a = Aob::hadamard(ways, k);
                 for d in 0..a.len().min(300) {
                     assert_eq!(a.next(d), a.next_reference(d), "ways={ways} k={k} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_sentinel_edge_cases_match_reference() {
+        // The three sentinel-ambiguity cases from the `next` docs, each
+        // checked against the per-bit oracle so the invariant can't
+        // silently drift between the fast path and the reference.
+        for ways in [3u32, 6, 8, 10] {
+            let len = 1u64 << ways;
+
+            // d >= len-1: nothing can lie strictly after.
+            let full = Aob::ones(ways);
+            for d in [len - 1, len, len + 7, u64::MAX] {
+                assert_eq!(full.next(d), 0, "ways={ways} d={d}");
+                assert_eq!(full.next(d), full.next_reference(d));
+            }
+
+            // All-zeros: 0 for every probe position.
+            let zero = Aob::zeros(ways);
+            for d in [0u64, 1, len / 2, len - 2, len - 1, u64::MAX] {
+                assert_eq!(zero.next(d), 0, "ways={ways} d={d}");
+                assert_eq!(zero.next(d), zero.next_reference(d));
+            }
+
+            // Channel-0-only: indistinguishable from all-zeros via next
+            // alone; meas(0) is the §2.7 disambiguator.
+            let mut only0 = Aob::zeros(ways);
+            only0.set(0, true);
+            for d in [0u64, 1, len - 2, len - 1] {
+                assert_eq!(only0.next(d), 0, "ways={ways} d={d}");
+                assert_eq!(only0.next(d), only0.next_reference(d));
+            }
+            assert_ne!(only0.meas(0), zero.meas(0));
+            assert_ne!(only0.any_via_next(), zero.any_via_next());
+
+            // Top-bit-only: the last channel is reachable from every
+            // earlier probe but not from itself.
+            let mut top = Aob::zeros(ways);
+            top.set(len - 1, true);
+            for d in [0u64, len / 2, len - 2] {
+                assert_eq!(top.next(d), len - 1, "ways={ways} d={d}");
+                assert_eq!(top.next(d), top.next_reference(d));
+            }
+            assert_eq!(top.next(len - 1), 0);
+            assert_eq!(top.next(len - 1), top.next_reference(len - 1));
+        }
+    }
+
+    #[test]
+    fn next_zero_result_is_always_the_sentinel() {
+        // Sweep assorted patterns: whenever next returns 0 the suffix
+        // strictly after d really is all-zeros (0 is never a real hit).
+        for ways in [4u32, 8] {
+            for k in 0..ways {
+                let a = Aob::hadamard(ways, k);
+                for d in 0..a.len() {
+                    if a.next(d) == 0 {
+                        assert_eq!(a.pop_after(d), 0, "ways={ways} k={k} d={d}");
+                    }
                 }
             }
         }

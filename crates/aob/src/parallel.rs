@@ -12,57 +12,111 @@
 //! Below [`PAR_THRESHOLD_WORDS`] the scalar path is used — thread spawn
 //! overhead dwarfs the work for small vectors, and benches confirm the
 //! crossover.
+//!
+//! A panicking worker thread surfaces as a [`ParallelError`] from the
+//! `par_*` entry points rather than a nested panic, so callers embedding
+//! the library (the simulator, the fuzzer) can degrade gracefully.
 
 use crate::bitvec::Aob;
+use std::fmt;
 
 /// Minimum word count before threads are spawned. 2^16 words = 2^22 bits.
 pub const PAR_THRESHOLD_WORDS: usize = 1 << 16;
 
-fn par_zip_into(dst: &mut [u64], src: &[u64], threads: usize, op: fn(u64, u64) -> u64) {
+/// A worker thread of a parallel AoB operation panicked.
+///
+/// When this is returned from a `par_*_assign` operation the destination
+/// vector may have been partially updated and should be discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelError {
+    /// Panic payload rendered as text, when it was a string.
+    pub detail: String,
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel AoB worker thread panicked: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+fn payload_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn par_zip_into(
+    dst: &mut [u64],
+    src: &[u64],
+    threads: usize,
+    op: fn(u64, u64) -> u64,
+) -> Result<(), ParallelError> {
     assert_eq!(dst.len(), src.len());
     if dst.len() < PAR_THRESHOLD_WORDS || threads <= 1 {
         for (d, s) in dst.iter_mut().zip(src) {
             *d = op(*d, *s);
         }
-        return;
+        return Ok(());
     }
     let chunk = dst.len().div_ceil(threads);
     crossbeam::scope(|scope| {
-        for (dc, sc) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (d, s) in dc.iter_mut().zip(sc) {
-                    *d = op(*d, *s);
-                }
-            });
+        let handles: Vec<_> = dst
+            .chunks_mut(chunk)
+            .zip(src.chunks(chunk))
+            .map(|(dc, sc)| {
+                scope.spawn(move |_| {
+                    for (d, s) in dc.iter_mut().zip(sc) {
+                        *d = op(*d, *s);
+                    }
+                })
+            })
+            .collect();
+        // Join every worker before reporting, so no thread outlives the
+        // borrowed slices even when one of them panicked.
+        let mut err = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                err.get_or_insert_with(|| ParallelError { detail: payload_text(&*p) });
+            }
+        }
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     })
-    .expect("worker thread panicked");
+    .unwrap_or_else(|p| Err(ParallelError { detail: payload_text(&*p) }))
 }
 
 impl Aob {
     /// Parallel `self &= b` across `threads` threads.
-    pub fn par_and_assign(&mut self, b: &Aob, threads: usize) {
+    pub fn par_and_assign(&mut self, b: &Aob, threads: usize) -> Result<(), ParallelError> {
         self.check_same_ways(b);
-        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x & y);
+        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x & y)
     }
 
     /// Parallel `self |= b`.
-    pub fn par_or_assign(&mut self, b: &Aob, threads: usize) {
+    pub fn par_or_assign(&mut self, b: &Aob, threads: usize) -> Result<(), ParallelError> {
         self.check_same_ways(b);
-        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x | y);
+        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x | y)
     }
 
     /// Parallel `self ^= b`.
-    pub fn par_xor_assign(&mut self, b: &Aob, threads: usize) {
+    pub fn par_xor_assign(&mut self, b: &Aob, threads: usize) -> Result<(), ParallelError> {
         self.check_same_ways(b);
-        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x ^ y);
+        par_zip_into(self.words_mut(), b.words(), threads, |x, y| x ^ y)
     }
 
     /// Parallel population count.
-    pub fn par_pop_all(&self, threads: usize) -> u64 {
+    pub fn par_pop_all(&self, threads: usize) -> Result<u64, ParallelError> {
         let words = self.words();
         if words.len() < PAR_THRESHOLD_WORDS || threads <= 1 {
-            return self.pop_all();
+            return Ok(self.pop_all());
         }
         let chunk = words.len().div_ceil(threads);
         crossbeam::scope(|scope| {
@@ -70,9 +124,22 @@ impl Aob {
                 .chunks(chunk)
                 .map(|c| scope.spawn(move |_| c.iter().map(|w| w.count_ones() as u64).sum::<u64>()))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
+            let mut total = 0u64;
+            let mut err = None;
+            for h in handles {
+                match h.join() {
+                    Ok(n) => total += n,
+                    Err(p) => {
+                        err.get_or_insert_with(|| ParallelError { detail: payload_text(&*p) });
+                    }
+                }
+            }
+            match err {
+                None => Ok(total),
+                Some(e) => Err(e),
+            }
         })
-        .expect("worker thread panicked")
+        .unwrap_or_else(|p| Err(ParallelError { detail: payload_text(&*p) }))
     }
 }
 
@@ -99,22 +166,22 @@ mod tests {
             let mut seq = a0.clone();
             seq.xor_assign(&b);
             let mut par = a0.clone();
-            par.par_xor_assign(&b, threads);
+            par.par_xor_assign(&b, threads).unwrap();
             assert_eq!(seq, par, "threads={threads}");
 
             let mut seq = a0.clone();
             seq.and_assign(&b);
             let mut par = a0.clone();
-            par.par_and_assign(&b, threads);
+            par.par_and_assign(&b, threads).unwrap();
             assert_eq!(seq, par);
 
             let mut seq = a0.clone();
             seq.or_assign(&b);
             let mut par = a0.clone();
-            par.par_or_assign(&b, threads);
+            par.par_or_assign(&b, threads).unwrap();
             assert_eq!(seq, par);
 
-            assert_eq!(a0.pop_all(), a0.par_pop_all(threads));
+            assert_eq!(a0.pop_all(), a0.par_pop_all(threads).unwrap());
         }
     }
 
@@ -124,8 +191,30 @@ mod tests {
         let a0 = Aob::hadamard(10, 3);
         let b = Aob::hadamard(10, 7);
         let mut par = a0.clone();
-        par.par_xor_assign(&b, 8);
+        par.par_xor_assign(&b, 8).unwrap();
         assert_eq!(par, Aob::xor_of(&a0, &b));
-        assert_eq!(a0.par_pop_all(8), a0.pop_all());
+        assert_eq!(a0.par_pop_all(8).unwrap(), a0.pop_all());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error() {
+        // Drive the internal splitter with an op that panics on a value
+        // that only some chunks contain, so real worker threads die.
+        let n = PAR_THRESHOLD_WORDS + 17;
+        let mut dst = vec![0u64; n];
+        dst[n - 1] = u64::MAX; // lands in the last thread's chunk
+        let src = vec![1u64; n];
+        let before_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let r = par_zip_into(&mut dst, &src, 4, |x, _| {
+            if x == u64::MAX {
+                panic!("injected worker failure");
+            }
+            x
+        });
+        std::panic::set_hook(before_hook);
+        let err = r.unwrap_err();
+        assert!(err.detail.contains("injected worker failure"), "{err}");
+        assert!(err.to_string().contains("worker thread panicked"));
     }
 }

@@ -128,8 +128,8 @@ proptest! {
         let mut s = a0.clone();
         s.xor_assign(&b);
         let mut p = a0.clone();
-        p.par_xor_assign(&b, threads);
+        p.par_xor_assign(&b, threads).unwrap();
         prop_assert_eq!(s, p);
-        prop_assert_eq!(a0.pop_all(), a0.par_pop_all(threads));
+        prop_assert_eq!(a0.pop_all(), a0.par_pop_all(threads).unwrap());
     }
 }

@@ -57,7 +57,7 @@ fn bench_gates(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("xor_threads", threads), &threads, |bch, &t| {
             bch.iter(|| {
                 let mut x = a.clone();
-                x.par_xor_assign(black_box(&b), t);
+                x.par_xor_assign(black_box(&b), t).unwrap();
                 x
             })
         });

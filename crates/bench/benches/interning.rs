@@ -1,0 +1,180 @@
+//! Interning benchmark: the hash-consed Qat register file versus eager
+//! AoB evaluation, on the two workloads where memoization matters.
+//!
+//! * `repeated_gate` — a fixed block of Table-3 gates over constant-derived
+//!   operands, executed many times. Eager mode re-runs the `2^WAYS`-bit
+//!   word kernels every iteration; interned mode answers every warm
+//!   iteration from the op cache.
+//! * `factoring` — the compiled factoring program end to end, both modes
+//!   (gates mostly don't repeat here, so this bounds the overhead side).
+//!
+//! Criterion's shim cannot expose measured durations, so this is a plain
+//! `main` with manual `Instant` timing (best of several repetitions),
+//! emitting `BENCH_interning.json` at the repository root via the
+//! serde-free JSON writer.
+//!
+//! Flags (after `--`): `--quick` shrinks the workload for CI smoke runs,
+//! `--check` exits nonzero unless interned repeated-gate beats eager,
+//! `--out PATH` overrides the artifact path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use qat_coproc::{QatConfig, QatCoprocessor};
+use tangled_bench::json::Json;
+use tangled_bench::{assemble, factor15_asm, factor221_asm};
+use tangled_isa::{Insn, QReg};
+use tangled_sim::{Machine, MachineConfig};
+
+const WAYS: u32 = 16;
+
+fn q(n: u8) -> QReg {
+    QReg(n)
+}
+
+/// The repeated block: one of each Table-3 gate class, sources drawn from
+/// the Hadamard-initialized registers. Destinations either are not sources
+/// (`and`/`xor`/`or`/`ccnot`) or oscillate with period 2 (`cnot`, `not`,
+/// `cswap`), so from the second iteration on every interned gate is a
+/// cache hit.
+fn gate_block() -> Vec<Insn> {
+    vec![
+        Insn::QAnd { a: q(10), b: q(2), c: q(3) },
+        Insn::QXor { a: q(11), b: q(4), c: q(5) },
+        Insn::QOr { a: q(12), b: q(6), c: q(7) },
+        Insn::QCnot { a: q(13), b: q(8) },
+        Insn::QCcnot { a: q(14), b: q(2), c: q(5) },
+        Insn::QNot { a: q(12) },
+        Insn::QCswap { a: q(15), b: q(16), c: q(2) },
+    ]
+}
+
+fn coproc(interning: bool) -> QatCoprocessor {
+    let cfg = QatConfig { interning, ..QatConfig::with_ways(WAYS) };
+    let mut c = QatCoprocessor::new(cfg);
+    for k in 0..8u8 {
+        c.execute(Insn::QHad { a: q(2 + k), k }, 0).unwrap();
+    }
+    c
+}
+
+/// Wall time in ns for `iters` runs of the gate block, best of `reps`
+/// fresh coprocessors. Returns the last coprocessor for stats inspection.
+fn time_repeated(interning: bool, iters: u32, reps: u32) -> (f64, QatCoprocessor) {
+    let block = gate_block();
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let mut c = coproc(interning);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for insn in &block {
+                black_box(c.execute(*insn, 0).unwrap());
+            }
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64);
+        last = Some(c);
+    }
+    (best, last.unwrap())
+}
+
+/// Wall time in ns for one end-to-end run of an assembled program.
+fn time_factoring(words: &[u16], ways: u32, interning: bool, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    let cfg = MachineConfig {
+        qat: QatConfig { interning, ..QatConfig::with_ways(ways) },
+        max_steps: 50_000_000,
+    };
+    for _ in 0..reps {
+        let mut m = Machine::with_image(cfg, words);
+        let t0 = Instant::now();
+        m.run().expect("factoring program halts");
+        best = best.min(t0.elapsed().as_nanos() as f64);
+        black_box(m.regs);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interning.json").to_string()
+        });
+
+    let (iters, reps) = if quick { (300, 3) } else { (3000, 5) };
+    let (eager_ns, _) = time_repeated(false, iters, reps);
+    let (interned_ns, warm) = time_repeated(true, iters, reps);
+    let stats = warm.intern_stats().expect("interned mode has a store");
+    let speedup = eager_ns / interned_ns.max(1.0);
+    eprintln!(
+        "repeated_gate: eager {:.1} ns/block, interned {:.1} ns/block ({speedup:.1}x), \
+         hit rate {:.1}%",
+        eager_ns / iters as f64,
+        interned_ns / iters as f64,
+        stats.hit_rate() * 100.0,
+    );
+
+    // Factoring: the quick profile uses the 4-bit/8-way program so the CI
+    // smoke step stays fast; the full profile runs the paper's 221 case at
+    // the full 16-way degree.
+    let (n, fways, src) =
+        if quick { (15u64, 8, factor15_asm()) } else { (221u64, 16, factor221_asm()) };
+    let words = assemble(&src);
+    let f_eager = time_factoring(&words, fways, false, if quick { 2 } else { 3 });
+    let f_interned = time_factoring(&words, fways, true, if quick { 2 } else { 3 });
+    let f_speedup = f_eager / f_interned.max(1.0);
+    eprintln!(
+        "factoring({n}): eager {:.2} ms, interned {:.2} ms ({f_speedup:.2}x)",
+        f_eager / 1e6,
+        f_interned / 1e6,
+    );
+
+    let doc = Json::obj([
+        ("quick", Json::Bool(quick)),
+        (
+            "repeated_gate",
+            Json::obj([
+                ("ways", WAYS.into()),
+                ("iters", u64::from(iters).into()),
+                ("gates_per_iter", gate_block().len().into()),
+                ("eager_ns", eager_ns.into()),
+                ("interned_ns", interned_ns.into()),
+                ("speedup", speedup.into()),
+                (
+                    "intern",
+                    Json::obj([
+                        ("hits", stats.hits.into()),
+                        ("misses", stats.misses.into()),
+                        ("evictions", stats.evictions.into()),
+                        ("chunks", stats.chunks.into()),
+                        ("dedup_hits", stats.dedup_hits.into()),
+                        ("hit_rate", stats.hit_rate().into()),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "factoring",
+            Json::obj([
+                ("n", n.into()),
+                ("ways", u32::try_from(fways).unwrap().into()),
+                ("eager_ns", f_eager.into()),
+                ("interned_ns", f_interned.into()),
+                ("speedup", f_speedup.into()),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
+    eprintln!("wrote {out}");
+
+    if check && speedup <= 1.0 {
+        eprintln!("CHECK FAILED: interned repeated-gate not faster than eager ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

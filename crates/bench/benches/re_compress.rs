@@ -98,7 +98,7 @@ fn bench_tree(c: &mut Criterion) {
             let a = t.hadamard(e, 6);
             let hb = t.hadamard(e, e - 1);
             b.iter(|| {
-                let c = t.and(black_box(&a), black_box(&hb));
+                let c = t.and(black_box(&a), black_box(&hb)).unwrap();
                 black_box(t.pop_all(&c))
             })
         });
@@ -106,7 +106,7 @@ fn bench_tree(c: &mut Criterion) {
             let mut t = TreeCtx::new();
             let a = t.hadamard(e, 6);
             let hb = t.hadamard(e, e - 1);
-            let c = t.and(&a, &hb);
+            let c = t.and(&a, &hb).unwrap();
             b.iter(|| t.next(black_box(&c), black_box(1)))
         });
     }

@@ -10,13 +10,18 @@
 //! computing reduces both storage requirements and computational
 //! complexity by as much as an exponential factor."
 //!
-//! * Chunks are 64-bit words, **hash-consed** in a [`PbpContext`] symbol
-//!   table (the prototype used 4096-bit chunks; the paper's own hardware
-//!   proposal is that 65,536-bit AoB values become the RE symbols — the
-//!   chunk size is a representation parameter, and 64 bits maps naturally
-//!   onto host words).
-//! * Gate operations act symbol-wise with memoization, so an operation on
-//!   two pbits costs `O(runs)` — independent of `2^E`.
+//! * Chunks are 64-bit words, **hash-consed** in a shared
+//!   [`pbp_aob::ChunkStore`] — the same content-addressed store that backs
+//!   the Qat register file, here at [`CHUNK_WAYS`]-way degree. An RE
+//!   symbol ([`Sym`]) **is** a store [`pbp_aob::ChunkId`], so
+//!   run-length-compressed values beyond `WAYS` share chunks structurally
+//!   with everything else interned in the context (the prototype used
+//!   4096-bit chunks; the paper's own hardware proposal is that 65,536-bit
+//!   AoB values become the RE symbols — the chunk size is a representation
+//!   parameter, and 64 bits maps naturally onto host words).
+//! * Gate operations act symbol-wise with memoization (the store's op
+//!   cache), so an operation on two pbits costs `O(runs)` — independent of
+//!   `2^E`.
 //! * Measurement (`get`/`next`/`pop`/`any`/`all`) walks runs, giving the
 //!   `O(1)`-ish summaries of §2.7 even for huge universes.
 //! * The [`Pint`] word-level API reproduces the Figure 9 programming
@@ -34,47 +39,39 @@ pub mod tree;
 pub use algos::Cnf;
 pub use pint::{MeasuredValue, Pint};
 pub use re::Re;
-pub use tree::{PTree, TPint, TreeCtx};
+pub use tree::{PTree, TPint, TreeCtx, TreeError};
 
-use std::collections::HashMap;
+use pbp_aob::{ChunkId, ChunkStore, GateOp, InternStats};
 
 /// Chunk width in bits (one symbol covers this many entanglement channels).
 pub const CHUNK_BITS: u64 = 64;
 /// log2 of the chunk width.
 pub const CHUNK_WAYS: u32 = 6;
 
-/// Interned chunk-symbol id.
-pub type Sym = u32;
+/// Interned chunk-symbol id — a [`ChunkStore`] id, so RE symbols are store
+/// ids and chunk sharing is structural.
+pub type Sym = ChunkId;
 
-/// Binary gate selector for memoized symbol ops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum BinOp {
-    And,
-    Or,
-    Xor,
-}
+/// Binary gate selector for memoized symbol ops (alias of the store's).
+pub(crate) type BinOp = GateOp;
 
-/// The PBP execution context: universe size, the hash-consed symbol table,
-/// operation memo tables, and the entanglement-channel allocator.
+/// The PBP execution context: universe size, the hash-consed symbol store
+/// (with its memoized gate kernels), and the entanglement-channel
+/// allocator.
 #[derive(Debug)]
 pub struct PbpContext {
     universe_ways: u32,
-    /// Symbol id → chunk pattern.
-    syms: Vec<u64>,
-    /// Chunk pattern → symbol id (hash-consing).
-    intern: HashMap<u64, Sym>,
-    /// Memoized binary symbol ops.
-    bin_memo: HashMap<(BinOp, Sym, Sym), Sym>,
-    /// Memoized NOT.
-    not_memo: HashMap<Sym, Sym>,
+    /// Hash-consed chunk symbols + memoized symbol ops, at [`CHUNK_WAYS`]
+    /// degree (one 64-bit word per chunk).
+    store: ChunkStore,
     /// Next unallocated entanglement-channel dimension.
     next_dim: u32,
 }
 
-/// Symbol id of the all-zeros chunk (always 0).
-pub const SYM_ZERO: Sym = 0;
-/// Symbol id of the all-ones chunk (always 1).
-pub const SYM_ONE: Sym = 1;
+/// Symbol id of the all-zeros chunk (the store's canonical zero).
+pub const SYM_ZERO: Sym = pbp_aob::ID_ZERO;
+/// Symbol id of the all-ones chunk (the store's canonical one).
+pub const SYM_ONE: Sym = pbp_aob::ID_ONE;
 
 impl PbpContext {
     /// A context whose universe has `2^universe_ways` entanglement
@@ -86,19 +83,9 @@ impl PbpContext {
             (CHUNK_WAYS..=40).contains(&universe_ways),
             "universe_ways must be in {CHUNK_WAYS}..=40, got {universe_ways}"
         );
-        let mut ctx = PbpContext {
-            universe_ways,
-            syms: Vec::new(),
-            intern: HashMap::new(),
-            bin_memo: HashMap::new(),
-            not_memo: HashMap::new(),
-            next_dim: 0,
-        };
-        let z = ctx.sym(0);
-        let o = ctx.sym(u64::MAX);
-        debug_assert_eq!(z, SYM_ZERO);
-        debug_assert_eq!(o, SYM_ONE);
-        ctx
+        // The store pre-interns the constant bank [0, 1, H(0)..H(5)], so
+        // SYM_ZERO / SYM_ONE are its canonical first two ids.
+        PbpContext { universe_ways, store: ChunkStore::new(CHUNK_WAYS), next_dim: 0 }
     }
 
     /// log2 of the number of entanglement channels.
@@ -116,52 +103,36 @@ impl PbpContext {
         1u64 << (self.universe_ways - CHUNK_WAYS)
     }
 
-    /// Number of distinct chunk symbols interned so far.
+    /// Number of distinct chunk symbols interned so far (includes the
+    /// store's 8-entry constant bank).
     pub fn symbol_count(&self) -> usize {
-        self.syms.len()
+        self.store.len()
+    }
+
+    /// Cache hit/miss/eviction counters of the symbol store.
+    pub fn intern_stats(&self) -> InternStats {
+        self.store.stats()
     }
 
     /// Intern a chunk pattern.
     pub(crate) fn sym(&mut self, chunk: u64) -> Sym {
-        if let Some(&s) = self.intern.get(&chunk) {
-            return s;
-        }
-        let id = self.syms.len() as Sym;
-        self.syms.push(chunk);
-        self.intern.insert(chunk, id);
-        id
+        self.store.intern_word(chunk)
     }
 
     /// Pattern of a symbol.
     #[inline]
     pub(crate) fn pattern(&self, s: Sym) -> u64 {
-        self.syms[s as usize]
+        self.store.aob(s).words()[0]
     }
 
     /// Memoized binary op on symbols.
     pub(crate) fn bin_sym(&mut self, op: BinOp, a: Sym, b: Sym) -> Sym {
-        if let Some(&s) = self.bin_memo.get(&(op, a, b)) {
-            return s;
-        }
-        let (x, y) = (self.pattern(a), self.pattern(b));
-        let r = match op {
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-        };
-        let s = self.sym(r);
-        self.bin_memo.insert((op, a, b), s);
-        s
+        self.store.binop(op, a, b)
     }
 
     /// Memoized NOT on a symbol.
     pub(crate) fn not_sym(&mut self, a: Sym) -> Sym {
-        if let Some(&s) = self.not_memo.get(&a) {
-            return s;
-        }
-        let s = self.sym(!self.pattern(a));
-        self.not_memo.insert(a, s);
-        s
+        self.store.not(a)
     }
 
     /// Allocate `n` fresh entanglement-channel dimensions (the "disjoint
@@ -194,12 +165,15 @@ impl PbpContext {
 mod tests {
     use super::*;
 
+    /// The store's preloaded constant bank: 0, 1, H(0)..H(5).
+    const BANK: usize = 8;
+
     #[test]
     fn context_basics() {
         let ctx = PbpContext::new(16);
         assert_eq!(ctx.channels(), 65_536);
         assert_eq!(ctx.total_chunks(), 1024);
-        assert_eq!(ctx.symbol_count(), 2); // zero + one preinterned
+        assert_eq!(ctx.symbol_count(), BANK);
     }
 
     #[test]
@@ -214,7 +188,17 @@ mod tests {
         let a = ctx.sym(0xDEAD_BEEF);
         let b = ctx.sym(0xDEAD_BEEF);
         assert_eq!(a, b);
-        assert_eq!(ctx.symbol_count(), 3);
+        assert_eq!(ctx.symbol_count(), BANK + 1);
+    }
+
+    #[test]
+    fn canonical_symbols_match_store_bank() {
+        let mut ctx = PbpContext::new(8);
+        assert_eq!(ctx.sym(0), SYM_ZERO);
+        assert_eq!(ctx.sym(u64::MAX), SYM_ONE);
+        // H(0)'s chunk word is the store's canonical H(0).
+        let h0 = ctx.sym(pbp_aob::hadamard::LANE[0]);
+        assert_eq!(h0.raw(), 2);
     }
 
     #[test]
@@ -227,6 +211,7 @@ mod tests {
         assert_eq!(r1, a);
         let n = ctx.not_sym(SYM_ZERO);
         assert_eq!(n, SYM_ONE);
+        assert!(ctx.intern_stats().hits >= 2);
     }
 
     #[test]

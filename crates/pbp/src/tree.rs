@@ -8,10 +8,12 @@
 //!
 //! This module answers that question for one natural realization: a pbit
 //! over `2^E` channels is a **perfect binary tree** of height `E − 6` whose
-//! leaves are 64-bit chunks, with *hash-consing* (identical subtrees share
-//! one node) and *memoized* gate operations. Any value whose structure
-//! repeats — Hadamards, their combinations, sparse predicates — collapses
-//! to `O(E)`–`O(polylog)` distinct nodes, and every gate op runs in time
+//! leaves are interned chunk symbols ([`crate::Sym`] — ids into a shared
+//! [`pbp_aob::ChunkStore`], the same store type that backs the Qat register
+//! file), with *hash-consing* (identical subtrees share one node) and
+//! *memoized* gate operations. Any value whose structure repeats —
+//! Hadamards, their combinations, sparse predicates — collapses to
+//! `O(E)`–`O(polylog)` distinct nodes, and every gate op runs in time
 //! proportional to the number of distinct node pairs, never `2^E`.
 //!
 //! Unlike the flat [`Re`] run-length form, this representation
@@ -19,28 +21,55 @@
 //! overflows the single-level encoding — is a handful of shared nodes here
 //! (demonstrated in the tests). Per-node population counts make `pop` O(1)
 //! after construction and `next` a single root-to-leaf descent.
+//!
+//! Malformed operands (trees over different universes, or foreign node ids
+//! whose heights disagree) surface as a typed [`TreeError`] instead of a
+//! panic, so a bad gate program degrades gracefully.
 
-use crate::{PbpContext, Re};
-use pbp_aob::Aob;
+use crate::{BinOp, PbpContext, Re, Sym};
+use pbp_aob::{Aob, ChunkStore, InternStats};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Node id in a [`TreeCtx`] arena.
 pub type TId = u32;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Node {
-    /// One 64-bit chunk (level 0).
-    Leaf(u64),
+    /// One interned 64-bit chunk symbol (level 0).
+    Leaf(Sym),
     /// Two children of the next level down (lo = lower channel half).
     Branch(TId, TId),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum TOp {
-    And,
-    Or,
-    Xor,
+/// Structural error from a nested-tree gate operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// The operands cover different universes (`2^ways` channel counts).
+    UniverseMismatch {
+        /// Entanglement degree of the left operand.
+        a_ways: u32,
+        /// Entanglement degree of the right operand.
+        b_ways: u32,
+    },
+    /// The operand trees have different heights — the structural
+    /// inconsistency that arises when a [`PTree`] from one context is fed
+    /// to another whose arena assigns its node ids different shapes.
+    HeightMismatch,
 }
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UniverseMismatch { a_ways, b_ways } => {
+                write!(f, "operands cover different universes: {a_ways}-way vs {b_ways}-way")
+            }
+            TreeError::HeightMismatch => write!(f, "operand trees have different heights"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
 
 /// A pbit in nested-tree form: a root node plus its level (the tree covers
 /// `2^(level+6)` channels).
@@ -58,16 +87,29 @@ impl PTree {
 }
 
 /// Arena + memo tables for nested-pattern values.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TreeCtx {
     nodes: Vec<Node>,
     intern: HashMap<Node, TId>,
     /// Per-node population count (ones under this subtree).
     pops: Vec<u64>,
-    /// Per-node size in channels (cached from level implicitly; stored for
-    /// popcount bookkeeping convenience).
-    bin_memo: HashMap<(TOp, TId, TId), TId>,
+    /// Hash-consed leaf chunks + memoized leaf gate kernels.
+    store: ChunkStore,
+    bin_memo: HashMap<(BinOp, TId, TId), TId>,
     not_memo: HashMap<TId, TId>,
+}
+
+impl Default for TreeCtx {
+    fn default() -> Self {
+        TreeCtx {
+            nodes: Vec::new(),
+            intern: HashMap::new(),
+            pops: Vec::new(),
+            store: ChunkStore::new(crate::CHUNK_WAYS),
+            bin_memo: HashMap::new(),
+            not_memo: HashMap::new(),
+        }
+    }
 }
 
 impl TreeCtx {
@@ -81,13 +123,18 @@ impl TreeCtx {
         self.nodes.len()
     }
 
+    /// Cache counters of the backing chunk store.
+    pub fn intern_stats(&self) -> InternStats {
+        self.store.stats()
+    }
+
     fn intern_node(&mut self, n: Node) -> TId {
         if let Some(&id) = self.intern.get(&n) {
             return id;
         }
         let id = self.nodes.len() as TId;
         let pop = match n {
-            Node::Leaf(w) => w.count_ones() as u64,
+            Node::Leaf(s) => self.pattern(s).count_ones() as u64,
             Node::Branch(lo, hi) => self.pops[lo as usize] + self.pops[hi as usize],
         };
         self.nodes.push(n);
@@ -96,8 +143,19 @@ impl TreeCtx {
         id
     }
 
+    /// The 64-bit word behind a leaf symbol.
+    #[inline]
+    fn pattern(&self, s: Sym) -> u64 {
+        self.store.aob(s).words()[0]
+    }
+
     fn leaf(&mut self, w: u64) -> TId {
-        self.intern_node(Node::Leaf(w))
+        let s = self.store.intern_word(w);
+        self.intern_node(Node::Leaf(s))
+    }
+
+    fn leaf_sym(&mut self, s: Sym) -> TId {
+        self.intern_node(Node::Leaf(s))
     }
 
     fn branch(&mut self, lo: TId, hi: TId) -> TId {
@@ -170,8 +228,8 @@ impl TreeCtx {
 
     fn fill_words(&self, id: TId, out: &mut [u64], idx: &mut usize) {
         match self.nodes[id as usize] {
-            Node::Leaf(w) => {
-                out[*idx] = w;
+            Node::Leaf(s) => {
+                out[*idx] = self.pattern(s);
                 *idx += 1;
             }
             Node::Branch(lo, hi) => {
@@ -181,53 +239,53 @@ impl TreeCtx {
         }
     }
 
-    fn binop(&mut self, op: TOp, a: TId, b: TId) -> TId {
+    fn binop(&mut self, op: BinOp, a: TId, b: TId) -> Result<TId, TreeError> {
         if let Some(&r) = self.bin_memo.get(&(op, a, b)) {
-            return r;
+            return Ok(r);
         }
         let r = match (self.nodes[a as usize], self.nodes[b as usize]) {
             (Node::Leaf(x), Node::Leaf(y)) => {
-                let w = match op {
-                    TOp::And => x & y,
-                    TOp::Or => x | y,
-                    TOp::Xor => x ^ y,
-                };
-                self.leaf(w)
+                let s = self.store.binop(op, x, y);
+                self.leaf_sym(s)
             }
             (Node::Branch(al, ah), Node::Branch(bl, bh)) => {
-                let lo = self.binop(op, al, bl);
-                let hi = self.binop(op, ah, bh);
+                let lo = self.binop(op, al, bl)?;
+                let hi = self.binop(op, ah, bh)?;
                 self.branch(lo, hi)
             }
-            _ => panic!("operand trees have different heights"),
+            _ => return Err(TreeError::HeightMismatch),
         };
         self.bin_memo.insert((op, a, b), r);
-        r
+        Ok(r)
     }
 
-    fn check(a: &PTree, b: &PTree) {
-        assert_eq!(a.level, b.level, "operands must cover the same universe");
+    fn check(a: &PTree, b: &PTree) -> Result<(), TreeError> {
+        if a.level == b.level {
+            Ok(())
+        } else {
+            Err(TreeError::UniverseMismatch { a_ways: a.ways(), b_ways: b.ways() })
+        }
     }
 
     /// Channel-wise AND.
-    pub fn and(&mut self, a: &PTree, b: &PTree) -> PTree {
-        Self::check(a, b);
-        PTree { root: self.binop(TOp::And, a.root, b.root), level: a.level }
+    pub fn and(&mut self, a: &PTree, b: &PTree) -> Result<PTree, TreeError> {
+        Self::check(a, b)?;
+        Ok(PTree { root: self.binop(BinOp::And, a.root, b.root)?, level: a.level })
     }
 
     /// Channel-wise OR.
-    pub fn or(&mut self, a: &PTree, b: &PTree) -> PTree {
-        Self::check(a, b);
-        PTree { root: self.binop(TOp::Or, a.root, b.root), level: a.level }
+    pub fn or(&mut self, a: &PTree, b: &PTree) -> Result<PTree, TreeError> {
+        Self::check(a, b)?;
+        Ok(PTree { root: self.binop(BinOp::Or, a.root, b.root)?, level: a.level })
     }
 
     /// Channel-wise XOR.
-    pub fn xor(&mut self, a: &PTree, b: &PTree) -> PTree {
-        Self::check(a, b);
-        PTree { root: self.binop(TOp::Xor, a.root, b.root), level: a.level }
+    pub fn xor(&mut self, a: &PTree, b: &PTree) -> Result<PTree, TreeError> {
+        Self::check(a, b)?;
+        Ok(PTree { root: self.binop(BinOp::Xor, a.root, b.root)?, level: a.level })
     }
 
-    /// Channel-wise NOT.
+    /// Channel-wise NOT (structurally infallible).
     pub fn not(&mut self, a: &PTree) -> PTree {
         PTree { root: self.not_rec(a.root), level: a.level }
     }
@@ -237,7 +295,10 @@ impl TreeCtx {
             return r;
         }
         let r = match self.nodes[id as usize] {
-            Node::Leaf(w) => self.leaf(!w),
+            Node::Leaf(s) => {
+                let n = self.store.not(s);
+                self.leaf_sym(n)
+            }
             Node::Branch(lo, hi) => {
                 let l = self.not_rec(lo);
                 let h = self.not_rec(hi);
@@ -277,8 +338,8 @@ impl TreeCtx {
             let half = 1u64 << (level + crate::CHUNK_WAYS);
             id = if e & half != 0 { hi } else { lo };
         }
-        let Node::Leaf(w) = self.nodes[id as usize] else { unreachable!() };
-        (w >> (e % crate::CHUNK_BITS)) & 1 != 0
+        let Node::Leaf(s) = self.nodes[id as usize] else { unreachable!() };
+        (self.pattern(s) >> (e % crate::CHUNK_BITS)) & 1 != 0
     }
 
     /// `next`: lowest 1-channel strictly above `d` (0 if none) — a single
@@ -301,7 +362,8 @@ impl TreeCtx {
             return None;
         }
         match self.nodes[id as usize] {
-            Node::Leaf(w) => {
+            Node::Leaf(s) => {
+                let w = self.pattern(s);
                 let from = start.saturating_sub(base).min(63);
                 let masked = if start <= base { w } else { w & (u64::MAX << from) };
                 (masked != 0).then(|| base + masked.trailing_zeros() as u64)
@@ -352,11 +414,11 @@ mod tests {
         let a = t.hadamard(9, 3);
         let b = t.hadamard(9, 8);
         let (aa, ab) = (Aob::hadamard(9, 3), Aob::hadamard(9, 8));
-        let and = t.and(&a, &b);
+        let and = t.and(&a, &b).unwrap();
         assert_eq!(t.to_aob(&and), Aob::and_of(&aa, &ab));
-        let or = t.or(&a, &b);
+        let or = t.or(&a, &b).unwrap();
         assert_eq!(t.to_aob(&or), Aob::or_of(&aa, &ab));
-        let xor = t.xor(&a, &b);
+        let xor = t.xor(&a, &b).unwrap();
         assert_eq!(t.to_aob(&xor), Aob::xor_of(&aa, &ab));
         let not = t.not(&a);
         assert_eq!(t.to_aob(&not), aa.not_of());
@@ -367,7 +429,7 @@ mod tests {
         let mut t = TreeCtx::new();
         let a = t.hadamard(9, 2);
         let b = t.hadamard(9, 7);
-        let v = t.and(&a, &b);
+        let v = t.and(&a, &b).unwrap();
         let oracle = Aob::and_of(&Aob::hadamard(9, 2), &Aob::hadamard(9, 7));
         assert_eq!(t.pop_all(&v), oracle.pop_all());
         for e in 0..512u64 {
@@ -393,6 +455,43 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_universes_error_instead_of_panicking() {
+        let mut t = TreeCtx::new();
+        let small = t.hadamard(8, 3);
+        let large = t.hadamard(12, 3);
+        assert_eq!(
+            t.and(&small, &large),
+            Err(TreeError::UniverseMismatch { a_ways: 8, b_ways: 12 })
+        );
+        assert_eq!(t.or(&large, &small).unwrap_err().to_string(),
+            "operands cover different universes: 12-way vs 8-way");
+        // The context stays fully usable after the error.
+        let ok = t.xor(&small, &small).unwrap();
+        assert!(!t.any(&ok));
+    }
+
+    #[test]
+    fn foreign_tree_height_mismatch_is_a_typed_error() {
+        // A PTree is only meaningful in the context that built it. Feed a
+        // structurally-inconsistent foreign root id (same claimed level,
+        // different actual node height) and the gate must return
+        // HeightMismatch, not abort the process.
+        let mut host = TreeCtx::new();
+        let good = host.hadamard(7, 6); // arena: leaf(0)=0, leaf(!0)=1, branch=2
+        let mut other = TreeCtx::new();
+        let foreign = other.constant(7, false); // arena: leaf(0)=0, branch(0,0)=1
+        // In `host`, node id 1 is a Leaf while `good.root` is a Branch.
+        assert_eq!(host.and(&foreign, &good), Err(TreeError::HeightMismatch));
+        assert_eq!(
+            TreeError::HeightMismatch.to_string(),
+            "operand trees have different heights"
+        );
+        // Still usable afterwards.
+        let v = host.and(&good, &good).unwrap();
+        assert_eq!(host.pop_all(&v), 1 << 6);
+    }
+
+    #[test]
     fn pathological_flat_re_case_is_easy_here() {
         // H(6) AND H(39) at E = 40: the flat single-level RE blows past its
         // representation budget; the nested tree handles it in O(E) nodes.
@@ -400,7 +499,7 @@ mod tests {
         let before = t.node_count();
         let a = t.hadamard(40, 6);
         let b = t.hadamard(40, 39);
-        let c = t.and(&a, &b);
+        let c = t.and(&a, &b).unwrap();
         assert!(t.node_count() - before < 150, "{} new nodes", t.node_count() - before);
         // Semantics: ones exactly where both bit 6 and bit 39 of e are set.
         assert_eq!(t.pop_all(&c), 1u64 << 38);
@@ -432,9 +531,9 @@ mod tests {
         let mut t = TreeCtx::new();
         let a = t.hadamard(32, 5);
         let b = t.hadamard(32, 30);
-        let c1 = t.and(&a, &b);
+        let c1 = t.and(&a, &b).unwrap();
         let nodes_after_first = t.node_count();
-        let c2 = t.and(&a, &b);
+        let c2 = t.and(&a, &b).unwrap();
         assert_eq!(c1, c2);
         assert_eq!(t.node_count(), nodes_after_first);
     }
@@ -445,14 +544,14 @@ mod tests {
         let a = t.hadamard(36, 7);
         let b = t.hadamard(36, 33);
         // De Morgan at 2^36 channels, structurally.
-        let and_ab = t.and(&a, &b);
+        let and_ab = t.and(&a, &b).unwrap();
         let lhs = t.not(&and_ab);
         let na = t.not(&a);
         let nb = t.not(&b);
-        let rhs = t.or(&na, &nb);
+        let rhs = t.or(&na, &nb).unwrap();
         assert_eq!(lhs, rhs, "hash-consing makes equal values identical nodes");
         // x ^ x = 0.
-        let z = t.xor(&a, &a);
+        let z = t.xor(&a, &a).unwrap();
         assert!(!t.any(&z));
     }
 
@@ -462,7 +561,7 @@ mod tests {
         let mut t = TreeCtx::new();
         let h = (0..36).fold(t.constant(36, true), |acc, k| {
             let hk = t.hadamard(36, k);
-            t.and(&acc, &hk)
+            t.and(&acc, &hk).unwrap()
         });
         // acc = AND of all H(k) = 1 only where every bit set = last channel.
         assert_eq!(t.pop_all(&h), 1);
@@ -524,8 +623,9 @@ impl TreeCtx {
         TPint { bits }
     }
 
-    /// Ripple-carry addition (one pbit wider).
-    pub fn tpint_add(&mut self, a: &TPint, b: &TPint) -> TPint {
+    /// Ripple-carry addition (one pbit wider). A malformed operand mix
+    /// (bits over different universes) surfaces as a [`TreeError`].
+    pub fn tpint_add(&mut self, a: &TPint, b: &TPint) -> Result<TPint, TreeError> {
         let w = a.width().max(b.width());
         let ways = a.bits[0].ways();
         let a = self.tpint_resize(a, w);
@@ -534,47 +634,50 @@ impl TreeCtx {
         let mut bits = Vec::with_capacity(w + 1);
         for i in 0..w {
             let (x, y) = (a.bits[i], b.bits[i]);
-            let xy = self.xor(&x, &y);
-            let sum = self.xor(&xy, &carry);
-            let and_xy = self.and(&x, &y);
-            let and_cxy = self.and(&carry, &xy);
-            carry = self.or(&and_xy, &and_cxy);
+            let xy = self.xor(&x, &y)?;
+            let sum = self.xor(&xy, &carry)?;
+            let and_xy = self.and(&x, &y)?;
+            let and_cxy = self.and(&carry, &xy)?;
+            carry = self.or(&and_xy, &and_cxy)?;
             bits.push(sum);
         }
         bits.push(carry);
-        TPint { bits }
+        Ok(TPint { bits })
     }
 
     /// Shift-and-add multiplication (exact).
-    pub fn tpint_mul(&mut self, a: &TPint, b: &TPint) -> TPint {
+    pub fn tpint_mul(&mut self, a: &TPint, b: &TPint) -> Result<TPint, TreeError> {
         let ways = a.bits[0].ways();
         let wr = a.width() + b.width();
         let mut acc = self.tpint_mk(ways, wr, 0);
         for i in 0..b.width() {
             let bi = b.bits[i];
-            let masked: Vec<PTree> = a.bits.iter().map(|x| self.and(x, &bi)).collect();
+            let mut masked = Vec::with_capacity(a.width());
+            for x in &a.bits {
+                masked.push(self.and(x, &bi)?);
+            }
             let mut shifted: Vec<PTree> = (0..i).map(|_| self.constant(ways, false)).collect();
             shifted.extend(masked);
             let partial = self.tpint_resize(&TPint { bits: shifted }, wr);
-            let sum = self.tpint_add(&acc, &partial);
+            let sum = self.tpint_add(&acc, &partial)?;
             acc = self.tpint_resize(&sum, wr);
         }
-        acc
+        Ok(acc)
     }
 
     /// Equality → a single pbit.
-    pub fn tpint_eq(&mut self, a: &TPint, b: &TPint) -> PTree {
+    pub fn tpint_eq(&mut self, a: &TPint, b: &TPint) -> Result<PTree, TreeError> {
         let ways = a.bits[0].ways();
         let w = a.width().max(b.width());
         let a = self.tpint_resize(a, w);
         let b = self.tpint_resize(b, w);
         let mut acc = self.constant(ways, true);
         for i in 0..w {
-            let x = self.xor(&a.bits[i], &b.bits[i]);
+            let x = self.xor(&a.bits[i], &b.bits[i])?;
             let eq = self.not(&x);
-            acc = self.and(&acc, &eq);
+            acc = self.and(&acc, &eq)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Value of the integer in one channel (descents only).
@@ -615,8 +718,8 @@ mod tpint_tests {
         let mut t = TreeCtx::new();
         let a = t.tpint_h(12, 4, 0);
         let b = t.tpint_h(12, 4, 4);
-        let s = t.tpint_add(&a, &b);
-        let m = t.tpint_mul(&a, &b);
+        let s = t.tpint_add(&a, &b).unwrap();
+        let m = t.tpint_mul(&a, &b).unwrap();
         for e in (0..4096u64).step_by(37) {
             let (x, y) = (e & 0xF, (e >> 4) & 0xF);
             assert_eq!(t.tpint_value_at(&s, e), x + y, "add e={e}");
@@ -631,8 +734,8 @@ mod tpint_tests {
         let n = t.tpint_mk(16, 8, 221);
         let b = t.tpint_h(16, 8, 0);
         let c = t.tpint_h(16, 8, 8);
-        let d = t.tpint_mul(&b, &c);
-        let e = t.tpint_eq(&d, &n);
+        let d = t.tpint_mul(&b, &c).unwrap();
+        let e = t.tpint_eq(&d, &n).unwrap();
         assert_eq!(t.pop_all(&e), 4);
         let factors = t.tpint_measure_where(&b, &e, 100);
         assert_eq!(factors, vec![1, 13, 17, 221]);
@@ -648,8 +751,8 @@ mod tpint_tests {
         let n = t.tpint_mk(20, 10, 899);
         let b = t.tpint_h(20, 10, 0);
         let c = t.tpint_h(20, 10, 10);
-        let d = t.tpint_mul(&b, &c);
-        let e = t.tpint_eq(&d, &n);
+        let d = t.tpint_mul(&b, &c).unwrap();
+        let e = t.tpint_eq(&d, &n).unwrap();
         assert_eq!(t.pop_all(&e), 4);
         let factors = t.tpint_measure_where(&b, &e, 100);
         assert_eq!(factors, vec![1, 29, 31, 899]);
@@ -662,10 +765,25 @@ mod tpint_tests {
         let n = t.tpint_mk(18, 9, 509);
         let b = t.tpint_h(18, 9, 0);
         let c = t.tpint_h(18, 9, 9);
-        let d = t.tpint_mul(&b, &c);
-        let e = t.tpint_eq(&d, &n);
+        let d = t.tpint_mul(&b, &c).unwrap();
+        let e = t.tpint_eq(&d, &n).unwrap();
         assert_eq!(t.pop_all(&e), 2);
         assert_eq!(t.tpint_measure_where(&b, &e, 100), vec![1, 509]);
+    }
+
+    #[test]
+    fn mismatched_pint_operands_degrade_gracefully() {
+        // A bad gate program mixing universes gets an Err from the whole
+        // pint layer instead of aborting the simulator.
+        let mut t = TreeCtx::new();
+        let a = t.tpint_h(10, 4, 0);
+        let b = t.tpint_h(12, 4, 0);
+        assert!(matches!(t.tpint_add(&a, &b), Err(TreeError::UniverseMismatch { .. })));
+        assert!(matches!(t.tpint_mul(&a, &b), Err(TreeError::UniverseMismatch { .. })));
+        assert!(matches!(t.tpint_eq(&a, &b), Err(TreeError::UniverseMismatch { .. })));
+        // And the context still works for well-formed programs.
+        let ok = t.tpint_add(&a, &a).unwrap();
+        assert_eq!(t.tpint_value_at(&ok, 5), 2 * 5);
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! * [`QatCoprocessor`] — the architectural register file + ALU dispatch,
 //!   with exact Table 3 semantics (including register aliasing such as
 //!   `and @2,@2,@3`).
+//! * [`QatConfig::interning`] — the default **hash-consed register file**:
+//!   registers hold [`pbp_aob::ChunkId`]s into a shared
+//!   [`pbp_aob::ChunkStore`] and every gate is memoized, so repeated gates
+//!   over repeated values cost a hash probe instead of a `2^WAYS`-bit word
+//!   loop (the PBP redundancy argument of §2.2). A register write is
+//!   copy-on-write: it stores a different id, never mutates a chunk. The
+//!   architectural semantics are bit-identical to the eager path, and the
+//!   differential fuzzer runs both as an oracle pair.
 //! * [`PortStats`] — read/write-port usage accounting. The paper's §5
 //!   conclusions hinge on which instructions need a third read port
 //!   (`ccnot`, `cswap`) or a second write port (`swap`, `cswap`); the
@@ -20,14 +28,15 @@
 //! * [`QatConfig::constant_registers`] — the §5 simplification where
 //!   `@0 = 0`, `@1 = 1`, `@2..=@(WAYS+1)` hold `H(0)..H(WAYS-1)` as
 //!   pre-initialized constants instead of using `zero`/`one`/`had`
-//!   instructions.
+//!   instructions. In interning mode these are exactly the store's
+//!   canonical constant-bank ids.
 //! * Energy metering via `pbp_aob::EnergyMeter`, for the adiabatic-logic
 //!   power argument.
 
 pub mod circuit;
 pub mod cost;
 
-use pbp_aob::{Aob, EnergyMeter};
+use pbp_aob::{Aob, ChunkId, ChunkStore, EnergyMeter, GateOp, InternStats, ID_ONE, ID_ZERO};
 use tangled_isa::{Insn, QReg};
 
 /// Static configuration of a Qat instance.
@@ -44,13 +53,18 @@ pub struct QatConfig {
     /// Record before/after toggle counts for every register write
     /// (costs a snapshot per op; off by default).
     pub meter_energy: bool,
+    /// Hash-consed register file (the default): registers hold chunk ids
+    /// into a shared [`ChunkStore`], gates are memoized, and writes are
+    /// copy-on-write. Turn off to materialize every `Aob` eagerly — the
+    /// semantics are identical and differentially tested.
+    pub interning: bool,
 }
 
 impl QatConfig {
     /// The paper's full-size configuration: 16-way, instruction-based
-    /// initialization, no metering.
+    /// initialization, no metering, interned register file.
     pub fn paper() -> Self {
-        QatConfig { ways: 16, constant_registers: false, meter_energy: false }
+        QatConfig { ways: 16, constant_registers: false, meter_energy: false, interning: true }
     }
 
     /// The student-project configuration: 8-way entanglement.
@@ -113,11 +127,29 @@ impl std::fmt::Display for QatError {
 
 impl std::error::Error for QatError {}
 
+/// The architectural register file, in one of its two equivalent renderings.
+#[derive(Debug, Clone)]
+enum RegFile {
+    /// Every register owns its `Aob` and every gate runs the word kernel.
+    Eager(Vec<Aob>),
+    /// Registers are ids into a hash-consed store; gates are memoized.
+    Interned {
+        store: ChunkStore,
+        ids: Vec<ChunkId>,
+    },
+}
+
+/// A computed register value, in whichever form the active file uses.
+enum NewVal {
+    V(Aob),
+    Id(ChunkId),
+}
+
 /// The Qat coprocessor: 256 AoB registers plus execution machinery.
 #[derive(Debug, Clone)]
 pub struct QatCoprocessor {
     config: QatConfig,
-    regs: Vec<Aob>,
+    file: RegFile,
     /// Port-usage statistics (reset with [`QatCoprocessor::reset_stats`]).
     pub ports: PortStats,
     /// Switching-energy meter (active when `config.meter_energy`).
@@ -133,15 +165,30 @@ impl QatCoprocessor {
     /// Fresh coprocessor; all registers zero, or preloaded with the
     /// constant bank when `config.constant_registers` is set.
     pub fn new(config: QatConfig) -> Self {
-        let mut regs = vec![Aob::zeros(config.ways); 256];
-        if config.constant_registers {
-            for (i, c) in Aob::constant_bank(config.ways).into_iter().enumerate() {
-                regs[i] = c;
+        let file = if config.interning {
+            let store = ChunkStore::new(config.ways);
+            let mut ids = vec![ID_ZERO; 256];
+            if config.constant_registers {
+                // The §5 bank and the store's canonical ids coincide by
+                // construction: [0, 1, H(0)..H(ways-1)].
+                ids[1] = ID_ONE;
+                for k in 0..config.ways {
+                    ids[(2 + k) as usize] = store.id_hadamard(k);
+                }
             }
-        }
+            RegFile::Interned { store, ids }
+        } else {
+            let mut regs = vec![Aob::zeros(config.ways); 256];
+            if config.constant_registers {
+                for (i, c) in Aob::constant_bank(config.ways).into_iter().enumerate() {
+                    regs[i] = c;
+                }
+            }
+            RegFile::Eager(regs)
+        };
         QatCoprocessor {
             config,
-            regs,
+            file,
             ports: PortStats::default(),
             meter: EnergyMeter::new(),
             pending_toggles: 0,
@@ -157,23 +204,47 @@ impl QatCoprocessor {
 
     /// Read a register (architectural, not port-counted).
     pub fn reg(&self, r: QReg) -> &Aob {
-        &self.regs[r.num() as usize]
+        match &self.file {
+            RegFile::Eager(regs) => &regs[r.num() as usize],
+            RegFile::Interned { store, ids } => store.aob(ids[r.num() as usize]),
+        }
     }
 
     /// Directly set a register (test/loader backdoor; bypasses the
     /// constant-register protection and port accounting).
     pub fn set_reg(&mut self, r: QReg, v: Aob) {
         assert_eq!(v.ways(), self.config.ways, "register value has wrong entanglement degree");
-        self.regs[r.num() as usize] = v;
+        match &mut self.file {
+            RegFile::Eager(regs) => regs[r.num() as usize] = v,
+            RegFile::Interned { store, ids } => ids[r.num() as usize] = store.intern(v),
+        }
     }
 
-    /// Zero all statistics.
+    /// The shared chunk store backing the register file (`None` in eager
+    /// mode).
+    pub fn store(&self) -> Option<&ChunkStore> {
+        match &self.file {
+            RegFile::Eager(_) => None,
+            RegFile::Interned { store, .. } => Some(store),
+        }
+    }
+
+    /// Cache hit/miss/eviction counters of the interned register file
+    /// (`None` in eager mode).
+    pub fn intern_stats(&self) -> Option<InternStats> {
+        self.store().map(|s| s.stats())
+    }
+
+    /// Zero all statistics (ports, energy, and intern-cache counters).
     pub fn reset_stats(&mut self) {
         self.ports = PortStats::default();
         self.meter = EnergyMeter::new();
         self.pending_toggles = 0;
         self.pending_delta = 0;
         self.pending_writes = 0;
+        if let RegFile::Interned { store, .. } = &mut self.file {
+            store.reset_stats();
+        }
     }
 
     fn check_writable(&self, r: QReg) -> Result<(), QatError> {
@@ -184,18 +255,35 @@ impl QatCoprocessor {
         }
     }
 
-    fn write(&mut self, r: QReg, v: Aob) {
-        if self.config.meter_energy {
-            // Accumulate per-instruction: an instruction that merely
-            // re-routes charge between its destinations (swap/cswap) nets
-            // zero adiabatic imbalance even when the individual registers
-            // change population.
-            let old = &self.regs[r.num() as usize];
-            self.pending_toggles += old.hamming(&v);
-            self.pending_delta += v.pop_all() as i64 - old.pop_all() as i64;
-            self.pending_writes += 1;
+    /// Architectural register write, accounting energy when metering.
+    ///
+    /// Accumulates per-instruction: an instruction that merely re-routes
+    /// charge between its destinations (swap/cswap) nets zero adiabatic
+    /// imbalance even when the individual registers change population.
+    fn commit(&mut self, r: QReg, w: NewVal) {
+        let meter = self.config.meter_energy;
+        let i = r.num() as usize;
+        match (&mut self.file, w) {
+            (RegFile::Eager(regs), NewVal::V(v)) => {
+                if meter {
+                    let old = &regs[i];
+                    self.pending_toggles += old.hamming(&v);
+                    self.pending_delta += v.pop_all() as i64 - old.pop_all() as i64;
+                    self.pending_writes += 1;
+                }
+                regs[i] = v;
+            }
+            (RegFile::Interned { store, ids }, NewVal::Id(id)) => {
+                if meter {
+                    let (old, new) = (store.aob(ids[i]), store.aob(id));
+                    self.pending_toggles += old.hamming(new);
+                    self.pending_delta += new.pop_all() as i64 - old.pop_all() as i64;
+                    self.pending_writes += 1;
+                }
+                ids[i] = id;
+            }
+            _ => unreachable!("register file variant and value form always agree"),
         }
-        self.regs[r.num() as usize] = v;
     }
 
     fn flush_energy(&mut self) {
@@ -206,6 +294,70 @@ impl QatCoprocessor {
             self.pending_toggles = 0;
             self.pending_delta = 0;
             self.pending_writes = 0;
+        }
+    }
+
+    /// `zero` / `one` / `had @a,k` result in the active file's form.
+    fn make_const(&mut self, kind: u8, k: u32) -> NewVal {
+        let ways = self.config.ways;
+        match &mut self.file {
+            RegFile::Eager(_) => NewVal::V(match kind {
+                0 => Aob::zeros(ways),
+                1 => Aob::ones(ways),
+                _ => Aob::hadamard(ways, k),
+            }),
+            RegFile::Interned { store, .. } => NewVal::Id(match kind {
+                0 => ID_ZERO,
+                1 => ID_ONE,
+                // H(k) for k >= ways is all-zeros (hadamard() contract).
+                _ if k < ways => store.id_hadamard(k),
+                _ => ID_ZERO,
+            }),
+        }
+    }
+
+    fn gate_not(&mut self, a: QReg) -> NewVal {
+        match &mut self.file {
+            RegFile::Eager(regs) => NewVal::V(regs[a.num() as usize].not_of()),
+            RegFile::Interned { store, ids } => {
+                let ia = ids[a.num() as usize];
+                NewVal::Id(store.not(ia))
+            }
+        }
+    }
+
+    fn gate_bin(&mut self, op: GateOp, b: QReg, c: QReg) -> NewVal {
+        match &mut self.file {
+            RegFile::Eager(regs) => {
+                let (x, y) = (&regs[b.num() as usize], &regs[c.num() as usize]);
+                NewVal::V(match op {
+                    GateOp::And => Aob::and_of(x, y),
+                    GateOp::Or => Aob::or_of(x, y),
+                    GateOp::Xor => Aob::xor_of(x, y),
+                })
+            }
+            RegFile::Interned { store, ids } => {
+                let (ib, ic) = (ids[b.num() as usize], ids[c.num() as usize]);
+                NewVal::Id(store.binop(op, ib, ic))
+            }
+        }
+    }
+
+    fn gate_ccnot(&mut self, a: QReg, b: QReg, c: QReg) -> NewVal {
+        match &mut self.file {
+            RegFile::Eager(regs) => {
+                let mut v = regs[a.num() as usize].clone();
+                v.ccnot_assign(
+                    &regs[b.num() as usize].clone(),
+                    &regs[c.num() as usize].clone(),
+                );
+                NewVal::V(v)
+            }
+            RegFile::Interned { store, ids } => {
+                let (ia, ib, ic) =
+                    (ids[a.num() as usize], ids[b.num() as usize], ids[c.num() as usize]);
+                NewVal::Id(store.ccnot(ia, ib, ic))
+            }
         }
     }
 
@@ -236,52 +388,77 @@ impl QatCoprocessor {
             self.check_writable(w)?;
         }
 
-        let ways = self.config.ways;
         match insn {
             Insn::QZero { a } => {
-                self.write(a, Aob::zeros(ways));
+                let w = self.make_const(0, 0);
+                self.commit(a, w);
             }
             Insn::QOne { a } => {
-                self.write(a, Aob::ones(ways));
+                let w = self.make_const(1, 0);
+                self.commit(a, w);
             }
             Insn::QNot { a } => {
-                let v = self.reg(a).not_of();
-                self.write(a, v);
+                let w = self.gate_not(a);
+                self.commit(a, w);
             }
             Insn::QHad { a, k } => {
-                self.write(a, Aob::hadamard(ways, k as u32));
+                let w = self.make_const(2, k as u32);
+                self.commit(a, w);
             }
             Insn::QAnd { a, b, c } => {
-                let v = Aob::and_of(self.reg(b), self.reg(c));
-                self.write(a, v);
+                let w = self.gate_bin(GateOp::And, b, c);
+                self.commit(a, w);
             }
             Insn::QOr { a, b, c } => {
-                let v = Aob::or_of(self.reg(b), self.reg(c));
-                self.write(a, v);
+                let w = self.gate_bin(GateOp::Or, b, c);
+                self.commit(a, w);
             }
             Insn::QXor { a, b, c } => {
-                let v = Aob::xor_of(self.reg(b), self.reg(c));
-                self.write(a, v);
+                let w = self.gate_bin(GateOp::Xor, b, c);
+                self.commit(a, w);
             }
             Insn::QCnot { a, b } => {
-                let v = Aob::xor_of(self.reg(a), self.reg(b));
-                self.write(a, v);
+                // §5: cnot @a,@b == xor @a,@a,@b.
+                let w = self.gate_bin(GateOp::Xor, a, b);
+                self.commit(a, w);
             }
             Insn::QCcnot { a, b, c } => {
-                let mut v = self.reg(a).clone();
-                v.ccnot_assign(&self.reg(b).clone(), &self.reg(c).clone());
-                self.write(a, v);
+                let w = self.gate_ccnot(a, b, c);
+                self.commit(a, w);
             }
             Insn::QSwap { a, b } => {
-                let (va, vb) = (self.reg(a).clone(), self.reg(b).clone());
-                self.write(a, vb);
-                self.write(b, va);
+                let (wa, wb) = match &self.file {
+                    RegFile::Eager(regs) => (
+                        NewVal::V(regs[b.num() as usize].clone()),
+                        NewVal::V(regs[a.num() as usize].clone()),
+                    ),
+                    RegFile::Interned { ids, .. } => (
+                        NewVal::Id(ids[b.num() as usize]),
+                        NewVal::Id(ids[a.num() as usize]),
+                    ),
+                };
+                self.commit(a, wa);
+                self.commit(b, wb);
             }
             Insn::QCswap { a, b, c } => {
-                let (mut va, mut vb) = (self.reg(a).clone(), self.reg(b).clone());
-                Aob::cswap(&mut va, &mut vb, &self.reg(c).clone());
-                self.write(a, va);
-                self.write(b, vb);
+                let (wa, wb) = match &mut self.file {
+                    RegFile::Eager(regs) => {
+                        let mut va = regs[a.num() as usize].clone();
+                        let mut vb = regs[b.num() as usize].clone();
+                        Aob::cswap(&mut va, &mut vb, &regs[c.num() as usize].clone());
+                        (NewVal::V(va), NewVal::V(vb))
+                    }
+                    RegFile::Interned { store, ids } => {
+                        let (ia, ib, ic) =
+                            (ids[a.num() as usize], ids[b.num() as usize], ids[c.num() as usize]);
+                        // cswap = a pair of muxes on the original operands.
+                        let na = store.mux(ic, ib, ia);
+                        let nb = store.mux(ic, ia, ib);
+                        (NewVal::Id(na), NewVal::Id(nb))
+                    }
+                };
+                self.commit(a, wa);
+                self.commit(b, wb);
             }
             Insn::QMeas { d: _, a } => {
                 self.flush_energy();
@@ -419,7 +596,7 @@ mod tests {
 
     #[test]
     fn constant_register_mode() {
-        let cfg = QatConfig { ways: 8, constant_registers: true, meter_energy: false };
+        let cfg = QatConfig { constant_registers: true, ..QatConfig::with_ways(8) };
         let mut c = QatCoprocessor::new(cfg);
         // @0 = 0, @1 = 1, @2.. = H(0)..
         assert_eq!(*c.reg(q(0)), Aob::zeros(8));
@@ -440,14 +617,20 @@ mod tests {
 
     #[test]
     fn energy_metering_when_enabled() {
-        let cfg = QatConfig { ways: 8, constant_registers: false, meter_energy: true };
-        let mut c = QatCoprocessor::new(cfg);
-        c.execute(Insn::QOne { a: q(0) }, 0).unwrap(); // 0 -> 256 ones
-        assert_eq!(c.meter.toggles, 256);
-        assert_eq!(c.meter.imbalance, 256);
-        c.execute(Insn::QNot { a: q(0) }, 0).unwrap(); // all flip back
-        assert_eq!(c.meter.toggles, 512);
-        assert_eq!(c.meter.imbalance, 512);
+        for interning in [false, true] {
+            let cfg = QatConfig {
+                meter_energy: true,
+                interning,
+                ..QatConfig::with_ways(8)
+            };
+            let mut c = QatCoprocessor::new(cfg);
+            c.execute(Insn::QOne { a: q(0) }, 0).unwrap(); // 0 -> 256 ones
+            assert_eq!(c.meter.toggles, 256, "interning={interning}");
+            assert_eq!(c.meter.imbalance, 256);
+            c.execute(Insn::QNot { a: q(0) }, 0).unwrap(); // all flip back
+            assert_eq!(c.meter.toggles, 512);
+            assert_eq!(c.meter.imbalance, 512);
+        }
     }
 
     #[test]
@@ -463,5 +646,67 @@ mod tests {
         c.execute(Insn::QHad { a: q(4), k: 2 }, 0).unwrap();
         c.execute(Insn::QSwap { a: q(4), b: q(4) }, 0).unwrap();
         assert_eq!(*c.reg(q(4)), Aob::hadamard(8, 2));
+    }
+
+    /// Every Table-3 op, interned vs eager, including self-operand forms.
+    #[test]
+    fn interned_matches_eager_across_gate_mix() {
+        let prog: Vec<Insn> = vec![
+            Insn::QHad { a: q(0), k: 0 },
+            Insn::QHad { a: q(1), k: 3 },
+            Insn::QHad { a: q(2), k: 7 },
+            Insn::QOne { a: q(3) },
+            Insn::QAnd { a: q(4), b: q(0), c: q(1) },
+            Insn::QOr { a: q(5), b: q(4), c: q(2) },
+            Insn::QXor { a: q(6), b: q(5), c: q(0) },
+            Insn::QNot { a: q(6) },
+            Insn::QCnot { a: q(4), b: q(5) },
+            Insn::QCnot { a: q(4), b: q(4) }, // self-operand: clears
+            Insn::QCcnot { a: q(5), b: q(6), c: q(0) },
+            Insn::QCcnot { a: q(5), b: q(5), c: q(5) }, // fully aliased
+            Insn::QSwap { a: q(4), b: q(5) },
+            Insn::QCswap { a: q(5), b: q(6), c: q(1) },
+            Insn::QCswap { a: q(2), b: q(2), c: q(0) }, // aliased pair
+            Insn::QZero { a: q(3) },
+            Insn::QHad { a: q(3), k: 200 }, // out-of-range k: zeros
+        ];
+        let mut eager =
+            QatCoprocessor::new(QatConfig { interning: false, ..QatConfig::with_ways(8) });
+        let mut interned = QatCoprocessor::new(QatConfig::with_ways(8));
+        assert!(interned.intern_stats().is_some());
+        assert!(eager.intern_stats().is_none());
+        for insn in &prog {
+            eager.execute(*insn, 0).unwrap();
+            interned.execute(*insn, 0).unwrap();
+        }
+        for r in 0..=255u8 {
+            assert_eq!(eager.reg(q(r)), interned.reg(q(r)), "@{r}");
+        }
+    }
+
+    /// Replaying an already-seen gate sequence is pure cache hits.
+    #[test]
+    fn second_pass_is_all_hits() {
+        let mut c = coproc(8);
+        let pass = [
+            Insn::QHad { a: q(0), k: 1 },
+            Insn::QHad { a: q(1), k: 6 },
+            Insn::QAnd { a: q(2), b: q(0), c: q(1) },
+            Insn::QXor { a: q(3), b: q(2), c: q(1) },
+            Insn::QCcnot { a: q(4), b: q(3), c: q(0) },
+        ];
+        for insn in &pass {
+            c.execute(*insn, 0).unwrap();
+        }
+        let after_first = c.intern_stats().unwrap();
+        for insn in &pass {
+            c.execute(*insn, 0).unwrap();
+        }
+        let after_second = c.intern_stats().unwrap();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "warm replay must not recompute any gate"
+        );
+        assert!(after_second.hits > after_first.hits);
     }
 }

@@ -10,6 +10,9 @@
 //!   register reads after a back-to-back write) used as the negative
 //!   control: the oracle must flag it, and the shrinker must reduce its
 //!   divergences to a few instructions.
+//! * `qat-eager` — the functional model rerun with Qat interning disabled,
+//!   so the hash-consed chunk store and its memoized gate kernels are
+//!   differentially checked against eager AoB evaluation.
 //!
 //! Compared state: the 16 GPRs, the PC, halt status, `sys` output, the
 //! 0x4000 data page, a hash of all 64K memory words, all 256 Qat AoB
@@ -260,6 +263,16 @@ pub fn compare_all(
         if let Some(d) = diff_outcomes(name, &reference, &got) {
             return Err(d);
         }
+    }
+    // Interned-vs-eager oracle pair: the reference runs with the hash-consed
+    // Qat register file (the default); rerun with interning disabled so the
+    // memoized gate kernels and copy-on-write id plumbing are checked
+    // against eager AoB evaluation on every program.
+    let mut eager_mc = mc;
+    eager_mc.qat.interning = false;
+    let eager = run_functional(words, eager_mc, None);
+    if let Some(d) = diff_outcomes("qat-eager", &reference, &eager) {
+        return Err(d);
     }
     Ok(reference)
 }

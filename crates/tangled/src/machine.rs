@@ -459,7 +459,7 @@ mod tests {
     fn qat_error_surfaces_with_pc() {
         let img = assemble_ok("zero @1\nsys\n");
         let cfg = MachineConfig {
-            qat: QatConfig { ways: 8, constant_registers: true, meter_energy: false },
+            qat: QatConfig { constant_registers: true, ..QatConfig::with_ways(8) },
             ..Default::default()
         };
         let mut m = Machine::with_image(cfg, &img.words);

@@ -152,6 +152,11 @@ pub struct ProgGenOptions {
     /// constant-register machines (the oracle then compares fault identity
     /// and PC instead of final state).
     pub allow_qat_faults: bool,
+    /// Bias Qat traffic toward the interned register file's hot paths:
+    /// aliased gate operands (`cnot @a,@a`, repeated sources) that hit the
+    /// store's algebraic shortcuts, and a narrow `had k` constant pool so
+    /// the same chunk ids recur and the op cache gets warm.
+    pub intern_stress: bool,
 }
 
 impl Default for ProgGenOptions {
@@ -167,6 +172,7 @@ impl Default for ProgGenOptions {
             sys_services: true,
             qreg_floor: 0,
             allow_qat_faults: false,
+            intern_stress: false,
         }
     }
 }
@@ -279,9 +285,12 @@ impl Emitter<'_> {
 
     fn emit_qinit(&mut self) {
         let a = self.qdest();
+        // Under intern stress the Hadamard pool narrows to two lanes so the
+        // same constant chunks recur across the program.
+        let k_pool = if self.opts.intern_stress { 2 } else { self.opts.ways as u64 };
         match self.rng.below(4) {
             0 | 1 => {
-                let k = self.rng.below(self.opts.ways as u64) as u8;
+                let k = self.rng.below(k_pool) as u8;
                 self.push(Insn::QHad { a, k });
             }
             2 => self.push(Insn::QZero { a }),
@@ -291,8 +300,22 @@ impl Emitter<'_> {
 
     fn emit_qgate(&mut self) {
         let a = self.qdest();
-        let b = self.qreg();
-        let c = self.qreg();
+        let mut b = self.qreg();
+        let mut c = self.qreg();
+        if self.opts.intern_stress {
+            // Aliased operands: `cnot @a,@a`, repeated sources, and fully
+            // collapsed triples exercise the store's x&x / x^x shortcuts
+            // and the self-operand paths of the copy-on-write file.
+            match self.rng.below(4) {
+                0 => b = a,
+                1 => c = b,
+                2 => {
+                    b = a;
+                    c = a;
+                }
+                _ => {}
+            }
+        }
         match self.rng.below(10) {
             0 | 1 => self.push(Insn::QNot { a }),
             2 => self.push(Insn::QAnd { a, b, c }),
@@ -513,8 +536,14 @@ pub fn random_qat_only_program(seed: u64, len: usize, ways: u32, nregs: u8) -> V
     let qr = |rng: &mut XorShift| QReg(rng.below(nregs.max(1) as u64) as u8);
     while body.len() < len {
         let a = qr(&mut rng);
-        let b = qr(&mut rng);
+        let mut b = qr(&mut rng);
         let c = qr(&mut rng);
+        // One draw in eight aliases a source onto the destination
+        // (`cnot @a,@a` and friends), so the interned register file's
+        // self-operand shortcuts are exercised by every long program.
+        if rng.below(8) == 0 {
+            b = a;
+        }
         let d = Reg::new(rng.below(4) as u8);
         match rng.below(14) {
             0 => body.push(Insn::QZero { a }),
@@ -799,6 +828,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn intern_stress_biases_toward_aliases_and_repeated_constants() {
+        let opts = ProgGenOptions {
+            profile: Profile::QatHeavy,
+            intern_stress: true,
+            len: 300,
+            ..Default::default()
+        };
+        let mut aliased = 0usize;
+        let mut had_ks = std::collections::HashSet::new();
+        for seed in 1..=5u64 {
+            for i in random_program(seed, &opts) {
+                if let Insn::QHad { k, .. } = i {
+                    had_ks.insert(k);
+                }
+                // A duplicated operand (`cnot @a,@a`, `and @d,@b,@b`, ...)
+                // is the aliasing the stress mode is meant to produce.
+                let reads = i.qreads();
+                if reads.iter().enumerate().any(|(n, q)| reads[..n].contains(q)) {
+                    aliased += 1;
+                }
+            }
+        }
+        assert!(aliased >= 20, "only {aliased} aliased Qat insns in 5x300");
+        // Narrow constant pool: every had draws from 2 lanes.
+        assert!(had_ks.iter().all(|&k| k < 2), "{had_ks:?}");
+        assert!(!had_ks.is_empty());
+        // The stressed programs still run and hit the op cache hard.
+        let prog = random_program(1, &opts);
+        let mut m = machine_for(&encode_program(&prog), 8);
+        m.run().unwrap();
+        let stats = m.qat.intern_stats().expect("default config interns");
+        assert!(stats.hits > 0, "{stats:?}");
     }
 
     #[test]

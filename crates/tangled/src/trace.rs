@@ -1,4 +1,6 @@
-//! Pipeline-trace rendering: the classic stage-occupancy diagram.
+//! Pipeline-trace and coprocessor-statistics rendering.
+//!
+//! Pipeline traces: the classic stage-occupancy diagram.
 //!
 //! Given the [`InsnTiming`] records collected
 //! by [`PipelinedSim::with_trace`](crate::pipeline::PipelinedSim::with_trace),
@@ -14,6 +16,7 @@
 //! ```
 
 use crate::pipeline::{InsnTiming, PipelineConfig, StageCount};
+use pbp_aob::InternStats;
 use tangled_isa::disassemble;
 
 /// Render a stage-occupancy chart for the given timing records.
@@ -61,6 +64,27 @@ pub fn render(trace: &[InsnTiming], config: PipelineConfig, max_cycles: u64) -> 
         out.push('\n');
     }
     out
+}
+
+/// Render the Qat chunk store's cache counters as a one-screen summary:
+///
+/// ```text
+/// qat intern: 1024 chunks, op cache 812/1000 hits (81.2%), 0 evicted, 113 dedup
+/// ```
+///
+/// Pair with [`Machine::qat`](crate::machine::Machine)'s
+/// `intern_stats()` — it returns `None` when the coprocessor runs in eager
+/// (non-interned) mode.
+pub fn render_intern_stats(stats: &InternStats) -> String {
+    format!(
+        "qat intern: {} chunks, op cache {}/{} hits ({:.1}%), {} evicted, {} dedup",
+        stats.chunks,
+        stats.hits,
+        stats.lookups(),
+        stats.hit_rate() * 100.0,
+        stats.evictions,
+        stats.dedup_hits,
+    )
 }
 
 fn truncate(s: &str, n: usize) -> String {
@@ -145,6 +169,20 @@ mod tests {
         let p = traced(&src, PipelineConfig::default());
         let chart = render(p.trace.as_ref().unwrap(), p.config(), 10);
         assert!(chart.contains('…'));
+    }
+
+    #[test]
+    fn intern_stats_render_from_a_real_run() {
+        // A program with a repeated gate: the second xor is a pure cache hit.
+        let img = assemble_ok("had @1,0\nhad @2,1\nxor @3,@1,@2\nxor @4,@1,@2\nsys\n");
+        let mut m = Machine::with_image(MachineConfig::default(), &img.words);
+        m.run().unwrap();
+        let stats = m.qat.intern_stats().expect("default config interns");
+        assert!(stats.hits >= 1, "{stats:?}");
+        let line = render_intern_stats(&stats);
+        assert!(line.starts_with("qat intern: "), "{line}");
+        assert!(line.contains("hits"), "{line}");
+        assert!(line.contains('%'), "{line}");
     }
 
     #[test]

@@ -35,8 +35,8 @@ fn main() {
         let ta = t.hadamard(e, 5);
         let tb = t.hadamard(e, e - 1);
         let tc = t.hadamard(e, e - 2);
-        let tab = t.and(&ta, &tb);
-        let tv = t.xor(&tab, &tc);
+        let tab = t.and(&ta, &tb).expect("same universe");
+        let tv = t.xor(&tab, &tc).expect("same universe");
 
         // Both representations agree on every summary:
         assert_eq!(ctx.re_pop_all(&v), t.pop_all(&tv));
@@ -60,7 +60,7 @@ fn main() {
     let mut t = TreeCtx::new();
     let a = t.hadamard(40, 6);
     let b = t.hadamard(40, 39);
-    let c = t.and(&a, &b);
+    let c = t.and(&a, &b).expect("same universe");
     println!(
         "  tree: H(6) & H(39) at E=40 -> {} nodes, pop = 2^38 = {}, first answer channel {}",
         t.node_count(),
@@ -89,8 +89,8 @@ fn main() {
     let n = t.tpint_mk(20, 10, 899);
     let b = t.tpint_h(20, 10, 0);
     let c = t.tpint_h(20, 10, 10);
-    let d = t.tpint_mul(&b, &c);
-    let e = t.tpint_eq(&d, &n);
+    let d = t.tpint_mul(&b, &c).expect("same universe");
+    let e = t.tpint_eq(&d, &n).expect("same universe");
     let factors = t.tpint_measure_where(&b, &e, 100);
     println!(
         "  factors {factors:?} from {} shared nodes ({} factor-pair channels)",

@@ -6,6 +6,7 @@
 use std::path::PathBuf;
 use tangled_qat::asm;
 use tangled_qat::sim::difftest::{compare_all, DiffConfig};
+use tangled_qat::sim::Machine;
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus")
@@ -46,4 +47,44 @@ fn corpus_exists_and_replays_clean() {
             panic!("{}: {d}", path.display());
         }
     }
+}
+
+/// The interned register file's cache counters are part of the replayable
+/// behavior: two fresh runs of any corpus program must produce identical
+/// [`InternStats`], and the counters must satisfy their own arithmetic
+/// (`lookups = hits + misses`, the constant bank always interned).
+#[test]
+fn corpus_intern_counters_replay_deterministically() {
+    let mut qat_lookups = 0u64;
+    for entry in std::fs::read_dir(corpus_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if !path.extension().is_some_and(|x| x == "s") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let img = asm::assemble(&text).unwrap();
+        let cfg = DiffConfig {
+            ways: header(&text, "ways", 8) as u32,
+            constant_registers: header(&text, "constant-registers", 0) != 0,
+            ..Default::default()
+        };
+        let stats_of = || {
+            let mut m = Machine::with_image(cfg.machine_config(), &img.words);
+            let _ = m.run(); // faulting reproducers still leave valid stats
+            m.qat.intern_stats().expect("diff config interns by default")
+        };
+        let first = stats_of();
+        let second = stats_of();
+        assert_eq!(first, second, "{}: counters not deterministic", path.display());
+        assert_eq!(first.lookups(), first.hits + first.misses, "{}", path.display());
+        assert!(
+            first.chunks >= (cfg.ways + 2) as u64,
+            "{}: constant bank missing from {first:?}",
+            path.display()
+        );
+        qat_lookups += first.lookups();
+    }
+    // The seed corpus includes Qat reproducers, so at least one program
+    // must actually have exercised the op cache.
+    assert!(qat_lookups > 0, "no corpus program touched the Qat op cache");
 }

@@ -12,7 +12,7 @@ use tangled_qat::sim::difftest::{
     DiffConfig,
 };
 use tangled_qat::sim::proggen::{encode_program, random_program, ProgGenOptions, Profile};
-use tangled_qat::sim::{shrink, Coverage};
+use tangled_qat::sim::{shrink, Coverage, Machine};
 
 /// 64 seeds for each of 4 profiles = 256 programs, all models agree.
 #[test]
@@ -60,6 +60,41 @@ fn fault_adjacent_population_agrees() {
             panic!("seed {seed}: {d}");
         }
     }
+}
+
+/// Intern-stress population: aliased Qat operands (`cnot @a,@a`, repeated
+/// sources) and a narrow Hadamard pool drive the hash-consed register
+/// file's hot paths. `compare_all` already reruns every program with
+/// interning disabled (the `qat-eager` oracle), so this population is the
+/// direct differential check of the memoized gate kernels — and the op
+/// cache's counters must replay bit-identically on a fresh store.
+#[test]
+fn intern_stress_population_agrees_and_counters_replay() {
+    let cfg = DiffConfig::default();
+    let opts = ProgGenOptions {
+        profile: Profile::QatHeavy,
+        intern_stress: true,
+        ..Default::default()
+    };
+    let stats_of = |words: &[u16]| {
+        let mut m = Machine::with_image(cfg.machine_config(), words);
+        let _ = m.run(); // step-limit faults still leave valid stats
+        m.qat.intern_stats().expect("diff config interns by default")
+    };
+    let mut total_hits = 0u64;
+    for seed in 0..32u64 {
+        let prog = random_program(9000 + seed, &opts);
+        let words = encode_program(&prog);
+        if let Err(d) = compare_all(&words, &cfg, None) {
+            panic!("seed {seed}: {d}");
+        }
+        let first = stats_of(&words);
+        let second = stats_of(&words);
+        assert_eq!(first, second, "seed {seed}: counters not deterministic");
+        assert_eq!(first.lookups(), first.hits + first.misses);
+        total_hits += first.hits;
+    }
+    assert!(total_hits > 0, "stress population never hit the op cache");
 }
 
 /// Negative control: the oracle is not vacuous. A model with a forwarding

@@ -9,7 +9,7 @@ fn run_metered(src: &str, macros: bool) -> Machine {
     let opts = AsmOptions { expand_reversible: macros, ..Default::default() };
     let img = assemble_with(src, &opts).unwrap();
     let cfg = MachineConfig {
-        qat: QatConfig { ways: 8, constant_registers: false, meter_energy: true },
+        qat: QatConfig { meter_energy: true, ..QatConfig::with_ways(8) },
         ..Default::default()
     };
     let mut m = Machine::with_image(cfg, &img.words);

@@ -117,7 +117,7 @@ fn factoring_under_every_compiler_configuration() {
                 .unwrap_or_else(|e| panic!("{strategy:?}/{constant_registers}: {e}"));
             let img = assemble(&prog.asm).unwrap();
             let cfg = MachineConfig {
-                qat: QatConfig { ways: 8, constant_registers, meter_energy: false },
+                qat: QatConfig { constant_registers, ..QatConfig::with_ways(8) },
                 ..Default::default()
             };
             let mut m = Machine::with_image(cfg, &img.words);

@@ -49,7 +49,7 @@ fn truncated_two_word_instruction_at_end_of_memory() {
 fn constant_register_write_faults_with_pc() {
     let img = assemble("zero @200\nhad @3,1\nsys\n").unwrap();
     let mcfg = MachineConfig {
-        qat: QatConfig { ways: 8, constant_registers: true, meter_energy: false },
+        qat: QatConfig { constant_registers: true, ..QatConfig::with_ways(8) },
         max_steps: 10_000,
     };
     // @200 is fine (unreserved); @3 = H(1) is reserved -> fault at word 1.

@@ -155,17 +155,17 @@ mod three_way {
                     0 => {
                         aobs[i] = Aob::and_of(&aobs[i], &aobs[j]);
                         res[i] = ctx.and(&res[i].clone(), &res[j]);
-                        trees[i] = tc.and(&trees[i].clone(), &trees[j]);
+                        trees[i] = tc.and(&trees[i].clone(), &trees[j]).unwrap();
                     }
                     1 => {
                         aobs[i] = Aob::or_of(&aobs[i], &aobs[j]);
                         res[i] = ctx.or(&res[i].clone(), &res[j]);
-                        trees[i] = tc.or(&trees[i].clone(), &trees[j]);
+                        trees[i] = tc.or(&trees[i].clone(), &trees[j]).unwrap();
                     }
                     2 => {
                         aobs[i] = Aob::xor_of(&aobs[i], &aobs[j]);
                         res[i] = ctx.xor(&res[i].clone(), &res[j]);
-                        trees[i] = tc.xor(&trees[i].clone(), &trees[j]);
+                        trees[i] = tc.xor(&trees[i].clone(), &trees[j]).unwrap();
                     }
                     _ => {
                         aobs[i] = aobs[i].not_of();
