@@ -21,6 +21,17 @@
 
 use crate::bitvec::Aob;
 
+/// Global telemetry mirrors of the energy counters. Additive across all
+/// meters; `absorb` is deliberately not mirrored (the absorbed counts
+/// were already reported when recorded).
+mod telem {
+    use tangled_telemetry::Counter;
+
+    pub static TOGGLES: Counter = Counter::new("energy.toggles");
+    pub static IMBALANCE: Counter = Counter::new("energy.imbalance");
+    pub static WRITES: Counter = Counter::new("energy.writes");
+}
+
 /// Which first-order energy model to charge an update against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnergyModel {
@@ -62,6 +73,9 @@ impl EnergyMeter {
         self.toggles += toggles;
         self.imbalance += pop_before.abs_diff(pop_after);
         self.writes += 1;
+        telem::TOGGLES.add(toggles);
+        telem::IMBALANCE.add(pop_before.abs_diff(pop_after));
+        telem::WRITES.inc();
     }
 
     /// Total energy under the chosen model.

@@ -31,6 +31,19 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// Global telemetry mirrors of [`InternStats`]: every store contributes
+/// additively, so the registry sees whole-process chunk-cache behaviour
+/// regardless of how many stores exist.
+mod telem {
+    use tangled_telemetry::Counter;
+
+    pub static HITS: Counter = Counter::new("intern.hits");
+    pub static MISSES: Counter = Counter::new("intern.misses");
+    pub static EVICTIONS: Counter = Counter::new("intern.evictions");
+    pub static DEDUP: Counter = Counter::new("intern.dedup_hits");
+    pub static CHUNKS: Counter = Counter::new("intern.chunks_interned");
+}
+
 /// Identifier of an interned chunk in a [`ChunkStore`].
 ///
 /// Ids are only meaningful within the store that issued them. Two equal
@@ -258,6 +271,7 @@ impl ChunkStore {
             for &id in cands {
                 if *self.chunks[id.0 as usize] == v {
                     self.stats.dedup_hits += 1;
+                    telem::DEDUP.inc();
                     return id;
                 }
             }
@@ -266,6 +280,7 @@ impl ChunkStore {
         self.chunks.push(Arc::new(v));
         self.by_hash.entry(h).or_default().push(id);
         self.stats.chunks = self.chunks.len() as u64;
+        telem::CHUNKS.inc();
         id
     }
 
@@ -284,13 +299,16 @@ impl ChunkStore {
     fn cached(&mut self, key: OpKey, compute: impl FnOnce(&Self) -> Aob) -> ChunkId {
         if let Some(&r) = self.ops.get(&key) {
             self.stats.hits += 1;
+            telem::HITS.inc();
             return r;
         }
         self.stats.misses += 1;
+        telem::MISSES.inc();
         let v = compute(self);
         let r = self.intern(v);
         if self.ops.len() >= self.op_capacity {
             self.stats.evictions += self.ops.len() as u64;
+            telem::EVICTIONS.add(self.ops.len() as u64);
             self.ops.clear();
         }
         self.ops.insert(key, r);
@@ -301,10 +319,12 @@ impl ChunkStore {
     pub fn not(&mut self, a: ChunkId) -> ChunkId {
         if a == ID_ZERO {
             self.stats.hits += 1;
+            telem::HITS.inc();
             return ID_ONE;
         }
         if a == ID_ONE {
             self.stats.hits += 1;
+            telem::HITS.inc();
             return ID_ZERO;
         }
         self.cached(OpKey::Not(a), |s| s.aob(a).not_of())
@@ -350,6 +370,7 @@ impl ChunkStore {
         };
         if let Some(r) = shortcut {
             self.stats.hits += 1;
+            telem::HITS.inc();
             return r;
         }
         // All three gates are commutative: canonicalize the operand order.
@@ -393,6 +414,7 @@ impl ChunkStore {
     pub fn mux(&mut self, sel: ChunkId, t: ChunkId, f: ChunkId) -> ChunkId {
         if t == f {
             self.stats.hits += 1;
+            telem::HITS.inc();
             return t;
         }
         let st = self.and(sel, t);

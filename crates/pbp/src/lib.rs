@@ -34,6 +34,7 @@
 pub mod algos;
 mod pint;
 mod re;
+pub(crate) mod telem;
 pub mod tree;
 
 pub use algos::Cnf;

@@ -238,6 +238,8 @@ impl PbpContext {
         }
         let mut re = Re { period, reps: total / p };
         self.reduce_period(&mut re);
+        crate::telem::RE_GATES.inc();
+        crate::telem::RE_COMPRESSION.record(total / re.storage_runs().max(1) as u64);
         re
     }
 

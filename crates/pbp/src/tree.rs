@@ -205,6 +205,7 @@ impl TreeCtx {
 
     /// Import an explicit AoB value.
     pub fn from_aob(&mut self, a: &Aob) -> PTree {
+        crate::telem::TREE_BUILDS.inc();
         let level = a.ways().saturating_sub(crate::CHUNK_WAYS);
         assert!(a.ways() >= crate::CHUNK_WAYS, "tree form needs at least one chunk");
         let mut layer: Vec<TId> = a.words().iter().map(|&w| self.leaf(w)).collect();
@@ -241,6 +242,7 @@ impl TreeCtx {
 
     fn binop(&mut self, op: BinOp, a: TId, b: TId) -> Result<TId, TreeError> {
         if let Some(&r) = self.bin_memo.get(&(op, a, b)) {
+            crate::telem::TREE_MEMO_HITS.inc();
             return Ok(r);
         }
         let r = match (self.nodes[a as usize], self.nodes[b as usize]) {

@@ -39,6 +39,25 @@ pub mod cost;
 use pbp_aob::{Aob, ChunkId, ChunkStore, EnergyMeter, GateOp, InternStats, ID_ONE, ID_ZERO};
 use tangled_isa::{Insn, QReg};
 
+/// Global telemetry handles for gate dispatch and port/energy activity.
+///
+/// The `energy.*` names are shared with `pbp_aob::EnergyMeter`'s mirrors:
+/// the coprocessor's batched `flush_energy` path bypasses
+/// `EnergyMeter::record`, so it reports to the same keys directly.
+mod telem {
+    use tangled_isa::{Insn, KIND_COUNT};
+    use tangled_telemetry::{Counter, CounterBank};
+
+    pub static GATES: CounterBank<KIND_COUNT> = CounterBank::new("qat.gate", Insn::kind_name);
+    pub static KERNEL_INTERNED: Counter = Counter::new("qat.kernel.interned");
+    pub static KERNEL_EAGER: Counter = Counter::new("qat.kernel.eager");
+    pub static PORT_READS: Counter = Counter::new("qat.ports.reads");
+    pub static PORT_WRITES: Counter = Counter::new("qat.ports.writes");
+    pub static ENERGY_TOGGLES: Counter = Counter::new("energy.toggles");
+    pub static ENERGY_IMBALANCE: Counter = Counter::new("energy.imbalance");
+    pub static ENERGY_WRITES: Counter = Counter::new("energy.writes");
+}
+
 /// Static configuration of a Qat instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QatConfig {
@@ -291,6 +310,9 @@ impl QatCoprocessor {
             self.meter.toggles += self.pending_toggles;
             self.meter.imbalance += self.pending_delta.unsigned_abs();
             self.meter.writes += self.pending_writes;
+            telem::ENERGY_TOGGLES.add(self.pending_toggles);
+            telem::ENERGY_IMBALANCE.add(self.pending_delta.unsigned_abs());
+            telem::ENERGY_WRITES.add(self.pending_writes);
             self.pending_toggles = 0;
             self.pending_delta = 0;
             self.pending_writes = 0;
@@ -383,6 +405,13 @@ impl QatCoprocessor {
         }
         if nwrites == 2 {
             self.ports.dual_write_insns += 1;
+        }
+        telem::GATES.add(insn.kind(), 1);
+        telem::PORT_READS.add(nreads as u64);
+        telem::PORT_WRITES.add(nwrites as u64);
+        match self.file {
+            RegFile::Eager(_) => telem::KERNEL_EAGER.inc(),
+            RegFile::Interned { .. } => telem::KERNEL_INTERNED.inc(),
         }
         for w in insn.qwrites() {
             self.check_writable(w)?;

@@ -49,6 +49,7 @@ pub mod multicycle;
 pub mod pipeline;
 pub mod proggen;
 pub mod shrink;
+mod telem;
 pub mod trace;
 
 pub use coverage::Coverage;

@@ -321,6 +321,11 @@ impl Machine {
 
         self.pc = next_pc;
         self.steps += 1;
+        crate::telem::RETIRED.add(insn.kind(), 1);
+        crate::telem::INSNS.inc();
+        if taken {
+            crate::telem::BRANCH_TAKEN.inc();
+        }
         Ok(StepEvent { pc, insn, taken, next_pc, halted })
     }
 

@@ -8,6 +8,7 @@
 //! designs had to preserve.
 
 use crate::machine::{Machine, SimError, StepEvent};
+use crate::telem;
 
 /// Cycle/instruction counts from a multi-cycle run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -49,9 +50,19 @@ impl MultiCycleSim {
     pub fn step(&mut self) -> Result<StepEvent, SimError> {
         let ev = self.machine.step()?;
         let words = ev.insn.words() as u64;
+        let start = self.stats.cycles;
         self.stats.cycles += words + NON_FETCH_CYCLES;
         self.stats.extra_fetch_cycles += words - 1;
         self.stats.insns += 1;
+        telem::MC_CYCLES.add(words + NON_FETCH_CYCLES);
+        telem::MC_INSNS.inc();
+        tangled_telemetry::trace_complete(
+            ev.insn.mnemonic(),
+            telem::cat(ev.insn),
+            telem::track::IF,
+            start,
+            words + NON_FETCH_CYCLES,
+        );
         Ok(ev)
     }
 

@@ -192,6 +192,7 @@ impl PipelinedSim {
     }
 
     fn account(&mut self, ev: StepEvent) {
+        use crate::telem;
         let insn = ev.insn;
         let words = insn.words() as i64;
         let five = self.config.stages == StageCount::Five;
@@ -276,6 +277,7 @@ impl PipelinedSim {
 
         // ---- stats ----
         self.stats.insns += 1;
+        let prev_cycles = self.stats.cycles;
         self.stats.cycles = (wb + 1) as u64;
         self.stats.fetch_extra += (words - 1) as u64;
         self.stats.data_stalls += data_stall;
@@ -285,6 +287,30 @@ impl PipelinedSim {
         }
         if words == 2 {
             self.stats.two_word_insns += 1;
+        }
+
+        // ---- telemetry ----
+        telem::PIPE_INSNS.inc();
+        telem::PIPE_CYCLES.add(self.stats.cycles - prev_cycles);
+        telem::PIPE_DATA_STALLS.add(data_stall);
+        telem::PIPE_CONTROL_STALLS.add(control_stall);
+        telem::PIPE_FETCH_EXTRA.add((words - 1) as u64);
+        telem::PIPE_FLUSHES.add(ev.taken as u64);
+        telem::PIPE_MISPREDICTS.add(ev.taken as u64);
+        if tangled_telemetry::trace_on() {
+            let (name, cat) = (insn.mnemonic(), telem::cat(insn));
+            tangled_telemetry::trace_complete(name, cat, telem::track::IF, if_start as u64, words as u64);
+            tangled_telemetry::trace_complete(name, cat, telem::track::ID, id as u64, 1);
+            tangled_telemetry::trace_complete(name, cat, telem::track::EX, ex as u64, ex_dur as u64);
+            if five {
+                tangled_telemetry::trace_complete(name, cat, telem::track::MEM, mem as u64, 1);
+            }
+            tangled_telemetry::trace_complete(name, cat, telem::track::WB, wb as u64, 1);
+            if ev.taken {
+                // Squash point: fetch restarts from the branch target in
+                // the cycle after EX resolves the branch.
+                tangled_telemetry::trace_instant("flush", "pipe", telem::track::IF, ex_end as u64);
+            }
         }
     }
 

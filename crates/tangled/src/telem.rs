@@ -1,0 +1,61 @@
+//! Crate-internal telemetry handles shared by the three simulators.
+//!
+//! Names are stable `metrics.json` keys: `tangled.*` for architectural
+//! (model-independent) retire accounting, `mc.*` for the multi-cycle
+//! timing model, `pipe.*` for the pipelined scoreboard. Trace-event
+//! track ids follow the stage order so exporters can name them.
+
+use tangled_isa::{Insn, KIND_COUNT};
+use tangled_telemetry::{Counter, CounterBank};
+
+/// Per-opcode retire counts, reported as `tangled.retire.<kind>`.
+pub static RETIRED: CounterBank<KIND_COUNT> = CounterBank::new("tangled.retire", Insn::kind_name);
+/// Instructions retired (all models share `Machine::step`).
+pub static INSNS: Counter = Counter::new("tangled.insns");
+/// Taken branches/jumps at the architectural level.
+pub static BRANCH_TAKEN: Counter = Counter::new("tangled.branch.taken");
+
+/// Multi-cycle model: total clock cycles.
+pub static MC_CYCLES: Counter = Counter::new("mc.cycles");
+/// Multi-cycle model: instructions completed.
+pub static MC_INSNS: Counter = Counter::new("mc.insns");
+
+/// Pipelined model: instructions retired.
+pub static PIPE_INSNS: Counter = Counter::new("pipe.insns");
+/// Pipelined model: total cycles (monotonic across `account` calls).
+pub static PIPE_CYCLES: Counter = Counter::new("pipe.cycles");
+/// Cycles lost to data-hazard interlocks.
+pub static PIPE_DATA_STALLS: Counter = Counter::new("pipe.stall.data");
+/// Cycles lost to control-flow redirects (squashed fetch slots).
+pub static PIPE_CONTROL_STALLS: Counter = Counter::new("pipe.stall.control");
+/// Extra IF cycles for second instruction words.
+pub static PIPE_FETCH_EXTRA: Counter = Counter::new("pipe.fetch.extra");
+/// Pipeline flushes (one per taken control-flow redirect).
+pub static PIPE_FLUSHES: Counter = Counter::new("pipe.flush");
+/// Branch mispredicts. The pipeline predicts not-taken, so every taken
+/// branch is a mispredict; the counter exists so the key survives a
+/// smarter predictor.
+pub static PIPE_MISPREDICTS: Counter = Counter::new("pipe.branch.mispredict");
+
+/// Trace-event track ids, in viewer sort order.
+pub mod track {
+    /// Instruction fetch.
+    pub const IF: u32 = 0;
+    /// Decode.
+    pub const ID: u32 = 1;
+    /// Execute.
+    pub const EX: u32 = 2;
+    /// Memory (5-stage organization only).
+    pub const MEM: u32 = 3;
+    /// Writeback/retire.
+    pub const WB: u32 = 4;
+}
+
+/// Trace category for an instruction: which processor executes it.
+pub fn cat(insn: Insn) -> &'static str {
+    if insn.is_qat() {
+        "qat"
+    } else {
+        "tangled"
+    }
+}

@@ -16,8 +16,9 @@
 //! ```
 
 use crate::pipeline::{InsnTiming, PipelineConfig, StageCount};
-use pbp_aob::InternStats;
 use tangled_isa::disassemble;
+
+pub use tangled_telemetry::export::render_summary as render_counters;
 
 /// Render a stage-occupancy chart for the given timing records.
 ///
@@ -64,27 +65,6 @@ pub fn render(trace: &[InsnTiming], config: PipelineConfig, max_cycles: u64) -> 
         out.push('\n');
     }
     out
-}
-
-/// Render the Qat chunk store's cache counters as a one-screen summary:
-///
-/// ```text
-/// qat intern: 1024 chunks, op cache 812/1000 hits (81.2%), 0 evicted, 113 dedup
-/// ```
-///
-/// Pair with [`Machine::qat`](crate::machine::Machine)'s
-/// `intern_stats()` — it returns `None` when the coprocessor runs in eager
-/// (non-interned) mode.
-pub fn render_intern_stats(stats: &InternStats) -> String {
-    format!(
-        "qat intern: {} chunks, op cache {}/{} hits ({:.1}%), {} evicted, {} dedup",
-        stats.chunks,
-        stats.hits,
-        stats.lookups(),
-        stats.hit_rate() * 100.0,
-        stats.evictions,
-        stats.dedup_hits,
-    )
 }
 
 fn truncate(s: &str, n: usize) -> String {
@@ -172,17 +152,27 @@ mod tests {
     }
 
     #[test]
-    fn intern_stats_render_from_a_real_run() {
-        // A program with a repeated gate: the second xor is a pure cache hit.
+    fn counter_summary_renders_from_a_real_run() {
+        use tangled_telemetry as telemetry;
+        // The chunk-store counters now live in the telemetry registry; the
+        // summary table replaces the old ad-hoc intern-stats line. A
+        // program with a repeated gate: the second xor is a pure cache hit.
+        telemetry::set_mode(telemetry::Mode::Counters);
+        let base = telemetry::Snapshot::take();
         let img = assemble_ok("had @1,0\nhad @2,1\nxor @3,@1,@2\nxor @4,@1,@2\nsys\n");
         let mut m = Machine::with_image(MachineConfig::default(), &img.words);
         m.run().unwrap();
+        let snap = telemetry::Snapshot::take().delta(&base);
+        telemetry::set_mode(telemetry::Mode::Off);
+        // Registry agrees with the store's own (still public) stats.
         let stats = m.qat.intern_stats().expect("default config interns");
         assert!(stats.hits >= 1, "{stats:?}");
-        let line = render_intern_stats(&stats);
-        assert!(line.starts_with("qat intern: "), "{line}");
-        assert!(line.contains("hits"), "{line}");
-        assert!(line.contains('%'), "{line}");
+        assert!(snap.get("intern.hits") >= stats.hits);
+        assert_eq!(snap.get("tangled.retire.qxor"), 2);
+        let table = render_counters(&snap);
+        assert!(table.starts_with("telemetry counters"), "{table}");
+        assert!(table.contains("intern.hits"), "{table}");
+        assert!(table.contains("hit rate"), "{table}");
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! The three exporters: human-readable summary table, `metrics.json`
+//! (`tangled-metrics/v1`), and Chrome `trace_event` JSON.
+//!
+//! All output is deterministic: keys are emitted in sorted order, values
+//! are simulated-cycle counts, and nothing depends on wall-clock time.
+
+use std::fmt::Write as _;
+
+use crate::{Mode, Snapshot, TraceKind, TraceLog};
+
+/// Schema identifier written into the `metrics.json` `schema` field.
+/// Bump the suffix on breaking changes to field names or types.
+pub const METRICS_SCHEMA: &str = "tangled-metrics/v1";
+
+/// Everything the `metrics.json` exporter needs for one run.
+pub struct MetricsDoc<'a> {
+    /// Counter values for the run (usually a [`Snapshot::delta`]).
+    pub snapshot: &'a Snapshot,
+    /// The telemetry mode the run executed under.
+    pub mode: Mode,
+    /// Trace events retained for the run (0 when tracing was off).
+    pub trace_events: u64,
+    /// Trace events lost to ring-buffer overwrite.
+    pub trace_dropped: u64,
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render the stable `tangled-metrics/v1` JSON document.
+///
+/// ```json
+/// {
+///   "counters": { "tangled.retire.lex": 42, ... },
+///   "mode": "counters",
+///   "schema": "tangled-metrics/v1",
+///   "trace": { "dropped": 0, "events": 0 }
+/// }
+/// ```
+///
+/// Top-level keys and counter names are sorted, so identical runs
+/// produce byte-identical files.
+pub fn metrics_json(doc: &MetricsDoc) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"counters\": {");
+    let mut first = true;
+    for (name, value) in doc.snapshot.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        escape(name, &mut out);
+        let _ = write!(out, "\": {value}");
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+    let _ = write!(out, "  \"mode\": \"{}\",\n", doc.mode.name());
+    let _ = write!(out, "  \"schema\": \"{METRICS_SCHEMA}\",\n");
+    let _ = write!(
+        out,
+        "  \"trace\": {{ \"dropped\": {}, \"events\": {} }}\n",
+        doc.trace_dropped, doc.trace_events
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Render a [`TraceLog`] as Chrome `trace_event` JSON (the "JSON object
+/// format"), loadable in `chrome://tracing` and Perfetto.
+///
+/// One simulated cycle maps to one microsecond of trace time. `threads`
+/// names the track ids (e.g. `[(0, "IF"), (1, "ID"), …]`); tracks are
+/// sorted in the viewer by their id.
+pub fn chrome_trace(log: &TraceLog, threads: &[(u32, &str)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push_event = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    push_event(
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"tangled-sim\"}}"
+            .to_string(),
+        &mut out,
+    );
+    for (tid, name) in threads {
+        let mut escaped = String::new();
+        escape(name, &mut escaped);
+        push_event(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{escaped}\"}}}}"
+            ),
+            &mut out,
+        );
+        push_event(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for ev in &log.events {
+        let mut name = String::new();
+        escape(ev.name, &mut name);
+        let mut cat = String::new();
+        escape(ev.cat, &mut cat);
+        let line = match ev.kind {
+            TraceKind::Complete => format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":1,\
+                 \"tid\":{},\"ts\":{},\"dur\":{}}}",
+                ev.tid, ev.ts, ev.dur
+            ),
+            TraceKind::Instant => format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                 \"tid\":{},\"ts\":{}}}",
+                ev.tid, ev.ts
+            ),
+        };
+        push_event(line, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render a one-screen, aligned summary table of a snapshot, with a
+/// derived intern-hit-rate line when the chunk-store counters are
+/// present. This is the `--telemetry` console output.
+pub fn render_summary(snap: &Snapshot) -> String {
+    let mut out = String::from("telemetry counters\n");
+    if snap.is_empty() {
+        out.push_str("  (none recorded)\n");
+        return out;
+    }
+    let width = snap.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+    for (name, value) in snap.iter() {
+        let _ = writeln!(out, "  {name:<width$}  {value:>12}");
+    }
+    let hits = snap.get("intern.hits");
+    let lookups = hits + snap.get("intern.misses");
+    if lookups > 0 {
+        let _ = writeln!(
+            out,
+            "  intern op-cache hit rate: {:.1}% ({hits}/{lookups})",
+            hits as f64 / lookups as f64 * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        set_mode, take_trace, trace_complete, Counter, Histogram, Snapshot,
+        TraceEvent, TRACE_CAPACITY,
+    };
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global mode/registry/ring.
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    fn with_mode<R>(mode: Mode, f: impl FnOnce() -> R) -> R {
+        let _guard = GLOBAL.lock().unwrap();
+        crate::reset();
+        set_mode(mode);
+        let r = f();
+        set_mode(Mode::Off);
+        crate::reset();
+        r
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        static OFF_COUNTER: Counter = Counter::new("test.off.counter");
+        with_mode(Mode::Off, || {
+            OFF_COUNTER.add(5);
+            trace_complete("x", "t", 0, 0, 1);
+            assert_eq!(OFF_COUNTER.value(), 0);
+            assert_eq!(Snapshot::take().get("test.off.counter"), 0);
+            assert!(take_trace().events.is_empty());
+        });
+    }
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        static DELTA_COUNTER: Counter = Counter::new("test.delta.counter");
+        with_mode(Mode::Counters, || {
+            DELTA_COUNTER.add(3);
+            let base = Snapshot::take();
+            DELTA_COUNTER.add(4);
+            let end = Snapshot::take();
+            assert_eq!(end.get("test.delta.counter"), 7);
+            assert_eq!(end.delta(&base).get("test.delta.counter"), 4);
+        });
+    }
+
+    #[test]
+    fn counters_mode_does_not_trace() {
+        with_mode(Mode::Counters, || {
+            trace_complete("x", "t", 0, 0, 1);
+            assert!(take_trace().events.is_empty());
+        });
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        static HIST: Histogram = Histogram::new("test.hist");
+        with_mode(Mode::Counters, || {
+            for v in [0, 1, 2, 3, 900, 1 << 40] {
+                HIST.record(v);
+            }
+            let snap = Snapshot::take();
+            assert_eq!(snap.get("test.hist.count"), 6);
+            assert_eq!(snap.get("test.hist.sum"), 6 + 900 + (1 << 40));
+            assert_eq!(snap.get("test.hist.max"), 1 << 40);
+            assert_eq!(snap.get("test.hist.le_1"), 2); // 0 and 1
+            assert_eq!(snap.get("test.hist.le_2"), 1);
+            assert_eq!(snap.get("test.hist.le_4"), 1);
+            assert_eq!(snap.get("test.hist.le_1024"), 1);
+            assert_eq!(snap.get("test.hist.inf"), 1);
+        });
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        with_mode(Mode::Trace, || {
+            for i in 0..(TRACE_CAPACITY as u64 + 10) {
+                trace_complete("ev", "t", 0, i, 1);
+            }
+            let log = take_trace();
+            assert_eq!(log.events.len(), TRACE_CAPACITY);
+            assert_eq!(log.dropped, 10);
+            // Oldest events were overwritten: the log starts at ts=10.
+            assert_eq!(log.events.first().unwrap().ts, 10);
+            assert_eq!(log.events.last().unwrap().ts, TRACE_CAPACITY as u64 + 9);
+            // Chronological (insertion) order is preserved across the wrap.
+            assert!(log.events.windows(2).all(|w| w[0].ts < w[1].ts));
+        });
+    }
+
+    #[test]
+    fn metrics_json_is_deterministic_and_escaped() {
+        static WEIRD: Counter = Counter::new("test.weird.\"quoted\"\\name");
+        let (a, b) = with_mode(Mode::Counters, || {
+            WEIRD.add(1);
+            let snap = Snapshot::take();
+            let doc =
+                MetricsDoc { snapshot: &snap, mode: Mode::Counters, trace_events: 0, trace_dropped: 0 };
+            (metrics_json(&doc), metrics_json(&doc))
+        });
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"tangled-metrics/v1\""), "{a}");
+        assert!(a.contains("\"mode\": \"counters\""), "{a}");
+        assert!(a.contains("test.weird.\\\"quoted\\\"\\\\name"), "{a}");
+    }
+
+    #[test]
+    fn chrome_trace_emits_metadata_and_events() {
+        let log = TraceLog {
+            events: vec![
+                TraceEvent { name: "lex", cat: "tangled", kind: TraceKind::Complete, ts: 0, dur: 2, tid: 0 },
+                TraceEvent { name: "halt", cat: "tangled", kind: TraceKind::Instant, ts: 5, dur: 0, tid: 1 },
+            ],
+            dropped: 0,
+        };
+        let json = chrome_trace(&log, &[(0, "IF"), (1, "ID")]);
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"name\":\"IF\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"dur\":2"), "{json}");
+    }
+
+    #[test]
+    fn summary_table_lists_counters_and_hit_rate() {
+        static SUM_HITS: Counter = Counter::new("intern.hits");
+        static SUM_MISSES: Counter = Counter::new("intern.misses");
+        let text = with_mode(Mode::Counters, || {
+            SUM_HITS.add(3);
+            SUM_MISSES.add(1);
+            render_summary(&Snapshot::take())
+        });
+        assert!(text.starts_with("telemetry counters\n"), "{text}");
+        assert!(text.contains("intern.hits"), "{text}");
+        assert!(text.contains("hit rate: 75.0% (3/4)"), "{text}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Counter, bank, and histogram handles plus the global registry and
+//! [`Snapshot`] machinery.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+
+use crate::counters_on;
+
+/// Anything that can fold its current values into a snapshot map.
+///
+/// Emission is *additive*: two sources sharing a metric name contribute
+/// to one reported value.
+trait Source: Sync {
+    fn emit(&self, out: &mut BTreeMap<String, u64>);
+    fn reset(&self);
+}
+
+/// Global list of every handle that has recorded at least once.
+static SOURCES: Mutex<Vec<&'static (dyn Source + 'static)>> = Mutex::new(Vec::new());
+
+fn register(src: &'static (dyn Source + 'static)) {
+    SOURCES.lock().unwrap().push(src);
+}
+
+pub(crate) fn reset_registered() {
+    for src in SOURCES.lock().unwrap().iter() {
+        src.reset();
+    }
+}
+
+#[inline]
+fn add_to(out: &mut BTreeMap<String, u64>, name: String, v: u64) {
+    *out.entry(name).or_insert(0) += v;
+}
+
+/// A monotonically increasing event counter with a static name.
+///
+/// Declare as a `static` and call [`Counter::add`] from hot paths; the
+/// call is a no-op unless telemetry is enabled.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl Counter {
+    /// A new counter handle. `name` should be a dotted path such as
+    /// `"tangled.branch.taken"`; it becomes the `metrics.json` key.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), registered: Once::new() }
+    }
+
+    /// Add `n` (registering the counter on first use). No-op when off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !counters_on() {
+            return;
+        }
+        self.registered.call_once(|| register(self));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one. No-op when telemetry is off.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value (0 until the first enabled `add`).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Source for Counter {
+    fn emit(&self, out: &mut BTreeMap<String, u64>) {
+        add_to(out, self.name.to_string(), self.value.load(Ordering::Relaxed));
+    }
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-size array of counters indexed by a dense id (opcode kind,
+/// gate kind, …), reported as `<name>.<label(i)>` for each non-zero cell.
+///
+/// The labeler runs only at snapshot time, never on the hot path.
+pub struct CounterBank<const N: usize> {
+    name: &'static str,
+    label: fn(usize) -> &'static str,
+    cells: [AtomicU64; N],
+    registered: Once,
+}
+
+impl<const N: usize> CounterBank<N> {
+    /// A new bank; cell `i` is reported as `"<name>.<label(i)>"`.
+    pub const fn new(name: &'static str, label: fn(usize) -> &'static str) -> Self {
+        CounterBank {
+            name,
+            label,
+            cells: [const { AtomicU64::new(0) }; N],
+            registered: Once::new(),
+        }
+    }
+
+    /// Add `n` to cell `i`. No-op when telemetry is off.
+    #[inline]
+    pub fn add(&'static self, i: usize, n: u64) {
+        if !counters_on() {
+            return;
+        }
+        self.registered.call_once(|| register(self));
+        self.cells[i].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of cell `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.cells[i].load(Ordering::Relaxed)
+    }
+}
+
+impl<const N: usize> Source for CounterBank<N> {
+    fn emit(&self, out: &mut BTreeMap<String, u64>) {
+        for (i, cell) in self.cells.iter().enumerate() {
+            let v = cell.load(Ordering::Relaxed);
+            if v != 0 {
+                add_to(out, format!("{}.{}", self.name, (self.label)(i)), v);
+            }
+        }
+    }
+    fn reset(&self) {
+        for cell in &self.cells {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Number of power-of-two buckets in a [`Histogram`] (`le_1` … `le_32768`
+/// plus an overflow bucket).
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Reported as `<name>.count`, `<name>.sum`, `<name>.max`, and one
+/// `<name>.le_<2^k>` key per non-empty bucket (`<name>.inf` for
+/// overflow). Buckets are per-bucket counts, not cumulative.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    registered: Once,
+}
+
+impl Histogram {
+    /// A new histogram handle.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// Record one sample. No-op when telemetry is off.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !counters_on() {
+            return;
+        }
+        self.registered.call_once(|| register(self));
+        // Bucket k holds samples with 2^(k-1) < v <= 2^k; bucket 0 holds
+        // v <= 1; the last bucket is the overflow.
+        let k = (64 - v.saturating_sub(1).leading_zeros()) as usize;
+        let k = k.min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[k].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+impl Source for Histogram {
+    fn emit(&self, out: &mut BTreeMap<String, u64>) {
+        add_to(out, format!("{}.count", self.name), self.count.load(Ordering::Relaxed));
+        add_to(out, format!("{}.sum", self.name), self.sum.load(Ordering::Relaxed));
+        add_to(out, format!("{}.max", self.name), self.max.load(Ordering::Relaxed));
+        for (k, bucket) in self.buckets.iter().enumerate() {
+            let v = bucket.load(Ordering::Relaxed);
+            if v != 0 {
+                let key = if k == HISTOGRAM_BUCKETS - 1 {
+                    format!("{}.inf", self.name)
+                } else {
+                    format!("{}.le_{}", self.name, 1u64 << k)
+                };
+                add_to(out, key, v);
+            }
+        }
+    }
+    fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every registered metric, keyed by name.
+///
+/// Keys are sorted (`BTreeMap`), so iteration and the JSON exporters are
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Snapshot every registered handle right now.
+    pub fn take() -> Snapshot {
+        let mut counters = BTreeMap::new();
+        for src in SOURCES.lock().unwrap().iter() {
+            src.emit(&mut counters);
+        }
+        Snapshot { counters }
+    }
+
+    /// `self - base`, per key (saturating at 0). Keys only in `base`
+    /// are dropped; keys only in `self` keep their full value. Zero
+    /// values are retained so exported schemas stay stable.
+    pub fn delta(&self, base: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(base.get(k))))
+            .collect();
+        Snapshot { counters }
+    }
+
+    /// Value for `name`, or 0 if absent.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct metric names.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}

@@ -1,0 +1,107 @@
+//! Span/event tracer: a bounded global ring buffer of cycle-stamped
+//! events, overwriting the oldest entries when full.
+
+use std::sync::Mutex;
+
+use crate::trace_on;
+
+/// Maximum number of events retained; older events are overwritten and
+/// counted in [`TraceLog::dropped`].
+pub const TRACE_CAPACITY: usize = 1 << 16;
+
+/// What kind of `trace_event` an entry maps to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span with a duration (Chrome phase `"X"`).
+    Complete,
+    /// A zero-duration marker (Chrome phase `"i"`).
+    Instant,
+}
+
+/// One trace entry. Timestamps are simulated cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (instruction mnemonic, phase name, …).
+    pub name: &'static str,
+    /// Category, e.g. `"tangled"` or `"qat"`.
+    pub cat: &'static str,
+    /// Span/marker kind.
+    pub kind: TraceKind,
+    /// Start cycle.
+    pub ts: u64,
+    /// Duration in cycles (>= 1 for complete events, 0 for instants).
+    pub dur: u64,
+    /// Track id; exporters map tracks to named threads (IF/ID/EX/…).
+    pub tid: u32,
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Next overwrite position once `buf` has reached capacity.
+    head: usize,
+    dropped: u64,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring { buf: Vec::new(), head: 0, dropped: 0 });
+
+/// The drained contents of the ring buffer, in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten because the ring was full.
+    pub dropped: u64,
+}
+
+fn push(ev: TraceEvent) {
+    let mut ring = RING.lock().unwrap();
+    if ring.buf.len() < TRACE_CAPACITY {
+        ring.buf.push(ev);
+    } else {
+        let head = ring.head;
+        ring.buf[head] = ev;
+        ring.head = (head + 1) % TRACE_CAPACITY;
+        ring.dropped += 1;
+    }
+}
+
+/// Record a complete span. No-op unless [`Mode::Trace`](crate::Mode) is
+/// active.
+#[inline]
+pub fn trace_complete(name: &'static str, cat: &'static str, tid: u32, ts: u64, dur: u64) {
+    if !trace_on() {
+        return;
+    }
+    push(TraceEvent { name, cat, kind: TraceKind::Complete, ts, dur, tid });
+}
+
+/// Record an instant marker. No-op unless tracing is active.
+#[inline]
+pub fn trace_instant(name: &'static str, cat: &'static str, tid: u32, ts: u64) {
+    if !trace_on() {
+        return;
+    }
+    push(TraceEvent { name, cat, kind: TraceKind::Instant, ts, dur: 0, tid });
+}
+
+/// Drain the ring buffer: returns everything retained (oldest first)
+/// plus the overwrite count, and leaves the ring empty.
+pub fn take_trace() -> TraceLog {
+    let mut ring = RING.lock().unwrap();
+    let head = ring.head;
+    let mut events: Vec<TraceEvent> = ring.buf.split_off(0);
+    if head != 0 {
+        events.rotate_left(head);
+    }
+    let dropped = ring.dropped;
+    ring.head = 0;
+    ring.dropped = 0;
+    TraceLog { events, dropped }
+}
+
+pub(crate) fn clear() {
+    let mut ring = RING.lock().unwrap();
+    ring.buf.clear();
+    ring.head = 0;
+    ring.dropped = 0;
+}

@@ -3,6 +3,11 @@
 //! by this repo's gate compiler.
 //!
 //! Run with: `cargo run --example factor15_asm`
+//!
+//! With `--metrics-out FILE` and/or `--trace-out FILE` the run also
+//! emits the telemetry exports: a `tangled-metrics/v1` counter snapshot
+//! covering every simulator invocation, and a Chrome `trace_event` JSON
+//! of the 4-stage pipelined run (load it in https://ui.perfetto.dev).
 
 use tangled_qat::asm::assemble;
 use tangled_qat::gatec::factor::{compile_factoring, FIGURE_10};
@@ -11,13 +16,47 @@ use tangled_qat::qat::QatConfig;
 use tangled_qat::sim::{
     Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
 };
+use tangled_qat::telemetry::{self, export};
+
+/// Telemetry runs also meter switching energy so `energy.*` totals land
+/// in the metrics file.
+static METER_ENERGY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 fn machine(words: &[u16]) -> Machine {
-    let cfg = MachineConfig { qat: QatConfig::with_ways(8), ..Default::default() };
+    let qat = QatConfig {
+        meter_energy: METER_ENERGY.load(std::sync::atomic::Ordering::Relaxed),
+        ..QatConfig::with_ways(8)
+    };
+    let cfg = MachineConfig { qat, ..Default::default() };
     Machine::with_image(cfg, words)
 }
 
+fn parse_out_args() -> (Option<String>, Option<String>) {
+    let (mut metrics_out, mut trace_out) = (None, None);
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--metrics-out" => metrics_out = Some(it.next().expect("--metrics-out needs a path")),
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
+            other => panic!("unknown argument `{other}` (takes --metrics-out/--trace-out)"),
+        }
+    }
+    (metrics_out, trace_out)
+}
+
 fn main() {
+    let (metrics_out, trace_out) = parse_out_args();
+    let mode = if trace_out.is_some() {
+        telemetry::Mode::Trace
+    } else if metrics_out.is_some() {
+        telemetry::Mode::Counters
+    } else {
+        telemetry::Mode::Off
+    };
+    telemetry::set_mode(mode);
+    METER_ENERGY.store(mode != telemetry::Mode::Off, std::sync::atomic::Ordering::Relaxed);
+    let telemetry_base = telemetry::Snapshot::take();
+
     // The paper's listing ends at the final `and`; append `sys` to halt.
     let fig10 = format!("{FIGURE_10}sys\n");
     let img = assemble(&fig10).expect("Figure 10 assembles");
@@ -37,11 +76,18 @@ fn main() {
         mc.machine.regs[0], mc.machine.regs[1], st.cycles, st.cpi()
     );
 
-    // Pipelined, both organizations.
+    // Pipelined, both organizations. The Chrome trace exports the 4-stage
+    // run only: each simulator restarts its cycle clock at 0, so mixing
+    // runs on one timeline would interleave unrelated spans.
+    let mut trace_log = telemetry::TraceLog::default();
     for (name, stages) in [("4-stage", StageCount::Four), ("5-stage", StageCount::Five)] {
         let cfg = PipelineConfig { stages, forwarding: true, ..Default::default() };
+        let _ = telemetry::take_trace(); // isolate this run's span events
         let mut p = PipelinedSim::new(machine(&img.words), cfg);
         let st = p.run().unwrap();
+        if stages == StageCount::Four {
+            trace_log = telemetry::take_trace();
+        }
         println!(
             "{name} pipe: $0 = {}  $1 = {}   {} cycles, CPI {:.3} ({} fetch bubbles, {} data stalls, {} control stalls)",
             p.machine.regs[0], p.machine.regs[1], st.cycles, st.cpi(),
@@ -65,4 +111,24 @@ fn main() {
         compiled.qat_insns, cm.regs[0], cm.regs[1]
     );
     assert_eq!((cm.regs[0], cm.regs[1]), (5, 3));
+
+    if mode != telemetry::Mode::Off {
+        let snap = telemetry::Snapshot::take().delta(&telemetry_base);
+        let _ = telemetry::take_trace(); // discard events from later runs
+        if let Some(path) = &metrics_out {
+            let doc = export::MetricsDoc {
+                snapshot: &snap,
+                mode,
+                trace_events: trace_log.events.len() as u64,
+                trace_dropped: trace_log.dropped,
+            };
+            std::fs::write(path, export::metrics_json(&doc)).expect("write metrics");
+            println!("wrote {path}");
+        }
+        if let Some(path) = &trace_out {
+            let threads = [(0, "IF"), (1, "ID"), (2, "EX"), (4, "WB")];
+            std::fs::write(path, export::chrome_trace(&trace_log, &threads)).expect("write trace");
+            println!("wrote {path}");
+        }
+    }
 }

@@ -16,9 +16,11 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use tangled_qat::asm;
+use tangled_qat::telemetry::{self, export};
 use tangled_qat::isa::{disassemble, Insn};
 use tangled_qat::sim::difftest::{
     compare_all, diff_outcomes, pbp_crosscheck, qsim_crosscheck, run_forwarding_bug,
@@ -127,6 +129,53 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Set by the SIGINT handler; the fuzz and replay loops poll it so an
+/// interrupted campaign still reports coverage and telemetry.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Install a minimal SIGINT handler (raw `signal(2)`; the build
+/// environment has no signal-handling crate). Only the atomic flag is
+/// touched from the handler.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn handler(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, handler as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+/// The end-of-campaign report: seed/divergence totals, coverage, and the
+/// telemetry counter table. Printed on every exit path — clean
+/// completion, time budget, corpus-replay divergence, and SIGINT.
+fn print_campaign_summary(
+    ran: u64,
+    divergences: u64,
+    elapsed_secs: f64,
+    cov: &Coverage,
+    base: &telemetry::Snapshot,
+) {
+    println!("\n{ran} seeds fuzzed in {elapsed_secs:.1}s, {divergences} divergence(s)");
+    print!("{}", cov.report());
+    let snap = telemetry::Snapshot::take().delta(base);
+    if !snap.is_empty() {
+        println!("-- telemetry --");
+        print!("{}", export::render_summary(&snap));
+    }
+}
+
 /// Write a minimized reproducer as a reassemblable `.s` file.
 fn write_reproducer(dir: &Path, name: &str, prog: &[Insn], header: &[String]) -> PathBuf {
     let _ = std::fs::create_dir_all(dir);
@@ -168,6 +217,9 @@ fn replay_corpus(dir: &Path) -> Result<usize, String> {
     paths.sort();
     let mut ran = 0;
     for path in paths {
+        if interrupted() {
+            break;
+        }
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
         let img = asm::assemble(&text).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -249,11 +301,27 @@ fn main() -> ExitCode {
         return injected_bug_run(&args);
     }
 
+    // Per-campaign counter summaries: counters on for the whole run.
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let telemetry_base = telemetry::Snapshot::take();
+    install_sigint_handler();
+    let mut cov = Coverage::new();
+    let start = Instant::now();
+    let mut divergences = 0u64;
+    let mut ran = 0u64;
+
     if args.replay {
         match replay_corpus(&args.corpus) {
             Ok(n) => println!("corpus: {n} reproducer(s) replayed clean"),
             Err(e) => {
                 eprintln!("corpus replay divergence: {e}");
+                print_campaign_summary(
+                    ran,
+                    divergences + 1,
+                    start.elapsed().as_secs_f64(),
+                    &cov,
+                    &telemetry_base,
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -265,13 +333,13 @@ fn main() -> ExitCode {
         ..Default::default()
     };
     let reserved = if args.constant_registers { 2 + args.ways as u8 } else { 0 };
-    let mut cov = Coverage::new();
-    let start = Instant::now();
-    let mut divergences = 0u64;
-    let mut ran = 0u64;
     let profiles = Profile::all();
 
     for seed in args.start_seed..args.start_seed + args.seeds {
+        if interrupted() {
+            println!("interrupted after {ran} seeds");
+            break;
+        }
         if args.max_seconds > 0 && start.elapsed().as_secs() >= args.max_seconds {
             println!("time budget reached after {ran} seeds");
             break;
@@ -327,13 +395,12 @@ fn main() -> ExitCode {
         }
     }
 
-    println!(
-        "\n{ran} seeds fuzzed in {:.1}s, {divergences} divergence(s)",
-        start.elapsed().as_secs_f64()
-    );
-    print!("{}", cov.report());
+    print_campaign_summary(ran, divergences, start.elapsed().as_secs_f64(), &cov, &telemetry_base);
 
-    if divergences > 0 {
+    if interrupted() {
+        // Conventional exit status for death-by-SIGINT.
+        ExitCode::from(130)
+    } else if divergences > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

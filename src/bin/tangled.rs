@@ -11,6 +11,10 @@
 //!     --trace           print the stage-occupancy chart
 //!     --regs            dump registers at halt
 //!     --macros          assemble reversible gates as §5 macros
+//!     --telemetry       enable counters; print the telemetry summary
+//!     --metrics-out F   write tangled-metrics/v1 JSON (implies --telemetry)
+//!     --trace-out F     write Chrome trace_event JSON (implies full tracing;
+//!                       load in chrome://tracing or https://ui.perfetto.dev)
 //! tangled factor <n> [--width W]         compile & run the §4 factoring demo
 //! tangled verilog <n> [--width W]        emit the factoring circuit as Verilog
 //! tangled sat <file.cnf> [--count]       exhaustive DIMACS SAT via the PBP model
@@ -34,6 +38,7 @@ use tangled_qat::qat::QatConfig;
 use tangled_qat::sim::{
     trace, Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
 };
+use tangled_qat::telemetry::{self, export};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -50,6 +55,9 @@ struct RunOpts {
     trace: bool,
     regs: bool,
     macros: bool,
+    telemetry: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 impl Default for RunOpts {
@@ -62,6 +70,9 @@ impl Default for RunOpts {
             trace: false,
             regs: false,
             macros: false,
+            telemetry: false,
+            metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -88,6 +99,13 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             "--trace" => o.trace = true,
             "--regs" => o.regs = true,
             "--macros" => o.macros = true,
+            "--telemetry" => o.telemetry = true,
+            "--metrics-out" => {
+                o.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            "--trace-out" => {
+                o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -110,10 +128,39 @@ fn load_and_assemble(path: &str, macros: bool) -> Result<tangled_qat::asm::Image
     assemble_with(&src, &opts).map_err(|e| format!("{path}:{e}"))
 }
 
+/// Stage-track names for the Chrome-trace exporter.
+fn pipeline_threads(stages: StageCount) -> Vec<(u32, &'static str)> {
+    if stages == StageCount::Five {
+        vec![(0, "IF"), (1, "ID"), (2, "EX"), (3, "MEM"), (4, "WB")]
+    } else {
+        vec![(0, "IF"), (1, "ID"), (2, "EX"), (4, "WB")]
+    }
+}
+
 fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
     let img = load_and_assemble(path, o.macros)?;
-    let mcfg = MachineConfig { qat: QatConfig::with_ways(o.ways), ..Default::default() };
+    let mode = if o.trace_out.is_some() {
+        telemetry::Mode::Trace
+    } else if o.telemetry || o.metrics_out.is_some() {
+        telemetry::Mode::Counters
+    } else {
+        telemetry::Mode::Off
+    };
+    telemetry::set_mode(mode);
+    let base = telemetry::Snapshot::take();
+    // Telemetry runs meter switching energy so the totals land in the
+    // counter registry (metering is off by default for speed).
+    let qcfg = QatConfig {
+        meter_energy: mode != telemetry::Mode::Off,
+        ..QatConfig::with_ways(o.ways)
+    };
+    let mcfg = MachineConfig { qat: qcfg, ..Default::default() };
     let machine = Machine::with_image(mcfg, &img.words);
+    let threads = if o.multicycle {
+        vec![(0, "insn")]
+    } else {
+        pipeline_threads(o.stages)
+    };
 
     let finished = if o.multicycle {
         let mut sim = MultiCycleSim::new(machine);
@@ -143,6 +190,29 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
         }
         sim.machine
     };
+
+    if mode != telemetry::Mode::Off {
+        let snap = telemetry::Snapshot::take().delta(&base);
+        let log = telemetry::take_trace();
+        if o.telemetry {
+            println!("-- telemetry --");
+            print!("{}", export::render_summary(&snap));
+        }
+        if let Some(path) = &o.metrics_out {
+            let doc = export::MetricsDoc {
+                snapshot: &snap,
+                mode,
+                trace_events: log.events.len() as u64,
+                trace_dropped: log.dropped,
+            };
+            std::fs::write(path, export::metrics_json(&doc))
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        if let Some(path) = &o.trace_out {
+            std::fs::write(path, export::chrome_trace(&log, &threads))
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
 
     if !finished.output.is_empty() {
         println!("-- sys output --");

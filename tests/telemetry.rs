@@ -1,0 +1,167 @@
+//! Exporter tests for the telemetry subsystem: the `metrics.json` schema,
+//! Chrome `trace_event` validity, and run-to-run determinism — all exercised
+//! end to end through the `tangled` CLI on the paper's Figure 10 program.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use tangled_bench::json::Json;
+
+fn asm_path(name: &str) -> String {
+    format!("{}/examples/asm/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn out_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tangled-telemetry-{}-{name}", std::process::id()));
+    p
+}
+
+/// Run `tangled run examples/asm/factor15.s` with the given extra flags and
+/// return stdout. Panics (with stderr) if the CLI fails.
+fn run_factor15(extra: &[&str]) -> String {
+    let mut args = vec!["run".to_string(), asm_path("factor15.s")];
+    args.extend(["--ways", "8"].iter().map(|s| s.to_string()));
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let out = Command::new(env!("CARGO_BIN_EXE_tangled"))
+        .args(&args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "tangled run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn metrics_json_matches_golden_schema() {
+    let path = out_path("schema-metrics.json");
+    run_factor15(&["--metrics-out", path.to_str().unwrap()]);
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = Json::parse(&text).expect("metrics.json parses");
+
+    assert_eq!(doc["schema"].as_str(), Some("tangled-metrics/v1"));
+    assert_eq!(doc["mode"].as_str(), Some("counters"));
+    assert!(doc["trace"]["events"].as_u64().is_some());
+    assert!(doc["trace"]["dropped"].as_u64().is_some());
+
+    let counters = match &doc["counters"] {
+        Json::Obj(m) => m,
+        other => panic!("counters is not an object: {other:?}"),
+    };
+    // Every counter the acceptance criteria name must be present: retire
+    // counts, stall/flush accounting, per-gate Qat counts, intern hit/miss,
+    // and energy totals (telemetry runs turn the energy meter on).
+    for key in [
+        "tangled.insns",
+        "tangled.retire.lex",
+        "tangled.retire.sys",
+        "tangled.retire.qhad",
+        "tangled.retire.qand",
+        "pipe.cycles",
+        "pipe.stall.data",
+        "pipe.stall.control",
+        "pipe.flush",
+        "pipe.branch.mispredict",
+        "qat.gate.qhad",
+        "qat.gate.qand",
+        "qat.kernel.interned",
+        "intern.hits",
+        "intern.misses",
+        "energy.toggles",
+        "energy.writes",
+    ] {
+        assert!(
+            counters.contains_key(key),
+            "metrics.json missing counter `{key}`; got keys {:?}",
+            counters.keys().collect::<Vec<_>>()
+        );
+    }
+    // Figure 10 retires real work; spot-check a few values are non-zero.
+    for key in ["tangled.insns", "qat.gate.qhad", "energy.toggles"] {
+        assert!(counters[key].as_u64().unwrap() > 0, "`{key}` is zero");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn chrome_trace_is_wellformed_and_monotonic() {
+    let path = out_path("validity-trace.json");
+    run_factor15(&["--trace-out", path.to_str().unwrap()]);
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace parses as JSON");
+
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has no events");
+
+    // Metadata names every pipeline stage thread.
+    let thread_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("thread_name"))
+        .filter_map(|e| e["args"]["name"].as_str())
+        .collect();
+    for stage in ["IF", "ID", "EX", "WB"] {
+        assert!(thread_names.contains(&stage), "missing thread_name {stage}");
+    }
+
+    // Complete events are fully formed, and per-thread they are monotonic
+    // and non-overlapping: a stage finishes one instruction before it
+    // starts the next.
+    let mut per_tid: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut complete = 0usize;
+    for e in events {
+        match e["ph"].as_str() {
+            Some("X") => {
+                complete += 1;
+                assert!(e["name"].as_str().is_some(), "X event without name");
+                assert!(e["cat"].as_str().is_some(), "X event without cat");
+                assert!(e["pid"].as_u64().is_some(), "X event without pid");
+                let tid = e["tid"].as_u64().expect("X event without tid");
+                let ts = e["ts"].as_u64().expect("X event without ts");
+                let dur = e["dur"].as_u64().expect("X event without dur");
+                assert!(dur > 0, "zero-duration span");
+                per_tid.entry(tid).or_default().push((ts, dur));
+            }
+            Some("i") => {
+                assert!(e["ts"].as_u64().is_some(), "instant without ts");
+            }
+            Some("M") => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(complete > 0, "no complete (ph=X) spans in trace");
+    for (tid, spans) in &per_tid {
+        for w in spans.windows(2) {
+            let ((ts0, dur0), (ts1, _)) = (w[0], w[1]);
+            assert!(
+                ts0 + dur0 <= ts1,
+                "tid {tid}: span at ts={ts0} dur={dur0} overlaps next at ts={ts1}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn identical_runs_export_identical_snapshots() {
+    let (m1, t1) = (out_path("det-m1.json"), out_path("det-t1.json"));
+    let (m2, t2) = (out_path("det-m2.json"), out_path("det-t2.json"));
+    for (m, t) in [(&m1, &t1), (&m2, &t2)] {
+        run_factor15(&[
+            "--metrics-out",
+            m.to_str().unwrap(),
+            "--trace-out",
+            t.to_str().unwrap(),
+        ]);
+    }
+    let (a, b) = (std::fs::read(&m1).unwrap(), std::fs::read(&m2).unwrap());
+    assert_eq!(a, b, "metrics.json differs between identical runs");
+    let (a, b) = (std::fs::read(&t1).unwrap(), std::fs::read(&t2).unwrap());
+    assert_eq!(a, b, "chrome trace differs between identical runs");
+    for p in [m1, t1, m2, t2] {
+        let _ = std::fs::remove_file(p);
+    }
+}
