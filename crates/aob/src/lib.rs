@@ -48,9 +48,11 @@ pub mod hadamard;
 pub mod intern;
 pub mod measure;
 pub mod parallel;
+pub mod storage;
 
 pub use bitvec::{Aob, MAX_WAYS};
 pub use energy::{EnergyMeter, EnergyModel};
 pub use entropy::EntropyReport;
 pub use intern::{ChunkId, ChunkStore, GateOp, InternStats, ID_ONE, ID_ZERO};
 pub use parallel::ParallelError;
+pub use storage::{AobStorage, ConstKind, EagerFile, InternedFile, StorageBackend, WriteDelta};

@@ -1,0 +1,513 @@
+//! Pluggable register-file storage: the [`AobStorage`] trait.
+//!
+//! The Qat coprocessor's architectural contract is 256 registers of
+//! `2^WAYS`-bit AoB values, but *how* those values are represented is an
+//! implementation choice the paper itself makes twice: the hardware holds
+//! explicit bit-vectors, while §3.3's software PBP layer run-length
+//! compresses them to reach beyond WAYS. This module abstracts that choice
+//! behind a trait so the coprocessor, the differential oracle, and the
+//! benches can swap representations without touching gate semantics:
+//!
+//! * [`EagerFile`] — every register owns an explicit [`Aob`]; gates run
+//!   the word kernels directly.
+//! * [`InternedFile`] — registers are [`ChunkId`]s into a hash-consed
+//!   [`ChunkStore`]; gates are memoized and writes are copy-on-write.
+//! * `SparseReFile` (in the `pbp` crate, which owns the RE machinery) —
+//!   registers are run-length-compressed `Re` symbols; gates rewrite runs,
+//!   so structured states at `ways > 16` never materialize.
+//!
+//! Gate methods take register *indices* and mutate in place; the
+//! measurement family ([`AobStorage::meas`] / [`AobStorage::next`] /
+//! [`AobStorage::pop_after`]) answers without materializing, which is what
+//! lets the compressed backend scale. [`AobStorage::read`] is the
+//! architectural escape hatch: it materializes an explicit [`Aob`] and is
+//! counted by [`AobStorage::materializations`] so tests can assert the hot
+//! path never takes it.
+//!
+//! Every mutating method returns a [`WriteDelta`] when asked to meter, so
+//! the coprocessor's adiabatic-energy accounting works identically across
+//! backends without snapshotting values itself.
+
+use crate::{Aob, ChunkId, ChunkStore, GateOp, InternStats, ID_ONE, ID_ZERO};
+
+/// Number of architectural Qat registers every backend must provide.
+pub const REG_COUNT: usize = 256;
+
+/// Names one of the register-file representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageBackend {
+    /// Explicit `2^WAYS`-bit vectors, word-loop gate kernels.
+    Eager,
+    /// Hash-consed chunk ids with memoized gate kernels (the default).
+    Interned,
+    /// Run-length-compressed RE symbols; supports `ways` beyond the
+    /// hardware's 16 on structured states.
+    SparseRe,
+}
+
+impl StorageBackend {
+    /// Every backend, in registry order.
+    pub const ALL: [StorageBackend; 3] =
+        [StorageBackend::Eager, StorageBackend::Interned, StorageBackend::SparseRe];
+
+    /// Canonical CLI / registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageBackend::Eager => "eager",
+            StorageBackend::Interned => "interned",
+            StorageBackend::SparseRe => "sparse-re",
+        }
+    }
+
+    /// Parse a CLI spelling (`sparse_re` is accepted for `sparse-re`).
+    pub fn parse(s: &str) -> Option<StorageBackend> {
+        match s {
+            "eager" => Some(StorageBackend::Eager),
+            "interned" => Some(StorageBackend::Interned),
+            "sparse-re" | "sparse_re" => Some(StorageBackend::SparseRe),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The constant an initializer instruction (`zero` / `one` / `had`) writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstKind {
+    /// All channels 0.
+    Zeros,
+    /// All channels 1.
+    Ones,
+    /// `H(k)`: channel `e` holds bit `k` of `e` (all zeros when
+    /// `k >= ways`, per the `Aob::hadamard` contract).
+    Hadamard(u32),
+}
+
+/// Switching-energy accounting for the register writes of one operation.
+///
+/// `toggles` is the Hamming distance between old and new values summed over
+/// every destination, `pop_delta` the net population change (swap-family
+/// ops cancel here — §5's billiard-ball argument), `writes` the number of
+/// destination registers. All zero when metering is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteDelta {
+    /// Bits that changed state across all destinations.
+    pub toggles: u64,
+    /// Net change in total population (ones count).
+    pub pop_delta: i64,
+    /// Destination registers written.
+    pub writes: u64,
+}
+
+impl WriteDelta {
+    /// Accumulate another op's delta into this one.
+    pub fn merge(&mut self, other: WriteDelta) {
+        self.toggles += other.toggles;
+        self.pop_delta += other.pop_delta;
+        self.writes += other.writes;
+    }
+}
+
+/// A Qat register file: [`REG_COUNT`] AoB values in some representation.
+///
+/// Gate methods mirror Table 3 semantics exactly, including register
+/// aliasing (`and @2,@2,@3`, `cswap @5,@5,@1`, ...): operands are read
+/// before any destination is written.
+pub trait AobStorage: std::fmt::Debug + Send {
+    /// Which representation this is.
+    fn backend(&self) -> StorageBackend;
+
+    /// Entanglement degree: registers are `2^ways`-bit values.
+    fn ways(&self) -> u32;
+
+    /// Materialize register `r` as an explicit bit-vector.
+    ///
+    /// Architectural escape hatch (debugger, state capture); counted by
+    /// [`AobStorage::materializations`]. Compressed backends pay the full
+    /// `2^ways`-bit cost here, so keep it off hot paths.
+    fn read(&self, r: usize) -> Aob;
+
+    /// Directly set register `r` (test/loader backdoor).
+    fn set(&mut self, r: usize, v: &Aob);
+
+    /// `zero` / `one` / `had`: write a constant into `r`.
+    fn write_const(&mut self, r: usize, kind: ConstKind, meter: bool) -> WriteDelta;
+
+    /// `not @r`: complement in place.
+    fn gate_not(&mut self, r: usize, meter: bool) -> WriteDelta;
+
+    /// `and`/`or`/`xor @a,@b,@c`: `a = b op c`.
+    fn gate_bin(&mut self, op: GateOp, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta;
+
+    /// `ccnot @a,@b,@c`: `a ^= b & c`.
+    fn gate_ccnot(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta;
+
+    /// `swap @a,@b`.
+    fn gate_swap(&mut self, a: usize, b: usize, meter: bool) -> WriteDelta;
+
+    /// `cswap @a,@b,@c`: exchange `a`/`b` in the channels where `c` is set.
+    fn gate_cswap(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta;
+
+    /// `meas`: bit of register `r` at channel `e` (wrapped into range).
+    fn meas(&self, r: usize, e: u64) -> bool;
+
+    /// `next`: index of the first 1 strictly after channel `d` (0 if none).
+    fn next(&self, r: usize, d: u64) -> u64;
+
+    /// `pop`: count of 1s strictly after channel `d`.
+    fn pop_after(&self, r: usize, d: u64) -> u64;
+
+    /// Hash-cons cache counters, if this backend interns values.
+    fn intern_stats(&self) -> Option<InternStats> {
+        None
+    }
+
+    /// The shared chunk store, if this backend uses one.
+    fn chunk_store(&self) -> Option<&ChunkStore> {
+        None
+    }
+
+    /// How many times [`AobStorage::read`] materialized a full vector.
+    fn materializations(&self) -> u64 {
+        0
+    }
+
+    /// Zero backend-internal statistics (cache counters, materializations).
+    fn reset_stats(&mut self) {}
+
+    /// Clone into a fresh boxed file (register files are snapshotable).
+    fn clone_box(&self) -> Box<dyn AobStorage>;
+}
+
+impl Clone for Box<dyn AobStorage> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+fn meter_delta(old: &Aob, new: &Aob) -> WriteDelta {
+    WriteDelta {
+        toggles: old.hamming(new),
+        pop_delta: new.pop_all() as i64 - old.pop_all() as i64,
+        writes: 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eager: explicit bit-vectors.
+// ---------------------------------------------------------------------------
+
+/// Register file where every register owns an explicit [`Aob`].
+#[derive(Debug, Clone)]
+pub struct EagerFile {
+    regs: Vec<Aob>,
+    ways: u32,
+}
+
+impl EagerFile {
+    /// All registers zero, or preloaded with the §5 constant bank.
+    pub fn new(ways: u32, constant_bank: bool) -> Self {
+        let mut regs = vec![Aob::zeros(ways); REG_COUNT];
+        if constant_bank {
+            for (i, c) in Aob::constant_bank(ways).into_iter().enumerate() {
+                regs[i] = c;
+            }
+        }
+        EagerFile { regs, ways }
+    }
+
+    fn commit(&mut self, r: usize, v: Aob, meter: bool) -> WriteDelta {
+        let d = if meter { meter_delta(&self.regs[r], &v) } else { WriteDelta::default() };
+        self.regs[r] = v;
+        d
+    }
+}
+
+impl AobStorage for EagerFile {
+    fn backend(&self) -> StorageBackend {
+        StorageBackend::Eager
+    }
+
+    fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    fn read(&self, r: usize) -> Aob {
+        self.regs[r].clone()
+    }
+
+    fn set(&mut self, r: usize, v: &Aob) {
+        self.regs[r] = v.clone();
+    }
+
+    fn write_const(&mut self, r: usize, kind: ConstKind, meter: bool) -> WriteDelta {
+        let v = match kind {
+            ConstKind::Zeros => Aob::zeros(self.ways),
+            ConstKind::Ones => Aob::ones(self.ways),
+            ConstKind::Hadamard(k) => Aob::hadamard(self.ways, k),
+        };
+        self.commit(r, v, meter)
+    }
+
+    fn gate_not(&mut self, r: usize, meter: bool) -> WriteDelta {
+        let v = self.regs[r].not_of();
+        self.commit(r, v, meter)
+    }
+
+    fn gate_bin(&mut self, op: GateOp, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let (x, y) = (&self.regs[b], &self.regs[c]);
+        let v = match op {
+            GateOp::And => Aob::and_of(x, y),
+            GateOp::Or => Aob::or_of(x, y),
+            GateOp::Xor => Aob::xor_of(x, y),
+        };
+        self.commit(a, v, meter)
+    }
+
+    fn gate_ccnot(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let mut v = self.regs[a].clone();
+        v.ccnot_assign(&self.regs[b], &self.regs[c]);
+        self.commit(a, v, meter)
+    }
+
+    fn gate_swap(&mut self, a: usize, b: usize, meter: bool) -> WriteDelta {
+        let mut d = WriteDelta::default();
+        if meter {
+            d.merge(meter_delta(&self.regs[a], &self.regs[b]));
+            d.merge(meter_delta(&self.regs[b], &self.regs[a]));
+        }
+        self.regs.swap(a, b);
+        d
+    }
+
+    fn gate_cswap(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let mut va = self.regs[a].clone();
+        let mut vb = self.regs[b].clone();
+        Aob::cswap(&mut va, &mut vb, &self.regs[c]);
+        let mut d = self.commit(a, va, meter);
+        d.merge(self.commit(b, vb, meter));
+        d
+    }
+
+    fn meas(&self, r: usize, e: u64) -> bool {
+        self.regs[r].meas(e)
+    }
+
+    fn next(&self, r: usize, d: u64) -> u64 {
+        self.regs[r].next(d)
+    }
+
+    fn pop_after(&self, r: usize, d: u64) -> u64 {
+        self.regs[r].pop_after(d)
+    }
+
+    fn clone_box(&self) -> Box<dyn AobStorage> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interned: hash-consed chunk ids, memoized gates, copy-on-write.
+// ---------------------------------------------------------------------------
+
+/// Register file of [`ChunkId`]s into a private hash-consed [`ChunkStore`].
+#[derive(Debug, Clone)]
+pub struct InternedFile {
+    store: ChunkStore,
+    ids: Vec<ChunkId>,
+}
+
+impl InternedFile {
+    /// All registers zero, or preloaded with the §5 constant bank (which
+    /// coincides with the store's canonical ids by construction).
+    pub fn new(ways: u32, constant_bank: bool) -> Self {
+        let store = ChunkStore::new(ways);
+        let mut ids = vec![ID_ZERO; REG_COUNT];
+        if constant_bank {
+            ids[1] = ID_ONE;
+            for k in 0..ways {
+                ids[(2 + k) as usize] = store.id_hadamard(k);
+            }
+        }
+        InternedFile { store, ids }
+    }
+
+    fn commit(&mut self, r: usize, id: ChunkId, meter: bool) -> WriteDelta {
+        let old = self.ids[r];
+        self.ids[r] = id;
+        if !meter {
+            WriteDelta::default()
+        } else if old == id {
+            WriteDelta { toggles: 0, pop_delta: 0, writes: 1 }
+        } else {
+            meter_delta(self.store.aob(old), self.store.aob(id))
+        }
+    }
+}
+
+impl AobStorage for InternedFile {
+    fn backend(&self) -> StorageBackend {
+        StorageBackend::Interned
+    }
+
+    fn ways(&self) -> u32 {
+        self.store.ways()
+    }
+
+    fn read(&self, r: usize) -> Aob {
+        self.store.aob(self.ids[r]).clone()
+    }
+
+    fn set(&mut self, r: usize, v: &Aob) {
+        self.ids[r] = self.store.intern(v.clone());
+    }
+
+    fn write_const(&mut self, r: usize, kind: ConstKind, meter: bool) -> WriteDelta {
+        let id = match kind {
+            ConstKind::Zeros => ID_ZERO,
+            ConstKind::Ones => ID_ONE,
+            // H(k) for k >= ways is all-zeros (hadamard() contract).
+            ConstKind::Hadamard(k) if k < self.ways() => self.store.id_hadamard(k),
+            ConstKind::Hadamard(_) => ID_ZERO,
+        };
+        self.commit(r, id, meter)
+    }
+
+    fn gate_not(&mut self, r: usize, meter: bool) -> WriteDelta {
+        let id = self.store.not(self.ids[r]);
+        self.commit(r, id, meter)
+    }
+
+    fn gate_bin(&mut self, op: GateOp, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let id = self.store.binop(op, self.ids[b], self.ids[c]);
+        self.commit(a, id, meter)
+    }
+
+    fn gate_ccnot(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let id = self.store.ccnot(self.ids[a], self.ids[b], self.ids[c]);
+        self.commit(a, id, meter)
+    }
+
+    fn gate_swap(&mut self, a: usize, b: usize, meter: bool) -> WriteDelta {
+        let (ia, ib) = (self.ids[a], self.ids[b]);
+        let mut d = self.commit(a, ib, meter);
+        d.merge(self.commit(b, ia, meter));
+        d
+    }
+
+    fn gate_cswap(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let (ia, ib, ic) = (self.ids[a], self.ids[b], self.ids[c]);
+        // cswap = a pair of muxes on the original operands.
+        let na = self.store.mux(ic, ib, ia);
+        let nb = self.store.mux(ic, ia, ib);
+        let mut d = self.commit(a, na, meter);
+        d.merge(self.commit(b, nb, meter));
+        d
+    }
+
+    fn meas(&self, r: usize, e: u64) -> bool {
+        self.store.aob(self.ids[r]).meas(e)
+    }
+
+    fn next(&self, r: usize, d: u64) -> u64 {
+        self.store.aob(self.ids[r]).next(d)
+    }
+
+    fn pop_after(&self, r: usize, d: u64) -> u64 {
+        self.store.aob(self.ids[r]).pop_after(d)
+    }
+
+    fn intern_stats(&self) -> Option<InternStats> {
+        Some(self.store.stats())
+    }
+
+    fn chunk_store(&self) -> Option<&ChunkStore> {
+        Some(&self.store)
+    }
+
+    fn reset_stats(&mut self) {
+        self.store.reset_stats();
+    }
+
+    fn clone_box(&self) -> Box<dyn AobStorage> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(ways: u32) -> [Box<dyn AobStorage>; 2] {
+        [
+            Box::new(EagerFile::new(ways, false)),
+            Box::new(InternedFile::new(ways, false)),
+        ]
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in StorageBackend::ALL {
+            assert_eq!(StorageBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(StorageBackend::parse("sparse_re"), Some(StorageBackend::SparseRe));
+        assert_eq!(StorageBackend::parse("nope"), None);
+    }
+
+    #[test]
+    fn eager_and_interned_agree_on_gate_mix() {
+        let [mut e, mut i] = files(8);
+        for f in [&mut e, &mut i] {
+            f.write_const(0, ConstKind::Hadamard(1), false);
+            f.write_const(1, ConstKind::Hadamard(6), false);
+            f.write_const(2, ConstKind::Ones, false);
+            f.gate_bin(GateOp::And, 3, 0, 1, false);
+            f.gate_bin(GateOp::Xor, 4, 3, 2, false);
+            f.gate_ccnot(4, 0, 1, false);
+            f.gate_not(4, false);
+            f.gate_swap(3, 4, false);
+            f.gate_cswap(3, 4, 0, false);
+            f.gate_cswap(2, 2, 1, false); // aliased pair
+        }
+        for r in 0..REG_COUNT {
+            assert_eq!(e.read(r), i.read(r), "@{r}");
+            assert_eq!(e.pop_after(r, 0), i.pop_after(r, 0), "@{r} pop");
+        }
+    }
+
+    #[test]
+    fn metering_matches_across_backends() {
+        let [mut e, mut i] = files(8);
+        for f in [&mut e, &mut i] {
+            let d1 = f.write_const(0, ConstKind::Ones, true);
+            assert_eq!(d1, WriteDelta { toggles: 256, pop_delta: 256, writes: 1 });
+            let d2 = f.gate_not(0, true);
+            assert_eq!(d2, WriteDelta { toggles: 256, pop_delta: -256, writes: 1 });
+            // Swap re-routes charge: per-register toggles, zero net delta.
+            f.write_const(1, ConstKind::Hadamard(0), true);
+            let d3 = f.gate_swap(0, 1, true);
+            assert_eq!(d3.pop_delta, 0);
+            assert_eq!(d3.writes, 2);
+        }
+    }
+
+    #[test]
+    fn constant_bank_preload() {
+        let [e, i] = [
+            Box::new(EagerFile::new(8, true)) as Box<dyn AobStorage>,
+            Box::new(InternedFile::new(8, true)),
+        ];
+        for f in [&e, &i] {
+            assert_eq!(f.read(0), Aob::zeros(8));
+            assert_eq!(f.read(1), Aob::ones(8));
+            for k in 0..8 {
+                assert_eq!(f.read(2 + k as usize), Aob::hadamard(8, k));
+            }
+        }
+    }
+}

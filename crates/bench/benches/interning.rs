@@ -20,7 +20,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use qat_coproc::{QatConfig, QatCoprocessor};
+use qat_coproc::{QatConfig, QatCoprocessor, StorageBackend};
 use tangled_bench::json::Json;
 use tangled_bench::{assemble, factor15_asm, factor221_asm};
 use tangled_isa::{Insn, QReg};
@@ -49,8 +49,12 @@ fn gate_block() -> Vec<Insn> {
     ]
 }
 
+fn backend(interning: bool) -> StorageBackend {
+    if interning { StorageBackend::Interned } else { StorageBackend::Eager }
+}
+
 fn coproc(interning: bool) -> QatCoprocessor {
-    let cfg = QatConfig { interning, ..QatConfig::with_ways(WAYS) };
+    let cfg = QatConfig::with_backend(backend(interning), WAYS);
     let mut c = QatCoprocessor::new(cfg);
     for k in 0..8u8 {
         c.execute(Insn::QHad { a: q(2 + k), k }, 0).unwrap();
@@ -82,7 +86,7 @@ fn time_repeated(interning: bool, iters: u32, reps: u32) -> (f64, QatCoprocessor
 fn time_factoring(words: &[u16], ways: u32, interning: bool, reps: u32) -> f64 {
     let mut best = f64::INFINITY;
     let cfg = MachineConfig {
-        qat: QatConfig { interning, ..QatConfig::with_ways(ways) },
+        qat: QatConfig::with_backend(backend(interning), ways),
         max_steps: 50_000_000,
     };
     for _ in 0..reps {

@@ -34,12 +34,14 @@
 pub mod algos;
 mod pint;
 mod re;
+pub mod storage;
 pub(crate) mod telem;
 pub mod tree;
 
 pub use algos::Cnf;
 pub use pint::{MeasuredValue, Pint};
 pub use re::Re;
+pub use storage::SparseReFile;
 pub use tree::{PTree, TPint, TreeCtx, TreeError};
 
 use pbp_aob::{ChunkId, ChunkStore, GateOp, InternStats};
@@ -59,7 +61,7 @@ pub(crate) type BinOp = GateOp;
 /// The PBP execution context: universe size, the hash-consed symbol store
 /// (with its memoized gate kernels), and the entanglement-channel
 /// allocator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PbpContext {
     universe_ways: u32,
     /// Hash-consed chunk symbols + memoized symbol ops, at [`CHUNK_WAYS`]

@@ -1,0 +1,281 @@
+//! `SparseReFile` — a Qat register file of run-length-compressed pbits.
+//!
+//! This is the §3.3 scaling story moved *inside* the coprocessor: registers
+//! are [`Re`] symbols over a shared [`PbpContext`], and every Table 3 gate
+//! executes through the RE rewriting kernels (`O(runs)` per gate) instead
+//! of the `2^WAYS`-bit word loops. Structured states — the constant bank,
+//! Hadamard initializers, and anything a gate DAG builds from them — keep
+//! short periods, so the backend supports `ways` of 18–24 without ever
+//! allocating a multi-megabit vector.
+//!
+//! The measurement family (`meas` / `next` / `pop`) walks runs directly,
+//! which is what keeps the hot path materialization-free;
+//! [`pbp_aob::storage::AobStorage::read`] is the only method that expands a
+//! register to an explicit [`Aob`], and it is counted both per instance
+//! (`materializations`) and in the `qat.backend.sparse_re.materialize`
+//! telemetry counter so tests and metrics can prove the gate loop never
+//! took it.
+
+use std::cell::Cell;
+
+use pbp_aob::storage::{AobStorage, ConstKind, StorageBackend, WriteDelta};
+use pbp_aob::{Aob, ChunkStore, GateOp, InternStats};
+use tangled_telemetry::Counter;
+
+use crate::{PbpContext, Re, CHUNK_WAYS};
+
+/// Full-vector expansions performed by the sparse backend (attributed to
+/// the Qat backend namespace; see the module docs).
+static MATERIALIZE: Counter = Counter::new("qat.backend.sparse_re.materialize");
+
+/// Register file storing every Qat register as an RE-compressed symbol.
+#[derive(Debug, Clone)]
+pub struct SparseReFile {
+    ctx: PbpContext,
+    regs: Vec<Re>,
+    /// `read()` calls — full `2^ways`-bit expansions — since the last
+    /// `reset_stats`. `Cell` because architectural reads take `&self`.
+    materializations: Cell<u64>,
+}
+
+impl SparseReFile {
+    /// Smallest supported entanglement degree (one RE chunk symbol).
+    pub const MIN_WAYS: u32 = CHUNK_WAYS;
+
+    /// All registers zero, or preloaded with the §5 constant bank.
+    ///
+    /// Panics if `ways < Self::MIN_WAYS` (the RE layer's chunk width).
+    pub fn new(ways: u32, constant_bank: bool) -> Self {
+        let mut ctx = PbpContext::new(ways);
+        let zero = ctx.constant(false);
+        let mut regs = vec![zero; pbp_aob::storage::REG_COUNT];
+        if constant_bank {
+            regs[1] = ctx.constant(true);
+            for k in 0..ways {
+                regs[(2 + k) as usize] = ctx.hadamard(k);
+            }
+        }
+        SparseReFile { ctx, regs, materializations: Cell::new(0) }
+    }
+
+    /// The RE symbol currently held by register `r` (no materialization).
+    pub fn re(&self, r: usize) -> &Re {
+        &self.regs[r]
+    }
+
+    /// The context the register symbols live in.
+    pub fn context(&self) -> &PbpContext {
+        &self.ctx
+    }
+
+    fn delta(&self, old: &Re, new: &Re, meter: bool) -> WriteDelta {
+        if !meter {
+            return WriteDelta::default();
+        }
+        // O(runs): toggles via an XOR symbol, net delta via populations.
+        // The XOR needs `&mut ctx`, but metering must not mutate shared
+        // state observed by callers, so work on a context clone — metering
+        // is opt-in and off on every hot path.
+        let mut ctx = self.ctx.clone();
+        let x = ctx.xor(old, new);
+        WriteDelta {
+            toggles: ctx.re_pop_all(&x),
+            pop_delta: ctx.re_pop_all(new) as i64 - ctx.re_pop_all(old) as i64,
+            writes: 1,
+        }
+    }
+
+    fn commit(&mut self, r: usize, v: Re, meter: bool) -> WriteDelta {
+        let d = self.delta(&self.regs[r], &v, meter);
+        self.regs[r] = v;
+        d
+    }
+}
+
+impl AobStorage for SparseReFile {
+    fn backend(&self) -> StorageBackend {
+        StorageBackend::SparseRe
+    }
+
+    fn ways(&self) -> u32 {
+        self.ctx.universe_ways()
+    }
+
+    fn read(&self, r: usize) -> Aob {
+        self.materializations.set(self.materializations.get() + 1);
+        MATERIALIZE.inc();
+        self.ctx.to_aob(&self.regs[r])
+    }
+
+    fn set(&mut self, r: usize, v: &Aob) {
+        self.regs[r] = self.ctx.from_aob(v);
+    }
+
+    fn write_const(&mut self, r: usize, kind: ConstKind, meter: bool) -> WriteDelta {
+        let v = match kind {
+            ConstKind::Zeros => self.ctx.constant(false),
+            ConstKind::Ones => self.ctx.constant(true),
+            // hadamard() itself yields all-zeros for k >= ways.
+            ConstKind::Hadamard(k) => self.ctx.hadamard(k),
+        };
+        self.commit(r, v, meter)
+    }
+
+    fn gate_not(&mut self, r: usize, meter: bool) -> WriteDelta {
+        let v = self.ctx.not(&self.regs[r]);
+        self.commit(r, v, meter)
+    }
+
+    fn gate_bin(&mut self, op: GateOp, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let (x, y) = (&self.regs[b], &self.regs[c]);
+        let v = match op {
+            GateOp::And => self.ctx.and(x, y),
+            GateOp::Or => self.ctx.or(x, y),
+            GateOp::Xor => self.ctx.xor(x, y),
+        };
+        self.commit(a, v, meter)
+    }
+
+    fn gate_ccnot(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let bc = self.ctx.and(&self.regs[b], &self.regs[c]);
+        let v = self.ctx.xor(&self.regs[a], &bc);
+        self.commit(a, v, meter)
+    }
+
+    fn gate_swap(&mut self, a: usize, b: usize, meter: bool) -> WriteDelta {
+        let mut d = WriteDelta::default();
+        if meter {
+            d.merge(self.delta(&self.regs[a], &self.regs[b], true));
+            d.merge(self.delta(&self.regs[b], &self.regs[a], true));
+        }
+        self.regs.swap(a, b);
+        d
+    }
+
+    fn gate_cswap(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        let sel = self.regs[c].clone();
+        let (va, vb) = (self.regs[a].clone(), self.regs[b].clone());
+        let na = self.ctx.mux(&sel, &vb, &va);
+        let nb = self.ctx.mux(&sel, &va, &vb);
+        let mut d = self.commit(a, na, meter);
+        d.merge(self.commit(b, nb, meter));
+        d
+    }
+
+    fn meas(&self, r: usize, e: u64) -> bool {
+        self.ctx.re_get(&self.regs[r], e)
+    }
+
+    fn next(&self, r: usize, d: u64) -> u64 {
+        self.ctx.re_next(&self.regs[r], d)
+    }
+
+    fn pop_after(&self, r: usize, d: u64) -> u64 {
+        self.ctx.re_pop_after(&self.regs[r], d)
+    }
+
+    fn intern_stats(&self) -> Option<InternStats> {
+        Some(self.ctx.intern_stats())
+    }
+
+    fn chunk_store(&self) -> Option<&ChunkStore> {
+        None
+    }
+
+    fn materializations(&self) -> u64 {
+        self.materializations.get()
+    }
+
+    fn reset_stats(&mut self) {
+        self.materializations.set(0);
+    }
+
+    fn clone_box(&self) -> Box<dyn AobStorage> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbp_aob::storage::EagerFile;
+
+    /// Exercise every gate once, in a fixed order, on the given file.
+    fn drive(f: &mut dyn AobStorage) {
+        f.write_const(0, ConstKind::Hadamard(0), false);
+        f.write_const(1, ConstKind::Hadamard(3), false);
+        f.write_const(2, ConstKind::Hadamard(7), false);
+        f.write_const(3, ConstKind::Ones, false);
+        f.gate_bin(GateOp::And, 4, 0, 1, false);
+        f.gate_bin(GateOp::Or, 5, 4, 2, false);
+        f.gate_bin(GateOp::Xor, 6, 5, 0, false);
+        f.gate_not(6, false);
+        f.gate_bin(GateOp::Xor, 4, 4, 5, false); // cnot @4,@5
+        f.gate_bin(GateOp::Xor, 4, 4, 4, false); // cnot @4,@4: clears
+        f.gate_ccnot(5, 6, 0, false);
+        f.gate_ccnot(5, 5, 5, false); // fully aliased
+        f.gate_swap(4, 5, false);
+        f.gate_cswap(5, 6, 1, false);
+        f.gate_cswap(2, 2, 0, false); // aliased pair
+        f.write_const(3, ConstKind::Zeros, false);
+        f.write_const(3, ConstKind::Hadamard(200), false); // out of range: zeros
+    }
+
+    #[test]
+    fn sparse_re_matches_eager_at_ways_8() {
+        let mut eager = EagerFile::new(8, false);
+        let mut sparse = SparseReFile::new(8, false);
+        drive(&mut eager);
+        drive(&mut sparse);
+        for r in 0..pbp_aob::storage::REG_COUNT {
+            assert_eq!(eager.read(r), sparse.read(r), "@{r}");
+        }
+        // Measurement family agrees without materializing.
+        sparse.reset_stats();
+        for r in 0..8 {
+            for e in [0u64, 1, 37, 255] {
+                assert_eq!(eager.meas(r, e), sparse.meas(r, e), "@{r} meas {e}");
+                assert_eq!(eager.next(r, e), sparse.next(r, e), "@{r} next {e}");
+                assert_eq!(eager.pop_after(r, e), sparse.pop_after(r, e), "@{r} pop {e}");
+            }
+        }
+        assert_eq!(sparse.materializations(), 0);
+    }
+
+    #[test]
+    fn metering_matches_eager_at_ways_8() {
+        let mut eager = EagerFile::new(8, false);
+        let mut sparse = SparseReFile::new(8, false);
+        for f in [&mut eager as &mut dyn AobStorage, &mut sparse] {
+            let d1 = f.write_const(0, ConstKind::Ones, true);
+            assert_eq!(d1, WriteDelta { toggles: 256, pop_delta: 256, writes: 1 });
+            let d2 = f.gate_not(0, true);
+            assert_eq!(d2, WriteDelta { toggles: 256, pop_delta: -256, writes: 1 });
+        }
+    }
+
+    #[test]
+    fn ways_20_structured_states_stay_compressed() {
+        let mut f = SparseReFile::new(20, true); // constant bank preloaded
+        // Work over the bank without touching reserved registers.
+        f.gate_bin(GateOp::And, 100, 2 + 5, 2 + 19, false); // H(5) & H(19)
+        f.gate_bin(GateOp::Xor, 101, 100, 2 + 18, false);
+        f.gate_ccnot(101, 100, 2 + 0, false);
+        f.gate_not(101, false);
+
+        // Analytic spot checks: H(19) & H(5) has a 1 exactly where both
+        // bits of the channel index are set.
+        let pop = f.pop_after(100, 0);
+        assert_eq!(pop + f.meas(100, 0) as u64, 1u64 << 18, "quarter of 2^20 ones");
+        assert!(!f.meas(100, (1 << 19) - 1)); // bit 19 clear
+        assert!(f.meas(100, (1 << 19) | (1 << 5)));
+        assert_eq!(f.next(100, 0), (1 << 19) | (1 << 5));
+
+        // The whole computation stayed in RE form: nothing materialized,
+        // and every register's period is tiny compared to 2^20 bits.
+        assert_eq!(f.materializations(), 0);
+        for r in [100usize, 101] {
+            assert!(f.re(r).storage_runs() < 64, "@{r} runs {}", f.re(r).storage_runs());
+        }
+    }
+}

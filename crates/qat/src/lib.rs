@@ -10,14 +10,18 @@
 //! * [`QatCoprocessor`] — the architectural register file + ALU dispatch,
 //!   with exact Table 3 semantics (including register aliasing such as
 //!   `and @2,@2,@3`).
-//! * [`QatConfig::interning`] — the default **hash-consed register file**:
-//!   registers hold [`pbp_aob::ChunkId`]s into a shared
-//!   [`pbp_aob::ChunkStore`] and every gate is memoized, so repeated gates
-//!   over repeated values cost a hash probe instead of a `2^WAYS`-bit word
-//!   loop (the PBP redundancy argument of §2.2). A register write is
-//!   copy-on-write: it stores a different id, never mutates a chunk. The
-//!   architectural semantics are bit-identical to the eager path, and the
-//!   differential fuzzer runs both as an oracle pair.
+//! * [`QatConfig::backend`] — the register file's *value representation*,
+//!   one of the [`AobStorage`] implementations enumerated by
+//!   [`backend_registry`]:
+//!   [`eager`](pbp_aob::EagerFile) explicit bit-vectors,
+//!   [`interned`](pbp_aob::InternedFile) hash-consed chunk ids with
+//!   memoized gate kernels (the default — the PBP redundancy argument of
+//!   §2.2), and the [`sparse-re`](pbp::SparseReFile) run-length-compressed
+//!   file that executes gates by RE rewriting and so supports `ways` of
+//!   18–24 on structured states (§3.3's scaling story moved inside the
+//!   coprocessor). All three are architecturally bit-identical where their
+//!   `ways` ranges overlap, and the differential fuzzer runs them as
+//!   oracle pairs.
 //! * [`PortStats`] — read/write-port usage accounting. The paper's §5
 //!   conclusions hinge on which instructions need a third read port
 //!   (`ccnot`, `cswap`) or a second write port (`swap`, `cswap`); the
@@ -28,22 +32,29 @@
 //! * [`QatConfig::constant_registers`] — the §5 simplification where
 //!   `@0 = 0`, `@1 = 1`, `@2..=@(WAYS+1)` hold `H(0)..H(WAYS-1)` as
 //!   pre-initialized constants instead of using `zero`/`one`/`had`
-//!   instructions. In interning mode these are exactly the store's
-//!   canonical constant-bank ids.
+//!   instructions.
 //! * Energy metering via `pbp_aob::EnergyMeter`, for the adiabatic-logic
-//!   power argument.
+//!   power argument. The [`AobStorage`] backends report per-write
+//!   [`pbp_aob::WriteDelta`]s, so metering works identically across
+//!   representations.
 
 pub mod circuit;
 pub mod cost;
 
-use pbp_aob::{Aob, ChunkId, ChunkStore, EnergyMeter, GateOp, InternStats, ID_ONE, ID_ZERO};
+use pbp_aob::storage::{AobStorage, ConstKind};
+use pbp_aob::{Aob, ChunkStore, EagerFile, EnergyMeter, GateOp, InternStats, InternedFile};
 use tangled_isa::{Insn, QReg};
+
+pub use pbp_aob::StorageBackend;
 
 /// Global telemetry handles for gate dispatch and port/energy activity.
 ///
 /// The `energy.*` names are shared with `pbp_aob::EnergyMeter`'s mirrors:
 /// the coprocessor's batched `flush_energy` path bypasses
-/// `EnergyMeter::record`, so it reports to the same keys directly.
+/// `EnergyMeter::record`, so it reports to the same keys directly. The
+/// `qat.backend.*` namespace attributes gate work to the storage backend
+/// (the sparse backend's `.materialize` counter lives with its
+/// implementation in the `pbp` crate).
 mod telem {
     use tangled_isa::{Insn, KIND_COUNT};
     use tangled_telemetry::{Counter, CounterBank};
@@ -51,6 +62,10 @@ mod telem {
     pub static GATES: CounterBank<KIND_COUNT> = CounterBank::new("qat.gate", Insn::kind_name);
     pub static KERNEL_INTERNED: Counter = Counter::new("qat.kernel.interned");
     pub static KERNEL_EAGER: Counter = Counter::new("qat.kernel.eager");
+    pub static KERNEL_SPARSE_RE: Counter = Counter::new("qat.kernel.sparse_re");
+    pub static BACKEND_EAGER: Counter = Counter::new("qat.backend.eager.gates");
+    pub static BACKEND_INTERNED: Counter = Counter::new("qat.backend.interned.gates");
+    pub static BACKEND_SPARSE_RE: Counter = Counter::new("qat.backend.sparse_re.gates");
     pub static PORT_READS: Counter = Counter::new("qat.ports.reads");
     pub static PORT_WRITES: Counter = Counter::new("qat.ports.writes");
     pub static ENERGY_TOGGLES: Counter = Counter::new("energy.toggles");
@@ -63,7 +78,8 @@ mod telem {
 pub struct QatConfig {
     /// Entanglement degree: AoB values are `2^ways` bits. The paper's
     /// hardware uses 16; student projects used 8 (and were permitted 256-bit
-    /// AoB = 8-way "to speed-up simulation").
+    /// AoB = 8-way "to speed-up simulation"). The `sparse-re` backend
+    /// extends this to 24 in software.
     pub ways: u32,
     /// §5 mode: registers `@0`,`@1` hold the constants 0 and 1 and
     /// `@2..@(2+ways)` hold `H(0)..H(ways-1)`; writes to those registers
@@ -72,18 +88,21 @@ pub struct QatConfig {
     /// Record before/after toggle counts for every register write
     /// (costs a snapshot per op; off by default).
     pub meter_energy: bool,
-    /// Hash-consed register file (the default): registers hold chunk ids
-    /// into a shared [`ChunkStore`], gates are memoized, and writes are
-    /// copy-on-write. Turn off to materialize every `Aob` eagerly — the
-    /// semantics are identical and differentially tested.
-    pub interning: bool,
+    /// Register-file value representation; see [`backend_registry`] for
+    /// each backend's capabilities. The default is [`StorageBackend::Interned`].
+    pub backend: StorageBackend,
 }
 
 impl QatConfig {
     /// The paper's full-size configuration: 16-way, instruction-based
     /// initialization, no metering, interned register file.
     pub fn paper() -> Self {
-        QatConfig { ways: 16, constant_registers: false, meter_energy: false, interning: true }
+        QatConfig {
+            ways: 16,
+            constant_registers: false,
+            meter_energy: false,
+            backend: StorageBackend::Interned,
+        }
     }
 
     /// The student-project configuration: 8-way entanglement.
@@ -96,6 +115,11 @@ impl QatConfig {
         QatConfig { ways, ..Self::paper() }
     }
 
+    /// With the given backend and entanglement degree.
+    pub fn with_backend(backend: StorageBackend, ways: u32) -> Self {
+        QatConfig { backend, ..Self::with_ways(ways) }
+    }
+
     /// Number of reserved constant registers in `constant_registers` mode.
     pub fn reserved_regs(&self) -> u8 {
         if self.constant_registers {
@@ -104,6 +128,99 @@ impl QatConfig {
             0
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry.
+// ---------------------------------------------------------------------------
+
+/// Capability entry for one register-file backend: the single table the
+/// CLI, the fuzzer, and the differential oracle enumerate instead of
+/// hard-coding backend matrices.
+pub struct BackendEntry {
+    /// Which backend this entry describes.
+    pub backend: StorageBackend,
+    /// One-line description for `tangled backends`.
+    pub description: &'static str,
+    /// Smallest supported entanglement degree.
+    pub min_ways: u32,
+    /// Largest supported entanglement degree.
+    pub max_ways: u32,
+    /// Name the differential oracle reports divergences under when this
+    /// backend is cross-checked against the reference run.
+    pub oracle_name: &'static str,
+    build: fn(&QatConfig) -> Box<dyn AobStorage>,
+}
+
+impl BackendEntry {
+    /// Does this backend support the given entanglement degree?
+    pub fn supports_ways(&self, ways: u32) -> bool {
+        (self.min_ways..=self.max_ways).contains(&ways)
+    }
+
+    /// Build a fresh register file for `cfg` (panics outside the
+    /// supported `ways` range).
+    pub fn build(&self, cfg: &QatConfig) -> Box<dyn AobStorage> {
+        assert!(
+            self.supports_ways(cfg.ways),
+            "backend `{}` supports ways {}..={}, got {}",
+            self.backend,
+            self.min_ways,
+            self.max_ways,
+            cfg.ways
+        );
+        (self.build)(cfg)
+    }
+}
+
+impl std::fmt::Debug for BackendEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendEntry")
+            .field("backend", &self.backend)
+            .field("min_ways", &self.min_ways)
+            .field("max_ways", &self.max_ways)
+            .finish()
+    }
+}
+
+static BACKENDS: [BackendEntry; 3] = [
+    BackendEntry {
+        backend: StorageBackend::Eager,
+        description: "explicit 2^WAYS-bit vectors, word-loop gate kernels",
+        min_ways: 1,
+        max_ways: 16,
+        oracle_name: "qat-eager",
+        build: |cfg| Box::new(EagerFile::new(cfg.ways, cfg.constant_registers)),
+    },
+    BackendEntry {
+        backend: StorageBackend::Interned,
+        description: "hash-consed chunk ids, memoized gates, copy-on-write (default)",
+        min_ways: 1,
+        max_ways: 16,
+        oracle_name: "qat-interned",
+        build: |cfg| Box::new(InternedFile::new(cfg.ways, cfg.constant_registers)),
+    },
+    BackendEntry {
+        backend: StorageBackend::SparseRe,
+        description: "run-length-compressed RE symbols; structured states beyond 16 ways",
+        min_ways: pbp::CHUNK_WAYS,
+        max_ways: 24,
+        oracle_name: "qat-sparse-re",
+        build: |cfg| Box::new(pbp::SparseReFile::new(cfg.ways, cfg.constant_registers)),
+    },
+];
+
+/// Every register-file backend, in canonical order.
+pub fn backend_registry() -> &'static [BackendEntry] {
+    &BACKENDS
+}
+
+/// Look up one backend's registry entry.
+pub fn backend_entry(backend: StorageBackend) -> &'static BackendEntry {
+    BACKENDS
+        .iter()
+        .find(|e| e.backend == backend)
+        .expect("every StorageBackend has a registry entry")
 }
 
 /// Register-file port usage accounting (per-instruction peaks and totals).
@@ -146,29 +263,11 @@ impl std::fmt::Display for QatError {
 
 impl std::error::Error for QatError {}
 
-/// The architectural register file, in one of its two equivalent renderings.
-#[derive(Debug, Clone)]
-enum RegFile {
-    /// Every register owns its `Aob` and every gate runs the word kernel.
-    Eager(Vec<Aob>),
-    /// Registers are ids into a hash-consed store; gates are memoized.
-    Interned {
-        store: ChunkStore,
-        ids: Vec<ChunkId>,
-    },
-}
-
-/// A computed register value, in whichever form the active file uses.
-enum NewVal {
-    V(Aob),
-    Id(ChunkId),
-}
-
 /// The Qat coprocessor: 256 AoB registers plus execution machinery.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QatCoprocessor {
     config: QatConfig,
-    file: RegFile,
+    file: Box<dyn AobStorage>,
     /// Port-usage statistics (reset with [`QatCoprocessor::reset_stats`]).
     pub ports: PortStats,
     /// Switching-energy meter (active when `config.meter_energy`).
@@ -180,31 +279,27 @@ pub struct QatCoprocessor {
     pending_writes: u64,
 }
 
+impl Clone for QatCoprocessor {
+    fn clone(&self) -> Self {
+        QatCoprocessor {
+            config: self.config,
+            file: self.file.clone_box(),
+            ports: self.ports.clone(),
+            meter: self.meter.clone(),
+            pending_toggles: self.pending_toggles,
+            pending_delta: self.pending_delta,
+            pending_writes: self.pending_writes,
+        }
+    }
+}
+
 impl QatCoprocessor {
     /// Fresh coprocessor; all registers zero, or preloaded with the
-    /// constant bank when `config.constant_registers` is set.
+    /// constant bank when `config.constant_registers` is set. The register
+    /// file is built through [`backend_registry`]; panics if `config.ways`
+    /// is outside the chosen backend's supported range.
     pub fn new(config: QatConfig) -> Self {
-        let file = if config.interning {
-            let store = ChunkStore::new(config.ways);
-            let mut ids = vec![ID_ZERO; 256];
-            if config.constant_registers {
-                // The §5 bank and the store's canonical ids coincide by
-                // construction: [0, 1, H(0)..H(ways-1)].
-                ids[1] = ID_ONE;
-                for k in 0..config.ways {
-                    ids[(2 + k) as usize] = store.id_hadamard(k);
-                }
-            }
-            RegFile::Interned { store, ids }
-        } else {
-            let mut regs = vec![Aob::zeros(config.ways); 256];
-            if config.constant_registers {
-                for (i, c) in Aob::constant_bank(config.ways).into_iter().enumerate() {
-                    regs[i] = c;
-                }
-            }
-            RegFile::Eager(regs)
-        };
+        let file = backend_entry(config.backend).build(&config);
         QatCoprocessor {
             config,
             file,
@@ -221,49 +316,59 @@ impl QatCoprocessor {
         self.config
     }
 
-    /// Read a register (architectural, not port-counted).
-    pub fn reg(&self, r: QReg) -> &Aob {
-        match &self.file {
-            RegFile::Eager(regs) => &regs[r.num() as usize],
-            RegFile::Interned { store, ids } => store.aob(ids[r.num() as usize]),
-        }
+    /// The active storage backend.
+    pub fn backend(&self) -> StorageBackend {
+        self.file.backend()
+    }
+
+    /// Read a register, materialized as an explicit bit-vector
+    /// (architectural, not port-counted). On the compressed backend this
+    /// allocates the full `2^ways`-bit value — debugging/capture only; the
+    /// measurement family goes through [`QatCoprocessor::execute`] and
+    /// never materializes.
+    pub fn reg(&self, r: QReg) -> Aob {
+        self.file.read(r.num() as usize)
+    }
+
+    /// Direct access to the register-file storage backend.
+    pub fn storage(&self) -> &dyn AobStorage {
+        self.file.as_ref()
     }
 
     /// Directly set a register (test/loader backdoor; bypasses the
     /// constant-register protection and port accounting).
     pub fn set_reg(&mut self, r: QReg, v: Aob) {
         assert_eq!(v.ways(), self.config.ways, "register value has wrong entanglement degree");
-        match &mut self.file {
-            RegFile::Eager(regs) => regs[r.num() as usize] = v,
-            RegFile::Interned { store, ids } => ids[r.num() as usize] = store.intern(v),
-        }
+        self.file.set(r.num() as usize, &v);
     }
 
-    /// The shared chunk store backing the register file (`None` in eager
-    /// mode).
+    /// The shared chunk store backing the register file (`None` unless
+    /// the backend is `interned`).
     pub fn store(&self) -> Option<&ChunkStore> {
-        match &self.file {
-            RegFile::Eager(_) => None,
-            RegFile::Interned { store, .. } => Some(store),
-        }
+        self.file.chunk_store()
     }
 
-    /// Cache hit/miss/eviction counters of the interned register file
-    /// (`None` in eager mode).
+    /// Cache hit/miss/eviction counters of the register file (`None` on
+    /// backends that do not intern values).
     pub fn intern_stats(&self) -> Option<InternStats> {
-        self.store().map(|s| s.stats())
+        self.file.intern_stats()
     }
 
-    /// Zero all statistics (ports, energy, and intern-cache counters).
+    /// Full-vector materializations the backend performed (non-zero only
+    /// when something read registers architecturally; the `sparse-re`
+    /// gate/measurement path keeps this at 0).
+    pub fn materializations(&self) -> u64 {
+        self.file.materializations()
+    }
+
+    /// Zero all statistics (ports, energy, and backend-internal counters).
     pub fn reset_stats(&mut self) {
         self.ports = PortStats::default();
         self.meter = EnergyMeter::new();
         self.pending_toggles = 0;
         self.pending_delta = 0;
         self.pending_writes = 0;
-        if let RegFile::Interned { store, .. } = &mut self.file {
-            store.reset_stats();
-        }
+        self.file.reset_stats();
     }
 
     fn check_writable(&self, r: QReg) -> Result<(), QatError> {
@@ -274,34 +379,15 @@ impl QatCoprocessor {
         }
     }
 
-    /// Architectural register write, accounting energy when metering.
-    ///
-    /// Accumulates per-instruction: an instruction that merely re-routes
-    /// charge between its destinations (swap/cswap) nets zero adiabatic
-    /// imbalance even when the individual registers change population.
-    fn commit(&mut self, r: QReg, w: NewVal) {
-        let meter = self.config.meter_energy;
-        let i = r.num() as usize;
-        match (&mut self.file, w) {
-            (RegFile::Eager(regs), NewVal::V(v)) => {
-                if meter {
-                    let old = &regs[i];
-                    self.pending_toggles += old.hamming(&v);
-                    self.pending_delta += v.pop_all() as i64 - old.pop_all() as i64;
-                    self.pending_writes += 1;
-                }
-                regs[i] = v;
-            }
-            (RegFile::Interned { store, ids }, NewVal::Id(id)) => {
-                if meter {
-                    let (old, new) = (store.aob(ids[i]), store.aob(id));
-                    self.pending_toggles += old.hamming(new);
-                    self.pending_delta += new.pop_all() as i64 - old.pop_all() as i64;
-                    self.pending_writes += 1;
-                }
-                ids[i] = id;
-            }
-            _ => unreachable!("register file variant and value form always agree"),
+    /// Fold one operation's write delta into the per-instruction pending
+    /// energy accumulators. An instruction that merely re-routes charge
+    /// between its destinations (swap/cswap) nets zero adiabatic imbalance
+    /// even when the individual registers change population.
+    fn note(&mut self, d: pbp_aob::WriteDelta) {
+        if self.config.meter_energy {
+            self.pending_toggles += d.toggles;
+            self.pending_delta += d.pop_delta;
+            self.pending_writes += d.writes;
         }
     }
 
@@ -316,70 +402,6 @@ impl QatCoprocessor {
             self.pending_toggles = 0;
             self.pending_delta = 0;
             self.pending_writes = 0;
-        }
-    }
-
-    /// `zero` / `one` / `had @a,k` result in the active file's form.
-    fn make_const(&mut self, kind: u8, k: u32) -> NewVal {
-        let ways = self.config.ways;
-        match &mut self.file {
-            RegFile::Eager(_) => NewVal::V(match kind {
-                0 => Aob::zeros(ways),
-                1 => Aob::ones(ways),
-                _ => Aob::hadamard(ways, k),
-            }),
-            RegFile::Interned { store, .. } => NewVal::Id(match kind {
-                0 => ID_ZERO,
-                1 => ID_ONE,
-                // H(k) for k >= ways is all-zeros (hadamard() contract).
-                _ if k < ways => store.id_hadamard(k),
-                _ => ID_ZERO,
-            }),
-        }
-    }
-
-    fn gate_not(&mut self, a: QReg) -> NewVal {
-        match &mut self.file {
-            RegFile::Eager(regs) => NewVal::V(regs[a.num() as usize].not_of()),
-            RegFile::Interned { store, ids } => {
-                let ia = ids[a.num() as usize];
-                NewVal::Id(store.not(ia))
-            }
-        }
-    }
-
-    fn gate_bin(&mut self, op: GateOp, b: QReg, c: QReg) -> NewVal {
-        match &mut self.file {
-            RegFile::Eager(regs) => {
-                let (x, y) = (&regs[b.num() as usize], &regs[c.num() as usize]);
-                NewVal::V(match op {
-                    GateOp::And => Aob::and_of(x, y),
-                    GateOp::Or => Aob::or_of(x, y),
-                    GateOp::Xor => Aob::xor_of(x, y),
-                })
-            }
-            RegFile::Interned { store, ids } => {
-                let (ib, ic) = (ids[b.num() as usize], ids[c.num() as usize]);
-                NewVal::Id(store.binop(op, ib, ic))
-            }
-        }
-    }
-
-    fn gate_ccnot(&mut self, a: QReg, b: QReg, c: QReg) -> NewVal {
-        match &mut self.file {
-            RegFile::Eager(regs) => {
-                let mut v = regs[a.num() as usize].clone();
-                v.ccnot_assign(
-                    &regs[b.num() as usize].clone(),
-                    &regs[c.num() as usize].clone(),
-                );
-                NewVal::V(v)
-            }
-            RegFile::Interned { store, ids } => {
-                let (ia, ib, ic) =
-                    (ids[a.num() as usize], ids[b.num() as usize], ids[c.num() as usize]);
-                NewVal::Id(store.ccnot(ia, ib, ic))
-            }
         }
     }
 
@@ -409,100 +431,68 @@ impl QatCoprocessor {
         telem::GATES.add(insn.kind(), 1);
         telem::PORT_READS.add(nreads as u64);
         telem::PORT_WRITES.add(nwrites as u64);
-        match self.file {
-            RegFile::Eager(_) => telem::KERNEL_EAGER.inc(),
-            RegFile::Interned { .. } => telem::KERNEL_INTERNED.inc(),
+        match self.file.backend() {
+            StorageBackend::Eager => {
+                telem::KERNEL_EAGER.inc();
+                telem::BACKEND_EAGER.inc();
+            }
+            StorageBackend::Interned => {
+                telem::KERNEL_INTERNED.inc();
+                telem::BACKEND_INTERNED.inc();
+            }
+            StorageBackend::SparseRe => {
+                telem::KERNEL_SPARSE_RE.inc();
+                telem::BACKEND_SPARSE_RE.inc();
+            }
         }
         for w in insn.qwrites() {
             self.check_writable(w)?;
         }
 
-        match insn {
-            Insn::QZero { a } => {
-                let w = self.make_const(0, 0);
-                self.commit(a, w);
-            }
-            Insn::QOne { a } => {
-                let w = self.make_const(1, 0);
-                self.commit(a, w);
-            }
-            Insn::QNot { a } => {
-                let w = self.gate_not(a);
-                self.commit(a, w);
-            }
+        let meter = self.config.meter_energy;
+        let f = &mut self.file;
+        let d = match insn {
+            Insn::QZero { a } => f.write_const(a.0 as usize, ConstKind::Zeros, meter),
+            Insn::QOne { a } => f.write_const(a.0 as usize, ConstKind::Ones, meter),
+            Insn::QNot { a } => f.gate_not(a.0 as usize, meter),
             Insn::QHad { a, k } => {
-                let w = self.make_const(2, k as u32);
-                self.commit(a, w);
+                f.write_const(a.0 as usize, ConstKind::Hadamard(k as u32), meter)
             }
             Insn::QAnd { a, b, c } => {
-                let w = self.gate_bin(GateOp::And, b, c);
-                self.commit(a, w);
+                f.gate_bin(GateOp::And, a.0 as usize, b.0 as usize, c.0 as usize, meter)
             }
             Insn::QOr { a, b, c } => {
-                let w = self.gate_bin(GateOp::Or, b, c);
-                self.commit(a, w);
+                f.gate_bin(GateOp::Or, a.0 as usize, b.0 as usize, c.0 as usize, meter)
             }
             Insn::QXor { a, b, c } => {
-                let w = self.gate_bin(GateOp::Xor, b, c);
-                self.commit(a, w);
+                f.gate_bin(GateOp::Xor, a.0 as usize, b.0 as usize, c.0 as usize, meter)
             }
             Insn::QCnot { a, b } => {
                 // §5: cnot @a,@b == xor @a,@a,@b.
-                let w = self.gate_bin(GateOp::Xor, a, b);
-                self.commit(a, w);
+                f.gate_bin(GateOp::Xor, a.0 as usize, a.0 as usize, b.0 as usize, meter)
             }
             Insn::QCcnot { a, b, c } => {
-                let w = self.gate_ccnot(a, b, c);
-                self.commit(a, w);
+                f.gate_ccnot(a.0 as usize, b.0 as usize, c.0 as usize, meter)
             }
-            Insn::QSwap { a, b } => {
-                let (wa, wb) = match &self.file {
-                    RegFile::Eager(regs) => (
-                        NewVal::V(regs[b.num() as usize].clone()),
-                        NewVal::V(regs[a.num() as usize].clone()),
-                    ),
-                    RegFile::Interned { ids, .. } => (
-                        NewVal::Id(ids[b.num() as usize]),
-                        NewVal::Id(ids[a.num() as usize]),
-                    ),
-                };
-                self.commit(a, wa);
-                self.commit(b, wb);
-            }
+            Insn::QSwap { a, b } => f.gate_swap(a.0 as usize, b.0 as usize, meter),
             Insn::QCswap { a, b, c } => {
-                let (wa, wb) = match &mut self.file {
-                    RegFile::Eager(regs) => {
-                        let mut va = regs[a.num() as usize].clone();
-                        let mut vb = regs[b.num() as usize].clone();
-                        Aob::cswap(&mut va, &mut vb, &regs[c.num() as usize].clone());
-                        (NewVal::V(va), NewVal::V(vb))
-                    }
-                    RegFile::Interned { store, ids } => {
-                        let (ia, ib, ic) =
-                            (ids[a.num() as usize], ids[b.num() as usize], ids[c.num() as usize]);
-                        // cswap = a pair of muxes on the original operands.
-                        let na = store.mux(ic, ib, ia);
-                        let nb = store.mux(ic, ia, ib);
-                        (NewVal::Id(na), NewVal::Id(nb))
-                    }
-                };
-                self.commit(a, wa);
-                self.commit(b, wb);
+                f.gate_cswap(a.0 as usize, b.0 as usize, c.0 as usize, meter)
             }
             Insn::QMeas { d: _, a } => {
                 self.flush_energy();
-                return Ok(Some(self.reg(a).meas(d_in as u64) as u16));
+                return Ok(Some(self.file.meas(a.0 as usize, d_in as u64) as u16));
             }
             Insn::QNext { d: _, a } => {
                 self.flush_energy();
-                return Ok(Some(self.reg(a).next(d_in as u64) as u16));
+                return Ok(Some(self.file.next(a.0 as usize, d_in as u64) as u16));
             }
             Insn::QPop { d: _, a } => {
                 self.flush_energy();
-                return Ok(Some((self.reg(a).pop_after(d_in as u64) & 0xFFFF) as u16));
+                return Ok(Some((self.file.pop_after(a.0 as usize, d_in as u64) & 0xFFFF) as u16));
             }
             _ => unreachable!("is_qat() guarantees a Qat variant"),
-        }
+        };
+        self.note(d);
         self.flush_energy();
         Ok(None)
     }
@@ -525,11 +515,11 @@ mod tests {
     fn initializers() {
         let mut c = coproc(8);
         c.execute(Insn::QOne { a: q(5) }, 0).unwrap();
-        assert_eq!(*c.reg(q(5)), Aob::ones(8));
+        assert_eq!(c.reg(q(5)), Aob::ones(8));
         c.execute(Insn::QZero { a: q(5) }, 0).unwrap();
-        assert_eq!(*c.reg(q(5)), Aob::zeros(8));
+        assert_eq!(c.reg(q(5)), Aob::zeros(8));
         c.execute(Insn::QHad { a: q(7), k: 3 }, 0).unwrap();
-        assert_eq!(*c.reg(q(7)), Aob::hadamard(8, 3));
+        assert_eq!(c.reg(q(7)), Aob::hadamard(8, 3));
     }
 
     #[test]
@@ -550,16 +540,16 @@ mod tests {
         c.execute(Insn::QHad { a: q(1), k: 5 }, 0).unwrap();
         c.execute(Insn::QAnd { a: q(2), b: q(0), c: q(1) }, 0).unwrap();
         assert_eq!(
-            *c.reg(q(2)),
+            c.reg(q(2)),
             Aob::and_of(&Aob::hadamard(8, 2), &Aob::hadamard(8, 5))
         );
         // Aliased destination: and @0,@0,@1
         c.execute(Insn::QAnd { a: q(0), b: q(0), c: q(1) }, 0).unwrap();
-        assert_eq!(*c.reg(q(0)), *c.reg(q(2)));
+        assert_eq!(c.reg(q(0)), c.reg(q(2)));
         // Fully aliased: or @3,@3,@3 is a copy of itself (paper uses
         // `or @80,@79,@79` as a copy idiom).
         c.execute(Insn::QOr { a: q(3), b: q(2), c: q(2) }, 0).unwrap();
-        assert_eq!(*c.reg(q(3)), *c.reg(q(2)));
+        assert_eq!(c.reg(q(3)), c.reg(q(2)));
     }
 
     #[test]
@@ -582,8 +572,8 @@ mod tests {
         c.execute(Insn::QHad { a: q(0), k: 0 }, 0).unwrap();
         c.execute(Insn::QOne { a: q(1) }, 0).unwrap();
         c.execute(Insn::QSwap { a: q(0), b: q(1) }, 0).unwrap();
-        assert_eq!(*c.reg(q(0)), Aob::ones(8));
-        assert_eq!(*c.reg(q(1)), Aob::hadamard(8, 0));
+        assert_eq!(c.reg(q(0)), Aob::ones(8));
+        assert_eq!(c.reg(q(1)), Aob::hadamard(8, 0));
         // cswap with control H(1): exchanged only in odd channel-pairs.
         c.execute(Insn::QHad { a: q(2), k: 1 }, 0).unwrap();
         c.execute(Insn::QCswap { a: q(0), b: q(1), c: q(2) }, 0).unwrap();
@@ -624,37 +614,43 @@ mod tests {
     }
 
     #[test]
-    fn constant_register_mode() {
-        let cfg = QatConfig { constant_registers: true, ..QatConfig::with_ways(8) };
-        let mut c = QatCoprocessor::new(cfg);
-        // @0 = 0, @1 = 1, @2.. = H(0)..
-        assert_eq!(*c.reg(q(0)), Aob::zeros(8));
-        assert_eq!(*c.reg(q(1)), Aob::ones(8));
-        for k in 0..8u8 {
-            assert_eq!(*c.reg(q(2 + k)), Aob::hadamard(8, k as u32));
+    fn constant_register_mode_on_every_backend() {
+        for entry in backend_registry() {
+            let ways = 8.max(entry.min_ways);
+            let cfg = QatConfig {
+                constant_registers: true,
+                ..QatConfig::with_backend(entry.backend, ways)
+            };
+            let mut c = QatCoprocessor::new(cfg);
+            // @0 = 0, @1 = 1, @2.. = H(0)..
+            assert_eq!(c.reg(q(0)), Aob::zeros(ways), "{}", entry.backend);
+            assert_eq!(c.reg(q(1)), Aob::ones(ways));
+            for k in 0..ways as u8 {
+                assert_eq!(c.reg(q(2 + k)), Aob::hadamard(ways, k as u32));
+            }
+            // Writing a reserved register is an error; the general ones are
+            // fine.
+            assert_eq!(
+                c.execute(Insn::QZero { a: q(1) }, 0),
+                Err(QatError::ConstantRegisterWrite { reg: q(1) })
+            );
+            assert!(c.execute(Insn::QZero { a: q(100) }, 0).is_ok());
+            // Reading constants works through normal operand fields:
+            c.execute(Insn::QXor { a: q(200), b: q(2), c: q(1) }, 0).unwrap();
+            assert_eq!(c.reg(q(200)), Aob::hadamard(ways, 0).not_of());
         }
-        // Writing a reserved register is an error; the general ones are fine.
-        assert_eq!(
-            c.execute(Insn::QZero { a: q(1) }, 0),
-            Err(QatError::ConstantRegisterWrite { reg: q(1) })
-        );
-        assert!(c.execute(Insn::QZero { a: q(10) }, 0).is_ok());
-        // Reading constants works through normal operand fields:
-        c.execute(Insn::QXor { a: q(20), b: q(2), c: q(1) }, 0).unwrap();
-        assert_eq!(*c.reg(q(20)), Aob::hadamard(8, 0).not_of());
     }
 
     #[test]
-    fn energy_metering_when_enabled() {
-        for interning in [false, true] {
+    fn energy_metering_when_enabled_on_every_backend() {
+        for entry in backend_registry() {
             let cfg = QatConfig {
                 meter_energy: true,
-                interning,
-                ..QatConfig::with_ways(8)
+                ..QatConfig::with_backend(entry.backend, 8)
             };
             let mut c = QatCoprocessor::new(cfg);
             c.execute(Insn::QOne { a: q(0) }, 0).unwrap(); // 0 -> 256 ones
-            assert_eq!(c.meter.toggles, 256, "interning={interning}");
+            assert_eq!(c.meter.toggles, 256, "backend={}", entry.backend);
             assert_eq!(c.meter.imbalance, 256);
             c.execute(Insn::QNot { a: q(0) }, 0).unwrap(); // all flip back
             assert_eq!(c.meter.toggles, 512);
@@ -674,12 +670,13 @@ mod tests {
         let mut c = coproc(8);
         c.execute(Insn::QHad { a: q(4), k: 2 }, 0).unwrap();
         c.execute(Insn::QSwap { a: q(4), b: q(4) }, 0).unwrap();
-        assert_eq!(*c.reg(q(4)), Aob::hadamard(8, 2));
+        assert_eq!(c.reg(q(4)), Aob::hadamard(8, 2));
     }
 
-    /// Every Table-3 op, interned vs eager, including self-operand forms.
+    /// Every Table-3 op, including self-operand forms, agrees across every
+    /// registered backend.
     #[test]
-    fn interned_matches_eager_across_gate_mix() {
+    fn backends_match_across_gate_mix() {
         let prog: Vec<Insn> = vec![
             Insn::QHad { a: q(0), k: 0 },
             Insn::QHad { a: q(1), k: 3 },
@@ -699,17 +696,20 @@ mod tests {
             Insn::QZero { a: q(3) },
             Insn::QHad { a: q(3), k: 200 }, // out-of-range k: zeros
         ];
-        let mut eager =
-            QatCoprocessor::new(QatConfig { interning: false, ..QatConfig::with_ways(8) });
-        let mut interned = QatCoprocessor::new(QatConfig::with_ways(8));
-        assert!(interned.intern_stats().is_some());
-        assert!(eager.intern_stats().is_none());
+        let mut reference =
+            QatCoprocessor::new(QatConfig::with_backend(StorageBackend::Eager, 8));
         for insn in &prog {
-            eager.execute(*insn, 0).unwrap();
-            interned.execute(*insn, 0).unwrap();
+            reference.execute(*insn, 0).unwrap();
         }
-        for r in 0..=255u8 {
-            assert_eq!(eager.reg(q(r)), interned.reg(q(r)), "@{r}");
+        assert!(reference.intern_stats().is_none());
+        for entry in backend_registry().iter().filter(|e| e.backend != StorageBackend::Eager) {
+            let mut c = QatCoprocessor::new(QatConfig::with_backend(entry.backend, 8));
+            for insn in &prog {
+                c.execute(*insn, 0).unwrap();
+            }
+            for r in 0..=255u8 {
+                assert_eq!(reference.reg(q(r)), c.reg(q(r)), "{} @{r}", entry.backend);
+            }
         }
     }
 
@@ -737,5 +737,43 @@ mod tests {
             "warm replay must not recompute any gate"
         );
         assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn registry_covers_every_backend_and_enforces_ways() {
+        assert_eq!(backend_registry().len(), StorageBackend::ALL.len());
+        for b in StorageBackend::ALL {
+            assert_eq!(backend_entry(b).backend, b);
+        }
+        assert!(backend_entry(StorageBackend::SparseRe).supports_ways(20));
+        assert!(!backend_entry(StorageBackend::Eager).supports_ways(20));
+        assert!(!backend_entry(StorageBackend::SparseRe).supports_ways(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "supports ways")]
+    fn out_of_range_ways_panics() {
+        QatCoprocessor::new(QatConfig::with_backend(StorageBackend::Eager, 20));
+    }
+
+    /// The sparse backend runs a 20-way gate mix without ever expanding a
+    /// register to its 2^20-bit explicit form.
+    #[test]
+    fn sparse_re_runs_20_ways_without_materializing() {
+        let mut c = QatCoprocessor::new(QatConfig::with_backend(StorageBackend::SparseRe, 20));
+        c.execute(Insn::QHad { a: q(0), k: 5 }, 0).unwrap();
+        c.execute(Insn::QHad { a: q(1), k: 19 }, 0).unwrap();
+        c.execute(Insn::QAnd { a: q(2), b: q(0), c: q(1) }, 0).unwrap();
+        c.execute(Insn::QCcnot { a: q(2), b: q(0), c: q(1) }, 0).unwrap(); // clears
+        c.execute(Insn::QOr { a: q(3), b: q(0), c: q(1) }, 0).unwrap();
+        let d = Reg::new(1);
+        assert_eq!(c.execute(Insn::QPop { d, a: q(2) }, 0).unwrap(), Some(0));
+        // pop of H(5)|H(19) = 2^20 - 2^20/4 ... truncated to 16 bits.
+        let pop = (1u64 << 20) - (1u64 << 18);
+        assert_eq!(
+            c.execute(Insn::QPop { d, a: q(3) }, 0).unwrap(),
+            Some((pop & 0xFFFF) as u16)
+        );
+        assert_eq!(c.materializations(), 0);
     }
 }

@@ -10,9 +10,16 @@
 //!   register reads after a back-to-back write) used as the negative
 //!   control: the oracle must flag it, and the shrinker must reduce its
 //!   divergences to a few instructions.
-//! * `qat-eager` — the functional model rerun with Qat interning disabled,
-//!   so the hash-consed chunk store and its memoized gate kernels are
-//!   differentially checked against eager AoB evaluation.
+//! * `qat-eager` / `qat-interned` / `qat-sparse-re` — the functional model
+//!   rerun with every *other* registered Qat storage backend (see
+//!   [`qat_coproc::backend_registry`]), so the hash-consed chunk store and
+//!   the RE-compressed register file are differentially checked against
+//!   eager AoB evaluation on every program.
+//!
+//! The timing models come from [`crate::engine::model_registry`] — the
+//! oracle enumerates every [`ModelRole::Timing`] entry rather than keeping
+//! its own list, so a new model registered there is automatically under
+//! differential test.
 //!
 //! Compared state: the 16 GPRs, the PC, halt status, `sys` output, the
 //! 0x4000 data page, a hash of all 64K memory words, all 256 Qat AoB
@@ -23,12 +30,11 @@
 //! channel) and the PBP word-level RE layer.
 
 use crate::coverage::Coverage;
+use crate::engine::{Core, ModelEntry, ModelRole};
 use crate::machine::{Machine, MachineConfig, SimError, SysOutput};
-use crate::multicycle::MultiCycleSim;
-use crate::pipeline::{PipelineConfig, PipelinedSim, StageCount};
 use pbp::PbpContext;
 use pbp_aob::Aob;
-use qat_coproc::QatConfig;
+use qat_coproc::{QatConfig, StorageBackend};
 use qsim_baseline::QState;
 use tangled_isa::{Insn, QReg, Reg};
 
@@ -85,20 +91,29 @@ pub struct DiffConfig {
     /// Enable the §5 constant-register file (makes low-register writes
     /// architectural faults — exercised by fault-adjacent fuzzing).
     pub constant_registers: bool,
+    /// Qat storage backend the reference (and every timing model) runs on;
+    /// every *other* registered backend that supports `ways` becomes an
+    /// oracle rerun in [`compare_all`].
+    pub backend: StorageBackend,
     /// Step budget per model run.
     pub max_steps: u64,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { ways: 8, constant_registers: false, max_steps: 200_000 }
+        DiffConfig {
+            ways: 8,
+            constant_registers: false,
+            backend: StorageBackend::Interned,
+            max_steps: 200_000,
+        }
     }
 }
 
 impl DiffConfig {
     /// The machine configuration every model runs under.
     pub fn machine_config(&self) -> MachineConfig {
-        let mut qat = QatConfig::with_ways(self.ways);
+        let mut qat = QatConfig::with_backend(self.backend, self.ways);
         qat.constant_registers = self.constant_registers;
         MachineConfig { qat, max_steps: self.max_steps }
     }
@@ -127,7 +142,7 @@ pub fn capture(m: &Machine, fault: Option<SimError>) -> Outcome {
         fault,
         data_page: m.mem[page..page + DATA_PAGE_WORDS].to_vec(),
         mem_hash: fnv1a_words(&m.mem),
-        qat_regs: (0..=255u8).map(|q| m.qat.reg(QReg(q)).clone()).collect(),
+        qat_regs: (0..=255u8).map(|q| m.qat.reg(QReg(q))).collect(),
     }
 }
 
@@ -135,48 +150,20 @@ pub fn capture(m: &Machine, fault: Option<SimError>) -> Outcome {
 /// branch-direction coverage.
 pub fn run_functional(words: &[u16], mc: MachineConfig, mut cov: Option<&mut Coverage>) -> Outcome {
     let mut m = Machine::with_image(mc, words);
-    let fault = loop {
-        if m.halted {
-            break None;
+    let fault = m.run_with(&mut |ev| {
+        if let Some(c) = cov.as_deref_mut() {
+            c.note_executed(ev.insn, ev.taken);
         }
-        match m.step() {
-            Ok(ev) => {
-                if let Some(c) = cov.as_deref_mut() {
-                    c.note_executed(ev.insn, ev.taken);
-                }
-            }
-            Err(e) => break Some(e),
-        }
-    };
+    });
     capture(&m, fault)
 }
 
-fn run_multicycle(words: &[u16], mc: MachineConfig) -> Outcome {
-    let mut s = MultiCycleSim::new(Machine::with_image(mc, words));
-    let fault = loop {
-        if s.machine.halted {
-            break None;
-        }
-        match s.step() {
-            Ok(_) => {}
-            Err(e) => break Some(e),
-        }
-    };
-    capture(&s.machine, fault)
-}
-
-fn run_pipelined(words: &[u16], mc: MachineConfig, pc: PipelineConfig) -> Outcome {
-    let mut s = PipelinedSim::new(Machine::with_image(mc, words), pc);
-    let fault = loop {
-        if s.machine.halted {
-            break None;
-        }
-        match s.step() {
-            Ok(_) => {}
-            Err(e) => break Some(e),
-        }
-    };
-    capture(&s.machine, fault)
+/// Run any registry model to halt (or fault) and capture its outcome —
+/// the one bounded run loop every model shares ([`Core::run_with`]).
+pub fn run_model(entry: &ModelEntry, words: &[u16], mc: MachineConfig) -> Outcome {
+    let mut core = entry.build(Machine::with_image(mc, words));
+    let fault = core.run_to_halt();
+    capture(core.machine(), fault)
 }
 
 fn diff_field<T: PartialEq + std::fmt::Debug>(
@@ -233,20 +220,16 @@ pub fn diff_outcomes(model: &'static str, reference: &Outcome, got: &Outcome) ->
         })
 }
 
-/// The pipeline organizations every program is checked under.
-pub fn pipeline_matrix() -> [(&'static str, PipelineConfig); 4] {
-    let cfg = |stages, forwarding| PipelineConfig { stages, forwarding, ..Default::default() };
-    [
-        ("pipeline-4-fw", cfg(StageCount::Four, true)),
-        ("pipeline-4-nofw", cfg(StageCount::Four, false)),
-        ("pipeline-5-fw", cfg(StageCount::Five, true)),
-        ("pipeline-5-nofw", cfg(StageCount::Five, false)),
-    ]
-}
-
 /// Run one encoded program across the full model matrix and compare every
 /// model's final architectural state against the functional reference.
 /// Returns the reference outcome on conformance.
+///
+/// The matrix is registry-driven on both axes: every
+/// [`ModelRole::Timing`] entry of [`crate::engine::model_registry`], then
+/// the functional model rerun on every *other* Qat storage backend from
+/// [`qat_coproc::backend_registry`] that supports `cfg.ways` — so the
+/// hash-consed and RE-compressed register files are checked against each
+/// other on every program.
 pub fn compare_all(
     words: &[u16],
     cfg: &DiffConfig,
@@ -254,25 +237,25 @@ pub fn compare_all(
 ) -> Result<Outcome, Divergence> {
     let mc = cfg.machine_config();
     let reference = run_functional(words, mc, cov);
-    let multi = run_multicycle(words, mc);
-    if let Some(d) = diff_outcomes("multicycle", &reference, &multi) {
-        return Err(d);
-    }
-    for (name, pc) in pipeline_matrix() {
-        let got = run_pipelined(words, mc, pc);
-        if let Some(d) = diff_outcomes(name, &reference, &got) {
+    for entry in crate::engine::model_registry() {
+        if entry.role != ModelRole::Timing {
+            continue;
+        }
+        let got = run_model(entry, words, mc);
+        if let Some(d) = diff_outcomes(entry.name, &reference, &got) {
             return Err(d);
         }
     }
-    // Interned-vs-eager oracle pair: the reference runs with the hash-consed
-    // Qat register file (the default); rerun with interning disabled so the
-    // memoized gate kernels and copy-on-write id plumbing are checked
-    // against eager AoB evaluation on every program.
-    let mut eager_mc = mc;
-    eager_mc.qat.interning = false;
-    let eager = run_functional(words, eager_mc, None);
-    if let Some(d) = diff_outcomes("qat-eager", &reference, &eager) {
-        return Err(d);
+    for be in qat_coproc::backend_registry() {
+        if be.backend == cfg.backend || !be.supports_ways(cfg.ways) {
+            continue;
+        }
+        let mut oracle_mc = mc;
+        oracle_mc.qat.backend = be.backend;
+        let got = run_functional(words, oracle_mc, None);
+        if let Some(d) = diff_outcomes(be.oracle_name, &reference, &got) {
+            return Err(d);
+        }
     }
     Ok(reference)
 }
@@ -336,17 +319,8 @@ impl ForwardingBugSim {
 
 /// Run the buggy model to completion and capture its outcome.
 pub fn run_forwarding_bug(words: &[u16], mc: MachineConfig) -> Outcome {
-    let mut s = ForwardingBugSim::new(Machine::with_image(mc, words));
-    let fault = loop {
-        if s.machine.halted {
-            break None;
-        }
-        match s.step() {
-            Ok(_) => {}
-            Err(e) => break Some(e),
-        }
-    };
-    capture(&s.machine, fault)
+    let entry = crate::engine::model("forwarding-bug").expect("negative control registered");
+    run_model(entry, words, mc)
 }
 
 /// Does the buggy model diverge from the functional reference on this
@@ -396,6 +370,10 @@ pub fn qsim_crosscheck(prog: &[Insn], ways: u32) -> Result<(), String> {
     let mc = MachineConfig { qat: QatConfig::with_ways(ways), max_steps: 1_000_000 };
     let mut m = Machine::with_image(mc, &words);
     m.run().map_err(|e| format!("machine run failed: {e}"))?;
+    // Materialize the compared registers once: `reg()` now returns an
+    // owned Aob (sparse backends expand on demand), so keep it out of the
+    // per-channel loop.
+    let qat_regs: Vec<Aob> = (0..n).map(|q| m.qat.reg(QReg(q as u8))).collect();
 
     for e in 0..(1u64 << ways) {
         let mut st = QState::new(n);
@@ -429,7 +407,7 @@ pub fn qsim_crosscheck(prog: &[Insn], ways: u32) -> Result<(), String> {
             .ok_or_else(|| format!("channel {e}: no dominant basis state"))?;
         for q in 0..n {
             let expect = (basis >> q) & 1 == 1;
-            let got = m.qat.reg(QReg(q as u8)).meas(e);
+            let got = qat_regs[q as usize].meas(e);
             if expect != got {
                 return Err(format!(
                     "channel {e} register @{q}: qsim says {expect}, Qat says {got}"
@@ -447,7 +425,16 @@ pub fn qsim_crosscheck(prog: &[Insn], ways: u32) -> Result<(), String> {
 /// GPR file and every touched AoB register are compared.
 pub fn pbp_crosscheck(prog: &[Insn], ways: u32) -> Result<(), String> {
     let words = crate::proggen::encode_program(prog);
-    let mc = MachineConfig { qat: QatConfig::with_ways(ways), max_steps: 1_000_000 };
+    // Beyond the eager/interned WAYS ceiling the coprocessor side runs on
+    // the RE-compressed backend (the replay below is then an independent
+    // re-derivation over a fresh context, not the same code path).
+    let backend = if qat_coproc::backend_entry(StorageBackend::Interned).supports_ways(ways) {
+        StorageBackend::Interned
+    } else {
+        StorageBackend::SparseRe
+    };
+    let mc =
+        MachineConfig { qat: QatConfig::with_backend(backend, ways), max_steps: 1_000_000 };
     let mut m = Machine::with_image(mc, &words);
     m.run().map_err(|e| format!("machine run failed: {e}"))?;
 
@@ -530,7 +517,7 @@ pub fn pbp_crosscheck(prog: &[Insn], ways: u32) -> Result<(), String> {
         }
         let expect = ctx.to_aob(&re[q]);
         let got = m.qat.reg(QReg(q as u8));
-        if &expect != got {
+        if expect != got {
             return Err(format!("@{q}: PBP RE disagrees with AoB register file"));
         }
     }
@@ -549,6 +536,19 @@ mod tests {
     fn models_agree_on_random_programs() {
         let cfg = DiffConfig::default();
         for seed in 1..=20u64 {
+            let prog = random_program(seed, &ProgGenOptions::default());
+            let words = encode_program(&prog);
+            compare_all(&words, &cfg, None)
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        }
+    }
+
+    #[test]
+    fn models_agree_with_sparse_re_as_the_reference_backend() {
+        // Flip the oracle axis: the reference runs on the RE-compressed
+        // register file, and eager + interned become the backend oracles.
+        let cfg = DiffConfig { backend: StorageBackend::SparseRe, ..Default::default() };
+        for seed in 1..=6u64 {
             let prog = random_program(seed, &ProgGenOptions::default());
             let words = encode_program(&prog);
             compare_all(&words, &cfg, None)

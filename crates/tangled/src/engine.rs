@@ -1,0 +1,393 @@
+//! The unified execution-engine layer: every simulator model behind one
+//! [`Core`] trait, enumerated by a string-keyed [`model_registry`].
+//!
+//! Before this layer existed, `difftest::compare_all`, the `tangled` CLI
+//! and the `qat-fuzz` binary each hand-rolled their own run-to-halt loop
+//! and their own list of models; adding a model meant touching all three.
+//! Now a model is one [`ModelEntry`] in the static table: a name, a
+//! [`ModelRole`], and constructor function pointers. All consumers
+//! enumerate models through [`model_registry`] / [`model`], and the shared
+//! bounded run loop lives in [`Core::run_with`].
+//!
+//! The trait is deliberately thin: `step` is one architectural instruction
+//! (timing models burn however many cycles that takes), the machine
+//! accessors expose architectural state for snapshotting, and
+//! `cycles`/`report`/`timing_trace` surface each model's own statistics
+//! without the caller knowing which concrete model it holds. Architectural
+//! behavior stays with [`Machine::step`]; the dyn dispatch here is one
+//! virtual call per *instruction*, never inside a gate kernel.
+
+use crate::difftest::ForwardingBugSim;
+use crate::machine::{Machine, SimError, StepEvent};
+use crate::multicycle::MultiCycleSim;
+use crate::pipeline::{InsnTiming, PipelineConfig, PipelinedSim, StageCount};
+
+/// One simulator model: a uniform interface over the functional machine,
+/// the timing wrappers, and the negative-control model.
+///
+/// `step` retires one architectural instruction. [`Machine::step`] itself
+/// returns [`SimError::StepLimit`] when the configured budget runs out, so
+/// the default [`Core::run_with`] loop is bounded for every model.
+pub trait Core {
+    /// Registry name of this model (`"functional"`, `"pipeline-4-fw"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The architectural machine (register file, memory, Qat coprocessor).
+    fn machine(&self) -> &Machine;
+
+    /// Mutable access to the architectural machine.
+    fn machine_mut(&mut self) -> &mut Machine;
+
+    /// Execute one instruction.
+    fn step(&mut self) -> Result<StepEvent, SimError>;
+
+    /// Cycle count so far, for models that track timing.
+    fn cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// One-line human-readable statistics summary (the CLI's stats line).
+    fn report(&self) -> String;
+
+    /// Pipeline organization, for models that have one.
+    fn pipeline_config(&self) -> Option<PipelineConfig> {
+        None
+    }
+
+    /// Per-instruction stage-occupancy trace, if recording was requested
+    /// at construction (see [`ModelEntry::build_traced`]).
+    fn timing_trace(&self) -> Option<&[InsnTiming]> {
+        None
+    }
+
+    /// Run to halt (or fault), invoking `on_event` after every retired
+    /// instruction. Returns the fault that ended the run, if any — the
+    /// step budget in [`crate::machine::MachineConfig`] bounds the loop.
+    fn run_with(&mut self, on_event: &mut dyn FnMut(&StepEvent)) -> Option<SimError> {
+        loop {
+            if self.machine().halted {
+                return None;
+            }
+            match self.step() {
+                Ok(ev) => on_event(&ev),
+                Err(e) => return Some(e),
+            }
+        }
+    }
+
+    /// [`Core::run_with`] without an observer.
+    fn run_to_halt(&mut self) -> Option<SimError> {
+        self.run_with(&mut |_| {})
+    }
+}
+
+impl Core for Machine {
+    fn name(&self) -> &'static str {
+        "functional"
+    }
+
+    fn machine(&self) -> &Machine {
+        self
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        self
+    }
+
+    fn step(&mut self) -> Result<StepEvent, SimError> {
+        Machine::step(self)
+    }
+
+    fn report(&self) -> String {
+        format!("functional: {} instructions", self.steps)
+    }
+}
+
+impl Core for MultiCycleSim {
+    fn name(&self) -> &'static str {
+        "multicycle"
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn step(&mut self) -> Result<StepEvent, SimError> {
+        MultiCycleSim::step(self)
+    }
+
+    fn cycles(&self) -> Option<u64> {
+        Some(self.stats.cycles)
+    }
+
+    fn report(&self) -> String {
+        let st = &self.stats;
+        format!(
+            "multi-cycle: {} instructions in {} cycles (CPI {:.3})",
+            st.insns,
+            st.cycles,
+            st.cpi()
+        )
+    }
+}
+
+impl Core for PipelinedSim {
+    fn name(&self) -> &'static str {
+        let cfg = self.config();
+        match (cfg.stages, cfg.forwarding) {
+            (StageCount::Four, true) => "pipeline-4-fw",
+            (StageCount::Four, false) => "pipeline-4-nofw",
+            (StageCount::Five, true) => "pipeline-5-fw",
+            (StageCount::Five, false) => "pipeline-5-nofw",
+        }
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn step(&mut self) -> Result<StepEvent, SimError> {
+        PipelinedSim::step(self)
+    }
+
+    fn cycles(&self) -> Option<u64> {
+        Some(self.stats.cycles)
+    }
+
+    fn report(&self) -> String {
+        let cfg = self.config();
+        let st = &self.stats;
+        format!(
+            "{:?}/fw={}: {} instructions in {} cycles (CPI {:.3}; {} fetch bubbles, {} data stalls, {} control stalls)",
+            cfg.stages, cfg.forwarding, st.insns, st.cycles, st.cpi(),
+            st.fetch_extra, st.data_stalls, st.control_stalls
+        )
+    }
+
+    fn pipeline_config(&self) -> Option<PipelineConfig> {
+        Some(self.config())
+    }
+
+    fn timing_trace(&self) -> Option<&[InsnTiming]> {
+        self.trace.as_deref()
+    }
+}
+
+impl Core for ForwardingBugSim {
+    fn name(&self) -> &'static str {
+        "forwarding-bug"
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn step(&mut self) -> Result<StepEvent, SimError> {
+        ForwardingBugSim::step(self)
+    }
+
+    fn report(&self) -> String {
+        format!(
+            "forwarding-bug (negative control): {} instructions",
+            self.machine.steps
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// What a model is *for* — the differential oracle treats each role
+/// differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelRole {
+    /// The functional reference every other model is compared against.
+    Reference,
+    /// A timing model that must agree with the reference architecturally.
+    Timing,
+    /// A deliberately broken model that must *disagree* (the harness's
+    /// negative control); excluded from conformance sweeps.
+    NegativeControl,
+}
+
+/// Registry row: a named, constructible simulator model.
+pub struct ModelEntry {
+    /// Stable string key (`--model` value, divergence-report label).
+    pub name: &'static str,
+    /// One-line description for `tangled backends` and docs.
+    pub description: &'static str,
+    /// How the differential oracle treats the model.
+    pub role: ModelRole,
+    build: fn(Machine) -> Box<dyn Core>,
+    build_traced: Option<fn(Machine) -> Box<dyn Core>>,
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("name", &self.name)
+            .field("role", &self.role)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelEntry {
+    /// Construct the model around an architectural machine.
+    pub fn build(&self, machine: Machine) -> Box<dyn Core> {
+        (self.build)(machine)
+    }
+
+    /// Construct the model with stage-occupancy tracing enabled; models
+    /// without a trace facility fall back to [`ModelEntry::build`].
+    pub fn build_traced(&self, machine: Machine) -> Box<dyn Core> {
+        match self.build_traced {
+            Some(f) => f(machine),
+            None => self.build(machine),
+        }
+    }
+
+    /// Does [`ModelEntry::build_traced`] actually record a timing trace?
+    pub fn has_trace(&self) -> bool {
+        self.build_traced.is_some()
+    }
+}
+
+fn pipe(stages: StageCount, forwarding: bool) -> PipelineConfig {
+    PipelineConfig { stages, forwarding, ..Default::default() }
+}
+
+macro_rules! pipeline_entry {
+    ($name:literal, $desc:literal, $stages:expr, $fw:expr) => {
+        ModelEntry {
+            name: $name,
+            description: $desc,
+            role: ModelRole::Timing,
+            build: |m| Box::new(PipelinedSim::new(m, pipe($stages, $fw))),
+            build_traced: Some(|m| Box::new(PipelinedSim::with_trace(m, pipe($stages, $fw)))),
+        }
+    };
+}
+
+static MODELS: [ModelEntry; 7] = [
+    ModelEntry {
+        name: "functional",
+        description: "single-cycle functional reference (paper Figure 6)",
+        role: ModelRole::Reference,
+        build: |m| Box::new(m),
+        build_traced: None,
+    },
+    ModelEntry {
+        name: "multicycle",
+        description: "multi-cycle timing wrapper (fetch per word + 3 cycles)",
+        role: ModelRole::Timing,
+        build: |m| Box::new(MultiCycleSim::new(m)),
+        build_traced: None,
+    },
+    pipeline_entry!("pipeline-4-fw", "4-stage pipeline with forwarding", StageCount::Four, true),
+    pipeline_entry!(
+        "pipeline-4-nofw",
+        "4-stage pipeline, interlock-only (no bypass)",
+        StageCount::Four,
+        false
+    ),
+    pipeline_entry!("pipeline-5-fw", "5-stage pipeline with forwarding", StageCount::Five, true),
+    pipeline_entry!(
+        "pipeline-5-nofw",
+        "5-stage pipeline, interlock-only (no bypass)",
+        StageCount::Five,
+        false
+    ),
+    ModelEntry {
+        name: "forwarding-bug",
+        description: "negative control: stale reads after back-to-back writes",
+        role: ModelRole::NegativeControl,
+        build: |m| Box::new(ForwardingBugSim::new(m)),
+        build_traced: None,
+    },
+];
+
+/// Every registered simulator model, reference first.
+pub fn model_registry() -> &'static [ModelEntry] {
+    &MODELS
+}
+
+/// Look up a model by its registry name.
+pub fn model(name: &str) -> Option<&'static ModelEntry> {
+    MODELS.iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::proggen::encode_program;
+    use tangled_isa::{Insn, Reg};
+
+    fn program() -> Vec<u16> {
+        encode_program(&[
+            Insn::Lex { d: Reg::new(1), imm: 21 },
+            Insn::Add { d: Reg::new(1), s: Reg::new(1) },
+            Insn::Sys,
+        ])
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for e in model_registry() {
+            assert!(std::ptr::eq(model(e.name).unwrap(), e), "{}", e.name);
+        }
+        assert_eq!(model_registry().len(), 7);
+        assert!(model("no-such-model").is_none());
+        assert_eq!(model("functional").unwrap().role, ModelRole::Reference);
+        assert_eq!(model("forwarding-bug").unwrap().role, ModelRole::NegativeControl);
+    }
+
+    #[test]
+    fn every_model_runs_the_smoke_program_to_halt() {
+        let words = program();
+        for e in model_registry() {
+            let mut core = e.build(Machine::with_image(MachineConfig::default(), &words));
+            assert_eq!(core.name(), e.name);
+            let fault = core.run_to_halt();
+            assert!(fault.is_none(), "{}: {fault:?}", e.name);
+            assert!(core.machine().halted, "{}", e.name);
+            // The negative control reads the stale (pre-`lex`) $1 = 0 on
+            // the back-to-back add; every honest model doubles the 21.
+            let expect = if e.role == ModelRole::NegativeControl { 0 } else { 42 };
+            assert_eq!(core.machine().regs[1], expect, "{}", e.name);
+            assert!(!core.report().is_empty());
+            if e.role == ModelRole::Timing {
+                assert!(core.cycles().unwrap() >= core.machine().steps);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_build_records_stage_occupancy() {
+        let words = program();
+        let entry = model("pipeline-4-fw").unwrap();
+        assert!(entry.has_trace());
+        let mut core = entry.build_traced(Machine::with_image(MachineConfig::default(), &words));
+        assert!(core.run_to_halt().is_none());
+        let trace = core.timing_trace().expect("trace recorded");
+        assert_eq!(trace.len() as u64, core.machine().steps);
+        assert!(core.pipeline_config().unwrap().forwarding);
+        // Untraced build keeps the trace off.
+        let mut plain = entry.build(Machine::with_image(MachineConfig::default(), &words));
+        assert!(plain.run_to_halt().is_none());
+        assert!(plain.timing_trace().is_none());
+    }
+}

@@ -33,6 +33,12 @@
 //! clock cycle, provided there were no pipeline interlocks" claim.
 
 //!
+//! Every model implements the [`engine::Core`] trait and is enumerated by
+//! the string-keyed [`engine::model_registry`] — the `tangled` CLI, the
+//! `qat-fuzz` binary, and the differential oracle all select models
+//! through that one table (and Qat storage backends through
+//! `qat_coproc::backend_registry`).
+//!
 //! On top of the simulators sits the **differential fuzzing subsystem**:
 //! [`proggen`] generates weighted random programs over the complete ISA,
 //! [`difftest`] runs each one across the whole model matrix (plus `qsim`
@@ -43,6 +49,7 @@
 
 pub mod coverage;
 pub mod difftest;
+pub mod engine;
 pub mod loader;
 pub mod machine;
 pub mod multicycle;
@@ -54,8 +61,10 @@ pub mod trace;
 
 pub use coverage::Coverage;
 pub use difftest::{
-    compare_all, forwarding_bug_diverges, DiffConfig, Divergence, ForwardingBugSim, Outcome,
+    compare_all, forwarding_bug_diverges, run_model, DiffConfig, Divergence, ForwardingBugSim,
+    Outcome,
 };
+pub use engine::{model, model_registry, Core, ModelEntry, ModelRole};
 pub use loader::{VmemError, VmemImage};
 pub use machine::{Machine, MachineConfig, SimError, StepEvent, SysOutput};
 pub use multicycle::{MultiCycleSim, MultiCycleStats};

@@ -286,8 +286,10 @@ impl Emitter<'_> {
     fn emit_qinit(&mut self) {
         let a = self.qdest();
         // Under intern stress the Hadamard pool narrows to two lanes so the
-        // same constant chunks recur across the program.
-        let k_pool = if self.opts.intern_stress { 2 } else { self.opts.ways as u64 };
+        // same constant chunks recur across the program. The `had`
+        // immediate is 4 bits, so lanes 16.. (reachable only through the §5
+        // constant bank) are never emitted even when ways > 16.
+        let k_pool = if self.opts.intern_stress { 2 } else { self.opts.ways.min(16) as u64 };
         match self.rng.below(4) {
             0 | 1 => {
                 let k = self.rng.below(k_pool) as u8;
@@ -548,7 +550,7 @@ pub fn random_qat_only_program(seed: u64, len: usize, ways: u32, nregs: u8) -> V
         match rng.below(14) {
             0 => body.push(Insn::QZero { a }),
             1 => body.push(Insn::QOne { a }),
-            2 | 3 => body.push(Insn::QHad { a, k: rng.below(ways as u64) as u8 }),
+            2 | 3 => body.push(Insn::QHad { a, k: rng.below(ways.min(16) as u64) as u8 }),
             4 => body.push(Insn::QNot { a }),
             5 => body.push(Insn::QAnd { a, b, c }),
             6 => body.push(Insn::QOr { a, b, c }),
@@ -589,7 +591,7 @@ pub fn random_reversible_qat_program(seed: u64, ways: u32, nregs: u8, len: usize
         match rng.below(4) {
             0 => body.push(Insn::QZero { a }),
             1 => body.push(Insn::QOne { a }),
-            _ => body.push(Insn::QHad { a, k: rng.below(ways as u64) as u8 }),
+            _ => body.push(Insn::QHad { a, k: rng.below(ways.min(16) as u64) as u8 }),
         }
     }
     let distinct2 = |rng: &mut XorShift| {

@@ -8,11 +8,16 @@
 //! emits the telemetry exports: a `tangled-metrics/v1` counter snapshot
 //! covering every simulator invocation, and a Chrome `trace_event` JSON
 //! of the 4-stage pipelined run (load it in https://ui.perfetto.dev).
+//!
+//! `--qat-backend eager|interned|sparse-re` selects the Qat register-file
+//! storage backend (with sparse-re the same program also runs at 20-way
+//! entanglement — the §3.3 beyond-WAYS scaling, registers never
+//! materialized).
 
 use tangled_qat::asm::assemble;
 use tangled_qat::gatec::factor::{compile_factoring, FIGURE_10};
 use tangled_qat::gatec::Compiler;
-use tangled_qat::qat::QatConfig;
+use tangled_qat::qat::{QatConfig, StorageBackend};
 use tangled_qat::sim::{
     Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
 };
@@ -22,13 +27,25 @@ use tangled_qat::telemetry::{self, export};
 /// in the metrics file.
 static METER_ENERGY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
-fn machine(words: &[u16]) -> Machine {
+/// Backend selected by `--qat-backend` (raw `u8` of the enum; default
+/// interned).
+static BACKEND: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(1);
+
+fn backend() -> StorageBackend {
+    StorageBackend::ALL[BACKEND.load(std::sync::atomic::Ordering::Relaxed) as usize]
+}
+
+fn machine_at(words: &[u16], ways: u32) -> Machine {
     let qat = QatConfig {
         meter_energy: METER_ENERGY.load(std::sync::atomic::Ordering::Relaxed),
-        ..QatConfig::with_ways(8)
+        ..QatConfig::with_backend(backend(), ways)
     };
     let cfg = MachineConfig { qat, ..Default::default() };
     Machine::with_image(cfg, words)
+}
+
+fn machine(words: &[u16]) -> Machine {
+    machine_at(words, 8)
 }
 
 fn parse_out_args() -> (Option<String>, Option<String>) {
@@ -38,7 +55,16 @@ fn parse_out_args() -> (Option<String>, Option<String>) {
         match flag.as_str() {
             "--metrics-out" => metrics_out = Some(it.next().expect("--metrics-out needs a path")),
             "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
-            other => panic!("unknown argument `{other}` (takes --metrics-out/--trace-out)"),
+            "--qat-backend" => {
+                let b = it.next().expect("--qat-backend needs a value");
+                let b = StorageBackend::parse(&b)
+                    .unwrap_or_else(|| panic!("unknown Qat backend `{b}`"));
+                let idx = StorageBackend::ALL.iter().position(|&x| x == b).unwrap();
+                BACKEND.store(idx as u8, std::sync::atomic::Ordering::Relaxed);
+            }
+            other => panic!(
+                "unknown argument `{other}` (takes --metrics-out/--trace-out/--qat-backend)"
+            ),
         }
     }
     (metrics_out, trace_out)
@@ -67,6 +93,22 @@ fn main() {
     m.run().unwrap();
     println!("functional:  $0 = {}  $1 = {}   (paper comments: ;5 ;3)", m.regs[0], m.regs[1]);
     assert_eq!((m.regs[0], m.regs[1]), (5, 3));
+
+    // The RE-compressed backend scales past the 16-way AoB limit: rerun
+    // the same program at 20-way entanglement without ever materializing
+    // a 2^20-bit vector.
+    if backend() == StorageBackend::SparseRe {
+        let mut wide = machine_at(&img.words, 20);
+        wide.run().unwrap();
+        println!(
+            "sparse-re @ 20 ways: $0 = {}  $1 = {}   ({} materializations)",
+            wide.regs[0],
+            wide.regs[1],
+            wide.qat.materializations()
+        );
+        assert_eq!((wide.regs[0], wide.regs[1]), (m.regs[0], m.regs[1]));
+        assert_eq!(wide.qat.materializations(), 0);
+    }
 
     // Multi-cycle.
     let mut mc = MultiCycleSim::new(machine(&img.words));

@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use tangled_qat::asm;
+use tangled_qat::qat::{self, StorageBackend};
+use tangled_qat::runner;
 use tangled_qat::telemetry::{self, export};
 use tangled_qat::isa::{disassemble, Insn};
 use tangled_qat::sim::difftest::{
@@ -37,6 +39,7 @@ struct Args {
     start_seed: u64,
     len: usize,
     ways: u32,
+    backend: StorageBackend,
     profile: Option<Profile>,
     corpus: PathBuf,
     replay: bool,
@@ -53,6 +56,7 @@ impl Default for Args {
             start_seed: 1,
             len: 60,
             ways: 8,
+            backend: StorageBackend::Interned,
             profile: None,
             corpus: PathBuf::from("fuzz/corpus"),
             replay: true,
@@ -74,6 +78,10 @@ OPTIONS:
   --start-seed S           first seed (default 1)
   --len N                  body instructions per program (default 60)
   --ways W                 Qat entanglement degree (default 8)
+  --qat-backend B          Qat register-file storage backend for the
+                           reference run: eager|interned|sparse-re
+                           (default interned); every other registered
+                           backend supporting W becomes an oracle
   --profile P              balanced|alu|qat|branch|mem (default: round-robin)
   --corpus DIR             reproducer corpus directory (default fuzz/corpus)
   --no-replay              skip replaying the corpus first
@@ -101,6 +109,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--len" => args.len = val("--len")?.parse().map_err(|e| format!("{e}"))?,
             "--ways" => args.ways = val("--ways")?.parse().map_err(|e| format!("{e}"))?,
+            "--qat-backend" => {
+                let b = val("--qat-backend")?;
+                args.backend = StorageBackend::parse(&b)
+                    .ok_or_else(|| format!("unknown Qat backend `{b}`"))?;
+            }
             "--profile" => {
                 let p = val("--profile")?;
                 args.profile =
@@ -123,8 +136,12 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.ways == 0 || args.ways > 16 {
-        return Err("--ways must be 1..=16".into());
+    let be = qat::backend_entry(args.backend);
+    if !be.supports_ways(args.ways) {
+        return Err(format!(
+            "backend `{}` supports --ways {}..={}, got {}",
+            be.backend, be.min_ways, be.max_ways, args.ways
+        ));
     }
     Ok(args)
 }
@@ -196,38 +213,18 @@ fn write_reproducer(dir: &Path, name: &str, prog: &[Insn], header: &[String]) ->
     path
 }
 
-/// Parse `; key value` headers from a corpus file.
-fn corpus_header(text: &str, key: &str, default: u64) -> u64 {
-    text.lines()
-        .filter_map(|l| l.trim().strip_prefix(';'))
-        .filter_map(|l| l.trim().strip_prefix(key))
-        .find_map(|rest| rest.trim().parse().ok())
-        .unwrap_or(default)
-}
-
-/// Replay every `.s` file in the corpus through the oracle.
-fn replay_corpus(dir: &Path) -> Result<usize, String> {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return Ok(0); // no corpus yet
-    };
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "s"))
-        .collect();
-    paths.sort();
+/// Replay every `.s` file in the corpus through the oracle (headers
+/// parsed by the shared [`runner`] helpers, on the campaign's backend).
+fn replay_corpus(dir: &Path, backend: StorageBackend) -> Result<usize, String> {
     let mut ran = 0;
-    for path in paths {
+    for path in runner::corpus_files(dir) {
         if interrupted() {
             break;
         }
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
         let img = asm::assemble(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        let cfg = DiffConfig {
-            ways: corpus_header(&text, "ways", 8) as u32,
-            constant_registers: corpus_header(&text, "constant-registers", 0) != 0,
-            ..Default::default()
-        };
+        let cfg = runner::corpus_diff_config(&text, backend);
         compare_all(&img.words, &cfg, None)
             .map_err(|d| format!("{}: {d}", path.display()))?;
         ran += 1;
@@ -241,6 +238,7 @@ fn injected_bug_run(args: &Args) -> ExitCode {
     let cfg = DiffConfig {
         ways: args.ways,
         constant_registers: args.constant_registers,
+        backend: args.backend,
         ..Default::default()
     };
     let diverges = |p: &[Insn]| {
@@ -311,7 +309,7 @@ fn main() -> ExitCode {
     let mut ran = 0u64;
 
     if args.replay {
-        match replay_corpus(&args.corpus) {
+        match replay_corpus(&args.corpus, args.backend) {
             Ok(n) => println!("corpus: {n} reproducer(s) replayed clean"),
             Err(e) => {
                 eprintln!("corpus replay divergence: {e}");
@@ -330,6 +328,7 @@ fn main() -> ExitCode {
     let cfg = DiffConfig {
         ways: args.ways,
         constant_registers: args.constant_registers,
+        backend: args.backend,
         ..Default::default()
     };
     let reserved = if args.constant_registers { 2 + args.ways as u8 } else { 0 };

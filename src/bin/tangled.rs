@@ -5,7 +5,12 @@
 //! tangled dis  <prog.s>                  assemble then disassemble (listing)
 //! tangled run  <prog.s|img.vmem> [opts]  assemble (or load VMEM) and execute
 //!     --ways N          entanglement degree (default 16)
-//!     --multicycle      use the multi-cycle model
+//!     --model NAME      simulator model from the engine registry
+//!                       (functional, multicycle, pipeline-4-fw, ... —
+//!                       see `tangled backends`)
+//!     --qat-backend B   Qat register-file storage backend
+//!                       (eager | interned | sparse-re)
+//!     --multicycle      shorthand for --model multicycle
 //!     --stages 4|5      pipeline depth (default 4)
 //!     --no-forwarding   disable result bypassing
 //!     --trace           print the stage-occupancy chart
@@ -15,6 +20,8 @@
 //!     --metrics-out F   write tangled-metrics/v1 JSON (implies --telemetry)
 //!     --trace-out F     write Chrome trace_event JSON (implies full tracing;
 //!                       load in chrome://tracing or https://ui.perfetto.dev)
+//! tangled backends                       list registered simulator models
+//!                                        and Qat storage backends
 //! tangled factor <n> [--width W]         compile & run the §4 factoring demo
 //! tangled verilog <n> [--width W]        emit the factoring circuit as Verilog
 //! tangled sat <file.cnf> [--count]       exhaustive DIMACS SAT via the PBP model
@@ -31,24 +38,26 @@
 
 use std::process::ExitCode;
 
-use tangled_qat::asm::{assemble_with, AsmOptions};
 use tangled_qat::gatec::factor::compile_factoring;
 use tangled_qat::gatec::Compiler;
-use tangled_qat::qat::QatConfig;
+use tangled_qat::qat::{self, QatConfig, StorageBackend};
+use tangled_qat::runner;
 use tangled_qat::sim::{
-    trace, Machine, MachineConfig, MultiCycleSim, PipelineConfig, PipelinedSim, StageCount,
+    trace, Machine, MachineConfig, ModelRole, PipelineConfig, PipelinedSim, StageCount,
 };
 use tangled_qat::telemetry::{self, export};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tangled <asm|dis|run> <prog.s> [options]\n       tangled factor <n> [--width W]\n(see `src/bin/tangled.rs` docs for options)"
+        "usage: tangled <asm|dis|run> <prog.s> [options]\n       tangled factor <n> [--width W]\n       tangled backends\n(see `src/bin/tangled.rs` docs for options)"
     );
     ExitCode::from(2)
 }
 
 struct RunOpts {
     ways: u32,
+    model: Option<String>,
+    qat_backend: StorageBackend,
     multicycle: bool,
     stages: StageCount,
     forwarding: bool,
@@ -64,6 +73,8 @@ impl Default for RunOpts {
     fn default() -> Self {
         RunOpts {
             ways: 16,
+            model: None,
+            qat_backend: StorageBackend::Interned,
             multicycle: false,
             stages: StageCount::Four,
             forwarding: true,
@@ -74,6 +85,24 @@ impl Default for RunOpts {
             metrics_out: None,
             trace_out: None,
         }
+    }
+}
+
+impl RunOpts {
+    /// The engine-registry model name this invocation selects: `--model`
+    /// verbatim when given, otherwise the legacy shorthand flags
+    /// (`--multicycle`, `--stages`, `--no-forwarding`) mapped onto their
+    /// registry names.
+    fn model_name(&self) -> String {
+        if let Some(m) = &self.model {
+            return m.clone();
+        }
+        if self.multicycle {
+            return "multicycle".to_string();
+        }
+        let depth = if self.stages == StageCount::Five { 5 } else { 4 };
+        let fw = if self.forwarding { "fw" } else { "nofw" };
+        format!("pipeline-{depth}-{fw}")
     }
 }
 
@@ -88,6 +117,12 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                     .ok_or("--ways needs a value")?
                     .parse()
                     .map_err(|_| "--ways: not a number")?;
+            }
+            "--model" => o.model = Some(it.next().ok_or("--model needs a value")?.clone()),
+            "--qat-backend" => {
+                let b = it.next().ok_or("--qat-backend needs a value")?;
+                o.qat_backend = StorageBackend::parse(b)
+                    .ok_or_else(|| format!("unknown Qat backend `{b}` (see `tangled backends`)"))?;
             }
             "--multicycle" => o.multicycle = true,
             "--stages" => match it.next().map(String::as_str) {
@@ -112,33 +147,27 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
     Ok(o)
 }
 
-fn load_and_assemble(path: &str, macros: bool) -> Result<tangled_qat::asm::Image, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    if path.ends_with(".vmem") {
-        // A pre-assembled memory image.
-        let vm = tangled_qat::sim::VmemImage::parse(&src).map_err(|e| format!("{path}: {e}"))?;
-        let top = vm.words.keys().next_back().copied().unwrap_or(0);
-        let mut words = vec![0u16; top as usize + 1];
-        for (&a, &w) in &vm.words {
-            words[a as usize] = w;
-        }
-        return Ok(tangled_qat::asm::Image { words, ..Default::default() });
-    }
-    let opts = AsmOptions { expand_reversible: macros, ..Default::default() };
-    assemble_with(&src, &opts).map_err(|e| format!("{path}:{e}"))
-}
-
 /// Stage-track names for the Chrome-trace exporter.
-fn pipeline_threads(stages: StageCount) -> Vec<(u32, &'static str)> {
-    if stages == StageCount::Five {
-        vec![(0, "IF"), (1, "ID"), (2, "EX"), (3, "MEM"), (4, "WB")]
-    } else {
-        vec![(0, "IF"), (1, "ID"), (2, "EX"), (4, "WB")]
+fn pipeline_threads(cfg: Option<PipelineConfig>) -> Vec<(u32, &'static str)> {
+    match cfg.map(|c| c.stages) {
+        Some(StageCount::Five) => vec![(0, "IF"), (1, "ID"), (2, "EX"), (3, "MEM"), (4, "WB")],
+        Some(StageCount::Four) => vec![(0, "IF"), (1, "ID"), (2, "EX"), (4, "WB")],
+        None => vec![(0, "insn")],
     }
 }
 
 fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
-    let img = load_and_assemble(path, o.macros)?;
+    let words = runner::load_words(path, o.macros)?;
+    let model_name = o.model_name();
+    let entry = tangled_qat::sim::model(&model_name)
+        .ok_or_else(|| format!("unknown model `{model_name}` (see `tangled backends`)"))?;
+    let be = qat::backend_entry(o.qat_backend);
+    if !be.supports_ways(o.ways) {
+        return Err(format!(
+            "backend `{}` supports ways {}..={}, got {} (see `tangled backends`)",
+            be.backend, be.min_ways, be.max_ways, o.ways
+        ));
+    }
     let mode = if o.trace_out.is_some() {
         telemetry::Mode::Trace
     } else if o.telemetry || o.metrics_out.is_some() {
@@ -152,44 +181,24 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
     // counter registry (metering is off by default for speed).
     let qcfg = QatConfig {
         meter_energy: mode != telemetry::Mode::Off,
-        ..QatConfig::with_ways(o.ways)
+        ..QatConfig::with_backend(o.qat_backend, o.ways)
     };
     let mcfg = MachineConfig { qat: qcfg, ..Default::default() };
-    let machine = Machine::with_image(mcfg, &img.words);
-    let threads = if o.multicycle {
-        vec![(0, "insn")]
+    let machine = Machine::with_image(mcfg, &words);
+    let mut core = if o.trace {
+        entry.build_traced(machine)
     } else {
-        pipeline_threads(o.stages)
+        entry.build(machine)
     };
-
-    let finished = if o.multicycle {
-        let mut sim = MultiCycleSim::new(machine);
-        let st = sim.run().map_err(|e| e.to_string())?;
-        println!(
-            "multi-cycle: {} instructions in {} cycles (CPI {:.3})",
-            st.insns,
-            st.cycles,
-            st.cpi()
-        );
-        sim.machine
-    } else {
-        let cfg = PipelineConfig { stages: o.stages, forwarding: o.forwarding, ..Default::default() };
-        let mut sim = if o.trace {
-            PipelinedSim::with_trace(machine, cfg)
-        } else {
-            PipelinedSim::new(machine, cfg)
-        };
-        let st = sim.run().map_err(|e| e.to_string())?;
-        println!(
-            "{:?}/fw={}: {} instructions in {} cycles (CPI {:.3}; {} fetch bubbles, {} data stalls, {} control stalls)",
-            o.stages, o.forwarding, st.insns, st.cycles, st.cpi(),
-            st.fetch_extra, st.data_stalls, st.control_stalls
-        );
-        if let Some(t) = &sim.trace {
-            print!("{}", trace::render(t, cfg, 120));
-        }
-        sim.machine
-    };
+    if let Some(e) = core.run_to_halt() {
+        return Err(e.to_string());
+    }
+    println!("{}", core.report());
+    if let (Some(t), Some(pcfg)) = (core.timing_trace(), core.pipeline_config()) {
+        print!("{}", trace::render(t, pcfg, 120));
+    }
+    let threads = pipeline_threads(core.pipeline_config());
+    let finished = core.machine();
 
     if mode != telemetry::Mode::Off {
         let snap = telemetry::Snapshot::take().delta(&base);
@@ -235,12 +244,12 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
 }
 
 fn cmd_asm(path: &str, vmem: bool) -> Result<(), String> {
-    let img = load_and_assemble(path, false)?;
+    let words = runner::load_words(path, false)?;
     if vmem {
-        print!("{}", tangled_qat::sim::VmemImage::from_words(&img.words).render());
+        print!("{}", tangled_qat::sim::VmemImage::from_words(&words).render());
         return Ok(());
     }
-    for (i, w) in img.words.iter().enumerate() {
+    for (i, w) in words.iter().enumerate() {
         print!("{w:04x}");
         if i % 8 == 7 {
             println!();
@@ -248,15 +257,40 @@ fn cmd_asm(path: &str, vmem: bool) -> Result<(), String> {
             print!(" ");
         }
     }
-    if img.words.len() % 8 != 0 {
+    if words.len() % 8 != 0 {
         println!();
     }
     Ok(())
 }
 
 fn cmd_dis(path: &str) -> Result<(), String> {
-    let img = load_and_assemble(path, false)?;
-    print!("{}", tangled_qat::isa::disasm::listing(&img.words));
+    let words = runner::load_words(path, false)?;
+    print!("{}", tangled_qat::isa::disasm::listing(&words));
+    Ok(())
+}
+
+/// `tangled backends` — the two registries, one line per entry (the CI
+/// smoke step greps this output).
+fn cmd_backends() -> Result<(), String> {
+    println!("simulator models (--model):");
+    for e in tangled_qat::sim::model_registry() {
+        let role = match e.role {
+            ModelRole::Reference => "reference",
+            ModelRole::Timing => "timing",
+            ModelRole::NegativeControl => "negative-control",
+        };
+        println!("  {:<16} {:<16} {}", e.name, role, e.description);
+    }
+    println!("qat storage backends (--qat-backend):");
+    for b in qat::backend_registry() {
+        println!(
+            "  {:<16} ways {:>2}..={:<2}    {}",
+            b.backend.name(),
+            b.min_ways,
+            b.max_ways,
+            b.description
+        );
+    }
     Ok(())
 }
 
@@ -550,10 +584,10 @@ fn cmd_debug(path: &str, args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    let img = load_and_assemble(path, false)?;
+    let words = runner::load_words(path, false)?;
     let mcfg = MachineConfig { qat: QatConfig::with_ways(ways), ..Default::default() };
     let mut dbg = Debugger {
-        machine: Machine::with_image(mcfg, &img.words),
+        machine: Machine::with_image(mcfg, &words),
         breakpoints: Default::default(),
     };
     dbg.prompt_loop()
@@ -572,6 +606,7 @@ fn main() -> ExitCode {
             Ok(o) => cmd_run(path, o),
             Err(e) => Err(e),
         },
+        ("backends", _) => cmd_backends(),
         ("factor", Some((n, opts))) => cmd_factor(n, opts),
         ("debug", Some((path, opts))) => cmd_debug(path, opts),
         ("verilog", Some((n, opts))) => cmd_verilog(n, opts),

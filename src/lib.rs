@@ -34,6 +34,8 @@
 //! assert_eq!(factors, vec![1, 3, 5, 15]);
 //! ```
 
+pub mod runner;
+
 pub use gatec;
 pub use pbp;
 pub use pbp_aob as aob;

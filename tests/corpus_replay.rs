@@ -5,30 +5,18 @@
 
 use std::path::PathBuf;
 use tangled_qat::asm;
-use tangled_qat::sim::difftest::{compare_all, DiffConfig};
+use tangled_qat::qat::StorageBackend;
+use tangled_qat::runner;
+use tangled_qat::sim::difftest::compare_all;
 use tangled_qat::sim::Machine;
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus")
 }
 
-/// `; key value` headers let a reproducer pin its machine configuration.
-fn header(text: &str, key: &str, default: u64) -> u64 {
-    text.lines()
-        .filter_map(|l| l.trim().strip_prefix(';'))
-        .filter_map(|l| l.trim().strip_prefix(key))
-        .find_map(|rest| rest.trim().parse().ok())
-        .unwrap_or(default)
-}
-
 #[test]
 fn corpus_exists_and_replays_clean() {
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
-        .expect("fuzz/corpus directory is checked in")
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "s"))
-        .collect();
-    paths.sort();
+    let paths = runner::corpus_files(&corpus_dir());
     assert!(
         paths.len() >= 5,
         "expected the seed corpus (>= 5 reproducers), found {}",
@@ -38,11 +26,7 @@ fn corpus_exists_and_replays_clean() {
         let text = std::fs::read_to_string(&path).unwrap();
         let img = asm::assemble(&text)
             .unwrap_or_else(|e| panic!("{}: assembly failed: {e}", path.display()));
-        let cfg = DiffConfig {
-            ways: header(&text, "ways", 8) as u32,
-            constant_registers: header(&text, "constant-registers", 0) != 0,
-            ..Default::default()
-        };
+        let cfg = runner::corpus_diff_config(&text, StorageBackend::Interned);
         if let Err(d) = compare_all(&img.words, &cfg, None) {
             panic!("{}: {d}", path.display());
         }
@@ -56,18 +40,10 @@ fn corpus_exists_and_replays_clean() {
 #[test]
 fn corpus_intern_counters_replay_deterministically() {
     let mut qat_lookups = 0u64;
-    for entry in std::fs::read_dir(corpus_dir()).unwrap() {
-        let path = entry.unwrap().path();
-        if !path.extension().is_some_and(|x| x == "s") {
-            continue;
-        }
+    for path in runner::corpus_files(&corpus_dir()) {
         let text = std::fs::read_to_string(&path).unwrap();
         let img = asm::assemble(&text).unwrap();
-        let cfg = DiffConfig {
-            ways: header(&text, "ways", 8) as u32,
-            constant_registers: header(&text, "constant-registers", 0) != 0,
-            ..Default::default()
-        };
+        let cfg = runner::corpus_diff_config(&text, StorageBackend::Interned);
         let stats_of = || {
             let mut m = Machine::with_image(cfg.machine_config(), &img.words);
             let _ = m.run(); // faulting reproducers still leave valid stats

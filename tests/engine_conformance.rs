@@ -1,0 +1,128 @@
+//! Engine-layer conformance suite: the registered simulator models × the
+//! registered Qat storage backends, over the checked-in reproducer corpus
+//! and the paper's factoring demo.
+//!
+//! [`compare_all`] already sweeps every `ModelRole::Timing` entry of the
+//! model registry plus every other backend as an oracle; this suite runs
+//! that sweep once per *primary* backend and then pins the resulting
+//! reference outcomes equal across backends — so a divergence between
+//! storage representations is caught even if it is self-consistent within
+//! one backend's model matrix.
+
+use std::path::{Path, PathBuf};
+
+use tangled_qat::asm;
+use tangled_qat::qat::{self, QatConfig, StorageBackend};
+use tangled_qat::runner;
+use tangled_qat::sim::difftest::{capture, compare_all};
+use tangled_qat::sim::{model_registry, Machine, MachineConfig, ModelRole, Outcome};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus")
+}
+
+#[test]
+fn registry_matrix_agrees_on_every_corpus_reproducer() {
+    let files = runner::corpus_files(&corpus_dir());
+    assert!(files.len() >= 5, "seed corpus expected, found {}", files.len());
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let img = asm::assemble(&text)
+            .unwrap_or_else(|e| panic!("{}: assembly failed: {e}", path.display()));
+        let mut outcomes: Vec<(StorageBackend, Outcome)> = Vec::new();
+        for be in qat::backend_registry() {
+            let cfg = runner::corpus_diff_config(&text, be.backend);
+            if !be.supports_ways(cfg.ways) {
+                continue;
+            }
+            let out = compare_all(&img.words, &cfg, None)
+                .unwrap_or_else(|d| panic!("{} on {}: {d}", path.display(), be.backend));
+            outcomes.push((be.backend, out));
+        }
+        assert!(outcomes.len() >= 2, "{}: not enough backends ran", path.display());
+        for pair in outcomes.windows(2) {
+            assert_eq!(
+                pair[0].1,
+                pair[1].1,
+                "{}: outcome differs between {} and {}",
+                path.display(),
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+}
+
+/// The registry is the single source of truth: every entry resolves by
+/// name, and the conformance matrix above exercised every timing model
+/// (via `compare_all`) and every backend. Pin the expected tables here so
+/// a silently dropped entry fails loudly.
+#[test]
+fn registries_are_complete() {
+    let models: Vec<&str> = model_registry().iter().map(|e| e.name).collect();
+    assert_eq!(
+        models,
+        [
+            "functional",
+            "multicycle",
+            "pipeline-4-fw",
+            "pipeline-4-nofw",
+            "pipeline-5-fw",
+            "pipeline-5-nofw",
+            "forwarding-bug"
+        ]
+    );
+    assert_eq!(
+        model_registry().iter().filter(|e| e.role == ModelRole::Timing).count(),
+        5
+    );
+    let backends: Vec<&str> = qat::backend_registry().iter().map(|b| b.backend.name()).collect();
+    assert_eq!(backends, ["eager", "interned", "sparse-re"]);
+}
+
+fn factor15_words() -> Vec<u16> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/asm/factor15.s");
+    runner::load_words(path.to_str().unwrap(), false).expect("factoring demo loads")
+}
+
+/// §3.3: the RE-compressed register file runs the factoring demo's full
+/// gate sequence at 20-way entanglement without ever materializing a
+/// 2^20-bit vector, and agrees with eager/interned at ways <= 16.
+#[test]
+fn factoring_demo_runs_at_20_ways_on_sparse_re() {
+    let words = factor15_words();
+    let mut machines = Vec::new();
+    for (backend, ways) in [
+        (StorageBackend::Eager, 8u32),
+        (StorageBackend::Interned, 8),
+        (StorageBackend::SparseRe, 20),
+    ] {
+        let mc = MachineConfig {
+            qat: QatConfig::with_backend(backend, ways),
+            ..Default::default()
+        };
+        let mut m = Machine::with_image(mc, &words);
+        m.run().unwrap_or_else(|e| panic!("{backend} at {ways} ways: {e}"));
+        // Figure 10's result, reported through `sys`: the factors of 15.
+        let printed: Vec<String> = m.output.iter().map(|r| r.to_string()).collect();
+        assert_eq!(printed.join(" "), "5 3", "{backend} at {ways} ways");
+        machines.push(m);
+    }
+    let sparse = machines.last().unwrap();
+    // The whole run stayed in RE form: the coprocessor never expanded a
+    // register (the meas/next/pop datapath walks runs directly).
+    assert_eq!(sparse.qat.materializations(), 0, "sparse-re run materialized");
+    // The program's Hadamard lanes are all < 8, so every state is periodic
+    // in the low 256 channels: the 20-way predicate register agrees with
+    // the 8-way eager baseline channel for channel.
+    let eager = &machines[0];
+    for e in 0..256u64 {
+        assert_eq!(
+            eager.qat.storage().meas(80, e),
+            sparse.qat.storage().meas(80, e),
+            "@80 channel {e}"
+        );
+    }
+    // Eager@8 and interned@8 reach identical full snapshots.
+    assert_eq!(capture(&machines[0], None), capture(&machines[1], None));
+}

@@ -181,9 +181,9 @@ fn table2_br_jump_jumpf_jumpt() {
 fn table3_initializers_and_not() {
     let m = run("one @5\nzero @6\nhad @7,2\nnot @7\nsys\n");
     use tangled_qat::aob::Aob;
-    assert_eq!(*m.qat.reg(QReg(5)), Aob::ones(8));
-    assert_eq!(*m.qat.reg(QReg(6)), Aob::zeros(8));
-    assert_eq!(*m.qat.reg(QReg(7)), Aob::hadamard(8, 2).not_of());
+    assert_eq!(m.qat.reg(QReg(5)), Aob::ones(8));
+    assert_eq!(m.qat.reg(QReg(6)), Aob::zeros(8));
+    assert_eq!(m.qat.reg(QReg(7)), Aob::hadamard(8, 2).not_of());
 }
 
 #[test]
@@ -191,9 +191,9 @@ fn table3_and_or_xor() {
     use tangled_qat::aob::Aob;
     let m = run("had @0,1\nhad @1,4\nand @2,@0,@1\nor @3,@0,@1\nxor @4,@0,@1\nsys\n");
     let (a, b) = (Aob::hadamard(8, 1), Aob::hadamard(8, 4));
-    assert_eq!(*m.qat.reg(QReg(2)), Aob::and_of(&a, &b));
-    assert_eq!(*m.qat.reg(QReg(3)), Aob::or_of(&a, &b));
-    assert_eq!(*m.qat.reg(QReg(4)), Aob::xor_of(&a, &b));
+    assert_eq!(m.qat.reg(QReg(2)), Aob::and_of(&a, &b));
+    assert_eq!(m.qat.reg(QReg(3)), Aob::or_of(&a, &b));
+    assert_eq!(m.qat.reg(QReg(4)), Aob::xor_of(&a, &b));
 }
 
 #[test]
@@ -205,22 +205,22 @@ fn table3_cnot_ccnot() {
     let h4 = Aob::hadamard(8, 4);
     let h6 = Aob::hadamard(8, 6);
     let a0 = Aob::xor_of(&h1, &h4);
-    assert_eq!(*m.qat.reg(QReg(0)), a0);
-    assert_eq!(*m.qat.reg(QReg(1)), Aob::xor_of(&h4, &Aob::and_of(&h6, &a0)));
+    assert_eq!(m.qat.reg(QReg(0)), a0);
+    assert_eq!(m.qat.reg(QReg(1)), Aob::xor_of(&h4, &Aob::and_of(&h6, &a0)));
 }
 
 #[test]
 fn table3_swap_cswap() {
     use tangled_qat::aob::Aob;
     let m = run("had @0,2\none @1\nswap @0,@1\nsys\n");
-    assert_eq!(*m.qat.reg(QReg(0)), Aob::ones(8));
-    assert_eq!(*m.qat.reg(QReg(1)), Aob::hadamard(8, 2));
+    assert_eq!(m.qat.reg(QReg(0)), Aob::ones(8));
+    assert_eq!(m.qat.reg(QReg(1)), Aob::hadamard(8, 2));
     // cswap: "where (@c) swap(@a,@b)".
     let m = run("had @0,2\none @1\nhad @2,0\ncswap @0,@1,@2\nsys\n");
     let (mut ea, mut eb) = (Aob::hadamard(8, 2), Aob::ones(8));
     Aob::cswap(&mut ea, &mut eb, &Aob::hadamard(8, 0));
-    assert_eq!(*m.qat.reg(QReg(0)), ea);
-    assert_eq!(*m.qat.reg(QReg(1)), eb);
+    assert_eq!(m.qat.reg(QReg(0)), ea);
+    assert_eq!(m.qat.reg(QReg(1)), eb);
 }
 
 #[test]
@@ -255,6 +255,6 @@ fn qat_registers_count_and_isolation() {
     let m = run("lex $1,99\none @0\none @255\nhad @128,5\nsys\n");
     assert_eq!(m.regs[1], 99);
     use tangled_qat::aob::Aob;
-    assert_eq!(*m.qat.reg(QReg(255)), Aob::ones(8));
-    assert_eq!(*m.qat.reg(QReg(128)), Aob::hadamard(8, 5));
+    assert_eq!(m.qat.reg(QReg(255)), Aob::ones(8));
+    assert_eq!(m.qat.reg(QReg(128)), Aob::hadamard(8, 5));
 }

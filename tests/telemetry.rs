@@ -69,6 +69,7 @@ fn metrics_json_matches_golden_schema() {
         "qat.gate.qhad",
         "qat.gate.qand",
         "qat.kernel.interned",
+        "qat.backend.interned.gates",
         "intern.hits",
         "intern.misses",
         "energy.toggles",
@@ -84,6 +85,58 @@ fn metrics_json_matches_golden_schema() {
     for key in ["tangled.insns", "qat.gate.qhad", "energy.toggles"] {
         assert!(counters[key].as_u64().unwrap() > 0, "`{key}` is zero");
     }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The per-backend counter namespace: a sparse-re run lands its gates in
+/// `qat.backend.sparse_re.*` / `qat.kernel.sparse_re`, leaves the interned
+/// kernels untouched, and never materializes a full vector (the CLI run
+/// path only uses the meas/next/pop datapath).
+#[test]
+fn sparse_re_backend_exports_its_namespace() {
+    let path = out_path("sparse-metrics.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_tangled"))
+        .args([
+            "run",
+            &asm_path("factor15.s"),
+            "--ways",
+            "20",
+            "--qat-backend",
+            "sparse-re",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "tangled run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = Json::parse(&text).expect("metrics.json parses");
+    let counters = match &doc["counters"] {
+        Json::Obj(m) => m,
+        other => panic!("counters is not an object: {other:?}"),
+    };
+    for key in ["qat.backend.sparse_re.gates", "qat.kernel.sparse_re"] {
+        assert!(
+            counters.get(key).and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "`{key}` missing or zero; got keys {:?}",
+            counters.keys().collect::<Vec<_>>()
+        );
+    }
+    for key in ["qat.kernel.interned", "qat.backend.interned.gates"] {
+        assert!(
+            counters.get(key).and_then(|v| v.as_u64()).unwrap_or(0) == 0,
+            "`{key}` counted on a sparse-re run"
+        );
+    }
+    assert!(
+        counters.get("qat.backend.sparse_re.materialize").and_then(|v| v.as_u64()).unwrap_or(0)
+            == 0,
+        "sparse-re CLI run materialized a full vector"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
