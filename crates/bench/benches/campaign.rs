@@ -1,0 +1,152 @@
+//! Campaign throughput: differential-oracle programs/second through the
+//! `tangled-serve` work-stealing pool at 1, N/2, and N workers (N = the
+//! host's available parallelism), against a no-pool serial baseline.
+//!
+//! Two properties are gated by `--check`:
+//!
+//! * **Pool overhead** (always): one pooled worker must stay within 2.5x
+//!   of the serial loop — queueing, scoped telemetry capture, and result
+//!   routing must not eat the win parallelism buys.
+//! * **Scaling** (only when the host reports >= 2 hardware threads): N
+//!   workers must clear 1.5x the single-worker throughput. On a 1-CPU
+//!   host this gate is skipped and recorded as such in the artifact —
+//!   the numbers are measured honestly, not simulated.
+//!
+//! Criterion's shim cannot expose measured durations, so this is a plain
+//! `main` with manual `Instant` timing, emitting `BENCH_campaign.json`
+//! at the repository root via the serde-free JSON writer.
+//!
+//! Flags (after `--`): `--quick` shrinks the workload for CI smoke runs,
+//! `--check` enforces the gates above, `--out PATH` overrides the
+//! artifact path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use tangled_bench::json::Json;
+use tangled_serve::{JobKind, JobSpec, Pool, ServeConfig};
+use tangled_sim::difftest::{compare_all, DiffConfig};
+use tangled_sim::proggen::{encode_program, random_program, ProgGenOptions};
+
+/// The fixed program set every configuration runs: deterministic seeds so
+/// serial and pooled runs execute byte-identical work.
+fn programs(count: u64, len: usize) -> Vec<Vec<u16>> {
+    let opts = ProgGenOptions { len, ..Default::default() };
+    (1..=count).map(|seed| encode_program(&random_program(seed, &opts))).collect()
+}
+
+/// Serial baseline: the plain loop a client would write without the pool.
+fn time_serial(progs: &[Vec<u16>], cfg: &DiffConfig) -> f64 {
+    let t0 = Instant::now();
+    for words in progs {
+        black_box(compare_all(words, cfg, None).expect("bench programs are conformant"));
+    }
+    t0.elapsed().as_nanos() as f64
+}
+
+/// Pooled run: submit everything, drain everything.
+fn time_pooled(progs: &[Vec<u16>], cfg: &DiffConfig, workers: usize) -> f64 {
+    let pool = Pool::new(ServeConfig {
+        workers,
+        queue_cap: progs.len().max(16),
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    for words in progs {
+        pool.submit(JobSpec::new(JobKind::Differential { words: words.clone() }, *cfg))
+            .expect("pool accepts while open");
+    }
+    let results = pool.drain();
+    let elapsed = t0.elapsed().as_nanos() as f64;
+    assert_eq!(results.len(), progs.len());
+    for r in &results {
+        let out = r.result.as_ref().expect("no job errors");
+        assert!(out.findings.is_empty(), "bench program diverged: {:?}", out.findings);
+    }
+    elapsed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json").to_string()
+        });
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (count, len, reps) = if quick { (60, 30, 2) } else { (400, 40, 3) };
+    let progs = programs(count, len);
+    let cfg = DiffConfig::default();
+
+    let mut worker_counts = vec![1usize, (hardware_threads / 2).max(1), hardware_threads];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    let serial_ns = (0..reps).map(|_| time_serial(&progs, &cfg)).fold(f64::INFINITY, f64::min);
+    let serial_pps = count as f64 / (serial_ns / 1e9);
+    eprintln!("serial: {count} programs in {:.1} ms ({serial_pps:.0} programs/s)", serial_ns / 1e6);
+
+    let mut rows = Vec::new();
+    let mut pps_by_workers = Vec::new();
+    for &w in &worker_counts {
+        let ns = (0..reps).map(|_| time_pooled(&progs, &cfg, w)).fold(f64::INFINITY, f64::min);
+        let pps = count as f64 / (ns / 1e9);
+        let speedup_vs_1 = pps_by_workers.first().map_or(1.0, |&(_, first)| pps / first);
+        eprintln!(
+            "pool x{w}: {count} programs in {:.1} ms ({pps:.0} programs/s, {speedup_vs_1:.2}x vs 1 worker)",
+            ns / 1e6
+        );
+        pps_by_workers.push((w, pps));
+        rows.push(Json::obj([
+            ("workers", w.into()),
+            ("elapsed_ns", ns.into()),
+            ("programs_per_sec", pps.into()),
+            ("speedup_vs_1_worker", speedup_vs_1.into()),
+        ]));
+    }
+
+    let (_, pooled1_pps) = pps_by_workers[0];
+    let overhead = serial_pps / pooled1_pps.max(1e-9);
+    let &(max_workers, max_pps) = pps_by_workers.last().unwrap();
+    let scaling = max_pps / pooled1_pps.max(1e-9);
+    let scaling_gated = hardware_threads >= 2;
+    eprintln!(
+        "1-worker pool overhead {overhead:.2}x vs serial; x{max_workers} scaling {scaling:.2}x \
+         ({} hardware thread(s){})",
+        hardware_threads,
+        if scaling_gated { "" } else { "; scaling gate skipped" }
+    );
+
+    let doc = Json::obj([
+        ("quick", Json::Bool(quick)),
+        ("hardware_threads", hardware_threads.into()),
+        ("programs", count.into()),
+        ("program_len", u64::try_from(len).unwrap().into()),
+        ("serial_ns", serial_ns.into()),
+        ("serial_programs_per_sec", serial_pps.into()),
+        ("pool_overhead_vs_serial", overhead.into()),
+        ("scaling_gate_active", Json::Bool(scaling_gated)),
+        ("pool", Json::Arr(rows)),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
+    eprintln!("wrote {out}");
+
+    if check {
+        if overhead > 2.5 {
+            eprintln!("CHECK FAILED: 1-worker pool {overhead:.2}x slower than serial (limit 2.5x)");
+            std::process::exit(1);
+        }
+        if scaling_gated && scaling < 1.5 {
+            eprintln!(
+                "CHECK FAILED: {max_workers}-worker scaling {scaling:.2}x < 1.5x on a \
+                 {hardware_threads}-thread host"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The typed job API: what a client submits and what comes back.
+//!
+//! A [`JobSpec`] is self-contained — encoded words or a generator seed
+//! plus a [`DiffConfig`] — so any worker can execute it on a fresh
+//! [`Machine`](tangled_sim::Machine) built from the engine and storage
+//! registries. Execution is deterministic: the same spec yields the same
+//! [`JobResult`] payload whichever worker runs it and however many
+//! workers the pool has.
+
+use tangled_isa::Insn;
+use tangled_sim::difftest::{
+    compare_all, pbp_crosscheck, qsim_crosscheck, run_model, DiffConfig, Outcome,
+};
+use tangled_sim::engine::ModelEntry;
+use tangled_sim::proggen::{
+    encode_program, random_program, random_qat_only_program, random_reversible_qat_program,
+    ProgGenOptions, Profile,
+};
+use tangled_sim::{shrink, Coverage};
+
+/// How to resolve a [`JobKind::Run`] model name to a registry entry.
+///
+/// Defaults to [`tangled_sim::engine::model`]; tests swap in resolvers
+/// that return synthetic entries (see `ModelEntry::custom`) to inject
+/// misbehaving cores through the same code path production uses.
+pub type ModelResolver = fn(&str) -> Option<&'static ModelEntry>;
+
+/// What a job does.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Run one encoded program on one named registry model.
+    Run {
+        /// Encoded instruction words (the assembled image).
+        words: Vec<u16>,
+        /// Registry name (`"functional"`, `"pipeline-4-fw"`, …).
+        model: String,
+    },
+    /// Run one encoded program through the full differential oracle.
+    Differential {
+        /// Encoded instruction words.
+        words: Vec<u16>,
+    },
+    /// Generate a random program from a seed and fuzz it through the
+    /// oracle — one iteration of a `qat-fuzz` campaign.
+    Generate {
+        /// Generator seed.
+        seed: u64,
+        /// Instruction-mix profile; `None` round-robins on the seed.
+        profile: Option<Profile>,
+        /// Body length for the generated program.
+        len: usize,
+        /// Also run the qsim state-vector and PBP word-level
+        /// cross-checks (the fuzzer's `--cross-every` work).
+        crosscheck: bool,
+    },
+}
+
+/// One unit of work: a kind plus the oracle configuration it runs under.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// What to execute.
+    pub kind: JobKind,
+    /// Machine/oracle configuration (ways, backend, step budget, …).
+    pub cfg: DiffConfig,
+    /// Free-form client label, echoed in the result.
+    pub label: String,
+}
+
+impl JobSpec {
+    /// A job with an empty label.
+    pub fn new(kind: JobKind, cfg: DiffConfig) -> JobSpec {
+        JobSpec { kind, cfg, label: String::new() }
+    }
+}
+
+/// Why a finding was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A model disagreed with the functional reference.
+    Divergence,
+    /// The Qat register file disagreed with the `qsim` state-vector
+    /// baseline.
+    QsimCrossCheck,
+    /// The Qat register file disagreed with the word-level PBP model.
+    PbpCrossCheck,
+}
+
+impl FindingKind {
+    /// Stable lowercase tag (corpus file-name prefix, summary label).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FindingKind::Divergence => "div",
+            FindingKind::QsimCrossCheck => "qsim",
+            FindingKind::PbpCrossCheck => "pbp",
+        }
+    }
+}
+
+/// One conformance violation discovered by a job, carrying a minimized
+/// reproducer program so the client can write a corpus entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which oracle flagged it.
+    pub kind: FindingKind,
+    /// Human-readable divergence description.
+    pub detail: String,
+    /// Reproducer (shrunk for divergences; verbatim for cross-checks).
+    pub program: Vec<Insn>,
+    /// Generator seed behind the reproducer.
+    pub seed: u64,
+}
+
+/// Successful job payload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobOutput {
+    /// Final architectural state (reference outcome for differential and
+    /// generate jobs). `None` when a generate job diverged — there is no
+    /// agreed-upon outcome to report, only [`JobOutput::findings`].
+    pub outcome: Option<Outcome>,
+    /// Model statistics line ([`Core::report`](tangled_sim::Core::report))
+    /// for run jobs; empty otherwise.
+    pub report: String,
+    /// Conformance violations discovered (empty on a clean run).
+    pub findings: Vec<Finding>,
+    /// Opcode/branch coverage recorded by generate jobs.
+    pub coverage: Option<Coverage>,
+}
+
+/// Typed per-job failure. A failed job never takes the pool down — the
+/// error is the job's result and every other job proceeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// [`JobKind::Run`] named a model the resolver does not know.
+    UnknownModel(String),
+    /// The job panicked on its worker; the payload message is preserved.
+    Panic(String),
+    /// The job was discarded by [`Pool::discard_queued`](crate::Pool::discard_queued)
+    /// or a shutdown before any worker picked it up.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            JobError::Panic(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Cancelled => write!(f, "job cancelled"),
+        }
+    }
+}
+
+/// A completed job: identity, provenance, metrics, and payload.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Submission-order id (monotonic per pool).
+    pub id: u64,
+    /// The client label from the spec.
+    pub label: String,
+    /// Index of the worker that executed (or cancelled) the job.
+    pub worker: usize,
+    /// Telemetry recorded by *this job alone* — captured with
+    /// [`tangled_telemetry::scoped`], so concurrent jobs on other
+    /// workers never bleed in. Merge across jobs with
+    /// [`tangled_telemetry::Snapshot::merge_from`].
+    pub metrics: tangled_telemetry::Snapshot,
+    /// Payload or typed failure.
+    pub result: Result<JobOutput, JobError>,
+}
+
+/// Generator options matching one campaign iteration of `qat-fuzz`.
+fn gen_options(seed: u64, profile: Option<Profile>, len: usize, cfg: &DiffConfig) -> ProgGenOptions {
+    let profiles = Profile::all();
+    ProgGenOptions {
+        len,
+        ways: cfg.ways,
+        profile: profile.unwrap_or_else(|| profiles[(seed % profiles.len() as u64) as usize]),
+        qreg_floor: if cfg.constant_registers { 2 + cfg.ways as u8 } else { 0 },
+        allow_qat_faults: cfg.constant_registers,
+        ..Default::default()
+    }
+}
+
+/// Execute one spec to completion. Pure apart from telemetry counters:
+/// no filesystem, no globals — corpus writing stays with the client.
+pub(crate) fn execute(spec: &JobSpec, resolve: ModelResolver) -> Result<JobOutput, JobError> {
+    match &spec.kind {
+        JobKind::Run { words, model } => {
+            let entry = resolve(model).ok_or_else(|| JobError::UnknownModel(model.clone()))?;
+            let mut core = entry.build(tangled_sim::Machine::with_image(
+                spec.cfg.machine_config(),
+                words,
+            ));
+            let fault = core.run_to_halt();
+            let report = core.report();
+            let outcome = tangled_sim::difftest::capture(core.machine(), fault);
+            Ok(JobOutput { outcome: Some(outcome), report, ..Default::default() })
+        }
+        JobKind::Differential { words } => {
+            let mut cov = Coverage::new();
+            match compare_all(words, &spec.cfg, Some(&mut cov)) {
+                Ok(outcome) => Ok(JobOutput {
+                    outcome: Some(outcome),
+                    coverage: Some(cov),
+                    ..Default::default()
+                }),
+                Err(d) => Ok(JobOutput {
+                    findings: vec![Finding {
+                        kind: FindingKind::Divergence,
+                        detail: d.to_string(),
+                        program: Vec::new(),
+                        seed: 0,
+                    }],
+                    coverage: Some(cov),
+                    ..Default::default()
+                }),
+            }
+        }
+        JobKind::Generate { seed, profile, len, crosscheck } => {
+            let seed = *seed;
+            let cfg = spec.cfg;
+            let mut cov = Coverage::new();
+            let mut findings = Vec::new();
+            let opts = gen_options(seed, *profile, *len, &cfg);
+            let prog = random_program(seed, &opts);
+            cov.note_generated(&prog);
+            let words = encode_program(&prog);
+            let outcome = match compare_all(&words, &cfg, Some(&mut cov)) {
+                Ok(outcome) => Some(outcome),
+                Err(d) => {
+                    // Minimize on the worker: shrinking is deterministic,
+                    // so campaigns stay reproducible across pool sizes,
+                    // and the (expensive) re-runs parallelize with the
+                    // rest of the campaign.
+                    let small =
+                        shrink(&prog, |p| compare_all(&encode_program(p), &cfg, None).is_err());
+                    findings.push(Finding {
+                        kind: FindingKind::Divergence,
+                        detail: d.to_string(),
+                        program: small,
+                        seed,
+                    });
+                    None
+                }
+            };
+            if *crosscheck {
+                let rev = random_reversible_qat_program(seed, cfg.ways.min(4), 6, 25);
+                if let Err(e) = qsim_crosscheck(&rev, cfg.ways.min(4)) {
+                    findings.push(Finding {
+                        kind: FindingKind::QsimCrossCheck,
+                        detail: e,
+                        program: rev,
+                        seed,
+                    });
+                }
+                let ways = cfg.ways.max(6); // the RE layer needs >= one chunk
+                let qat_only = random_qat_only_program(seed, 40, ways, 8);
+                if let Err(e) = pbp_crosscheck(&qat_only, ways) {
+                    findings.push(Finding {
+                        kind: FindingKind::PbpCrossCheck,
+                        detail: e,
+                        program: qat_only,
+                        seed,
+                    });
+                }
+            }
+            Ok(JobOutput { outcome, report: String::new(), findings, coverage: Some(cov) })
+        }
+    }
+}
+
+/// Convenience used by both the pool's run-job path and tests: execute a
+/// run job directly (no pool) — the CLI's `serve --model` single-shot.
+pub fn run_model_once(words: &[u16], model: &str, cfg: &DiffConfig) -> Option<Outcome> {
+    tangled_sim::engine::model(model).map(|e| run_model(e, words, cfg.machine_config()))
+}

@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+//! # tangled-serve — the simulator job-queue service layer
+//!
+//! Turns the one-shot simulators into a throughput machine: clients
+//! submit typed jobs — an assembled program for one model, a program for
+//! the full differential oracle, or a proggen seed to fuzz — and a
+//! work-stealing pool of worker threads executes them on per-job
+//! [`Machine`](tangled_sim::Machine)s built from the engine and Qat
+//! storage registries, streaming back [`JobResult`]s.
+//!
+//! ```
+//! use tangled_serve::{JobKind, JobSpec, Pool, ServeConfig};
+//! use tangled_sim::difftest::DiffConfig;
+//!
+//! let pool = Pool::new(ServeConfig { workers: 2, ..Default::default() });
+//! let words = tangled_asm::assemble("lex $1,21\nadd $1,$1\nsys\n").unwrap().words;
+//! for _ in 0..4 {
+//!     pool.submit(JobSpec::new(
+//!         JobKind::Differential { words: words.clone() },
+//!         DiffConfig::default(),
+//!     ))
+//!     .unwrap();
+//! }
+//! let results = pool.drain();
+//! assert_eq!(results.len(), 4);
+//! for r in &results {
+//!     let out = r.result.as_ref().unwrap().outcome.as_ref().unwrap();
+//!     assert_eq!(out.regs[1], 42);
+//! }
+//! ```
+//!
+//! ## Queue semantics
+//!
+//! `submit` applies back-pressure by blocking at `queue_cap` accepted-
+//! but-unfinished jobs; `try_submit` returns [`SubmitError::Full`]
+//! instead so interactive producers (the fuzzer's SIGINT-aware campaign
+//! loop) can interleave submission with result collection. Every
+//! accepted job yields exactly one result: worker panics become
+//! [`JobError::Panic`] on that job alone, and [`Pool::discard_queued`]
+//! completes not-yet-started jobs as [`JobError::Cancelled`] rather
+//! than silently dropping them.
+//!
+//! ## Determinism
+//!
+//! Job execution touches no shared mutable state — each job builds its
+//! own machine, and telemetry is captured per job with
+//! [`tangled_telemetry::scoped`] — so a job set produces identical
+//! per-job payloads at any worker count, and the merged metrics
+//! snapshot ([`tangled_telemetry::Snapshot::merge_from`]) is invariant
+//! under result arrival order. `tests/serve_determinism.rs` pins both
+//! properties.
+
+mod job;
+mod pool;
+
+pub use job::{
+    Finding, FindingKind, JobError, JobKind, JobOutput, JobResult, JobSpec, ModelResolver,
+    run_model_once,
+};
+pub use pool::{Pool, ServeConfig, SubmitError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tangled_sim::difftest::DiffConfig;
+
+    fn add_prog() -> Vec<u16> {
+        tangled_asm::assemble("lex $1,21\nadd $1,$1\nsys\n").unwrap().words
+    }
+
+    fn diff_job(words: Vec<u16>) -> JobSpec {
+        JobSpec::new(JobKind::Differential { words }, DiffConfig::default())
+    }
+
+    #[test]
+    fn run_job_executes_named_model() {
+        let pool = Pool::new(ServeConfig::default());
+        let id = pool
+            .submit(JobSpec {
+                kind: JobKind::Run { words: add_prog(), model: "pipeline-4-fw".into() },
+                cfg: DiffConfig::default(),
+                label: "smoke".into(),
+            })
+            .unwrap();
+        let r = pool.recv_timeout(Duration::from_secs(30)).expect("result");
+        assert_eq!(r.id, id);
+        assert_eq!(r.label, "smoke");
+        let out = r.result.unwrap();
+        assert!(out.report.contains("cycles"), "{}", out.report);
+        assert_eq!(out.outcome.unwrap().regs[1], 42);
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error_not_a_crash() {
+        let pool = Pool::new(ServeConfig::default());
+        pool.submit(JobSpec::new(
+            JobKind::Run { words: add_prog(), model: "no-such-model".into() },
+            DiffConfig::default(),
+        ))
+        .unwrap();
+        let r = pool.recv_timeout(Duration::from_secs(30)).expect("result");
+        assert_eq!(r.result.unwrap_err(), JobError::UnknownModel("no-such-model".into()));
+        // The pool is still alive for the next job.
+        pool.submit(diff_job(add_prog())).unwrap();
+        assert!(pool.drain().iter().all(|r| r.id <= 1));
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure_at_queue_cap() {
+        // One worker, capacity two: fill the queue with slow-ish jobs and
+        // observe Full, then drain and observe acceptance again.
+        let pool = Pool::new(ServeConfig { workers: 1, queue_cap: 2, ..Default::default() });
+        let mut accepted = 0;
+        let mut saw_full = false;
+        for _ in 0..64 {
+            match pool.try_submit(diff_job(add_prog())) {
+                Ok(_) => accepted += 1,
+                Err(SubmitError::Full) => {
+                    saw_full = true;
+                    let _ = pool.recv_timeout(Duration::from_secs(30));
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_full, "cap 2 never filled");
+        let results = pool.drain();
+        let total = accepted - results.len();
+        // Results collected inline plus drained ones account for every
+        // accepted job.
+        assert!(total <= accepted);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn discard_queued_cancels_with_exact_accounting() {
+        let pool = Pool::new(ServeConfig { workers: 1, queue_cap: 64, ..Default::default() });
+        for _ in 0..16 {
+            pool.submit(diff_job(add_prog())).unwrap();
+        }
+        pool.discard_queued();
+        let results = pool.drain();
+        assert_eq!(results.len(), 16);
+        let cancelled =
+            results.iter().filter(|r| r.result == Err(JobError::Cancelled)).count();
+        let finished = results.len() - cancelled;
+        assert!(finished >= 1 || cancelled >= 1);
+        // Ids are dense: nothing dropped, nothing duplicated.
+        for (ix, r) in results.iter().enumerate() {
+            assert_eq!(r.id, ix as u64);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let pool = Pool::new(ServeConfig::default());
+        pool.submit(diff_job(add_prog())).unwrap();
+        let results = pool.shutdown();
+        assert_eq!(results.len(), 1);
+        // `shutdown` consumed the pool; a fresh pool still accepts work,
+        // which is the API contract the CLI relies on between campaigns.
+        let pool = Pool::new(ServeConfig::default());
+        assert!(pool.submit(diff_job(add_prog())).is_ok());
+    }
+
+    #[test]
+    fn generate_job_reports_coverage_and_no_findings_on_clean_seed() {
+        telemetry_on();
+        let pool = Pool::new(ServeConfig { workers: 2, ..Default::default() });
+        pool.submit(JobSpec::new(
+            JobKind::Generate { seed: 7, profile: None, len: 40, crosscheck: true },
+            DiffConfig::default(),
+        ))
+        .unwrap();
+        let r = pool.recv_timeout(Duration::from_secs(60)).expect("result");
+        let out = r.result.unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert!(out.outcome.is_some());
+        let cov = out.coverage.unwrap();
+        assert!(cov.generated.iter().sum::<u64>() > 0);
+        // The job ran gate kernels, so its scoped metrics are non-empty.
+        assert!(!r.metrics.is_empty());
+    }
+
+    fn telemetry_on() {
+        tangled_telemetry::set_mode(tangled_telemetry::Mode::Counters);
+    }
+}

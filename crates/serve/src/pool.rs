@@ -1,0 +1,379 @@
+//! The work-stealing worker pool.
+//!
+//! Topology is the classic crossbeam arrangement: one global
+//! [`Injector`] that `submit` pushes to, one local FIFO [`Worker`] deque
+//! per thread, and a [`Stealer`] onto every local deque so idle workers
+//! can steal from busy ones. A worker looks for work local-first, then
+//! batches from the injector, then steals from siblings; with nothing
+//! anywhere it parks on a condvar with a 50 ms re-check so a lost wakeup
+//! can only cost one tick, never a deadlock.
+//!
+//! ## Accounting invariant
+//!
+//! Every accepted submission produces **exactly one** [`JobResult`] —
+//! panicking jobs yield [`JobError::Panic`], discarded jobs yield
+//! [`JobError::Cancelled`]. `pending` counts accepted-but-undelivered
+//! jobs and is decremented only *after* the result is visible in the
+//! results queue, so [`Pool::drain`] observing `pending == 0` has seen
+//! every result.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+use crate::job::{execute, JobError, JobResult, JobSpec, ModelResolver};
+
+/// How long a worker with no visible work sleeps before re-checking the
+/// queues. Bounds shutdown latency and missed-wakeup recovery.
+const PARK_TICK: Duration = Duration::from_millis(50);
+
+/// Pool construction knobs.
+#[derive(Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Max accepted-but-unfinished jobs before [`Pool::submit`] blocks
+    /// and [`Pool::try_submit`] reports [`SubmitError::Full`].
+    pub queue_cap: usize,
+    /// Model-name resolver for run jobs (tests inject synthetic cores
+    /// here; production uses the engine registry).
+    pub resolve_model: ModelResolver,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_cap: 256,
+            resolve_model: tangled_sim::engine::model,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("workers", &self.workers)
+            .field("queue_cap", &self.queue_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pool is at [`ServeConfig::queue_cap`] (back-pressure; only
+    /// [`Pool::try_submit`] reports this — `submit` blocks instead).
+    Full,
+    /// [`Pool::shutdown`] has begun; no new work is accepted.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "job queue full"),
+            SubmitError::ShutDown => write!(f, "pool is shutting down"),
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    spec: JobSpec,
+}
+
+#[derive(Default)]
+struct State {
+    /// Accepted jobs whose result has not yet been delivered.
+    pending: usize,
+    /// Monotonic id source for accepted jobs.
+    next_id: u64,
+    /// Submissions are rejected and workers exit once idle.
+    shutdown: bool,
+    /// Queued (not yet started) jobs complete as [`JobError::Cancelled`].
+    discard: bool,
+}
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    resolve: ModelResolver,
+    state: Mutex<State>,
+    /// Workers park here; signalled on submit and shutdown.
+    work_cv: Condvar,
+    /// Blocked submitters park here; signalled when `pending` drops.
+    space_cv: Condvar,
+    results: Mutex<VecDeque<JobResult>>,
+    /// Consumers park here; signalled on every delivered result.
+    results_cv: Condvar,
+}
+
+impl Shared {
+    fn queues_empty(&self) -> bool {
+        self.injector.is_empty() && self.stealers.iter().all(|s| s.is_empty())
+    }
+
+    /// Publish a result and release one unit of queue capacity. The
+    /// ordering (result first, `pending` decrement second) is what makes
+    /// `pending == 0` mean "all results visible".
+    fn deliver(&self, result: JobResult) {
+        self.results.lock().unwrap().push_back(result);
+        self.results_cv.notify_all();
+        self.state.lock().unwrap().pending -= 1;
+        self.space_cv.notify_all();
+    }
+}
+
+/// A running worker pool over simulator jobs. See the crate docs for the
+/// full lifecycle; dropping the pool performs a graceful [`Pool::shutdown`].
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    queue_cap: usize,
+}
+
+impl Pool {
+    /// Spawn `cfg.workers` threads and return the handle used to submit
+    /// jobs and collect results.
+    pub fn new(cfg: ServeConfig) -> Pool {
+        let workers = cfg.workers.max(1);
+        let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers: locals.iter().map(Worker::stealer).collect(),
+            resolve: cfg.resolve_model,
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            results: Mutex::new(VecDeque::new()),
+            results_cv: Condvar::new(),
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(ix, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{ix}"))
+                    .spawn(move || worker_loop(ix, &shared, &local))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Pool { shared, handles, queue_cap: cfg.queue_cap.max(1) }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Accepted jobs whose results have not been collected yet.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().unwrap().pending
+    }
+
+    /// Submit a job, blocking while the pool is at capacity.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let mut st = self.shared.state.lock().unwrap();
+        while !st.shutdown && st.pending >= self.queue_cap {
+            st = self.shared.space_cv.wait(st).unwrap();
+        }
+        self.accept(st, spec)
+    }
+
+    /// Submit a job without blocking; [`SubmitError::Full`] applies
+    /// back-pressure to the producer.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let st = self.shared.state.lock().unwrap();
+        if !st.shutdown && st.pending >= self.queue_cap {
+            return Err(SubmitError::Full);
+        }
+        self.accept(st, spec)
+    }
+
+    fn accept(
+        &self,
+        mut st: std::sync::MutexGuard<'_, State>,
+        spec: JobSpec,
+    ) -> Result<u64, SubmitError> {
+        if st.shutdown {
+            return Err(SubmitError::ShutDown);
+        }
+        st.pending += 1;
+        let id = st.next_id;
+        st.next_id += 1;
+        // Push under the state lock (lock order state -> injector, same as
+        // the workers' exit check) so a racing shutdown can never observe
+        // `pending > 0` with the job not yet visible in a queue.
+        self.shared.injector.push(Job { id, spec });
+        drop(st);
+        self.shared.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Take one finished result if any is ready (non-blocking).
+    pub fn poll(&self) -> Option<JobResult> {
+        self.shared.results.lock().unwrap().pop_front()
+    }
+
+    /// Take one finished result, waiting up to `timeout` for it.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.results.lock().unwrap();
+        loop {
+            if let Some(r) = q.pop_front() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.shared.results_cv.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+    }
+
+    /// Block until every accepted job has delivered a result, returning
+    /// all uncollected results in submission (id) order.
+    pub fn drain(&self) -> Vec<JobResult> {
+        let mut out = Vec::new();
+        loop {
+            let pending = self.shared.state.lock().unwrap().pending;
+            out.extend(self.shared.results.lock().unwrap().drain(..));
+            if pending == 0 {
+                break;
+            }
+            let q = self.shared.results.lock().unwrap();
+            if q.is_empty() {
+                let _ = self.shared.results_cv.wait_timeout(q, PARK_TICK).unwrap();
+            }
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Mark all *queued* (not yet started) jobs for cancellation: workers
+    /// complete them instantly as [`JobError::Cancelled`] so accounting
+    /// stays exact. Jobs already executing finish normally — this is the
+    /// SIGINT path: stop starting work, keep every result.
+    pub fn discard_queued(&self) {
+        self.shared.state.lock().unwrap().discard = true;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Graceful shutdown: reject new submissions, let workers drain the
+    /// queue (or cancel it, after [`Pool::discard_queued`]), and join
+    /// them. Returns any uncollected results. Also performed by `Drop`.
+    pub fn shutdown(mut self) -> Vec<JobResult> {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let mut out: Vec<JobResult> =
+            self.shared.results.lock().unwrap().drain(..).collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Local-first, then injector batch, then sibling steal — retrying while
+/// any source reports contention.
+fn find_job(shared: &Shared, local: &Worker<Job>) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => break,
+            Steal::Retry => std::hint::spin_loop(),
+        }
+    }
+    let mut contended = true;
+    while contended {
+        contended = false;
+        for stealer in &shared.stealers {
+            match stealer.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => {}
+                Steal::Retry => contended = true,
+            }
+        }
+    }
+    None
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(ix: usize, shared: &Shared, local: &Worker<Job>) {
+    loop {
+        if let Some(job) = find_job(shared, local) {
+            let discard = shared.state.lock().unwrap().discard;
+            let result = if discard {
+                JobResult {
+                    id: job.id,
+                    label: job.spec.label,
+                    worker: ix,
+                    metrics: tangled_telemetry::Snapshot::default(),
+                    result: Err(JobError::Cancelled),
+                }
+            } else {
+                // The scope captures only this thread's telemetry; the
+                // panic is caught *inside* it so a dying job still
+                // reports the metrics it recorded before the panic.
+                let (caught, metrics) = tangled_telemetry::scoped(|| {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        execute(&job.spec, shared.resolve)
+                    }))
+                });
+                JobResult {
+                    id: job.id,
+                    label: job.spec.label,
+                    worker: ix,
+                    metrics,
+                    result: match caught {
+                        Ok(r) => r,
+                        Err(payload) => Err(JobError::Panic(panic_message(payload))),
+                    },
+                }
+            };
+            shared.deliver(result);
+            continue;
+        }
+        let st = shared.state.lock().unwrap();
+        if st.shutdown && shared.queues_empty() {
+            return;
+        }
+        // Parked until new work or shutdown; the tick re-checks in case a
+        // wakeup raced the empty-queue observation above.
+        let _ = shared.work_cv.wait_timeout(st, PARK_TICK).unwrap();
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline drop-in subset of `crossbeam-deque` (re-exported upstream as
+//! `crossbeam::deque`): the [`Injector`] / [`Worker`] / [`Stealer`] trio
+//! behind crossbeam's work-stealing schedulers.
+//!
+//! Upstream implements the Chase–Lev lock-free deque; this shim keeps the
+//! exact API shape (including the tri-state [`Steal`] result, so callers
+//! are written against the real retry contract) over mutex-protected
+//! ring buffers. That is slower under heavy contention but identical in
+//! semantics: every pushed item is popped exactly once, batches move at
+//! most half a queue, and `Retry` is surfaced when a lock is contended
+//! rather than blocking a stealer on someone else's critical section.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race (here: the lock was contended) and
+    /// should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True when the source was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A FIFO injector queue shared by all threads (`crossbeam_deque::Injector`).
+///
+/// Producers push submitted tasks here; workers move batches into their
+/// local [`Worker`] queues via [`Injector::steal_batch_and_pop`].
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task onto the global queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Steal one task from the front of the global queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(e) => panic!("injector lock poisoned: {e}"),
+        }
+    }
+
+    /// Move up to half of the global queue into `dest`'s local queue and
+    /// pop one task for immediate execution.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut src = match self.queue.try_lock() {
+            Ok(q) => q,
+            Err(std::sync::TryLockError::WouldBlock) => return Steal::Retry,
+            Err(e) => panic!("injector lock poisoned: {e}"),
+        };
+        let Some(first) = src.pop_front() else {
+            return Steal::Empty;
+        };
+        let batch = src.len().div_ceil(2).min(32);
+        if batch > 0 {
+            let mut dst = dest.queue.lock().unwrap();
+            for _ in 0..batch {
+                match src.pop_front() {
+                    Some(t) => dst.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+/// A worker's local FIFO queue (`crossbeam_deque::Worker::new_fifo`).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A new empty FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Push a task onto the local queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Pop the next local task (FIFO order).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// A handle other workers use to steal from this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+
+    /// True when the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    /// Number of locally queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+/// A stealing handle onto some worker's local queue
+/// (`crossbeam_deque::Stealer`).
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the back of the victim's queue (the end the
+    /// owner is *not* popping from, minimizing contention).
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut q) => match q.pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(e) => panic!("stealer lock poisoned: {e}"),
+        }
+    }
+
+    /// True when the victim's queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn injector_is_fifo_and_batches_to_workers() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 10);
+        let local = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&local), Steal::Success(0));
+        // Half of the remaining 9 tasks moved to the local queue.
+        assert_eq!(local.len(), 5);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(local.pop(), Some(1));
+        assert_eq!(inj.steal(), Steal::Success(6));
+    }
+
+    #[test]
+    fn stealer_takes_from_the_far_end() {
+        let local = Worker::new_fifo();
+        local.push(1);
+        local.push(2);
+        local.push(3);
+        let stealer = local.stealer();
+        assert_eq!(stealer.steal(), Steal::Success(3));
+        assert_eq!(local.pop(), Some(1));
+        assert_eq!(stealer.steal(), Steal::Success(2));
+        assert_eq!(stealer.steal(), Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn concurrent_workers_drain_every_task_exactly_once() {
+        const TASKS: usize = 500;
+        let inj = Injector::new();
+        for i in 0..TASKS {
+            inj.push(i);
+        }
+        let done = Mutex::new(BTreeSet::new());
+        let busy = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let local = Worker::new_fifo();
+                    loop {
+                        let task = local.pop().or_else(|| loop {
+                            match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(t) => break Some(t),
+                                Steal::Empty => break None,
+                                Steal::Retry => std::hint::spin_loop(),
+                            }
+                        });
+                        match task {
+                            Some(t) => {
+                                busy.fetch_add(1, Ordering::Relaxed);
+                                assert!(done.lock().unwrap().insert(t), "task {t} ran twice");
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(done.lock().unwrap().len(), TASKS);
+        assert!(inj.is_empty());
+    }
+}

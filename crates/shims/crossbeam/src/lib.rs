@@ -1,11 +1,15 @@
 //! Offline drop-in subset of the `crossbeam` crate.
 //!
-//! Only the scoped-thread API the workspace uses is provided:
-//! `crossbeam::scope(|s| { s.spawn(|_| ...); ... })`. Since Rust 1.63 the
+//! Two APIs the workspace uses are provided: the scoped-thread API
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); ... })`, and the
+//! work-stealing [`deque`] module (`Injector`/`Worker`/`Stealer`) behind
+//! the `tangled-serve` job pool. Since Rust 1.63 the
 //! standard library's `std::thread::scope` offers the same structured
 //! concurrency guarantee, so this shim is a thin adapter that keeps the
 //! crossbeam 0.8 call shape (closures receive a `&Scope` argument, `scope`
 //! returns `thread::Result`).
+
+pub mod deque;
 
 use std::thread;
 

@@ -10,7 +10,7 @@
 use tangled_isa::{Insn, KIND_COUNT};
 
 /// Accumulated coverage counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coverage {
     /// Instructions emitted by the generator, by kind.
     pub generated: [u64; KIND_COUNT],
@@ -56,6 +56,18 @@ impl Coverage {
                 self.branch_not_taken += 1;
             }
         }
+    }
+
+    /// Fold another accumulator into this one, cell by cell. Addition is
+    /// commutative and associative, so merging per-worker coverage in any
+    /// order yields the same totals as a single-threaded campaign.
+    pub fn merge(&mut self, other: &Coverage) {
+        for k in 0..KIND_COUNT {
+            self.generated[k] += other.generated[k];
+            self.executed[k] += other.executed[k];
+        }
+        self.branch_taken += other.branch_taken;
+        self.branch_not_taken += other.branch_not_taken;
     }
 
     /// Fraction of instruction kinds executed at least once.

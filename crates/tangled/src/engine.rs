@@ -263,6 +263,22 @@ impl ModelEntry {
     pub fn has_trace(&self) -> bool {
         self.build_traced.is_some()
     }
+
+    /// An out-of-registry entry wrapping an arbitrary constructor.
+    ///
+    /// The static table stays closed (its `build` pointers are private),
+    /// but harnesses sometimes need to route a synthetic model through
+    /// code written against `&ModelEntry` — the serve layer's fault tests
+    /// inject a panicking [`Core`] this way. Entries built here are never
+    /// returned by [`model_registry`] / [`model`].
+    pub const fn custom(
+        name: &'static str,
+        description: &'static str,
+        role: ModelRole,
+        build: fn(Machine) -> Box<dyn Core>,
+    ) -> ModelEntry {
+        ModelEntry { name, description, role, build, build_traced: None }
+    }
 }
 
 fn pipe(stages: StageCount, forwarding: bool) -> PipelineConfig {

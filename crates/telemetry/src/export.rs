@@ -182,7 +182,8 @@ mod tests {
     static GLOBAL: Mutex<()> = Mutex::new(());
 
     fn with_mode<R>(mode: Mode, f: impl FnOnce() -> R) -> R {
-        let _guard = GLOBAL.lock().unwrap();
+        // A panic in another test must not poison the whole suite.
+        let _guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
         crate::reset();
         set_mode(mode);
         let r = f();
@@ -292,6 +293,110 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""), "{json}");
         assert!(json.contains("\"ph\":\"i\""), "{json}");
         assert!(json.contains("\"dur\":2"), "{json}");
+    }
+
+    #[test]
+    fn scoped_capture_matches_global_delta_single_threaded() {
+        static SC_COUNTER: Counter = Counter::new("test.scoped.counter");
+        static SC_HIST: Histogram = Histogram::new("test.scoped.hist");
+        with_mode(Mode::Counters, || {
+            let base = Snapshot::take();
+            let ((), local) = crate::scoped(|| {
+                SC_COUNTER.add(3);
+                for v in [1, 5, 900] {
+                    SC_HIST.record(v);
+                }
+            });
+            let global = Snapshot::take().delta(&base);
+            // The scoped view is a faithful single-thread slice of the
+            // registry: every key it holds matches the global delta, and
+            // every change the registry saw is in the scoped view. (The
+            // global delta also carries zero entries for counters other
+            // tests registered — those are schema padding, not activity.)
+            for (name, value) in local.iter() {
+                assert_eq!(value, global.get(name), "key {name}");
+            }
+            for (name, value) in global.iter().filter(|(_, v)| *v != 0) {
+                assert_eq!(local.get(name), value, "key {name}");
+            }
+            assert_eq!(local.get("test.scoped.counter"), 3);
+            assert_eq!(local.get("test.scoped.hist.count"), 3);
+            assert_eq!(local.get("test.scoped.hist.sum"), 906);
+            assert_eq!(local.get("test.scoped.hist.max"), 900);
+            assert_eq!(local.get("test.scoped.hist.le_1"), 1);
+        });
+    }
+
+    #[test]
+    fn scoped_capture_is_isolated_from_other_threads() {
+        static ISO_COUNTER: Counter = Counter::new("test.scoped.iso");
+        with_mode(Mode::Counters, || {
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let (captured, _) = std::thread::scope(|s| {
+                s.spawn(|| {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        ISO_COUNTER.add(1_000);
+                    }
+                });
+                let out = crate::scoped(|| {
+                    ISO_COUNTER.add(7);
+                });
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                out
+            });
+            let _ = captured;
+            let (_, local) = crate::scoped(|| ISO_COUNTER.add(7));
+            assert_eq!(local.get("test.scoped.iso"), 7);
+        });
+    }
+
+    #[test]
+    fn scoped_nesting_and_panic_folding() {
+        static NEST_COUNTER: Counter = Counter::new("test.scoped.nest");
+        with_mode(Mode::Counters, || {
+            let ((), outer) = crate::scoped(|| {
+                NEST_COUNTER.add(1);
+                let ((), inner) = crate::scoped(|| NEST_COUNTER.add(10));
+                assert_eq!(inner.get("test.scoped.nest"), 10);
+                // A panicking inner scope still folds into the outer one.
+                let _ = std::panic::catch_unwind(|| {
+                    crate::scoped(|| {
+                        NEST_COUNTER.add(100);
+                        panic!("job died");
+                    })
+                });
+            });
+            assert_eq!(outer.get("test.scoped.nest"), 111);
+            // After unwinding, no scope is active on this thread.
+            NEST_COUNTER.add(5000);
+            let (_, empty) = crate::scoped(|| {});
+            assert!(empty.is_empty());
+        });
+    }
+
+    #[test]
+    fn snapshot_merge_is_permutation_invariant() {
+        static M_COUNTER: Counter = Counter::new("test.merge.counter");
+        static M_HIST: Histogram = Histogram::new("test.merge.hist");
+        let parts = with_mode(Mode::Counters, || {
+            [3u64, 11, 7]
+                .map(|n| {
+                    crate::scoped(|| {
+                        M_COUNTER.add(n);
+                        M_HIST.record(n);
+                    })
+                    .1
+                })
+        });
+        let forward = Snapshot::merged(parts.iter());
+        let reverse = Snapshot::merged(parts.iter().rev());
+        let rotated = Snapshot::merged([&parts[1], &parts[2], &parts[0]]);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, rotated);
+        assert_eq!(forward.get("test.merge.counter"), 21);
+        assert_eq!(forward.get("test.merge.hist.count"), 3);
+        // `.max` keys combine with max, not +.
+        assert_eq!(forward.get("test.merge.hist.max"), 11);
     }
 
     #[test]

@@ -40,6 +40,14 @@
 //! energy meter instrumented in both `pbp-aob` and `qat-coproc`) merge
 //! into one reported value.
 //!
+//! ## Per-job isolation ([`scoped`])
+//!
+//! The registry is global, so concurrent work on several threads lands in
+//! the same counters. When one thread needs its *own* delta — the serve
+//! layer attaches a metrics snapshot to every job — wrap the work in
+//! [`scoped`], which captures exactly what the calling thread recorded,
+//! immune to other threads, and combines with [`Snapshot::merge_from`].
+//!
 //! ## Timestamps
 //!
 //! Trace timestamps are **simulated cycles**, not wall-clock time, so
@@ -50,7 +58,7 @@ pub mod export;
 mod metrics;
 mod tracer;
 
-pub use metrics::{Counter, CounterBank, Histogram, Snapshot};
+pub use metrics::{scoped, Counter, CounterBank, Histogram, Snapshot};
 pub use tracer::{
     take_trace, trace_complete, trace_instant, TraceEvent, TraceKind, TraceLog, TRACE_CAPACITY,
 };

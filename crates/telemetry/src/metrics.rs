@@ -1,7 +1,9 @@
-//! Counter, bank, and histogram handles plus the global registry and
-//! [`Snapshot`] machinery.
+//! Counter, bank, and histogram handles plus the global registry,
+//! [`Snapshot`] machinery, and the thread-local [`scoped`] capture used
+//! for per-job metric isolation.
 
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, Once};
 
@@ -14,6 +16,132 @@ use crate::counters_on;
 trait Source: Sync {
     fn emit(&self, out: &mut BTreeMap<String, u64>);
     fn reset(&self);
+    /// Snapshot key for one cell of this source (cell 0 for plain
+    /// counters). Must match the keys [`Source::emit`] produces so scoped
+    /// captures and global snapshots agree name-for-name.
+    fn cell_key(&self, cell: usize) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local scoped capture
+// ---------------------------------------------------------------------------
+
+/// How a scoped cell folds into totals: summed, or max-combined (a
+/// histogram's running maximum).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fold {
+    Add,
+    Max,
+}
+
+struct LocalCell {
+    src: &'static dyn Source,
+    cell: usize,
+    fold: Fold,
+    value: u64,
+}
+
+/// One active [`scoped`] frame: deltas recorded by *this thread* since
+/// the frame opened, keyed by (source address, cell index).
+type LocalFrame = HashMap<(usize, usize), LocalCell>;
+
+thread_local! {
+    /// Stack of active capture frames on this thread (empty almost
+    /// always; one deep inside a serve worker's job).
+    static LOCAL: RefCell<Vec<LocalFrame>> = const { RefCell::new(Vec::new()) };
+    /// Fast flag mirroring `!LOCAL.is_empty()` so the hot path pays one
+    /// thread-local load when no scope is active.
+    static LOCAL_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+#[inline]
+fn local_record(src: &'static dyn Source, cell: usize, fold: Fold, v: u64) {
+    if !LOCAL_ACTIVE.with(Cell::get) {
+        return;
+    }
+    LOCAL.with(|frames| {
+        if let Some(frame) = frames.borrow_mut().last_mut() {
+            let key = (std::ptr::from_ref(src) as *const () as usize, cell);
+            let entry = frame
+                .entry(key)
+                .or_insert(LocalCell { src, cell, fold, value: 0 });
+            match fold {
+                Fold::Add => entry.value += v,
+                Fold::Max => entry.value = entry.value.max(v),
+            }
+        }
+    });
+}
+
+/// Restores the frame stack even when the scoped closure panics, folding
+/// the aborted frame's deltas into the enclosing frame (if any) so nested
+/// scopes stay additive.
+struct ScopeGuard;
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        LOCAL.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            if let Some(frame) = frames.pop() {
+                if let Some(outer) = frames.last_mut() {
+                    for (key, cell) in frame {
+                        let entry = outer.entry(key).or_insert(LocalCell {
+                            src: cell.src,
+                            cell: cell.cell,
+                            fold: cell.fold,
+                            value: 0,
+                        });
+                        match cell.fold {
+                            Fold::Add => entry.value += cell.value,
+                            Fold::Max => entry.value = entry.value.max(cell.value),
+                        }
+                    }
+                }
+            }
+            LOCAL_ACTIVE.with(|a| a.set(!frames.is_empty()));
+        });
+    }
+}
+
+/// Run `f` and return its result together with a [`Snapshot`] of every
+/// metric *this thread* recorded while it ran.
+///
+/// This is the per-job isolation primitive behind `tangled-serve`: each
+/// worker wraps one job in a scope, so concurrent jobs on other threads
+/// never leak into each other's snapshots, and the same job yields a
+/// byte-identical snapshot at any worker count. Keys match the global
+/// registry's names, so scoped snapshots merge with
+/// [`Snapshot::merge_from`] exactly like registry snapshots.
+///
+/// Scopes nest: an inner scope captures its own deltas *and* folds them
+/// back into the enclosing scope when it closes. Recording still requires
+/// counters to be enabled ([`crate::Mode::Counters`] or above); under
+/// [`crate::Mode::Off`] the returned snapshot is empty and the scope
+/// costs nothing on the instrumentation hot path.
+pub fn scoped<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
+    LOCAL.with(|frames| frames.borrow_mut().push(HashMap::new()));
+    LOCAL_ACTIVE.with(|a| a.set(true));
+    let guard = ScopeGuard;
+    let result = f();
+    // Read the frame's contents before the guard pops it (the guard also
+    // runs on panic; on the normal path we harvest first).
+    let snapshot = LOCAL.with(|frames| {
+        let frames = frames.borrow();
+        let mut counters = BTreeMap::new();
+        if let Some(frame) = frames.last() {
+            for cell in frame.values() {
+                let key = cell.src.cell_key(cell.cell);
+                let slot = counters.entry(key).or_insert(0u64);
+                match cell.fold {
+                    Fold::Add => *slot += cell.value,
+                    Fold::Max => *slot = (*slot).max(cell.value),
+                }
+            }
+        }
+        Snapshot { counters }
+    });
+    drop(guard);
+    (result, snapshot)
 }
 
 /// Global list of every handle that has recorded at least once.
@@ -59,6 +187,7 @@ impl Counter {
         }
         self.registered.call_once(|| register(self));
         self.value.fetch_add(n, Ordering::Relaxed);
+        local_record(self, 0, Fold::Add, n);
     }
 
     /// Add one. No-op when telemetry is off.
@@ -79,6 +208,9 @@ impl Source for Counter {
     }
     fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
+    }
+    fn cell_key(&self, _cell: usize) -> String {
+        self.name.to_string()
     }
 }
 
@@ -112,6 +244,7 @@ impl<const N: usize> CounterBank<N> {
         }
         self.registered.call_once(|| register(self));
         self.cells[i].fetch_add(n, Ordering::Relaxed);
+        local_record(self, i, Fold::Add, n);
     }
 
     /// Current value of cell `i`.
@@ -134,6 +267,9 @@ impl<const N: usize> Source for CounterBank<N> {
             cell.store(0, Ordering::Relaxed);
         }
     }
+    fn cell_key(&self, cell: usize) -> String {
+        format!("{}.{}", self.name, (self.label)(cell))
+    }
 }
 
 /// Number of power-of-two buckets in a [`Histogram`] (`le_1` … `le_32768`
@@ -155,6 +291,12 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Scoped-capture cell indices for the derived statistics (buckets
+    /// occupy cells `0..HISTOGRAM_BUCKETS`).
+    const COUNT_CELL: usize = HISTOGRAM_BUCKETS;
+    const SUM_CELL: usize = HISTOGRAM_BUCKETS + 1;
+    const MAX_CELL: usize = HISTOGRAM_BUCKETS + 2;
+
     /// A new histogram handle.
     pub const fn new(name: &'static str) -> Self {
         Histogram {
@@ -182,6 +324,10 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        local_record(self, k, Fold::Add, 1);
+        local_record(self, Self::COUNT_CELL, Fold::Add, 1);
+        local_record(self, Self::SUM_CELL, Fold::Add, v);
+        local_record(self, Self::MAX_CELL, Fold::Max, v);
     }
 }
 
@@ -209,6 +355,15 @@ impl Source for Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+    }
+    fn cell_key(&self, cell: usize) -> String {
+        match cell {
+            Self::COUNT_CELL => format!("{}.count", self.name),
+            Self::SUM_CELL => format!("{}.sum", self.name),
+            Self::MAX_CELL => format!("{}.max", self.name),
+            k if k == HISTOGRAM_BUCKETS - 1 => format!("{}.inf", self.name),
+            k => format!("{}.le_{}", self.name, 1u64 << k),
+        }
     }
 }
 
@@ -246,6 +401,32 @@ impl Snapshot {
     /// Value for `name`, or 0 if absent.
     pub fn get(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fold `other` into `self`, additively by name — the serve layer's
+    /// snapshot merge. Histogram running maxima (keys ending in `.max`)
+    /// combine with `max` instead of `+`; both operations are commutative
+    /// and associative, so merging any permutation of the same snapshots
+    /// yields an identical result.
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        for (name, value) in other.iter() {
+            let slot = self.counters.entry(name.to_string()).or_insert(0);
+            if name.ends_with(".max") {
+                *slot = (*slot).max(value);
+            } else {
+                *slot += value;
+            }
+        }
+    }
+
+    /// Merge an iterator of snapshots into one (see
+    /// [`Snapshot::merge_from`]).
+    pub fn merged<'a>(snaps: impl IntoIterator<Item = &'a Snapshot>) -> Snapshot {
+        let mut out = Snapshot::default();
+        for s in snaps {
+            out.merge_from(s);
+        }
+        out
     }
 
     /// Iterate `(name, value)` in sorted name order.

@@ -3,36 +3,39 @@
 //! Replays the checked-in reproducer corpus, then runs N random-program
 //! seeds through the full differential oracle (functional vs multi-cycle
 //! vs 4/5-stage pipelines, with periodic `qsim` state-vector and PBP
-//! word-level cross-checks of the Qat register file). Any divergence is
-//! minimized with the shrinker and written to the corpus as a reassemblable
-//! `.s` file. Exit status 0 means zero divergences.
+//! word-level cross-checks of the Qat register file). Both phases fan
+//! out over the `tangled-serve` work-stealing pool (`--workers`), with
+//! divergences minimized on the workers and written to a shared,
+//! deduplicated corpus as reassemblable `.s` files. Exit status 0 means
+//! zero divergences; SIGINT drains in-flight jobs, reports, and exits
+//! 130 — with `--metrics-out`, a well-formed `tangled-metrics/v1`
+//! document is written on every exit path.
 //!
 //! ```text
 //! qat-fuzz --seeds 1000                 # the acceptance run
+//! qat-fuzz --workers 4 --seeds 1000     # the same campaign, 4 workers
 //! qat-fuzz --max-seconds 30             # CI smoke budget
 //! qat-fuzz --inject-forwarding-bug      # negative control: must be caught
 //! qat-fuzz --constant-registers         # fault-adjacent fuzzing
 //! ```
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tangled_qat::asm;
+use tangled_qat::isa::{disassemble, Insn};
 use tangled_qat::qat::{self, StorageBackend};
 use tangled_qat::runner;
-use tangled_qat::telemetry::{self, export};
-use tangled_qat::isa::{disassemble, Insn};
+use tangled_qat::serve::{JobError, JobKind, JobResult, JobSpec, Pool, ServeConfig};
 use tangled_qat::sim::difftest::{
-    compare_all, diff_outcomes, pbp_crosscheck, qsim_crosscheck, run_forwarding_bug,
-    run_functional, DiffConfig,
+    diff_outcomes, run_forwarding_bug, run_functional, DiffConfig,
 };
-use tangled_qat::sim::proggen::{
-    encode_program, random_program, random_qat_only_program, random_reversible_qat_program,
-    ProgGenOptions, Profile,
-};
+use tangled_qat::sim::proggen::{encode_program, random_program, ProgGenOptions, Profile};
 use tangled_qat::sim::{shrink, Coverage};
+use tangled_qat::telemetry::{self, export};
 
 struct Args {
     seeds: u64,
@@ -47,6 +50,8 @@ struct Args {
     constant_registers: bool,
     max_seconds: u64,
     cross_every: u64,
+    workers: usize,
+    metrics_out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -64,6 +69,8 @@ impl Default for Args {
             constant_registers: false,
             max_seconds: 0,
             cross_every: 10,
+            workers: 1,
+            metrics_out: None,
         }
     }
 }
@@ -85,6 +92,10 @@ OPTIONS:
   --profile P              balanced|alu|qat|branch|mem (default: round-robin)
   --corpus DIR             reproducer corpus directory (default fuzz/corpus)
   --no-replay              skip replaying the corpus first
+  --workers N              worker threads for replay and the campaign
+                           (default 1)
+  --metrics-out PATH       write the merged per-job telemetry snapshot as
+                           tangled-metrics/v1 JSON on every exit path
   --constant-registers     enable the §5 constant-register file and emit
                            fault-adjacent Qat writes
   --inject-forwarding-bug  negative control: run a deliberately broken
@@ -121,6 +132,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--corpus" => args.corpus = PathBuf::from(val("--corpus")?),
             "--no-replay" => args.replay = false,
+            "--workers" => {
+                args.workers = val("--workers")?.parse().map_err(|e| format!("{e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(val("--metrics-out")?)),
             "--constant-registers" => args.constant_registers = true,
             "--inject-forwarding-bug" => args.inject_forwarding_bug = true,
             "--max-seconds" => {
@@ -147,7 +165,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// Set by the SIGINT handler; the fuzz and replay loops poll it so an
-/// interrupted campaign still reports coverage and telemetry.
+/// interrupted campaign still drains in-flight jobs, reports coverage and
+/// telemetry, and writes `--metrics-out`.
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
 fn interrupted() -> bool {
@@ -175,21 +194,36 @@ fn install_sigint_handler() {
 fn install_sigint_handler() {}
 
 /// The end-of-campaign report: seed/divergence totals, coverage, and the
-/// telemetry counter table. Printed on every exit path — clean
-/// completion, time budget, corpus-replay divergence, and SIGINT.
+/// telemetry counter table (merged from the per-job snapshots). Printed
+/// on every exit path — clean completion, time budget, corpus-replay
+/// divergence, and SIGINT.
 fn print_campaign_summary(
     ran: u64,
     divergences: u64,
     elapsed_secs: f64,
     cov: &Coverage,
-    base: &telemetry::Snapshot,
+    snap: &telemetry::Snapshot,
 ) {
     println!("\n{ran} seeds fuzzed in {elapsed_secs:.1}s, {divergences} divergence(s)");
     print!("{}", cov.report());
-    let snap = telemetry::Snapshot::take().delta(base);
     if !snap.is_empty() {
         println!("-- telemetry --");
-        print!("{}", export::render_summary(&snap));
+        print!("{}", export::render_summary(snap));
+    }
+}
+
+/// Write the merged per-job snapshot as a `tangled-metrics/v1` document.
+/// Called on every exit path when `--metrics-out` was given, so even an
+/// interrupted campaign leaves a well-formed artifact.
+fn write_metrics(path: &Path, snap: &telemetry::Snapshot) {
+    let doc = export::MetricsDoc {
+        snapshot: snap,
+        mode: telemetry::mode(),
+        trace_events: 0,
+        trace_dropped: 0,
+    };
+    if let Err(e) = std::fs::write(path, export::metrics_json(&doc)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 
@@ -211,25 +245,6 @@ fn write_reproducer(dir: &Path, name: &str, prog: &[Insn], header: &[String]) ->
         eprintln!("warning: could not write {}: {e}", path.display());
     }
     path
-}
-
-/// Replay every `.s` file in the corpus through the oracle (headers
-/// parsed by the shared [`runner`] helpers, on the campaign's backend).
-fn replay_corpus(dir: &Path, backend: StorageBackend) -> Result<usize, String> {
-    let mut ran = 0;
-    for path in runner::corpus_files(dir) {
-        if interrupted() {
-            break;
-        }
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
-        let img = asm::assemble(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        let cfg = runner::corpus_diff_config(&text, backend);
-        compare_all(&img.words, &cfg, None)
-            .map_err(|d| format!("{}: {d}", path.display()))?;
-        ran += 1;
-    }
-    Ok(ran)
 }
 
 /// Negative control: run the stale-read model, require a divergence, and
@@ -286,6 +301,125 @@ fn injected_bug_run(args: &Args) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Client-side campaign state folded out of every finished job.
+#[derive(Default)]
+struct Campaign {
+    ran: u64,
+    divergences: u64,
+    cancelled: u64,
+    cov: Coverage,
+    metrics: telemetry::Snapshot,
+    /// Encoded reproducer programs already written — the shared corpus
+    /// dedup: concurrent workers minimizing different seeds to the same
+    /// root cause produce one corpus entry, not one per seed.
+    seen_reproducers: HashSet<Vec<u16>>,
+}
+
+impl Campaign {
+    /// Fold one job result in: merge metrics/coverage, print and record
+    /// findings, and write (deduplicated) corpus entries.
+    fn absorb(&mut self, r: &JobResult, args: &Args) {
+        self.metrics.merge_from(&r.metrics);
+        match &r.result {
+            Ok(out) => {
+                self.ran += 1;
+                if let Some(cov) = &out.coverage {
+                    self.cov.merge(cov);
+                }
+                for f in &out.findings {
+                    self.divergences += 1;
+                    eprintln!(
+                        "seed {}: {} divergence: {}",
+                        f.seed,
+                        f.kind.tag(),
+                        f.detail
+                    );
+                    if !self.seen_reproducers.insert(encode_program(&f.program)) {
+                        eprintln!("  duplicate of an existing reproducer; corpus unchanged");
+                        continue;
+                    }
+                    let mut header = vec![
+                        format!(
+                            "{} reproducer, seed {}{}",
+                            f.kind.tag(),
+                            f.seed,
+                            if r.label.is_empty() {
+                                String::new()
+                            } else {
+                                format!(", profile {}", r.label)
+                            }
+                        ),
+                        format!("ways {}", args.ways),
+                    ];
+                    if f.kind == tangled_qat::serve::FindingKind::Divergence {
+                        header.push(format!(
+                            "constant-registers {}",
+                            args.constant_registers as u8
+                        ));
+                    }
+                    header.push(f.detail.clone());
+                    let name = format!("{}_seed{}", f.kind.tag(), f.seed);
+                    let path = write_reproducer(&args.corpus, &name, &f.program, &header);
+                    eprintln!("  minimized to {} insns: {}", f.program.len(), path.display());
+                }
+            }
+            Err(JobError::Cancelled) => self.cancelled += 1,
+            Err(e) => {
+                // A panicking or misconfigured job fails the campaign but
+                // never the pool; count it as a divergence-class failure.
+                self.divergences += 1;
+                eprintln!("job {} ({}): {e}", r.id, r.label);
+            }
+        }
+    }
+}
+
+/// Replay every `.s` file in the corpus through the oracle as
+/// differential jobs on the pool (headers parsed by the shared
+/// [`runner`] helpers, on the campaign's backend).
+fn replay_corpus(
+    pool: &Pool,
+    campaign: &mut Campaign,
+    dir: &Path,
+    backend: StorageBackend,
+) -> Result<usize, String> {
+    let mut submitted = 0;
+    for path in runner::corpus_files(dir) {
+        if interrupted() {
+            break;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let img = asm::assemble(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let cfg = runner::corpus_diff_config(&text, backend);
+        pool.submit(JobSpec {
+            kind: JobKind::Differential { words: img.words },
+            cfg,
+            label: path.display().to_string(),
+        })
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+        submitted += 1;
+    }
+    let mut failure = None;
+    for r in pool.drain() {
+        campaign.metrics.merge_from(&r.metrics);
+        match &r.result {
+            Ok(out) if out.findings.is_empty() => {}
+            Ok(out) => {
+                failure.get_or_insert(format!("{}: {}", r.label, out.findings[0].detail));
+            }
+            Err(JobError::Cancelled) => {}
+            Err(e) => {
+                failure.get_or_insert(format!("{}: {e}", r.label));
+            }
+        }
+    }
+    match failure {
+        None => Ok(submitted),
+        Some(f) => Err(f),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -299,27 +433,32 @@ fn main() -> ExitCode {
         return injected_bug_run(&args);
     }
 
-    // Per-campaign counter summaries: counters on for the whole run.
+    // Per-job counter snapshots: counters on for the whole run.
     telemetry::set_mode(telemetry::Mode::Counters);
-    let telemetry_base = telemetry::Snapshot::take();
     install_sigint_handler();
-    let mut cov = Coverage::new();
+    let pool = Pool::new(ServeConfig {
+        workers: args.workers,
+        queue_cap: (4 * args.workers).max(16),
+        ..Default::default()
+    });
+    let mut campaign = Campaign::default();
     let start = Instant::now();
-    let mut divergences = 0u64;
-    let mut ran = 0u64;
 
     if args.replay {
-        match replay_corpus(&args.corpus, args.backend) {
+        match replay_corpus(&pool, &mut campaign, &args.corpus, args.backend) {
             Ok(n) => println!("corpus: {n} reproducer(s) replayed clean"),
             Err(e) => {
                 eprintln!("corpus replay divergence: {e}");
                 print_campaign_summary(
-                    ran,
-                    divergences + 1,
+                    campaign.ran,
+                    campaign.divergences + 1,
                     start.elapsed().as_secs_f64(),
-                    &cov,
-                    &telemetry_base,
+                    &campaign.cov,
+                    &campaign.metrics,
                 );
+                if let Some(p) = &args.metrics_out {
+                    write_metrics(p, &campaign.metrics);
+                }
                 return ExitCode::FAILURE;
             }
         }
@@ -331,75 +470,90 @@ fn main() -> ExitCode {
         backend: args.backend,
         ..Default::default()
     };
-    let reserved = if args.constant_registers { 2 + args.ways as u8 } else { 0 };
     let profiles = Profile::all();
+    let end_seed = args.start_seed + args.seeds;
+    let mut next_seed = args.start_seed;
+    let mut submitted = 0u64;
+    let mut collected = 0u64;
+    let mut stop_reason: Option<&str> = None;
 
-    for seed in args.start_seed..args.start_seed + args.seeds {
-        if interrupted() {
-            println!("interrupted after {ran} seeds");
-            break;
-        }
-        if args.max_seconds > 0 && start.elapsed().as_secs() >= args.max_seconds {
-            println!("time budget reached after {ran} seeds");
-            break;
-        }
-        let profile = args
-            .profile
-            .unwrap_or_else(|| profiles[(seed % profiles.len() as u64) as usize]);
-        let opts = ProgGenOptions {
-            len: args.len,
-            ways: args.ways,
-            profile,
-            qreg_floor: reserved,
-            allow_qat_faults: args.constant_registers,
-            ..Default::default()
-        };
-        let prog = random_program(seed, &opts);
-        cov.note_generated(&prog);
-        let words = encode_program(&prog);
-        if let Err(d) = compare_all(&words, &cfg, Some(&mut cov)) {
-            divergences += 1;
-            eprintln!("seed {seed}: divergence {d}");
-            let small = shrink(&prog, |p| compare_all(&encode_program(p), &cfg, None).is_err());
-            let header = vec![
-                format!("divergence reproducer, seed {seed}, profile {profile:?}"),
-                format!("ways {}", args.ways),
-                format!("constant-registers {}", args.constant_registers as u8),
-                format!("{d}"),
-            ];
-            let path = write_reproducer(&args.corpus, &format!("div_seed{seed}"), &small, &header);
-            eprintln!("  minimized to {} insns: {}", small.len(), path.display());
-        }
-        ran += 1;
+    // Printed before the first job so callers (and the SIGINT CLI test)
+    // can synchronize on a live campaign.
+    println!(
+        "campaign: {} seed(s) from {} across {} worker(s)",
+        args.seeds,
+        args.start_seed,
+        pool.workers()
+    );
 
-        // Periodic Qat-only cross-checks against the external baselines.
-        if args.cross_every > 0 && seed % args.cross_every == 0 {
-            let rev = random_reversible_qat_program(seed, args.ways.min(4), 6, 25);
-            if let Err(e) = qsim_crosscheck(&rev, args.ways.min(4)) {
-                divergences += 1;
-                eprintln!("seed {seed}: qsim cross-check divergence: {e}");
-                let header =
-                    vec![format!("qsim cross-check divergence, seed {seed}"), e.clone()];
-                write_reproducer(&args.corpus, &format!("qsim_seed{seed}"), &rev, &header);
+    // Submit while there is queue space, fold in results while waiting;
+    // on SIGINT or an expired time budget, stop submitting, cancel the
+    // queued tail, and drain what is in flight.
+    loop {
+        if stop_reason.is_none() {
+            if interrupted() {
+                stop_reason = Some("interrupted");
+                pool.discard_queued();
+            } else if args.max_seconds > 0
+                && start.elapsed().as_secs() >= args.max_seconds
+            {
+                stop_reason = Some("time budget reached");
+                pool.discard_queued();
             }
-            let ways = args.ways.max(6); // the RE layer needs >= one chunk
-            let qat_only = random_qat_only_program(seed, 40, ways, 8);
-            if let Err(e) = pbp_crosscheck(&qat_only, ways) {
-                divergences += 1;
-                eprintln!("seed {seed}: PBP cross-check divergence: {e}");
-                let header =
-                    vec![format!("PBP cross-check divergence, seed {seed}"), e.clone()];
-                write_reproducer(&args.corpus, &format!("pbp_seed{seed}"), &qat_only, &header);
+        }
+        let submitting = stop_reason.is_none() && next_seed < end_seed;
+        if submitting {
+            let seed = next_seed;
+            let profile = args
+                .profile
+                .unwrap_or_else(|| profiles[(seed % profiles.len() as u64) as usize]);
+            let crosscheck = args.cross_every > 0 && seed % args.cross_every == 0;
+            let spec = JobSpec {
+                kind: JobKind::Generate {
+                    seed,
+                    profile: Some(profile),
+                    len: args.len,
+                    crosscheck,
+                },
+                cfg,
+                label: format!("{profile:?}"),
+            };
+            if pool.try_submit(spec).is_ok() {
+                submitted += 1;
+                next_seed += 1;
+                continue;
             }
+        }
+        if collected == submitted {
+            if !submitting {
+                break;
+            }
+            continue;
+        }
+        if let Some(r) = pool.recv_timeout(Duration::from_millis(50)) {
+            collected += 1;
+            campaign.absorb(&r, &args);
         }
     }
+    if let Some(reason) = stop_reason {
+        println!("{reason} after {} seeds", campaign.ran);
+    }
 
-    print_campaign_summary(ran, divergences, start.elapsed().as_secs_f64(), &cov, &telemetry_base);
+    print_campaign_summary(
+        campaign.ran,
+        campaign.divergences,
+        start.elapsed().as_secs_f64(),
+        &campaign.cov,
+        &campaign.metrics,
+    );
+    if let Some(p) = &args.metrics_out {
+        write_metrics(p, &campaign.metrics);
+    }
 
     if interrupted() {
         // Conventional exit status for death-by-SIGINT.
         ExitCode::from(130)
-    } else if divergences > 0 {
+    } else if campaign.divergences > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

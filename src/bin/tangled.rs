@@ -20,6 +20,14 @@
 //!     --metrics-out F   write tangled-metrics/v1 JSON (implies --telemetry)
 //!     --trace-out F     write Chrome trace_event JSON (implies full tracing;
 //!                       load in chrome://tracing or https://ui.perfetto.dev)
+//! tangled serve <prog.s>... [opts]       run many programs on the job pool
+//!     --workers N       worker threads (default 2)
+//!     --model NAME      run each program on one registry model instead of
+//!                       the full differential oracle
+//!     --ways N          entanglement degree (default 16)
+//!     --qat-backend B   Qat register-file storage backend
+//!     --metrics-out F   write the merged per-job telemetry snapshot as
+//!                       tangled-metrics/v1 JSON
 //! tangled backends                       list registered simulator models
 //!                                        and Qat storage backends
 //! tangled factor <n> [--width W]         compile & run the §4 factoring demo
@@ -49,7 +57,7 @@ use tangled_qat::telemetry::{self, export};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tangled <asm|dis|run> <prog.s> [options]\n       tangled factor <n> [--width W]\n       tangled backends\n(see `src/bin/tangled.rs` docs for options)"
+        "usage: tangled <asm|dis|run> <prog.s> [options]\n       tangled serve <prog.s>... [--workers N] [--model NAME]\n       tangled factor <n> [--width W]\n       tangled backends\n(see `src/bin/tangled.rs` docs for options)"
     );
     ExitCode::from(2)
 }
@@ -239,6 +247,115 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
                 println!();
             }
         }
+    }
+    Ok(())
+}
+
+/// `tangled serve` — fan a batch of programs out over the job pool and
+/// print each result in submission order, plus the merged per-job
+/// telemetry. The CLI face of `tangled_qat::serve`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use tangled_qat::serve::{JobKind, JobSpec, Pool, ServeConfig};
+    use tangled_qat::sim::difftest::DiffConfig;
+
+    let mut paths: Vec<&String> = Vec::new();
+    let mut workers = 2usize;
+    let mut ways = 16u32;
+    let mut backend = StorageBackend::Interned;
+    let mut model: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers: not a number")?;
+                if workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--ways" => {
+                ways = it
+                    .next()
+                    .ok_or("--ways needs a value")?
+                    .parse()
+                    .map_err(|_| "--ways: not a number")?;
+            }
+            "--model" => model = Some(it.next().ok_or("--model needs a value")?.clone()),
+            "--qat-backend" => {
+                let b = it.next().ok_or("--qat-backend needs a value")?;
+                backend = StorageBackend::parse(b)
+                    .ok_or_else(|| format!("unknown Qat backend `{b}` (see `tangled backends`)"))?;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() {
+        return Err("serve: no programs given".into());
+    }
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let pool = Pool::new(ServeConfig { workers, ..Default::default() });
+    let cfg = DiffConfig { ways, backend, ..Default::default() };
+    for path in &paths {
+        let words = runner::load_words(path, false)?;
+        let kind = match &model {
+            Some(m) => JobKind::Run { words, model: m.clone() },
+            None => JobKind::Differential { words },
+        };
+        pool.submit(JobSpec { kind, cfg, label: (*path).clone() })
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let results = pool.drain();
+    let mut merged = telemetry::Snapshot::default();
+    let mut failures = 0usize;
+    for r in &results {
+        merged.merge_from(&r.metrics);
+        match &r.result {
+            Ok(out) if out.findings.is_empty() => {
+                let summary = match (&out.report, &out.outcome) {
+                    (rep, _) if !rep.is_empty() => rep.clone(),
+                    (_, Some(o)) => format!(
+                        "conformant; {} instruction(s), pc {:#06x}",
+                        o.steps, o.pc
+                    ),
+                    _ => "ok".to_string(),
+                };
+                println!("[{}] {} (worker {}): {}", r.id, r.label, r.worker, summary);
+            }
+            Ok(out) => {
+                failures += 1;
+                for f in &out.findings {
+                    eprintln!("[{}] {}: {} divergence: {}", r.id, r.label, f.kind.tag(), f.detail);
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("[{}] {}: {e}", r.id, r.label);
+            }
+        }
+    }
+    if !merged.is_empty() {
+        println!("-- telemetry ({} job(s), {} worker(s)) --", results.len(), workers);
+        print!("{}", export::render_summary(&merged));
+    }
+    if let Some(path) = &metrics_out {
+        let doc = export::MetricsDoc {
+            snapshot: &merged,
+            mode: telemetry::mode(),
+            trace_events: 0,
+            trace_dropped: 0,
+        };
+        std::fs::write(path, export::metrics_json(&doc)).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} job(s) failed", results.len()));
     }
     Ok(())
 }
@@ -606,6 +723,7 @@ fn main() -> ExitCode {
             Ok(o) => cmd_run(path, o),
             Err(e) => Err(e),
         },
+        ("serve", Some(_)) => cmd_serve(rest),
         ("backends", _) => cmd_backends(),
         ("factor", Some((n, opts))) => cmd_factor(n, opts),
         ("debug", Some((path, opts))) => cmd_debug(path, opts),

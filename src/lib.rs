@@ -44,6 +44,7 @@ pub use qsim_baseline as qsim;
 pub use tangled_asm as asm;
 pub use tangled_bfloat as bfloat;
 pub use tangled_isa as isa;
+pub use tangled_serve as serve;
 pub use tangled_sim as sim;
 pub use tangled_telemetry as telemetry;
 

@@ -175,3 +175,86 @@ fn sat_solves_dimacs() {
     assert!(!ok);
     assert!(stderr.contains("1..=16"));
 }
+
+#[test]
+fn serve_runs_jobs_across_workers() {
+    let (out, _, ok) = tangled(&[
+        "serve",
+        &asm_path("counting.s"),
+        &asm_path("newton_sqrt.s"),
+        "--workers",
+        "2",
+        "--ways",
+        "8",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("conformant"), "{out}");
+    assert!(out.contains("counting.s"), "{out}");
+    assert!(out.contains("newton_sqrt.s"), "{out}");
+    assert!(out.contains("2 job(s)"), "{out}");
+}
+
+#[test]
+fn qat_fuzz_sigint_drains_and_writes_metrics() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join("tangled_cli_sigint_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.json");
+
+    // A campaign far too long to finish on its own; the SIGINT path must
+    // stop submission, drain in-flight jobs, and still write the summary
+    // artifacts before exiting with the conventional 128+SIGINT code.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qat-fuzz"))
+        .args([
+            "--seeds",
+            "1000000",
+            "--len",
+            "20",
+            "--no-replay",
+            "--workers",
+            "2",
+            "--corpus",
+            dir.join("corpus").to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait until the campaign banner proves the pool is live, so the
+    // signal lands mid-campaign rather than during startup.
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    loop {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "fuzzer exited early");
+        if line.starts_with("campaign:") {
+            break;
+        }
+    }
+
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+
+    // Drain remaining stdout so the child never blocks on a full pipe,
+    // then reap it.
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(130), "SIGINT exits 130\n{rest}");
+    assert!(rest.contains("interrupted"), "{rest}");
+
+    // The metrics artifact must be present and well-formed even on the
+    // interrupt path.
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("\"schema\": \"tangled-metrics/v1\""), "{doc}");
+    assert!(doc.trim_start().starts_with('{') && doc.trim_end().ends_with('}'), "{doc}");
+}

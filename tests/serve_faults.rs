@@ -1,0 +1,189 @@
+//! Fault isolation in the serve pool: a core that panics mid-job is
+//! injected through the engine registry (`ModelEntry::custom`), and the
+//! pool must (a) fail only that job, with a typed [`JobError::Panic`]
+//! carrying the payload message, (b) keep the worker alive and keep
+//! draining everything else, and (c) shut down within bounded time —
+//! never deadlock on a poisoned worker.
+
+use std::sync::mpsc;
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use tangled_qat::serve::{JobError, JobKind, JobSpec, Pool, ServeConfig};
+use tangled_qat::sim::difftest::DiffConfig;
+use tangled_qat::sim::engine::{Core, ModelEntry, ModelRole};
+use tangled_qat::sim::{Machine, SimError, StepEvent};
+use tangled_qat::telemetry;
+
+/// A registry-shaped core whose `step` always panics — the worst-case
+/// client: not a typed error, an unwind out of the execution engine.
+struct PanicCore {
+    machine: Machine,
+}
+
+impl Core for PanicCore {
+    fn name(&self) -> &'static str {
+        "panic-core"
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn step(&mut self) -> Result<StepEvent, SimError> {
+        panic!("injected core panic");
+    }
+
+    fn report(&self) -> String {
+        String::new()
+    }
+}
+
+static PANIC_ENTRY: ModelEntry = ModelEntry::custom(
+    "panic-core",
+    "test-only core whose step() unwinds",
+    ModelRole::Timing,
+    |m| Box::new(PanicCore { machine: m }),
+);
+
+/// The production registry, plus the synthetic panicking model.
+fn resolver(name: &str) -> Option<&'static ModelEntry> {
+    if name == "panic-core" {
+        Some(&PANIC_ENTRY)
+    } else {
+        tangled_qat::sim::engine::model(name)
+    }
+}
+
+/// Worker panics are expected throughout this suite; silence the default
+/// hook's backtrace spew so test output stays readable.
+fn quiet_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::panic::set_hook(Box::new(|_| {})));
+}
+
+fn pool(workers: usize) -> Pool {
+    Pool::new(ServeConfig { workers, resolve_model: resolver, ..Default::default() })
+}
+
+fn words() -> Vec<u16> {
+    tangled_qat::asm::assemble("lex $1,5\nadd $1,$1\nsys\n").unwrap().words
+}
+
+fn run_job(model: &str, label: &str) -> JobSpec {
+    JobSpec {
+        kind: JobKind::Run { words: words(), model: model.into() },
+        cfg: DiffConfig::default(),
+        label: label.into(),
+    }
+}
+
+#[test]
+fn panic_fails_only_its_own_job() {
+    quiet_panics();
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let pool = pool(2);
+    // Interleave poisoned and healthy jobs so both workers see both kinds.
+    for i in 0..10 {
+        let spec = if i % 3 == 0 {
+            run_job("panic-core", &format!("bad-{i}"))
+        } else {
+            run_job("functional", &format!("good-{i}"))
+        };
+        pool.submit(spec).unwrap();
+    }
+    let results = pool.drain();
+    assert_eq!(results.len(), 10, "every accepted job yields exactly one result");
+    for (ix, r) in results.iter().enumerate() {
+        assert_eq!(r.id, ix as u64, "ids stay dense despite panics");
+        if ix % 3 == 0 {
+            match &r.result {
+                Err(JobError::Panic(msg)) => {
+                    assert!(
+                        msg.contains("injected core panic"),
+                        "panic payload preserved, got: {msg}"
+                    );
+                }
+                other => panic!("job {ix} should be a typed panic error, got {other:?}"),
+            }
+        } else {
+            let out = r.result.as_ref().expect("healthy job unaffected by neighbours");
+            assert!(out.outcome.is_some());
+        }
+    }
+}
+
+#[test]
+fn workers_survive_panics_and_keep_serving() {
+    quiet_panics();
+    telemetry::set_mode(telemetry::Mode::Counters);
+    // One worker: the same thread must execute a panic job, survive, and
+    // then complete healthy work — proving the unwind never kills it.
+    let pool = pool(1);
+    for round in 0..3 {
+        pool.submit(run_job("panic-core", &format!("bad-{round}"))).unwrap();
+        pool.submit(run_job("functional", &format!("good-{round}"))).unwrap();
+        let results = pool.drain();
+        assert_eq!(results.len(), 2, "drain returns just this round's results");
+        let (bad, good) = (&results[0], &results[1]);
+        assert!(matches!(bad.result, Err(JobError::Panic(_))));
+        assert!(good.result.is_ok());
+        assert_eq!(bad.worker, good.worker, "single worker handled both");
+    }
+}
+
+#[test]
+fn shutdown_joins_in_bounded_time_with_panicking_jobs_in_flight() {
+    quiet_panics();
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let pool = pool(4);
+    for i in 0..12 {
+        let spec = if i % 2 == 0 {
+            run_job("panic-core", "bad")
+        } else {
+            run_job("functional", "good")
+        };
+        pool.submit(spec).unwrap();
+    }
+    // Join on a helper thread so a deadlocked shutdown fails the test with
+    // a clear message instead of hanging the whole suite.
+    let (tx, rx) = mpsc::channel();
+    let t0 = Instant::now();
+    std::thread::spawn(move || {
+        let results = pool.shutdown();
+        let _ = tx.send(results);
+    });
+    let results = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("shutdown must complete in bounded time, not deadlock");
+    assert!(t0.elapsed() < Duration::from_secs(30));
+    // Shutdown drains: every accepted job is accounted for, completed or
+    // cancelled — none silently dropped.
+    assert_eq!(results.len(), 12);
+    for r in &results {
+        match &r.result {
+            Ok(out) => assert!(out.outcome.is_some()),
+            Err(JobError::Panic(msg)) => assert!(msg.contains("injected core panic")),
+            Err(JobError::Cancelled) => {} // discarded before pickup: still a result
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_model_is_typed_not_fatal() {
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let pool = pool(1);
+    pool.submit(run_job("no-such-core", "ghost")).unwrap();
+    pool.submit(run_job("functional", "real")).unwrap();
+    let results = pool.drain();
+    assert_eq!(
+        results[0].result,
+        Err(JobError::UnknownModel("no-such-core".into()))
+    );
+    assert!(results[1].result.is_ok());
+}
