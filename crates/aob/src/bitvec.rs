@@ -76,6 +76,25 @@ impl Aob {
         v
     }
 
+    /// Build from a pre-computed word buffer (single-pass kernel output).
+    /// The buffer must be exactly [`Aob::words_for`]`(ways)` long; padding
+    /// bits are masked off so the zero-padding invariant holds regardless
+    /// of what the kernel left there.
+    pub(crate) fn from_raw_words(ways: u32, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), Self::words_for(ways));
+        let mut v = Aob { ways, words };
+        v.normalize();
+        v
+    }
+
+    /// The backing word buffer itself (for buffer-reusing kernels that
+    /// swap a scratch vector in). Callers must keep the length equal to
+    /// [`Aob::words_for`] and re-establish the padding invariant.
+    #[inline]
+    pub(crate) fn words_vec_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.words
+    }
+
     /// Entanglement degree of this value.
     #[inline]
     pub fn ways(&self) -> u32 {

@@ -20,6 +20,90 @@
 
 use crate::bitvec::Aob;
 
+// ---------------------------------------------------------------------------
+// Word-loop building blocks: 4-way unrolled, single pass.
+//
+// A 16-way value is 1024 `u64` words; the two-pass clone-then-assign shape
+// the kernels used to have touched every word twice (memcpy, then the op).
+// These helpers fill a destination buffer in one pass, processing four
+// words per iteration the same way `intern::content_hash` does, which both
+// halves memory traffic and gives the optimizer independent lanes to
+// vectorize. The zero-padding invariant of `bitvec.rs` (high bits of the
+// final word are zero for `ways < 6`) is what makes this safe: AND/OR/XOR
+// of normalized operands stays normalized, and the constructors mask NOT.
+// ---------------------------------------------------------------------------
+
+/// `out = f(b[i], c[i])` for every word, replacing `out`'s contents.
+#[inline(always)]
+pub(crate) fn zip2_into(out: &mut Vec<u64>, b: &[u64], c: &[u64], f: impl Fn(u64, u64) -> u64) {
+    debug_assert_eq!(b.len(), c.len());
+    out.clear();
+    out.reserve(b.len());
+    let mut bq = b.chunks_exact(4);
+    let mut cq = c.chunks_exact(4);
+    for (x, y) in (&mut bq).zip(&mut cq) {
+        out.extend_from_slice(&[f(x[0], y[0]), f(x[1], y[1]), f(x[2], y[2]), f(x[3], y[3])]);
+    }
+    for (&x, &y) in bq.remainder().iter().zip(cq.remainder()) {
+        out.push(f(x, y));
+    }
+}
+
+/// `out = f(a[i], b[i], c[i])` for every word, replacing `out`'s contents.
+#[inline(always)]
+pub(crate) fn zip3_into(
+    out: &mut Vec<u64>,
+    a: &[u64],
+    b: &[u64],
+    c: &[u64],
+    f: impl Fn(u64, u64, u64) -> u64,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    out.clear();
+    out.reserve(a.len());
+    let mut aq = a.chunks_exact(4);
+    let mut bq = b.chunks_exact(4);
+    let mut cq = c.chunks_exact(4);
+    for ((x, y), z) in (&mut aq).zip(&mut bq).zip(&mut cq) {
+        out.extend_from_slice(&[
+            f(x[0], y[0], z[0]),
+            f(x[1], y[1], z[1]),
+            f(x[2], y[2], z[2]),
+            f(x[3], y[3], z[3]),
+        ]);
+    }
+    for ((&x, &y), &z) in aq.remainder().iter().zip(bq.remainder()).zip(cq.remainder()) {
+        out.push(f(x, y, z));
+    }
+}
+
+/// `a[i] = f(a[i], b[i])` in place for every word.
+#[inline(always)]
+fn zip2_assign(a: &mut [u64], b: &[u64], f: impl Fn(u64, u64) -> u64) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut aq = a.chunks_exact_mut(4);
+    let mut bq = b.chunks_exact(4);
+    for (x, y) in (&mut aq).zip(&mut bq) {
+        x[0] = f(x[0], y[0]);
+        x[1] = f(x[1], y[1]);
+        x[2] = f(x[2], y[2]);
+        x[3] = f(x[3], y[3]);
+    }
+    for (x, &y) in aq.into_remainder().iter_mut().zip(bq.remainder()) {
+        *x = f(*x, y);
+    }
+}
+
+/// Fresh single-pass binary kernel result.
+#[inline(always)]
+fn binop_of(b: &Aob, c: &Aob, f: impl Fn(u64, u64) -> u64) -> Aob {
+    b.check_same_ways(c);
+    let mut out = Vec::new();
+    zip2_into(&mut out, b.words(), c.words(), f);
+    Aob::from_raw_words(b.ways(), out)
+}
+
 impl Aob {
     // ------------------------------------------------------------------
     // Irreversible logic instructions (§2.6)
@@ -27,62 +111,63 @@ impl Aob {
 
     /// Pauli-X / logical NOT: flip every channel (`not @a`).
     pub fn not_assign(&mut self) {
-        for w in &mut self.words_mut().iter_mut() {
+        let mut q = self.words_mut().chunks_exact_mut(4);
+        for w in &mut q {
+            w[0] = !w[0];
+            w[1] = !w[1];
+            w[2] = !w[2];
+            w[3] = !w[3];
+        }
+        for w in q.into_remainder() {
             *w = !*w;
         }
         self.normalize();
     }
 
-    /// Channel-wise NOT of a value.
+    /// Channel-wise NOT of a value (single pass, padding masked).
     pub fn not_of(&self) -> Aob {
-        let mut r = self.clone();
-        r.not_assign();
-        r
+        let mut out = Vec::with_capacity(self.words().len());
+        let mut q = self.words().chunks_exact(4);
+        for w in &mut q {
+            out.extend_from_slice(&[!w[0], !w[1], !w[2], !w[3]]);
+        }
+        for &w in q.remainder() {
+            out.push(!w);
+        }
+        Aob::from_raw_words(self.ways(), out)
     }
 
     /// `a &= b`.
     pub fn and_assign(&mut self, b: &Aob) {
         self.check_same_ways(b);
-        for (x, y) in self.words_mut().iter_mut().zip(b.words()) {
-            *x &= *y;
-        }
+        zip2_assign(self.words_mut(), b.words(), |x, y| x & y);
     }
 
     /// `@a = AND(@b, @c)` — the Qat three-register form.
     pub fn and_of(b: &Aob, c: &Aob) -> Aob {
-        let mut r = b.clone();
-        r.and_assign(c);
-        r
+        binop_of(b, c, |x, y| x & y)
     }
 
     /// `a |= b`.
     pub fn or_assign(&mut self, b: &Aob) {
         self.check_same_ways(b);
-        for (x, y) in self.words_mut().iter_mut().zip(b.words()) {
-            *x |= *y;
-        }
+        zip2_assign(self.words_mut(), b.words(), |x, y| x | y);
     }
 
     /// `@a = OR(@b, @c)`.
     pub fn or_of(b: &Aob, c: &Aob) -> Aob {
-        let mut r = b.clone();
-        r.or_assign(c);
-        r
+        binop_of(b, c, |x, y| x | y)
     }
 
     /// `a ^= b`.
     pub fn xor_assign(&mut self, b: &Aob) {
         self.check_same_ways(b);
-        for (x, y) in self.words_mut().iter_mut().zip(b.words()) {
-            *x ^= *y;
-        }
+        zip2_assign(self.words_mut(), b.words(), |x, y| x ^ y);
     }
 
     /// `@a = XOR(@b, @c)`.
     pub fn xor_of(b: &Aob, c: &Aob) -> Aob {
-        let mut r = b.clone();
-        r.xor_assign(c);
-        r
+        binop_of(b, c, |x, y| x ^ y)
     }
 
     // ------------------------------------------------------------------
@@ -100,21 +185,44 @@ impl Aob {
     pub fn ccnot_assign(&mut self, b: &Aob, c: &Aob) {
         self.check_same_ways(b);
         self.check_same_ways(c);
-        for ((x, y), z) in self.words_mut().iter_mut().zip(b.words()).zip(c.words()) {
-            *x ^= *y & *z;
+        let mut aq = self.words_mut().chunks_exact_mut(4);
+        let mut bq = b.words().chunks_exact(4);
+        let mut cq = c.words().chunks_exact(4);
+        for ((x, y), z) in (&mut aq).zip(&mut bq).zip(&mut cq) {
+            x[0] ^= y[0] & z[0];
+            x[1] ^= y[1] & z[1];
+            x[2] ^= y[2] & z[2];
+            x[3] ^= y[3] & z[3];
         }
+        for ((x, &y), &z) in aq
+            .into_remainder()
+            .iter_mut()
+            .zip(bq.remainder())
+            .zip(cq.remainder())
+        {
+            *x ^= y & z;
+        }
+    }
+
+    /// `ccnot` as a fused three-address kernel: `a XOR (b AND c)` in one
+    /// pass, without interning or materializing the `b AND c` intermediate.
+    pub fn ccnot_of(a: &Aob, b: &Aob, c: &Aob) -> Aob {
+        a.check_same_ways(b);
+        a.check_same_ways(c);
+        let mut out = Vec::new();
+        zip3_into(&mut out, a.words(), b.words(), c.words(), |x, y, z| x ^ (y & z));
+        Aob::from_raw_words(a.ways(), out)
     }
 
     // ------------------------------------------------------------------
     // Reversible swap-based instructions (§2.5)
     // ------------------------------------------------------------------
 
-    /// Unconditional exchange of two AoB values (`swap @a,@b`).
+    /// Unconditional exchange of two AoB values (`swap @a,@b`). A pure
+    /// buffer exchange — no words are touched.
     pub fn swap(a: &mut Aob, b: &mut Aob) {
         a.check_same_ways(b);
-        for (x, y) in a.words_mut().iter_mut().zip(b.words_mut()) {
-            std::mem::swap(x, y);
-        }
+        std::mem::swap(a.words_vec_mut(), b.words_vec_mut());
     }
 
     /// Fredkin gate: `where (@c) swap(@a, @b)` — exchange `a` and `b` only
@@ -123,14 +231,24 @@ impl Aob {
     pub fn cswap(a: &mut Aob, b: &mut Aob, c: &Aob) {
         a.check_same_ways(b);
         a.check_same_ways(c);
-        for ((x, y), m) in a
-            .words_mut()
+        // Classic masked-swap: t = (x ^ y) & m; x ^= t; y ^= t.
+        let mut aq = a.words_mut().chunks_exact_mut(4);
+        let mut bq = b.words_mut().chunks_exact_mut(4);
+        let mut cq = c.words().chunks_exact(4);
+        for ((x, y), m) in (&mut aq).zip(&mut bq).zip(&mut cq) {
+            for i in 0..4 {
+                let t = (x[i] ^ y[i]) & m[i];
+                x[i] ^= t;
+                y[i] ^= t;
+            }
+        }
+        for ((x, y), &m) in aq
+            .into_remainder()
             .iter_mut()
-            .zip(b.words_mut().iter_mut())
-            .zip(c.words())
+            .zip(bq.into_remainder().iter_mut())
+            .zip(cq.remainder())
         {
-            // Classic masked-swap: t = (x ^ y) & m; x ^= t; y ^= t.
-            let t = (*x ^ *y) & *m;
+            let t = (*x ^ *y) & m;
             *x ^= t;
             *y ^= t;
         }
@@ -143,11 +261,11 @@ impl Aob {
     pub fn mux_of(sel: &Aob, t: &Aob, f: &Aob) -> Aob {
         sel.check_same_ways(t);
         sel.check_same_ways(f);
-        let mut r = f.clone();
-        for ((x, s), y) in r.words_mut().iter_mut().zip(sel.words()).zip(t.words()) {
-            *x = (*x & !*s) | (*y & *s);
-        }
-        r
+        let mut out = Vec::new();
+        zip3_into(&mut out, sel.words(), t.words(), f.words(), |s, y, x| {
+            (x & !s) | (y & s)
+        });
+        Aob::from_raw_words(sel.ways(), out)
     }
 }
 
@@ -299,5 +417,73 @@ mod tests {
         let mut a = Aob::zeros(4);
         let b = Aob::zeros(5);
         a.and_assign(&b);
+    }
+
+    /// Every word beyond `2^ways` valid bits must stay zero.
+    fn assert_padded(v: &Aob, what: &str) {
+        let valid = v.len();
+        if valid >= 64 {
+            return; // whole final word is valid
+        }
+        let mask = (1u64 << valid) - 1;
+        assert_eq!(
+            v.words().last().unwrap() & !mask,
+            0,
+            "{what} leaked into the padding bits (ways {})",
+            v.ways()
+        );
+    }
+
+    #[test]
+    fn sub_word_values_keep_padding_zero_through_fused_kernels() {
+        // The single-pass kernels rely on the bitvec zero-padding
+        // invariant; prove that values built through every constructor
+        // keep it across not chains and the fused three-operand kernels.
+        for ways in 0..6u32 {
+            let constructed: Vec<(&str, Aob)> = vec![
+                ("zeros", Aob::zeros(ways)),
+                ("ones", Aob::ones(ways)),
+                ("from_fn", Aob::from_fn(ways, |e| e % 2 == 0)),
+                ("from_bits", Aob::from_bits(ways, u64::MAX)),
+                ("hadamard", Aob::hadamard(ways, ways.saturating_sub(1))),
+            ];
+            for (name, v) in &constructed {
+                assert_padded(v, name);
+                // not chains: the involution must mask, every time.
+                let mut chained = v.clone();
+                for i in 0..5 {
+                    chained.not_assign();
+                    assert_padded(&chained, name);
+                    if i % 2 == 1 {
+                        assert_eq!(&chained, v, "{name}: double-not is identity");
+                    }
+                }
+                assert_padded(&v.not_of(), name);
+            }
+            // Fused kernels across constructor pairs, including the
+            // all-ones/`from_bits(MAX)` worst case for padding leaks.
+            for (na, a) in &constructed {
+                for (nb, b) in &constructed {
+                    assert_padded(&Aob::and_of(a, b), na);
+                    assert_padded(&Aob::or_of(a, b), na);
+                    assert_padded(&Aob::xor_of(a, b), na);
+                    let nc = Aob::ccnot_of(a, b, &Aob::ones(ways));
+                    assert_padded(&nc, na);
+                    assert_padded(&Aob::mux_of(a, b, &nc), nb);
+                    let mut x = a.clone();
+                    let mut y = b.clone();
+                    Aob::cswap(&mut x, &mut y, &Aob::ones(ways));
+                    assert_padded(&x, na);
+                    assert_padded(&y, nb);
+                    let mut z = a.clone();
+                    z.ccnot_assign(b, &Aob::ones(ways));
+                    assert_padded(&z, na);
+                }
+            }
+            // pop over the full vector sees no phantom ones from padding.
+            let mut ones = Aob::ones(ways);
+            ones.not_assign();
+            assert_eq!(ones.pop_all(), 0, "ways {ways}: NOT(ones) has population 0");
+        }
     }
 }

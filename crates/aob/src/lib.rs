@@ -40,6 +40,7 @@
 //! }
 //! ```
 
+pub mod adaptive;
 pub mod bitvec;
 pub mod energy;
 pub mod entropy;
@@ -50,9 +51,13 @@ pub mod measure;
 pub mod parallel;
 pub mod storage;
 
+pub use adaptive::AdaptiveFile;
 pub use bitvec::{Aob, MAX_WAYS};
 pub use energy::{EnergyMeter, EnergyModel};
 pub use entropy::EntropyReport;
 pub use intern::{ChunkId, ChunkStore, GateOp, InternStats, ID_ONE, ID_ZERO};
 pub use parallel::ParallelError;
-pub use storage::{AobStorage, ConstKind, EagerFile, InternedFile, StorageBackend, WriteDelta};
+pub use storage::{
+    AdaptiveStats, AobStorage, ConstKind, EagerFile, GateAction, InternedFile, StorageBackend,
+    WriteDelta,
+};

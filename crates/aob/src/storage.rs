@@ -43,12 +43,19 @@ pub enum StorageBackend {
     /// Run-length-compressed RE symbols; supports `ways` beyond the
     /// hardware's 16 on structured states.
     SparseRe,
+    /// Starts eager per register and promotes to an interning inner file
+    /// when dedup telemetry says the overhead pays for itself.
+    Adaptive,
 }
 
 impl StorageBackend {
     /// Every backend, in registry order.
-    pub const ALL: [StorageBackend; 3] =
-        [StorageBackend::Eager, StorageBackend::Interned, StorageBackend::SparseRe];
+    pub const ALL: [StorageBackend; 4] = [
+        StorageBackend::Eager,
+        StorageBackend::Interned,
+        StorageBackend::SparseRe,
+        StorageBackend::Adaptive,
+    ];
 
     /// Canonical CLI / registry name.
     pub fn name(self) -> &'static str {
@@ -56,6 +63,7 @@ impl StorageBackend {
             StorageBackend::Eager => "eager",
             StorageBackend::Interned => "interned",
             StorageBackend::SparseRe => "sparse-re",
+            StorageBackend::Adaptive => "adaptive",
         }
     }
 
@@ -65,6 +73,7 @@ impl StorageBackend {
             "eager" => Some(StorageBackend::Eager),
             "interned" => Some(StorageBackend::Interned),
             "sparse-re" | "sparse_re" => Some(StorageBackend::SparseRe),
+            "adaptive" => Some(StorageBackend::Adaptive),
             _ => None,
         }
     }
@@ -77,7 +86,7 @@ impl std::fmt::Display for StorageBackend {
 }
 
 /// The constant an initializer instruction (`zero` / `one` / `had`) writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConstKind {
     /// All channels 0.
     Zeros,
@@ -111,6 +120,66 @@ impl WriteDelta {
         self.pop_delta += other.pop_delta;
         self.writes += other.writes;
     }
+}
+
+/// One Table-3 register-file mutation, reified so a *run* of gates can be
+/// handed to a backend in a single [`AobStorage::gate_run`] call. Register
+/// indices are `u8` — the architectural file has exactly [`REG_COUNT`]
+/// registers — so an action is a compact, hashable fusion-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateAction {
+    /// `zero` / `one` / `had @r`.
+    Const(u8, ConstKind),
+    /// `not @r`.
+    Not(u8),
+    /// `and`/`or`/`xor @a,@b,@c`.
+    Bin(GateOp, u8, u8, u8),
+    /// `ccnot @a,@b,@c`.
+    Ccnot(u8, u8, u8),
+    /// `swap @a,@b`.
+    Swap(u8, u8),
+    /// `cswap @a,@b,@c`.
+    Cswap(u8, u8, u8),
+}
+
+impl GateAction {
+    /// Registers this action reads (before any destination is written).
+    /// Returns a fixed buffer plus the live count.
+    pub fn srcs(self) -> ([u8; 3], usize) {
+        match self {
+            GateAction::Const(..) => ([0; 3], 0),
+            GateAction::Not(r) => ([r, 0, 0], 1),
+            GateAction::Bin(_, _, b, c) => ([b, c, 0], 2),
+            GateAction::Ccnot(a, b, c) => ([a, b, c], 3),
+            GateAction::Swap(a, b) => ([a, b, 0], 2),
+            GateAction::Cswap(a, b, c) => ([a, b, c], 3),
+        }
+    }
+
+    /// Registers this action writes.
+    pub fn dests(self) -> ([u8; 2], usize) {
+        match self {
+            GateAction::Const(r, _) | GateAction::Not(r) => ([r, 0], 1),
+            GateAction::Bin(_, a, ..) | GateAction::Ccnot(a, ..) => ([a, 0], 1),
+            GateAction::Swap(a, b) | GateAction::Cswap(a, b, _) => ([a, b], 2),
+        }
+    }
+}
+
+/// Promotion/demotion counters of the `adaptive` backend.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Times the file switched from eager to its interning inner file.
+    pub promotions: u64,
+    /// Times it fell back to eager after interning stopped paying.
+    pub demotions: u64,
+    /// Gates the eager-mode shadow probe predicted would have hit an
+    /// op cache.
+    pub probe_hits: u64,
+    /// Gates observed by the shadow probe while eager.
+    pub probed_gates: u64,
+    /// Total gate operations seen.
+    pub gates: u64,
 }
 
 /// A Qat register file: [`REG_COUNT`] AoB values in some representation.
@@ -152,6 +221,47 @@ pub trait AobStorage: std::fmt::Debug + Send {
 
     /// `cswap @a,@b,@c`: exchange `a`/`b` in the channels where `c` is set.
     fn gate_cswap(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta;
+
+    /// Dispatch one reified [`GateAction`] to the matching gate method.
+    fn apply_action(&mut self, act: GateAction, meter: bool) -> WriteDelta {
+        match act {
+            GateAction::Const(r, k) => self.write_const(r as usize, k, meter),
+            GateAction::Not(r) => self.gate_not(r as usize, meter),
+            GateAction::Bin(op, a, b, c) => {
+                self.gate_bin(op, a as usize, b as usize, c as usize, meter)
+            }
+            GateAction::Ccnot(a, b, c) => {
+                self.gate_ccnot(a as usize, b as usize, c as usize, meter)
+            }
+            GateAction::Swap(a, b) => self.gate_swap(a as usize, b as usize, meter),
+            GateAction::Cswap(a, b, c) => {
+                self.gate_cswap(a as usize, b as usize, c as usize, meter)
+            }
+        }
+    }
+
+    /// Execute a straight-line run of gates as one unit. The default is
+    /// the per-gate loop (bit-for-bit identical to stepping), so every
+    /// backend is fusion-correct for free; interning backends override
+    /// this to replay whole runs from a sequence cache.
+    fn gate_run(&mut self, actions: &[GateAction], meter: bool) -> WriteDelta {
+        let mut d = WriteDelta::default();
+        for &a in actions {
+            d.merge(self.apply_action(a, meter));
+        }
+        d
+    }
+
+    /// Whether handing this backend fused runs is worth the dispatcher's
+    /// scan (i.e. [`AobStorage::gate_run`] does better than the loop).
+    fn wants_fusion(&self) -> bool {
+        false
+    }
+
+    /// Promotion/demotion counters, if this is the adaptive backend.
+    fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        None
+    }
 
     /// `meas`: bit of register `r` at channel `e` (wrapped into range).
     fn meas(&self, r: usize, e: u64) -> bool;
@@ -203,10 +313,17 @@ fn meter_delta(old: &Aob, new: &Aob) -> WriteDelta {
 // ---------------------------------------------------------------------------
 
 /// Register file where every register owns an explicit [`Aob`].
+///
+/// Unmetered gates run single-pass vectorized kernels straight into two
+/// reusable scratch buffers and swap the result in — zero steady-state
+/// allocation and one pass over the words. Metered gates keep the
+/// value-snapshot path, which needs the old value anyway.
 #[derive(Debug, Clone)]
 pub struct EagerFile {
     regs: Vec<Aob>,
     ways: u32,
+    scratch: Vec<u64>,
+    scratch2: Vec<u64>,
 }
 
 impl EagerFile {
@@ -218,13 +335,191 @@ impl EagerFile {
                 regs[i] = c;
             }
         }
-        EagerFile { regs, ways }
+        EagerFile { regs, ways, scratch: Vec::new(), scratch2: Vec::new() }
     }
 
     fn commit(&mut self, r: usize, v: Aob, meter: bool) -> WriteDelta {
         let d = if meter { meter_delta(&self.regs[r], &v) } else { WriteDelta::default() };
         self.regs[r] = v;
         d
+    }
+
+    /// Apply one action to word range `lo..hi` of its registers. Every
+    /// Table-3 gate is word-element-wise — output word `i` depends only
+    /// on input words `i` — which is what makes the blocked schedule of
+    /// [`AobStorage::gate_run`] legal: applying the gates in order within
+    /// each strip produces bit-identical results to applying each gate
+    /// over the whole register file.
+    fn strip_step(&mut self, act: GateAction, lo: usize, hi: usize) {
+        match act {
+            GateAction::Const(r, k) => {
+                let ways = self.ways;
+                let strip = &mut self.regs[r as usize].words_mut()[lo..hi];
+                for (i, w) in strip.iter_mut().enumerate() {
+                    *w = const_word(k, ways, lo + i);
+                }
+            }
+            GateAction::Not(r) => {
+                for w in &mut self.regs[r as usize].words_mut()[lo..hi] {
+                    *w = !*w;
+                }
+            }
+            GateAction::Bin(op, a, b, c) => {
+                let (a, b, c) = (a as usize, b as usize, c as usize);
+                match op {
+                    GateOp::And => self.bin_strip(a, b, c, lo, hi, |p, q| p & q),
+                    GateOp::Or => self.bin_strip(a, b, c, lo, hi, |p, q| p | q),
+                    GateOp::Xor => self.bin_strip(a, b, c, lo, hi, |p, q| p ^ q),
+                }
+            }
+            GateAction::Ccnot(a, b, c) => {
+                let (a, b, c) = (a as usize, b as usize, c as usize);
+                let regs = &mut self.regs[..];
+                if b == c {
+                    // `a ^= b & b` = `a ^= b`; with `a == b` that zeroes.
+                    if a == b {
+                        for w in &mut regs[a].words_mut()[lo..hi] {
+                            *w = 0;
+                        }
+                    } else {
+                        let (av, bv) = pair_mut(regs, a, b);
+                        let bw = &bv.words()[lo..hi];
+                        for (w, &s) in av.words_mut()[lo..hi].iter_mut().zip(bw) {
+                            *w ^= s;
+                        }
+                    }
+                } else if a == b || a == c {
+                    let other = if a == b { c } else { b };
+                    let (av, ov) = pair_mut(regs, a, other);
+                    let ow = &ov.words()[lo..hi];
+                    for (w, &s) in av.words_mut()[lo..hi].iter_mut().zip(ow) {
+                        *w ^= *w & s;
+                    }
+                } else {
+                    let (av, bv, cv) = dest2(regs, a, b, c);
+                    let (bw, cw) = (&bv.words()[lo..hi], &cv.words()[lo..hi]);
+                    for ((w, &y), &z) in av.words_mut()[lo..hi].iter_mut().zip(bw).zip(cw) {
+                        *w ^= y & z;
+                    }
+                }
+            }
+            GateAction::Swap(a, b) => {
+                if a != b {
+                    let (av, bv) = pair_mut(&mut self.regs, a as usize, b as usize);
+                    av.words_mut()[lo..hi].swap_with_slice(&mut bv.words_mut()[lo..hi]);
+                }
+            }
+            GateAction::Cswap(a, b, c) => {
+                if a == b {
+                    // Swapping a register with itself in any channel
+                    // subset is the identity.
+                    return;
+                }
+                // The selector may alias either swap operand; a stack
+                // copy of its strip makes every case uniform.
+                let mut sel = [0u64; STRIP_WORDS];
+                let n = hi - lo;
+                sel[..n].copy_from_slice(&self.regs[c as usize].words()[lo..hi]);
+                let (av, bv) = pair_mut(&mut self.regs, a as usize, b as usize);
+                let (aw, bw) = (&mut av.words_mut()[lo..hi], &mut bv.words_mut()[lo..hi]);
+                for ((x, y), &s) in aw.iter_mut().zip(bw.iter_mut()).zip(&sel[..n]) {
+                    let (ta, tb) = (*x, *y);
+                    *x = (ta & !s) | (tb & s); // a' = mux(c, b, a)
+                    *y = (tb & !s) | (ta & s); // b' = mux(c, a, b)
+                }
+            }
+        }
+    }
+
+    /// Strip kernel for the two-source bitwise gates, peeling the operand
+    /// alias cases so each loop body borrows disjoint registers.
+    fn bin_strip(
+        &mut self,
+        a: usize,
+        b: usize,
+        c: usize,
+        lo: usize,
+        hi: usize,
+        f: impl Fn(u64, u64) -> u64,
+    ) {
+        let regs = &mut self.regs[..];
+        if a == b && a == c {
+            for w in &mut regs[a].words_mut()[lo..hi] {
+                *w = f(*w, *w);
+            }
+        } else if a == b || a == c {
+            let other = if a == b { c } else { b };
+            let (av, ov) = pair_mut(regs, a, other);
+            let ow = &ov.words()[lo..hi];
+            for (w, &s) in av.words_mut()[lo..hi].iter_mut().zip(ow) {
+                // `f` is commutative (and/or/xor), so operand order is
+                // immaterial in the folded case.
+                *w = f(*w, s);
+            }
+        } else if b == c {
+            let (av, bv) = pair_mut(regs, a, b);
+            let bw = &bv.words()[lo..hi];
+            for (w, &s) in av.words_mut()[lo..hi].iter_mut().zip(bw) {
+                *w = f(s, s);
+            }
+        } else {
+            let (av, bv, cv) = dest2(regs, a, b, c);
+            let (bw, cw) = (&bv.words()[lo..hi], &cv.words()[lo..hi]);
+            for ((w, &x), &y) in av.words_mut()[lo..hi].iter_mut().zip(bw).zip(cw) {
+                *w = f(x, y);
+            }
+        }
+    }
+}
+
+/// Words per strip of the blocked [`AobStorage::gate_run`] executor on
+/// [`EagerFile`]: 2 KiB strips keep a whole run's touched-register strip
+/// set cache-resident across every gate of the run, so a register reused
+/// by several gates is streamed from memory once per run instead of once
+/// per gate.
+const STRIP_WORDS: usize = 256;
+
+/// Disjoint mutable borrows of two distinct registers.
+fn pair_mut(regs: &mut [Aob], i: usize, j: usize) -> (&mut Aob, &mut Aob) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = regs.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = regs.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+/// Destination register mutably plus two sources shared; the sources must
+/// be distinct from the destination (callers peel the aliased cases).
+fn dest2(regs: &mut [Aob], d: usize, s1: usize, s2: usize) -> (&mut Aob, &Aob, &Aob) {
+    debug_assert!(d != s1 && d != s2);
+    let (lo, rest) = regs.split_at_mut(d);
+    let (dv, hi) = rest.split_first_mut().expect("destination register in range");
+    let lo: &[Aob] = lo;
+    let hi: &[Aob] = hi;
+    let s1v = if s1 < d { &lo[s1] } else { &hi[s1 - d - 1] };
+    let s2v = if s2 < d { &lo[s2] } else { &hi[s2 - d - 1] };
+    (dv, s1v, s2v)
+}
+
+/// The `i`-th word of a `ways`-way constant value. Only valid for values
+/// without padding bits (`2^ways >= 64`), which the strip executor's
+/// word-count gate guarantees.
+fn const_word(kind: ConstKind, ways: u32, i: usize) -> u64 {
+    match kind {
+        ConstKind::Zeros => 0,
+        ConstKind::Ones => u64::MAX,
+        ConstKind::Hadamard(k) if k >= ways => 0,
+        ConstKind::Hadamard(k) if k < 6 => crate::hadamard::LANE[k as usize],
+        ConstKind::Hadamard(k) => {
+            if (i >> (k - 6)) & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            }
+        }
     }
 }
 
@@ -255,11 +550,25 @@ impl AobStorage for EagerFile {
     }
 
     fn gate_not(&mut self, r: usize, meter: bool) -> WriteDelta {
+        if !meter {
+            self.regs[r].not_assign();
+            return WriteDelta::default();
+        }
         let v = self.regs[r].not_of();
         self.commit(r, v, meter)
     }
 
     fn gate_bin(&mut self, op: GateOp, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        if !meter {
+            let (x, y) = (self.regs[b].words(), self.regs[c].words());
+            match op {
+                GateOp::And => crate::gates::zip2_into(&mut self.scratch, x, y, |p, q| p & q),
+                GateOp::Or => crate::gates::zip2_into(&mut self.scratch, x, y, |p, q| p | q),
+                GateOp::Xor => crate::gates::zip2_into(&mut self.scratch, x, y, |p, q| p ^ q),
+            }
+            std::mem::swap(self.regs[a].words_vec_mut(), &mut self.scratch);
+            return WriteDelta::default();
+        }
         let (x, y) = (&self.regs[b], &self.regs[c]);
         let v = match op {
             GateOp::And => Aob::and_of(x, y),
@@ -270,6 +579,17 @@ impl AobStorage for EagerFile {
     }
 
     fn gate_ccnot(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        if !meter {
+            crate::gates::zip3_into(
+                &mut self.scratch,
+                self.regs[a].words(),
+                self.regs[b].words(),
+                self.regs[c].words(),
+                |x, y, z| x ^ (y & z),
+            );
+            std::mem::swap(self.regs[a].words_vec_mut(), &mut self.scratch);
+            return WriteDelta::default();
+        }
         let mut v = self.regs[a].clone();
         v.ccnot_assign(&self.regs[b], &self.regs[c]);
         self.commit(a, v, meter)
@@ -286,12 +606,54 @@ impl AobStorage for EagerFile {
     }
 
     fn gate_cswap(&mut self, a: usize, b: usize, c: usize, meter: bool) -> WriteDelta {
+        if !meter {
+            if a == b {
+                // Swapping a register with itself in any channel subset is
+                // the identity.
+                return WriteDelta::default();
+            }
+            let mux = |s: u64, t: u64, f: u64| (f & !s) | (t & s);
+            let (va, vb, vc) =
+                (self.regs[a].words(), self.regs[b].words(), self.regs[c].words());
+            crate::gates::zip3_into(&mut self.scratch, vc, vb, va, mux); // a' = mux(c, b, a)
+            crate::gates::zip3_into(&mut self.scratch2, vc, va, vb, mux); // b' = mux(c, a, b)
+            std::mem::swap(self.regs[a].words_vec_mut(), &mut self.scratch);
+            std::mem::swap(self.regs[b].words_vec_mut(), &mut self.scratch2);
+            return WriteDelta::default();
+        }
         let mut va = self.regs[a].clone();
         let mut vb = self.regs[b].clone();
         Aob::cswap(&mut va, &mut vb, &self.regs[c]);
         let mut d = self.commit(a, va, meter);
         d.merge(self.commit(b, vb, meter));
         d
+    }
+
+    fn gate_run(&mut self, actions: &[GateAction], meter: bool) -> WriteDelta {
+        let words = Aob::words_for(self.ways);
+        // Metered runs need per-gate deltas, single-word values (`ways < 6`)
+        // carry padding bits the strip kernels do not maintain, and a run
+        // of one gate gains nothing over the plain path.
+        if meter || actions.len() < 2 || words < 2 {
+            let mut d = WriteDelta::default();
+            for &a in actions {
+                d.merge(self.apply_action(a, meter));
+            }
+            return d;
+        }
+        // Blocked schedule: all gates over one strip, then the next strip.
+        // Legal because every gate is word-element-wise (see `strip_step`);
+        // the payoff is that a register read by several gates of the run
+        // is pulled into cache once per run rather than once per gate.
+        let mut lo = 0;
+        while lo < words {
+            let hi = (lo + STRIP_WORDS).min(words);
+            for &act in actions {
+                self.strip_step(act, lo, hi);
+            }
+            lo = hi;
+        }
+        WriteDelta::default()
     }
 
     fn meas(&self, r: usize, e: u64) -> bool {
@@ -315,11 +677,28 @@ impl AobStorage for EagerFile {
 // Interned: hash-consed chunk ids, memoized gates, copy-on-write.
 // ---------------------------------------------------------------------------
 
+/// A fused-run cache key: the exact gate sequence plus the ids of every
+/// register the run reads before writing. Chunk ids name values
+/// canonically within one store, so equal keys guarantee equal outputs —
+/// replaying the recorded writes is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RunKey {
+    actions: Vec<GateAction>,
+    inputs: Vec<ChunkId>,
+}
+
+/// Entries kept in the fused-run cache before a full sweep.
+const RUN_CACHE_CAPACITY: usize = 1 << 12;
+
 /// Register file of [`ChunkId`]s into a private hash-consed [`ChunkStore`].
 #[derive(Debug, Clone)]
 pub struct InternedFile {
     store: ChunkStore,
     ids: Vec<ChunkId>,
+    /// Whole-run memoization: a repeated gate sequence over the same input
+    /// ids (e.g. a loop body) replays its recorded writes with **zero**
+    /// per-gate op-cache probes.
+    runs: crate::intern::FastMap<RunKey, Vec<(u8, ChunkId)>>,
 }
 
 impl InternedFile {
@@ -334,7 +713,7 @@ impl InternedFile {
                 ids[(2 + k) as usize] = store.id_hadamard(k);
             }
         }
-        InternedFile { store, ids }
+        InternedFile { store, ids, runs: crate::intern::FastMap::default() }
     }
 
     fn commit(&mut self, r: usize, id: ChunkId, meter: bool) -> WriteDelta {
@@ -422,6 +801,64 @@ impl AobStorage for InternedFile {
         self.store.aob(self.ids[r]).pop_after(d)
     }
 
+    fn gate_run(&mut self, actions: &[GateAction], meter: bool) -> WriteDelta {
+        // Metered runs need per-gate deltas (intermediate overwrites
+        // contribute toggles a replay cannot reconstruct), and runs of one
+        // gate gain nothing over the plain path.
+        if meter || actions.len() < 2 {
+            let mut d = WriteDelta::default();
+            for &a in actions {
+                d.merge(self.apply_action(a, meter));
+            }
+            return d;
+        }
+        // The run's inputs: the current id of every register read before
+        // the run writes it. Registers first written inside the run are
+        // internal and don't key the cache.
+        let mut written = [false; REG_COUNT];
+        let mut recorded = [false; REG_COUNT];
+        let mut inputs = Vec::new();
+        for act in actions {
+            let (srcs, ns) = act.srcs();
+            for &r in &srcs[..ns] {
+                let r = r as usize;
+                if !written[r] && !recorded[r] {
+                    recorded[r] = true;
+                    inputs.push(self.ids[r]);
+                }
+            }
+            let (dsts, nd) = act.dests();
+            for &r in &dsts[..nd] {
+                written[r as usize] = true;
+            }
+        }
+        let key = RunKey { actions: actions.to_vec(), inputs };
+        if let Some(writes) = self.runs.get(&key) {
+            for &(r, id) in writes {
+                self.ids[r as usize] = id;
+            }
+            self.store.credit_fused(actions.len() as u64);
+            return WriteDelta::default();
+        }
+        let mut d = WriteDelta::default();
+        for &a in actions {
+            d.merge(self.apply_action(a, false));
+        }
+        let writes: Vec<(u8, ChunkId)> = (0..REG_COUNT)
+            .filter(|&r| written[r])
+            .map(|r| (r as u8, self.ids[r]))
+            .collect();
+        if self.runs.len() >= RUN_CACHE_CAPACITY {
+            self.runs.clear();
+        }
+        self.runs.insert(key, writes);
+        d
+    }
+
+    fn wants_fusion(&self) -> bool {
+        true
+    }
+
     fn intern_stats(&self) -> Option<InternStats> {
         Some(self.store.stats())
     }
@@ -459,6 +896,67 @@ mod tests {
         assert_eq!(StorageBackend::parse("nope"), None);
     }
 
+    /// The blocked strip executor must be bit-identical to stepping the
+    /// same actions one at a time, across strip-boundary word counts and
+    /// every operand-alias shape (dest==src, src==src, selector aliasing
+    /// a cswap operand).
+    #[test]
+    fn strip_gate_run_matches_per_gate_loop() {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        // ways 7 (two words, one partial strip), 9, and 16 (four strips).
+        for ways in [7u32, 9, 16] {
+            let mut stepped = EagerFile::new(ways, false);
+            for r in 0..24 {
+                let seed = next(u64::MAX);
+                stepped.set(r, &Aob::from_fn(ways, |e| (e ^ seed).count_ones() & 1 == 1));
+            }
+            let mut actions = Vec::new();
+            for _ in 0..200 {
+                let r = |n: &mut dyn FnMut(u64) -> u64| n(24) as u8;
+                let act = match next(8) {
+                    0 => GateAction::Const(
+                        r(&mut next),
+                        match next(3) {
+                            0 => ConstKind::Zeros,
+                            1 => ConstKind::Ones,
+                            _ => ConstKind::Hadamard(next(u64::from(ways) + 2) as u32),
+                        },
+                    ),
+                    1 => GateAction::Not(r(&mut next)),
+                    2 | 3 => GateAction::Bin(
+                        match next(3) {
+                            0 => GateOp::And,
+                            1 => GateOp::Or,
+                            _ => GateOp::Xor,
+                        },
+                        r(&mut next),
+                        r(&mut next),
+                        r(&mut next),
+                    ),
+                    4 | 5 => GateAction::Ccnot(r(&mut next), r(&mut next), r(&mut next)),
+                    6 => GateAction::Swap(r(&mut next), r(&mut next)),
+                    _ => GateAction::Cswap(r(&mut next), r(&mut next), r(&mut next)),
+                };
+                actions.push(act);
+            }
+            let mut blocked = stepped.clone();
+            let d = blocked.gate_run(&actions, false);
+            assert_eq!(d, WriteDelta::default(), "unmetered runs carry no delta");
+            for &act in &actions {
+                stepped.apply_action(act, false);
+            }
+            for r in 0..REG_COUNT {
+                assert_eq!(blocked.read(r), stepped.read(r), "ways {ways} @{r}");
+            }
+        }
+    }
+
     #[test]
     fn eager_and_interned_agree_on_gate_mix() {
         let [mut e, mut i] = files(8);
@@ -493,6 +991,67 @@ mod tests {
             let d3 = f.gate_swap(0, 1, true);
             assert_eq!(d3.pop_delta, 0);
             assert_eq!(d3.writes, 2);
+        }
+    }
+
+    fn mix_actions() -> Vec<GateAction> {
+        vec![
+            GateAction::Const(0, ConstKind::Hadamard(1)),
+            GateAction::Const(1, ConstKind::Hadamard(6)),
+            GateAction::Const(2, ConstKind::Ones),
+            GateAction::Bin(GateOp::And, 3, 0, 1),
+            GateAction::Bin(GateOp::Xor, 4, 3, 2),
+            GateAction::Ccnot(4, 0, 1),
+            GateAction::Not(4),
+            GateAction::Swap(3, 4),
+            GateAction::Cswap(3, 4, 0),
+            GateAction::Cswap(2, 2, 1), // aliased pair
+        ]
+    }
+
+    #[test]
+    fn gate_run_matches_stepped_execution() {
+        // ways=3 exercises the sub-word padding invariant through the
+        // scratch-buffer kernels; ways=8 the multi-word path.
+        for ways in [3, 8] {
+            for mut fused in files(ways) {
+                let mut stepped = fused.clone_box();
+                for &a in &mix_actions() {
+                    stepped.apply_action(a, false);
+                }
+                fused.gate_run(&mix_actions(), false);
+                for r in 0..REG_COUNT {
+                    assert_eq!(stepped.read(r), fused.read(r), "{} @{r}", fused.backend());
+                    assert_eq!(
+                        stepped.pop_after(r, 0),
+                        fused.pop_after(r, 0),
+                        "{} @{r} pop (padding leak?)",
+                        fused.backend()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_run_replays_from_cache() {
+        let mut f = InternedFile::new(8, false);
+        let actions = mix_actions();
+        f.gate_run(&actions, false);
+        let after_first = f.intern_stats().unwrap();
+        let snap: Vec<Aob> = (0..8).map(|r| f.read(r)).collect();
+        // Rerun over the same inputs: the run cache replays without any
+        // op-cache lookups (misses frozen, all actions credited as dedup).
+        f.gate_run(&actions, false);
+        let after_second = f.intern_stats().unwrap();
+        assert_eq!(after_second.misses, after_first.misses, "replay never computes");
+        assert_eq!(
+            after_second.dedup_hits,
+            after_first.dedup_hits + actions.len() as u64,
+            "every fused gate is credited as a dedup hit"
+        );
+        for (r, v) in snap.iter().enumerate() {
+            assert_eq!(f.read(r), *v, "replay reproduces the run's writes @{r}");
         }
     }
 

@@ -5,8 +5,10 @@
 //!   operands, executed many times. Eager mode re-runs the `2^WAYS`-bit
 //!   word kernels every iteration; interned mode answers every warm
 //!   iteration from the op cache.
-//! * `factoring` — the compiled factoring program end to end, both modes
-//!   (gates mostly don't repeat here, so this bounds the overhead side).
+//! * `factoring` — the compiled factoring program end to end, on the
+//!   eager, interned, and adaptive backends (gates mostly don't repeat
+//!   here, so this bounds the overhead side; the adaptive backend's job
+//!   is to stay within noise of whichever mode wins).
 //!
 //! Criterion's shim cannot expose measured durations, so this is a plain
 //! `main` with manual `Instant` timing (best of several repetitions),
@@ -14,8 +16,9 @@
 //! serde-free JSON writer.
 //!
 //! Flags (after `--`): `--quick` shrinks the workload for CI smoke runs,
-//! `--check` exits nonzero unless interned repeated-gate beats eager,
-//! `--out PATH` overrides the artifact path.
+//! `--check` exits nonzero unless interned repeated-gate beats eager by
+//! at least 8x AND the best non-eager factoring run is not slower than
+//! eager, `--out PATH` overrides the artifact path.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -82,19 +85,39 @@ fn time_repeated(interning: bool, iters: u32, reps: u32) -> (f64, QatCoprocessor
     (best, last.unwrap())
 }
 
-/// Wall time in ns for one end-to-end run of an assembled program.
-fn time_factoring(words: &[u16], ways: u32, interning: bool, reps: u32) -> f64 {
-    let mut best = f64::INFINITY;
-    let cfg = MachineConfig {
-        qat: QatConfig::with_backend(backend(interning), ways),
-        max_steps: 50_000_000,
-    };
+/// Wall times in ns (best of `reps` end-to-end runs) for each backend.
+/// Repetitions are interleaved across the backends so slow drift
+/// (thermal throttling, frequency scaling) hits every backend equally
+/// instead of biasing whichever one happened to run last.
+fn time_factoring(
+    words: &[u16],
+    ways: u32,
+    backends: &[StorageBackend],
+    reps: u32,
+) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; backends.len()];
+    let mut adaptive = None;
     for _ in 0..reps {
-        let mut m = Machine::with_image(cfg, words);
-        let t0 = Instant::now();
-        m.run().expect("factoring program halts");
-        best = best.min(t0.elapsed().as_nanos() as f64);
-        black_box(m.regs);
+        for (i, &be) in backends.iter().enumerate() {
+            let cfg = MachineConfig {
+                qat: QatConfig::with_backend(be, ways),
+                max_steps: 50_000_000,
+            };
+            let mut m = Machine::with_image(cfg, words);
+            let t0 = Instant::now();
+            m.run().expect("factoring program halts");
+            best[i] = best[i].min(t0.elapsed().as_nanos() as f64);
+            black_box(m.regs);
+            if let Some(st) = m.qat.adaptive_stats() {
+                adaptive = Some(st);
+            }
+        }
+    }
+    if let Some(st) = adaptive {
+        eprintln!(
+            "  adaptive: {} gates, {} probed, {} probe hits, {} promotions, {} demotions",
+            st.gates, st.probed_gates, st.probe_hits, st.promotions, st.demotions
+        );
     }
     best
 }
@@ -130,13 +153,26 @@ fn main() {
     let (n, fways, src) =
         if quick { (15u64, 8, factor15_asm()) } else { (221u64, 16, factor221_asm()) };
     let words = assemble(&src);
-    let f_eager = time_factoring(&words, fways, false, if quick { 2 } else { 3 });
-    let f_interned = time_factoring(&words, fways, true, if quick { 2 } else { 3 });
-    let f_speedup = f_eager / f_interned.max(1.0);
+    let freps = if quick { 3 } else { 7 };
+    let timings = time_factoring(
+        &words,
+        fways,
+        &[StorageBackend::Eager, StorageBackend::Interned, StorageBackend::Adaptive],
+        freps,
+    );
+    let (f_eager, f_interned, f_adaptive) = (timings[0], timings[1], timings[2]);
+    let f_speedup_interned = f_eager / f_interned.max(1.0);
+    let f_speedup_adaptive = f_eager / f_adaptive.max(1.0);
+    // The headline factoring number is interned-or-adaptive vs eager: the
+    // adaptive backend exists so the coprocessor never has to lose this
+    // race whichever way a workload leans.
+    let f_speedup = f_speedup_interned.max(f_speedup_adaptive);
     eprintln!(
-        "factoring({n}): eager {:.2} ms, interned {:.2} ms ({f_speedup:.2}x)",
+        "factoring({n}): eager {:.2} ms, interned {:.2} ms ({f_speedup_interned:.2}x), \
+         adaptive {:.2} ms ({f_speedup_adaptive:.2}x)",
         f_eager / 1e6,
         f_interned / 1e6,
+        f_adaptive / 1e6,
     );
 
     let doc = Json::obj([
@@ -170,6 +206,9 @@ fn main() {
                 ("ways", u32::try_from(fways).unwrap().into()),
                 ("eager_ns", f_eager.into()),
                 ("interned_ns", f_interned.into()),
+                ("adaptive_ns", f_adaptive.into()),
+                ("speedup_interned", f_speedup_interned.into()),
+                ("speedup_adaptive", f_speedup_adaptive.into()),
                 ("speedup", f_speedup.into()),
             ]),
         ),
@@ -177,8 +216,28 @@ fn main() {
     std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
     eprintln!("wrote {out}");
 
-    if check && speedup <= 1.0 {
-        eprintln!("CHECK FAILED: interned repeated-gate not faster than eager ({speedup:.2}x)");
-        std::process::exit(1);
+    if check {
+        let mut failed = false;
+        if speedup < 8.0 {
+            eprintln!(
+                "CHECK FAILED: interned repeated-gate below the 8x floor \
+                 over eager ({speedup:.2}x)"
+            );
+            failed = true;
+        }
+        if f_speedup < 1.0 {
+            eprintln!(
+                "CHECK FAILED: factoring regressed — best of interned/adaptive \
+                 slower than eager ({f_speedup:.2}x)"
+            );
+            failed = true;
+        }
+        if stats.dedup_hits == 0 {
+            eprintln!("CHECK FAILED: warm repeated-gate run recorded no dedup hits");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -41,8 +41,11 @@
 pub mod circuit;
 pub mod cost;
 
-use pbp_aob::storage::{AobStorage, ConstKind};
-use pbp_aob::{Aob, ChunkStore, EagerFile, EnergyMeter, GateOp, InternStats, InternedFile};
+use pbp_aob::storage::{AobStorage, ConstKind, GateAction};
+use pbp_aob::{
+    AdaptiveFile, AdaptiveStats, Aob, ChunkStore, EagerFile, EnergyMeter, GateOp, InternStats,
+    InternedFile,
+};
 use tangled_isa::{Insn, QReg};
 
 pub use pbp_aob::StorageBackend;
@@ -63,9 +66,13 @@ mod telem {
     pub static KERNEL_INTERNED: Counter = Counter::new("qat.kernel.interned");
     pub static KERNEL_EAGER: Counter = Counter::new("qat.kernel.eager");
     pub static KERNEL_SPARSE_RE: Counter = Counter::new("qat.kernel.sparse_re");
+    pub static KERNEL_ADAPTIVE: Counter = Counter::new("qat.kernel.adaptive");
     pub static BACKEND_EAGER: Counter = Counter::new("qat.backend.eager.gates");
     pub static BACKEND_INTERNED: Counter = Counter::new("qat.backend.interned.gates");
     pub static BACKEND_SPARSE_RE: Counter = Counter::new("qat.backend.sparse_re.gates");
+    pub static BACKEND_ADAPTIVE: Counter = Counter::new("qat.backend.adaptive.dispatch");
+    pub static FUSED_RUNS: Counter = Counter::new("qat.fused.runs");
+    pub static FUSED_GATES: Counter = Counter::new("qat.fused.gates");
     pub static PORT_READS: Counter = Counter::new("qat.ports.reads");
     pub static PORT_WRITES: Counter = Counter::new("qat.ports.writes");
     pub static ENERGY_TOGGLES: Counter = Counter::new("energy.toggles");
@@ -91,6 +98,12 @@ pub struct QatConfig {
     /// Register-file value representation; see [`backend_registry`] for
     /// each backend's capabilities. The default is [`StorageBackend::Interned`].
     pub backend: StorageBackend,
+    /// Allow the dispatcher (the Tangled machine's peephole pass) to hand
+    /// straight-line runs of gate instructions to the backend as one
+    /// [`QatCoprocessor::execute_run`] call. Semantically invisible; only
+    /// taken when the backend reports it pays ([`AobStorage::wants_fusion`])
+    /// and energy metering is off (metering is per-instruction).
+    pub fusion: bool,
 }
 
 impl QatConfig {
@@ -102,6 +115,7 @@ impl QatConfig {
             constant_registers: false,
             meter_energy: false,
             backend: StorageBackend::Interned,
+            fusion: true,
         }
     }
 
@@ -183,7 +197,7 @@ impl std::fmt::Debug for BackendEntry {
     }
 }
 
-static BACKENDS: [BackendEntry; 3] = [
+static BACKENDS: [BackendEntry; 4] = [
     BackendEntry {
         backend: StorageBackend::Eager,
         description: "explicit 2^WAYS-bit vectors, word-loop gate kernels",
@@ -207,6 +221,27 @@ static BACKENDS: [BackendEntry; 3] = [
         max_ways: 24,
         oracle_name: "qat-sparse-re",
         build: |cfg| Box::new(pbp::SparseReFile::new(cfg.ways, cfg.constant_registers)),
+    },
+    BackendEntry {
+        backend: StorageBackend::Adaptive,
+        description: "starts eager, promotes to interned when dedup telemetry pays",
+        min_ways: 1,
+        max_ways: 24,
+        oracle_name: "qat-adaptive",
+        // Up to the hardware's 16 ways the file starts eager and promotes
+        // to interned on its own telemetry; past that explicit vectors are
+        // the wrong floor, so the adaptive wrapper pins the sparse-re
+        // representation instead.
+        build: |cfg| {
+            if cfg.ways <= 16 {
+                Box::new(AdaptiveFile::new(cfg.ways, cfg.constant_registers))
+            } else {
+                Box::new(AdaptiveFile::pinned(Box::new(pbp::SparseReFile::new(
+                    cfg.ways,
+                    cfg.constant_registers,
+                ))))
+            }
+        },
     },
 ];
 
@@ -444,6 +479,10 @@ impl QatCoprocessor {
                 telem::KERNEL_SPARSE_RE.inc();
                 telem::BACKEND_SPARSE_RE.inc();
             }
+            StorageBackend::Adaptive => {
+                telem::KERNEL_ADAPTIVE.inc();
+                telem::BACKEND_ADAPTIVE.inc();
+            }
         }
         for w in insn.qwrites() {
             self.check_writable(w)?;
@@ -496,6 +535,111 @@ impl QatCoprocessor {
         self.flush_energy();
         Ok(None)
     }
+
+    /// Whether handing this coprocessor fused gate runs is both allowed
+    /// and worthwhile right now. Energy metering forces per-instruction
+    /// execution (imbalance is accounted per instruction), and backends
+    /// without a run cache gain nothing over stepping.
+    pub fn fusion_active(&self) -> bool {
+        self.config.fusion && !self.config.meter_energy && self.file.wants_fusion()
+    }
+
+    /// Promotion/demotion counters of the register file (`None` unless the
+    /// backend is `adaptive`).
+    pub fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        self.file.adaptive_stats()
+    }
+
+    /// Execute a straight-line run of register-file gate instructions as
+    /// one storage-layer call ([`AobStorage::gate_run`]).
+    ///
+    /// Architecturally identical to calling [`QatCoprocessor::execute`] on
+    /// each instruction in order — port/telemetry accounting is kept
+    /// per-instruction for parity. The caller (the machine's peephole
+    /// pass) must pre-check writability: every instruction in the run is
+    /// validated *before* any gate executes, and a fault leaves the file
+    /// untouched, so runs must stop before the first would-faulting insn
+    /// to preserve partial-state fault semantics.
+    pub fn execute_run(&mut self, insns: &[Insn]) -> Result<(), QatError> {
+        let mut actions = Vec::with_capacity(insns.len());
+        for insn in insns {
+            let act = gate_action(insn).ok_or(QatError::NotAQatInstruction)?;
+            let (dests, nd) = act.dests();
+            for &d in &dests[..nd] {
+                self.check_writable(QReg(d))?;
+            }
+            actions.push(act);
+        }
+        // Port accounting stays per-instruction (the action src/dest
+        // counts equal the instruction's architectural read/write port
+        // usage); the process-wide counters are batched per run.
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for (insn, act) in insns.iter().zip(&actions) {
+            let nreads = act.srcs().1;
+            let nwrites = act.dests().1;
+            self.ports.insns += 1;
+            self.ports.reads += nreads as u64;
+            self.ports.writes += nwrites as u64;
+            if nreads == 3 {
+                self.ports.triple_read_insns += 1;
+            }
+            if nwrites == 2 {
+                self.ports.dual_write_insns += 1;
+            }
+            telem::GATES.add(insn.kind(), 1);
+            reads += nreads as u64;
+            writes += nwrites as u64;
+        }
+        telem::PORT_READS.add(reads);
+        telem::PORT_WRITES.add(writes);
+        let n = insns.len() as u64;
+        match self.file.backend() {
+            StorageBackend::Eager => {
+                telem::KERNEL_EAGER.add(n);
+                telem::BACKEND_EAGER.add(n);
+            }
+            StorageBackend::Interned => {
+                telem::KERNEL_INTERNED.add(n);
+                telem::BACKEND_INTERNED.add(n);
+            }
+            StorageBackend::SparseRe => {
+                telem::KERNEL_SPARSE_RE.add(n);
+                telem::BACKEND_SPARSE_RE.add(n);
+            }
+            StorageBackend::Adaptive => {
+                telem::KERNEL_ADAPTIVE.add(n);
+                telem::BACKEND_ADAPTIVE.add(n);
+            }
+        }
+        telem::FUSED_RUNS.inc();
+        telem::FUSED_GATES.add(actions.len() as u64);
+        let meter = self.config.meter_energy;
+        let d = self.file.gate_run(&actions, meter);
+        self.note(d);
+        self.flush_energy();
+        Ok(())
+    }
+}
+
+/// The storage-layer [`GateAction`] for a register-file gate instruction,
+/// or `None` for anything else (the measurement family reads `$d` and
+/// returns a scalar, so it can never be part of a fused run).
+pub fn gate_action(insn: &Insn) -> Option<GateAction> {
+    Some(match *insn {
+        Insn::QZero { a } => GateAction::Const(a.0, ConstKind::Zeros),
+        Insn::QOne { a } => GateAction::Const(a.0, ConstKind::Ones),
+        Insn::QHad { a, k } => GateAction::Const(a.0, ConstKind::Hadamard(k as u32)),
+        Insn::QNot { a } => GateAction::Not(a.0),
+        Insn::QAnd { a, b, c } => GateAction::Bin(GateOp::And, a.0, b.0, c.0),
+        Insn::QOr { a, b, c } => GateAction::Bin(GateOp::Or, a.0, b.0, c.0),
+        Insn::QXor { a, b, c } => GateAction::Bin(GateOp::Xor, a.0, b.0, c.0),
+        // §5: cnot @a,@b == xor @a,@a,@b.
+        Insn::QCnot { a, b } => GateAction::Bin(GateOp::Xor, a.0, a.0, b.0),
+        Insn::QCcnot { a, b, c } => GateAction::Ccnot(a.0, b.0, c.0),
+        Insn::QSwap { a, b } => GateAction::Swap(a.0, b.0),
+        Insn::QCswap { a, b, c } => GateAction::Cswap(a.0, b.0, c.0),
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -737,6 +881,103 @@ mod tests {
             "warm replay must not recompute any gate"
         );
         assert!(after_second.hits > after_first.hits);
+    }
+
+    fn fusible_prog() -> Vec<Insn> {
+        vec![
+            Insn::QHad { a: q(10), k: 0 },
+            Insn::QHad { a: q(11), k: 3 },
+            Insn::QAnd { a: q(12), b: q(10), c: q(11) },
+            Insn::QXor { a: q(13), b: q(12), c: q(11) },
+            Insn::QCnot { a: q(13), b: q(10) },
+            Insn::QCcnot { a: q(12), b: q(13), c: q(10) },
+            Insn::QNot { a: q(12) },
+            Insn::QSwap { a: q(12), b: q(13) },
+            Insn::QCswap { a: q(12), b: q(13), c: q(10) },
+        ]
+    }
+
+    /// `execute_run` is architecturally identical to stepping, on every
+    /// backend, including the port accounting.
+    #[test]
+    fn execute_run_matches_stepped_execution() {
+        for entry in backend_registry() {
+            let ways = 8.max(entry.min_ways);
+            let mut stepped = QatCoprocessor::new(QatConfig::with_backend(entry.backend, ways));
+            let mut fused = stepped.clone();
+            for insn in &fusible_prog() {
+                stepped.execute(*insn, 0).unwrap();
+            }
+            fused.execute_run(&fusible_prog()).unwrap();
+            // And a second identical run to drive the interned run cache's
+            // replay path.
+            stepped_and_fused_second_pass(&mut stepped, &mut fused);
+            for r in 0..=255u8 {
+                assert_eq!(stepped.reg(q(r)), fused.reg(q(r)), "{} @{r}", entry.backend);
+            }
+            assert_eq!(stepped.ports, fused.ports, "{}", entry.backend);
+        }
+    }
+
+    fn stepped_and_fused_second_pass(stepped: &mut QatCoprocessor, fused: &mut QatCoprocessor) {
+        for insn in &fusible_prog() {
+            stepped.execute(*insn, 0).unwrap();
+        }
+        fused.execute_run(&fusible_prog()).unwrap();
+    }
+
+    /// A run containing a constant-register fault executes nothing.
+    #[test]
+    fn execute_run_faults_atomically() {
+        let cfg = QatConfig {
+            constant_registers: true,
+            ..QatConfig::with_backend(StorageBackend::Interned, 8)
+        };
+        let mut c = QatCoprocessor::new(cfg);
+        let before = c.reg(q(100));
+        let run = [
+            Insn::QOne { a: q(100) },
+            Insn::QZero { a: q(1) }, // faults: @1 is the constant 1
+        ];
+        assert_eq!(
+            c.execute_run(&run),
+            Err(QatError::ConstantRegisterWrite { reg: q(1) })
+        );
+        assert_eq!(c.reg(q(100)), before, "faulting run must not partially execute");
+    }
+
+    #[test]
+    fn fusion_active_gating() {
+        let interned = QatCoprocessor::new(QatConfig::with_backend(StorageBackend::Interned, 8));
+        assert!(interned.fusion_active(), "interned wants fusion by default");
+        let eager = QatCoprocessor::new(QatConfig::with_backend(StorageBackend::Eager, 8));
+        assert!(!eager.fusion_active(), "eager kernels gain nothing from runs");
+        let metered = QatCoprocessor::new(QatConfig {
+            meter_energy: true,
+            ..QatConfig::with_backend(StorageBackend::Interned, 8)
+        });
+        assert!(!metered.fusion_active(), "metering is per-instruction");
+        let off = QatCoprocessor::new(QatConfig {
+            fusion: false,
+            ..QatConfig::with_backend(StorageBackend::Interned, 8)
+        });
+        assert!(!off.fusion_active());
+    }
+
+    /// The adaptive backend exposes its promotion counters and behaves
+    /// eager-equivalently at both sides of the 16-way pivot.
+    #[test]
+    fn adaptive_backend_registry_pivot() {
+        let small = QatCoprocessor::new(QatConfig::with_backend(StorageBackend::Adaptive, 8));
+        assert_eq!(small.backend(), StorageBackend::Adaptive);
+        assert_eq!(small.adaptive_stats().unwrap().promotions, 0);
+        assert!(small.intern_stats().is_none(), "starts eager");
+        let big = QatCoprocessor::new(QatConfig::with_backend(StorageBackend::Adaptive, 20));
+        assert_eq!(big.backend(), StorageBackend::Adaptive);
+        assert!(
+            big.intern_stats().is_some(),
+            "past 16 ways the adaptive wrapper pins the sparse-re file"
+        );
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //!   register reads after a back-to-back write) used as the negative
 //!   control: the oracle must flag it, and the shrinker must reduce its
 //!   divergences to a few instructions.
-//! * `qat-eager` / `qat-interned` / `qat-sparse-re` — the functional model
-//!   rerun with every *other* registered Qat storage backend (see
-//!   [`qat_coproc::backend_registry`]), so the hash-consed chunk store and
-//!   the RE-compressed register file are differentially checked against
+//! * `qat-eager` / `qat-interned` / `qat-sparse-re` / `qat-adaptive` — the
+//!   functional model rerun with every *other* registered Qat storage
+//!   backend (see [`qat_coproc::backend_registry`]), so the hash-consed
+//!   chunk store, the RE-compressed register file, and the adaptive
+//!   eager-to-interned promotion policy are differentially checked against
 //!   eager AoB evaluation on every program.
 //!
 //! The timing models come from [`crate::engine::model_registry`] — the

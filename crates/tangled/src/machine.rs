@@ -107,7 +107,29 @@ pub struct Machine {
     /// Instructions executed so far.
     pub steps: u64,
     config: MachineConfig,
+    /// Active fused-gate region; see [`FusedRegion`].
+    fused: Option<FusedRegion>,
 }
+
+/// A straight-line span of gate instructions whose coprocessor effects
+/// were applied by one `execute_run` call. While the PC walks `[start,
+/// end)`, `step` replays the cached decodes (fetch/decode once is the
+/// dispatcher-side half of the fusion win) and skips the per-gate
+/// coprocessor dispatch.
+#[derive(Debug, Clone)]
+struct FusedRegion {
+    start: u16,
+    end: u16,
+    /// `(pc, insn, words)` per gate, in address order.
+    insns: Vec<(u16, Insn, u16)>,
+    /// Cursor into `insns`; in-region flow is sequential (gates never
+    /// branch), so this only needs resyncing defensively.
+    idx: usize,
+}
+
+/// Longest straight-line gate run the peephole will hand to the
+/// coprocessor in one `execute_run` call.
+const FUSE_WINDOW: usize = 32;
 
 impl Machine {
     /// Fresh machine with zeroed state.
@@ -121,6 +143,7 @@ impl Machine {
             output: Vec::new(),
             steps: 0,
             config,
+            fused: None,
         }
     }
 
@@ -162,12 +185,59 @@ impl Machine {
         decode(&self.mem[pc..hi]).map_err(|err| SimError::Decode { pc: self.pc, err })
     }
 
+    /// Collect the straight-line run of fusible gate instructions starting
+    /// at `pc`. Stops at the first non-gate instruction, decode failure, or
+    /// gate that would fault on a reserved constant register — the latter
+    /// so a faulting gate is always executed by the normal per-instruction
+    /// path and reports its own PC with exactly the pre-fault state.
+    fn scan_fusible_run(&self, pc: u16) -> (Vec<(u16, Insn, u16)>, u16) {
+        let mut run = Vec::new();
+        let mut addr = pc;
+        let reserved = self.config.qat.reserved_regs();
+        while run.len() < FUSE_WINDOW {
+            let a = addr as usize;
+            let hi = (a + 2).min(self.mem.len());
+            let Ok((insn, words)) = decode(&self.mem[a..hi]) else { break };
+            let Some(act) = qat_coproc::gate_action(&insn) else { break };
+            let (dests, nd) = act.dests();
+            if dests[..nd].iter().any(|&d| d < reserved) {
+                break;
+            }
+            run.push((addr, insn, words));
+            let next = addr.wrapping_add(words);
+            if next <= addr {
+                break; // wrapped around the address space
+            }
+            addr = next;
+        }
+        (run, addr)
+    }
+
+    /// The cached decode for the current PC when it sits inside the active
+    /// fused region, advancing the region cursor.
+    fn fused_insn(&mut self) -> Option<(Insn, u16)> {
+        let pc = self.pc;
+        let f = self.fused.as_mut()?;
+        if pc < f.start || pc >= f.end {
+            return None;
+        }
+        if f.insns.get(f.idx).map(|e| e.0) != Some(pc) {
+            f.idx = f.insns.iter().position(|e| e.0 == pc)?;
+        }
+        let &(_, insn, words) = &f.insns[f.idx];
+        f.idx += 1;
+        Some((insn, words))
+    }
+
     /// Execute one instruction (the Figure 6 single-cycle semantics).
     pub fn step(&mut self) -> Result<StepEvent, SimError> {
         if self.steps >= self.config.max_steps {
             return Err(SimError::StepLimit);
         }
-        let (insn, words) = self.peek()?;
+        let (in_fused, (insn, words)) = match self.fused_insn() {
+            Some(iw) => (true, iw),
+            None => (false, self.peek()?),
+        };
         let pc = self.pc;
         let fallthrough = pc.wrapping_add(words);
         let mut next_pc = fallthrough;
@@ -175,20 +245,42 @@ impl Machine {
         let mut halted = false;
 
         if insn.is_qat() {
-            // Tight coupling: meas/next/pop carry a Tangled register value
-            // into the coprocessor and a result back.
-            let d_in = match insn {
-                Insn::QMeas { d, .. } | Insn::QNext { d, .. } | Insn::QPop { d, .. } => {
-                    self.reg(d)
+            if in_fused {
+                // This gate's coprocessor effect was already applied by the
+                // fused run that started this region; only control flow and
+                // per-step accounting remain.
+            } else if self.qat.fusion_active() && qat_coproc::gate_action(&insn).is_some() {
+                let (fused_run, end) = self.scan_fusible_run(pc);
+                if fused_run.len() >= 2 {
+                    let insns: Vec<Insn> = fused_run.iter().map(|e| e.1).collect();
+                    self.qat
+                        .execute_run(&insns)
+                        .map_err(|err| SimError::Qat { pc, err })?;
+                    // The current instruction is insns[0]; the cursor
+                    // starts past it.
+                    self.fused =
+                        Some(FusedRegion { start: pc, end, insns: fused_run, idx: 1 });
+                } else {
+                    self.qat
+                        .execute(insn, 0)
+                        .map_err(|err| SimError::Qat { pc, err })?;
                 }
-                _ => 0,
-            };
-            let out = self
-                .qat
-                .execute(insn, d_in)
-                .map_err(|err| SimError::Qat { pc, err })?;
-            if let (Some(v), Some(d)) = (out, insn.writes()) {
-                self.set_reg(d, v);
+            } else {
+                // Tight coupling: meas/next/pop carry a Tangled register
+                // value into the coprocessor and a result back.
+                let d_in = match insn {
+                    Insn::QMeas { d, .. } | Insn::QNext { d, .. } | Insn::QPop { d, .. } => {
+                        self.reg(d)
+                    }
+                    _ => 0,
+                };
+                let out = self
+                    .qat
+                    .execute(insn, d_in)
+                    .map_err(|err| SimError::Qat { pc, err })?;
+                if let (Some(v), Some(d)) = (out, insn.writes()) {
+                    self.set_reg(d, v);
+                }
             }
         } else {
             match insn {
@@ -320,6 +412,11 @@ impl Machine {
         }
 
         self.pc = next_pc;
+        if let Some(f) = &self.fused {
+            if next_pc < f.start || next_pc >= f.end {
+                self.fused = None;
+            }
+        }
         self.steps += 1;
         crate::telem::RETIRED.add(insn.kind(), 1);
         crate::telem::INSNS.inc();
@@ -458,6 +555,71 @@ mod tests {
         let m = run("had @5,0\nlex $1,3\nmeas $1,@5\nlex $2,6\nmeas $2,@5\nsys\n");
         assert_eq!(m.regs[1], 1); // channel 3 of H(0) is 1
         assert_eq!(m.regs[2], 0); // channel 6 is 0
+    }
+
+    #[test]
+    fn fused_gate_runs_match_per_gate_execution() {
+        // Gate-heavy loop body: with fusion on (interned backend) the
+        // peephole hands each iteration's straight-line gate run to the
+        // coprocessor in one call; architectural state and the step-event
+        // stream must be identical to per-gate dispatch.
+        let src = "had @20,2\nlex $1,4\nlex $2,-1\n\
+                   loop: had @10,0\nhad @11,1\nand @12,@10,@11\nxor @13,@10,@11\n\
+                   cnot @11,@10\nccnot @13,@11,@12\nnot @12\nswap @10,@11\n\
+                   cswap @12,@10,@13\n\
+                   add $1,$2\nbrt $1,loop\n\
+                   lex $8,0\npop $8,@12\nsys\n";
+        let img = assemble_ok(src);
+        let run_with = |fusion: bool| {
+            let cfg = MachineConfig {
+                qat: QatConfig { fusion, ..QatConfig::with_ways(8) },
+                ..Default::default()
+            };
+            let mut m = Machine::with_image(cfg, &img.words);
+            let mut events = Vec::new();
+            while !m.halted {
+                events.push(m.step().expect("program failed"));
+            }
+            (m, events)
+        };
+        let (fused, fused_events) = run_with(true);
+        let (plain, plain_events) = run_with(false);
+        assert_eq!(fused_events, plain_events);
+        assert_eq!(fused.regs, plain.regs);
+        assert_eq!(fused.steps, plain.steps);
+        for r in 0..=255u8 {
+            let q = tangled_isa::QReg(r);
+            assert_eq!(fused.qat.reg(q), plain.qat.reg(q), "qat register @{r}");
+        }
+    }
+
+    #[test]
+    fn fused_fault_reports_gate_pc_and_preserves_state() {
+        // The scan stops before any gate that would write a reserved
+        // constant register, so the faulting gate runs on the per-gate
+        // path: same faulting PC and same pre-fault state as unfused.
+        let src = "had @100,0\nnot @100\ncnot @100,@1\nzero @2\nsys\n";
+        let img = assemble_ok(src);
+        let run_with = |fusion: bool| {
+            let cfg = MachineConfig {
+                qat: QatConfig {
+                    fusion,
+                    constant_registers: true,
+                    ..QatConfig::with_ways(8)
+                },
+                ..Default::default()
+            };
+            let mut m = Machine::with_image(cfg, &img.words);
+            let e = m.run().unwrap_err();
+            (m, e)
+        };
+        let (fused, fused_err) = run_with(true);
+        let (plain, plain_err) = run_with(false);
+        assert!(matches!(fused_err, SimError::Qat { .. }));
+        assert_eq!(fused_err, plain_err);
+        assert_eq!(fused.steps, plain.steps);
+        let q = tangled_isa::QReg(100);
+        assert_eq!(fused.qat.reg(q), plain.qat.reg(q));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!                       (functional, multicycle, pipeline-4-fw, ... —
 //!                       see `tangled backends`)
 //!     --qat-backend B   Qat register-file storage backend
-//!                       (eager | interned | sparse-re)
+//!                       (eager | interned | sparse-re | adaptive)
 //!     --multicycle      shorthand for --model multicycle
 //!     --stages 4|5      pipeline depth (default 4)
 //!     --no-forwarding   disable result bypassing

@@ -64,3 +64,30 @@ fn corpus_intern_counters_replay_deterministically() {
     // must actually have exercised the op cache.
     assert!(qat_lookups > 0, "no corpus program touched the Qat op cache");
 }
+
+/// Adaptive-backend promotion decisions are a pure function of the gate
+/// sequence, never of wall-clock or allocation state: two fresh runs of
+/// any corpus program must report identical [`pbp_aob::AdaptiveStats`]
+/// (same windows probed, same promote/demote choices) and identical
+/// architectural state.
+#[test]
+fn corpus_adaptive_decisions_replay_deterministically() {
+    let mut observed = 0u64;
+    for path in runner::corpus_files(&corpus_dir()) {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let img = asm::assemble(&text).unwrap();
+        let cfg = runner::corpus_diff_config(&text, StorageBackend::Adaptive);
+        let run = || {
+            let mut m = Machine::with_image(cfg.machine_config(), &img.words);
+            let _ = m.run(); // faulting reproducers still leave valid stats
+            m
+        };
+        let (a, b) = (run(), run());
+        let sa = a.qat.adaptive_stats().expect("adaptive backend reports stats");
+        let sb = b.qat.adaptive_stats().expect("adaptive backend reports stats");
+        assert_eq!(sa, sb, "{}: adaptive decisions not deterministic", path.display());
+        assert_eq!(a.regs, b.regs, "{}: register state diverged", path.display());
+        observed += sa.gates;
+    }
+    assert!(observed > 0, "no corpus program drove the adaptive backend");
+}

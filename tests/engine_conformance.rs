@@ -77,7 +77,7 @@ fn registries_are_complete() {
         5
     );
     let backends: Vec<&str> = qat::backend_registry().iter().map(|b| b.backend.name()).collect();
-    assert_eq!(backends, ["eager", "interned", "sparse-re"]);
+    assert_eq!(backends, ["eager", "interned", "sparse-re", "adaptive"]);
 }
 
 fn factor15_words() -> Vec<u16> {
@@ -125,4 +125,24 @@ fn factoring_demo_runs_at_20_ways_on_sparse_re() {
     }
     // Eager@8 and interned@8 reach identical full snapshots.
     assert_eq!(capture(&machines[0], None), capture(&machines[1], None));
+}
+
+/// The adaptive backend reproduces the factoring demo on both sides of its
+/// ways pivot: promotable eager-to-interned at 8 ways, and pinned to the
+/// RE-compressed file at 20 ways (where a dense vector would be 2^20 bits).
+#[test]
+fn factoring_demo_runs_on_adaptive_backend() {
+    let words = factor15_words();
+    for ways in [8u32, 20] {
+        let mc = MachineConfig {
+            qat: QatConfig::with_backend(StorageBackend::Adaptive, ways),
+            ..Default::default()
+        };
+        let mut m = Machine::with_image(mc, &words);
+        m.run().unwrap_or_else(|e| panic!("adaptive at {ways} ways: {e}"));
+        let printed: Vec<String> = m.output.iter().map(|r| r.to_string()).collect();
+        assert_eq!(printed.join(" "), "5 3", "adaptive at {ways} ways");
+        let stats = m.qat.adaptive_stats().expect("adaptive backend reports stats");
+        assert!(stats.gates > 0, "adaptive at {ways} ways observed no gates");
+    }
 }
