@@ -23,17 +23,19 @@
 //!   after a few cold windows the probe **settles** into pure delegation
 //!   and only re-arms for one window after a long holdoff.
 //!
-//! Past the hardware's 16 ways an explicit `InternedFile` is the wrong
-//! promotion target (chunks get huge); [`AdaptiveFile::pinned`] wraps a
-//! caller-supplied inner file (the qat registry passes the pbp sparse-re
-//! backend) and becomes pure delegation under the `adaptive` name.
+//! Past the hardware's capability bound
+//! ([`HW_MAX_WAYS`](crate::storage::HW_MAX_WAYS) ways) an explicit
+//! `InternedFile` is the wrong promotion target (chunks get huge);
+//! [`AdaptiveFile::pinned`] wraps a caller-supplied inner file (the qat
+//! registry passes the pbp sparse-re backend) and becomes pure delegation
+//! under the `adaptive` name.
 //!
 //! Promotion decisions are a pure function of the executed gate sequence,
 //! so replays are deterministic — pinned by the corpus-replay suite.
 
 use crate::storage::{
-    AdaptiveStats, AobStorage, ConstKind, EagerFile, GateAction, StorageBackend, WriteDelta,
-    REG_COUNT,
+    AdaptiveStats, AobStorage, ConstKind, EagerFile, GateAction, PackedStats, StorageBackend,
+    WriteDelta, REG_COUNT,
 };
 use crate::{Aob, ChunkStore, GateOp, InternStats};
 
@@ -121,8 +123,8 @@ enum Probe {
 pub struct AdaptiveFile {
     inner: Box<dyn AobStorage>,
     ways: u32,
-    /// Pure delegation: never probe, never switch (ways > 16 wrapper, or
-    /// pinned eager after [`MAX_DEMOTIONS`]).
+    /// Pure delegation: never probe, never switch (beyond-`HW_MAX_WAYS`
+    /// wrapper, or pinned eager after [`MAX_DEMOTIONS`]).
     pinned: bool,
     /// True while `inner` is the promoted interning file.
     promoted: bool,
@@ -144,8 +146,9 @@ pub struct AdaptiveFile {
 
 impl AdaptiveFile {
     /// An adaptive file that starts eager and may promote to an
-    /// [`InternedFile`](crate::InternedFile). Intended for `ways <= 16`;
-    /// past that, build the inner representation yourself and use
+    /// [`InternedFile`](crate::InternedFile). Intended for
+    /// `ways <= HW_MAX_WAYS`; past that, build the inner representation
+    /// yourself and use
     /// [`AdaptiveFile::pinned`].
     pub fn new(ways: u32, constant_bank: bool) -> Self {
         AdaptiveFile {
@@ -168,7 +171,7 @@ impl AdaptiveFile {
 
     /// Wrap an existing file under the `adaptive` backend name without any
     /// promotion machinery — used when the payoff representation is fixed
-    /// externally (sparse-re past 16 ways).
+    /// externally (sparse-re past `HW_MAX_WAYS`).
     pub fn pinned(inner: Box<dyn AobStorage>) -> Self {
         let ways = inner.ways();
         AdaptiveFile {
@@ -492,7 +495,7 @@ impl AobStorage for AdaptiveFile {
         self.inner.meas(r, e)
     }
 
-    fn next(&self, r: usize, d: u64) -> u64 {
+    fn next(&self, r: usize, d: u64) -> Option<u64> {
         self.inner.next(r, d)
     }
 
@@ -506,6 +509,10 @@ impl AobStorage for AdaptiveFile {
 
     fn chunk_store(&self) -> Option<&ChunkStore> {
         self.inner.chunk_store()
+    }
+
+    fn packed_stats(&self) -> Option<PackedStats> {
+        self.inner.packed_stats()
     }
 
     fn materializations(&self) -> u64 {

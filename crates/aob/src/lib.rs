@@ -58,6 +58,6 @@ pub use entropy::EntropyReport;
 pub use intern::{ChunkId, ChunkStore, GateOp, InternStats, ID_ONE, ID_ZERO};
 pub use parallel::ParallelError;
 pub use storage::{
-    AdaptiveStats, AobStorage, ConstKind, EagerFile, GateAction, InternedFile, StorageBackend,
-    WriteDelta,
+    AdaptiveStats, AobStorage, ConstKind, EagerFile, GateAction, InternedFile, PackedStats,
+    StorageBackend, WaysError, WriteDelta, HW_MAX_WAYS,
 };

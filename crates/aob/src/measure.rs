@@ -21,33 +21,41 @@ impl Aob {
     }
 
     /// `next $d,@a`: the lowest entanglement channel number **strictly
-    /// greater than** `d` holding a 1; `0` if no such channel exists
+    /// greater than** `d` holding a 1; `None` if no such channel exists
     /// (paper §2.7).
     ///
-    /// # The `0` sentinel
+    /// # The hardware `0` sentinel
     ///
-    /// The return value `0` is overloaded in the paper's ISA: it means "no
-    /// later 1-channel". This is unambiguous **only** because a real hit on
-    /// channel 0 is unreachable — results are strictly greater than `d`
-    /// and `d` is unsigned, so the smallest reportable channel is 1. A
-    /// 1-valued channel 0 is therefore *invisible* to `next`, and §2.7
-    /// resolves that by pairing `next` with `meas(0)` (see
-    /// [`Aob::any_via_next`]). Three consequences pinned by tests:
+    /// The paper's ISA overloads a return value of `0` to mean "no later
+    /// 1-channel". That in-band sentinel is unambiguous only because a
+    /// real hit on channel 0 is unreachable — results are strictly greater
+    /// than `d` and `d` is unsigned, so the smallest reportable channel is
+    /// 1 — yet it kept leaking ambiguity into callers (a 1-valued channel
+    /// 0 is *invisible* to `next`; §2.7 pairs it with `meas(0)`, see
+    /// [`Aob::any_via_next`]). The software model therefore returns a
+    /// typed [`Option`]: `None` is "no further channel", and the in-band
+    /// `0` encoding exists **only** at the ISA register boundary, where
+    /// the Qat dispatcher maps `None` back to `0` for the destination
+    /// GPR. Three consequences pinned by tests:
     ///
-    /// * `d >= len - 1` always returns `0` (nothing lies strictly after),
-    /// * an all-zeros vector returns `0` for every `d`,
-    /// * a vector whose only 1 is channel 0 returns `0` everywhere — a
+    /// * `d >= len - 1` always returns `None` (nothing lies strictly
+    ///   after),
+    /// * an all-zeros vector returns `None` for every `d`,
+    /// * a vector whose only 1 is channel 0 returns `None` everywhere — a
     ///   caller must follow up with `meas(0)` to distinguish it from
-    ///   all-zeros.
+    ///   all-zeros,
+    ///
+    /// and a real hit is always `Some(e)` with `e > d > 0` possible —
+    /// `Some(0)` never occurs.
     ///
     /// The implementation mirrors the Figure-8 hardware: mask off channels
     /// `0..=d` (the barrel-shifter step), then count trailing zeros
     /// word-by-word (the recursive-decomposition step).
-    pub fn next(&self, d: u64) -> u64 {
+    pub fn next(&self, d: u64) -> Option<u64> {
         let n = self.len();
         let start = d.saturating_add(1);
         if start >= n {
-            return 0;
+            return None;
         }
         let mut w = (start / 64) as usize;
         let bit = start % 64;
@@ -55,11 +63,11 @@ impl Aob {
         let mut cur = self.words()[w] & (u64::MAX << bit);
         loop {
             if cur != 0 {
-                return (w as u64) * 64 + cur.trailing_zeros() as u64;
+                return Some((w as u64) * 64 + cur.trailing_zeros() as u64);
             }
             w += 1;
             if w >= self.words().len() {
-                return 0;
+                return None;
             }
             cur = self.words()[w];
         }
@@ -67,13 +75,8 @@ impl Aob {
 
     /// Per-bit reference for [`Aob::next`] — the oracle used in
     /// differential tests.
-    pub fn next_reference(&self, d: u64) -> u64 {
-        for e in d.saturating_add(1)..self.len() {
-            if self.get(e) {
-                return e;
-            }
-        }
-        0
+    pub fn next_reference(&self, d: u64) -> Option<u64> {
+        (d.saturating_add(1)..self.len()).find(|&e| self.get(e))
     }
 
     /// `pop $d,@a` (§2.7, specified but left out of the class projects):
@@ -126,7 +129,7 @@ impl Aob {
     /// However, if that returned 0, we would still need to test
     /// entanglement channel 0, which can be done using meas."
     pub fn any_via_next(&self) -> bool {
-        self.next(0) != 0 || self.meas(0)
+        self.next(0).is_some() || self.meas(0)
     }
 
     /// ALL implemented per §2.7: "essentially the same logic can be used
@@ -134,24 +137,20 @@ impl Aob {
     /// not of the result of applying ANY to not @a."
     pub fn all_via_next(&self) -> bool {
         let n = self.not_of();
-        !(n.next(0) != 0 || n.meas(0))
+        !(n.next(0).is_some() || n.meas(0))
     }
 
     /// Enumerate every 1-valued channel using only `meas`/`next`-style
     /// access, as Tangled software would (the `O(2^E)` read-out loop the
     /// paper contrasts with O(1) summaries). Starts by measuring channel 0,
-    /// then follows `next` until it returns 0.
+    /// then follows `next` until it reports no further channel.
     pub fn enumerate_ones(&self) -> Vec<u64> {
         let mut out = Vec::new();
         if self.meas(0) {
             out.push(0);
         }
         let mut e = 0u64;
-        loop {
-            let nx = self.next(e);
-            if nx == 0 {
-                break;
-            }
+        while let Some(nx) = self.next(e) {
             out.push(nx);
             e = nx;
         }
@@ -177,33 +176,34 @@ mod tests {
         // sixteen 1, and the first non-0 bit after position 42 in that
         // pattern is in entanglement channel 48."
         let a = Aob::hadamard(16, 4);
-        assert_eq!(a.next(42), 48);
+        assert_eq!(a.next(42), Some(48));
     }
 
     #[test]
     fn next_strictly_after() {
         let mut a = Aob::zeros(8);
         a.set(10, true);
-        assert_eq!(a.next(9), 10);
-        assert_eq!(a.next(10), 0); // strictly after — 10 itself not seen
-        assert_eq!(a.next(0), 10);
+        assert_eq!(a.next(9), Some(10));
+        assert_eq!(a.next(10), None); // strictly after — 10 itself not seen
+        assert_eq!(a.next(0), Some(10));
     }
 
     #[test]
-    fn next_returns_zero_when_empty() {
+    fn next_returns_none_when_empty() {
         let a = Aob::zeros(10);
         for d in [0u64, 5, 1022, 1023] {
-            assert_eq!(a.next(d), 0);
+            assert_eq!(a.next(d), None);
         }
     }
 
     #[test]
     fn next_never_reports_channel_zero_as_found() {
         // Channel 0's value is invisible to next (the §2.7 ambiguity that
-        // meas resolves).
+        // meas resolves); the typed result makes "not found" explicit
+        // instead of reusing 0.
         let mut a = Aob::zeros(8);
         a.set(0, true);
-        assert_eq!(a.next(0), 0);
+        assert_eq!(a.next(0), None);
         assert!(a.meas(0));
     }
 
@@ -213,12 +213,12 @@ mod tests {
         for &e in &[63u64, 64, 127, 128, 1023] {
             a.set(e, true);
         }
-        assert_eq!(a.next(0), 63);
-        assert_eq!(a.next(63), 64);
-        assert_eq!(a.next(64), 127);
-        assert_eq!(a.next(127), 128);
-        assert_eq!(a.next(128), 1023);
-        assert_eq!(a.next(1023), 0);
+        assert_eq!(a.next(0), Some(63));
+        assert_eq!(a.next(63), Some(64));
+        assert_eq!(a.next(64), Some(127));
+        assert_eq!(a.next(127), Some(128));
+        assert_eq!(a.next(128), Some(1023));
+        assert_eq!(a.next(1023), None);
     }
 
     #[test]
@@ -235,23 +235,23 @@ mod tests {
 
     #[test]
     fn next_sentinel_edge_cases_match_reference() {
-        // The three sentinel-ambiguity cases from the `next` docs, each
-        // checked against the per-bit oracle so the invariant can't
-        // silently drift between the fast path and the reference.
+        // The three formerly-sentinel-ambiguous cases from the `next`
+        // docs, each checked against the per-bit oracle so the invariant
+        // can't silently drift between the fast path and the reference.
         for ways in [3u32, 6, 8, 10] {
             let len = 1u64 << ways;
 
             // d >= len-1: nothing can lie strictly after.
             let full = Aob::ones(ways);
             for d in [len - 1, len, len + 7, u64::MAX] {
-                assert_eq!(full.next(d), 0, "ways={ways} d={d}");
+                assert_eq!(full.next(d), None, "ways={ways} d={d}");
                 assert_eq!(full.next(d), full.next_reference(d));
             }
 
-            // All-zeros: 0 for every probe position.
+            // All-zeros: None for every probe position.
             let zero = Aob::zeros(ways);
             for d in [0u64, 1, len / 2, len - 2, len - 1, u64::MAX] {
-                assert_eq!(zero.next(d), 0, "ways={ways} d={d}");
+                assert_eq!(zero.next(d), None, "ways={ways} d={d}");
                 assert_eq!(zero.next(d), zero.next_reference(d));
             }
 
@@ -260,7 +260,7 @@ mod tests {
             let mut only0 = Aob::zeros(ways);
             only0.set(0, true);
             for d in [0u64, 1, len - 2, len - 1] {
-                assert_eq!(only0.next(d), 0, "ways={ways} d={d}");
+                assert_eq!(only0.next(d), None, "ways={ways} d={d}");
                 assert_eq!(only0.next(d), only0.next_reference(d));
             }
             assert_ne!(only0.meas(0), zero.meas(0));
@@ -271,24 +271,28 @@ mod tests {
             let mut top = Aob::zeros(ways);
             top.set(len - 1, true);
             for d in [0u64, len / 2, len - 2] {
-                assert_eq!(top.next(d), len - 1, "ways={ways} d={d}");
+                assert_eq!(top.next(d), Some(len - 1), "ways={ways} d={d}");
                 assert_eq!(top.next(d), top.next_reference(d));
             }
-            assert_eq!(top.next(len - 1), 0);
+            assert_eq!(top.next(len - 1), None);
             assert_eq!(top.next(len - 1), top.next_reference(len - 1));
         }
     }
 
     #[test]
-    fn next_zero_result_is_always_the_sentinel() {
-        // Sweep assorted patterns: whenever next returns 0 the suffix
-        // strictly after d really is all-zeros (0 is never a real hit).
+    fn next_none_means_empty_suffix_and_some_is_never_zero() {
+        // Sweep assorted patterns: whenever next returns None the suffix
+        // strictly after d really is all-zeros, and a Some hit is never
+        // channel 0 (so the ISA's 0 encoding stays unambiguous).
         for ways in [4u32, 8] {
             for k in 0..ways {
                 let a = Aob::hadamard(ways, k);
                 for d in 0..a.len() {
-                    if a.next(d) == 0 {
-                        assert_eq!(a.pop_after(d), 0, "ways={ways} k={k} d={d}");
+                    match a.next(d) {
+                        None => {
+                            assert_eq!(a.pop_after(d), 0, "ways={ways} k={k} d={d}")
+                        }
+                        Some(e) => assert!(e > d && e != 0, "ways={ways} k={k} d={d}"),
                     }
                 }
             }

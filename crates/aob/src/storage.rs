@@ -33,6 +33,69 @@ use crate::{Aob, ChunkId, ChunkStore, GateOp, InternStats, ID_ONE, ID_ZERO};
 /// Number of architectural Qat registers every backend must provide.
 pub const REG_COUNT: usize = 256;
 
+/// Entanglement degree of the paper's physical register file: explicit
+/// (eager or hash-consed) backends materialize `2^ways`-bit vectors and
+/// cap out here. Compressed backends publish their own `MAX_WAYS`; every
+/// ways bound in the backend registry, the difftest oracle selection, and
+/// the adaptive backend's sparse-re pinning derives from these per-backend
+/// capability constants rather than repeating literals.
+pub const HW_MAX_WAYS: u32 = 16;
+
+/// A requested entanglement degree falls outside what a backend (or the
+/// PBP context) supports. The typed replacement for the panics that used
+/// to guard ways bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaysError {
+    /// The degree that was requested.
+    pub ways: u32,
+    /// Smallest supported degree.
+    pub min: u32,
+    /// Largest supported degree.
+    pub max: u32,
+}
+
+impl std::fmt::Display for WaysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ways {} outside supported range {}..={}", self.ways, self.min, self.max)
+    }
+}
+
+impl std::error::Error for WaysError {}
+
+impl WaysError {
+    /// `Ok(ways)` when `min..=max` contains `ways`, the typed error
+    /// otherwise.
+    pub fn check(ways: u32, min: u32, max: u32) -> Result<u32, WaysError> {
+        if (min..=max).contains(&ways) {
+            Ok(ways)
+        } else {
+            Err(WaysError { ways, min, max })
+        }
+    }
+}
+
+/// Footprint of a packed-RLE backend's register periods, summed over all
+/// registers. `None` from [`AobStorage::packed_stats`] means the backend
+/// does not use the packed encoding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackedStats {
+    /// `u32` words a flat `Vec<Run>` encoding of the same periods would
+    /// occupy (the pre-packing baseline).
+    pub flat_words: u64,
+    /// `u32` command words the packed hybrid encoding occupies.
+    pub packed_words: u64,
+    /// `Repeat` commands emitted by the cross-symbol periodicity pass.
+    pub repeats: u64,
+}
+
+impl PackedStats {
+    /// Compression win over the flat-run baseline (>= 1.0 means packing
+    /// never lost to the baseline).
+    pub fn ratio(&self) -> f64 {
+        self.flat_words as f64 / self.packed_words.max(1) as f64
+    }
+}
+
 /// Names one of the register-file representations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageBackend {
@@ -266,8 +329,10 @@ pub trait AobStorage: std::fmt::Debug + Send {
     /// `meas`: bit of register `r` at channel `e` (wrapped into range).
     fn meas(&self, r: usize, e: u64) -> bool;
 
-    /// `next`: index of the first 1 strictly after channel `d` (0 if none).
-    fn next(&self, r: usize, d: u64) -> u64;
+    /// `next`: index of the first 1 strictly after channel `d`, `None` if
+    /// no such channel exists. The ISA's in-band `0` sentinel is applied
+    /// only at the GPR boundary by the Qat dispatcher.
+    fn next(&self, r: usize, d: u64) -> Option<u64>;
 
     /// `pop`: count of 1s strictly after channel `d`.
     fn pop_after(&self, r: usize, d: u64) -> u64;
@@ -279,6 +344,13 @@ pub trait AobStorage: std::fmt::Debug + Send {
 
     /// The shared chunk store, if this backend uses one.
     fn chunk_store(&self) -> Option<&ChunkStore> {
+        None
+    }
+
+    /// Packed-period footprint, if this backend stores packed-RLE
+    /// registers (the sparse-re backend does; explicit backends return
+    /// `None`).
+    fn packed_stats(&self) -> Option<PackedStats> {
         None
     }
 
@@ -327,6 +399,12 @@ pub struct EagerFile {
 }
 
 impl EagerFile {
+    /// Smallest entanglement degree this backend supports.
+    pub const MIN_WAYS: u32 = 1;
+    /// Largest entanglement degree this backend supports: explicit
+    /// vectors are bounded by the physical file ([`HW_MAX_WAYS`]).
+    pub const MAX_WAYS: u32 = HW_MAX_WAYS;
+
     /// All registers zero, or preloaded with the §5 constant bank.
     pub fn new(ways: u32, constant_bank: bool) -> Self {
         let mut regs = vec![Aob::zeros(ways); REG_COUNT];
@@ -660,7 +738,7 @@ impl AobStorage for EagerFile {
         self.regs[r].meas(e)
     }
 
-    fn next(&self, r: usize, d: u64) -> u64 {
+    fn next(&self, r: usize, d: u64) -> Option<u64> {
         self.regs[r].next(d)
     }
 
@@ -702,6 +780,13 @@ pub struct InternedFile {
 }
 
 impl InternedFile {
+    /// Smallest entanglement degree this backend supports.
+    pub const MIN_WAYS: u32 = 1;
+    /// Largest entanglement degree this backend supports: hash-consed
+    /// chunks are still explicit vectors, so the bound is the physical
+    /// file's ([`HW_MAX_WAYS`]).
+    pub const MAX_WAYS: u32 = HW_MAX_WAYS;
+
     /// All registers zero, or preloaded with the §5 constant bank (which
     /// coincides with the store's canonical ids by construction).
     pub fn new(ways: u32, constant_bank: bool) -> Self {
@@ -793,7 +878,7 @@ impl AobStorage for InternedFile {
         self.store.aob(self.ids[r]).meas(e)
     }
 
-    fn next(&self, r: usize, d: u64) -> u64 {
+    fn next(&self, r: usize, d: u64) -> Option<u64> {
         self.store.aob(self.ids[r]).next(d)
     }
 

@@ -28,8 +28,7 @@ proptest! {
 
     #[test]
     fn next_result_is_one_valued_and_minimal(a in aob_any(), d in 0u64..5000) {
-        let r = a.next(d);
-        if r != 0 {
+        if let Some(r) = a.next(d) {
             prop_assert!(r > d);
             prop_assert!(a.meas(r));
             // minimality: no 1 strictly between d and r

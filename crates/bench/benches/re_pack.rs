@@ -1,0 +1,135 @@
+//! Packed-RLE register file benchmark: the factoring demo at the
+//! sparse-re backend's full 32-way ceiling, measuring wall time and the
+//! packed encoding's footprint against the flat `Vec<Run>` baseline it
+//! replaced.
+//!
+//! Criterion's shim cannot expose measured durations, so this is a plain
+//! `main` with manual `Instant` timing (best of several repetitions),
+//! emitting `BENCH_re_pack.json` at the repository root via the
+//! serde-free JSON writer.
+//!
+//! Flags (after `--`): `--quick` shrinks the repetitions for CI smoke
+//! runs, `--check` exits nonzero if the packed compression ratio drops
+//! below the flat-run baseline (ratio < 1.0), if the run materialized a
+//! register, or if the packed file reports no command words, `--out PATH`
+//! overrides the artifact path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use qat_coproc::{QatConfig, StorageBackend};
+use tangled_bench::json::Json;
+use tangled_bench::{assemble, factor15_asm};
+use tangled_sim::{Machine, MachineConfig};
+
+const WAYS: u32 = 32;
+
+/// End-to-end factoring run on the sparse-re backend at `ways`; returns
+/// (best wall ns, machine from the last rep for stats inspection).
+fn time_factoring(words: &[u16], ways: u32, reps: u32) -> (f64, Machine) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let cfg = MachineConfig {
+            qat: QatConfig::with_backend(StorageBackend::SparseRe, ways),
+            max_steps: 50_000_000,
+        };
+        let mut m = Machine::with_image(cfg, words);
+        let t0 = Instant::now();
+        m.run().expect("factoring program halts");
+        best = best.min(t0.elapsed().as_nanos() as f64);
+        black_box(m.regs);
+        last = Some(m);
+    }
+    (best, last.unwrap())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_re_pack.json").to_string()
+        });
+
+    let words = assemble(&factor15_asm());
+    let reps = if quick { 3 } else { 7 };
+
+    // Reference point: the same program at the hardware's 16-way degree.
+    let (ns16, _) = time_factoring(&words, 16, reps);
+    // The headline: 32-way entanglement, 2^32-channel universe, bounded
+    // memory through the packed periods.
+    let (ns32, m) = time_factoring(&words, WAYS, reps);
+
+    // The compiled program leaves the two nontrivial factors in $0/$1.
+    let mut factors = [m.regs[0], m.regs[1]];
+    factors.sort_unstable();
+    assert_eq!(factors, [3, 5], "factoring demo result");
+    let stats = m.qat.packed_stats().expect("sparse-re backend reports packed stats");
+    let materializations = m.qat.materializations();
+    let ratio = stats.ratio();
+    eprintln!(
+        "factoring(15) sparse-re: 16-way {:.2} ms, 32-way {:.2} ms",
+        ns16 / 1e6,
+        ns32 / 1e6,
+    );
+    eprintln!(
+        "packed registers at 32 ways: {} flat words -> {} packed words \
+         ({ratio:.2}x), {} repeat commands, {materializations} materializations",
+        stats.flat_words, stats.packed_words, stats.repeats,
+    );
+
+    let doc = Json::obj([
+        ("quick", Json::Bool(quick)),
+        (
+            "factoring",
+            Json::obj([
+                ("n", 15u64.into()),
+                ("ways", WAYS.into()),
+                ("ns_16way", ns16.into()),
+                ("ns_32way", ns32.into()),
+            ]),
+        ),
+        (
+            "packed",
+            Json::obj([
+                ("flat_words", stats.flat_words.into()),
+                ("packed_words", stats.packed_words.into()),
+                ("repeats", stats.repeats.into()),
+                ("ratio", ratio.into()),
+                ("materializations", materializations.into()),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
+    eprintln!("wrote {out}");
+
+    if check {
+        let mut failed = false;
+        if ratio < 1.0 {
+            eprintln!(
+                "CHECK FAILED: packed compression ratio regressed below the \
+                 flat-run baseline ({ratio:.3}x)"
+            );
+            failed = true;
+        }
+        if materializations != 0 {
+            eprintln!(
+                "CHECK FAILED: 32-way sparse-re run materialized \
+                 {materializations} full vectors"
+            );
+            failed = true;
+        }
+        if stats.packed_words == 0 {
+            eprintln!("CHECK FAILED: packed register file reports no command words");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

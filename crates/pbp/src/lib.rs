@@ -32,6 +32,7 @@
 //! [`pbp_aob::Aob`] substrate for universes small enough to expand.
 
 pub mod algos;
+mod packed;
 mod pint;
 mod re;
 pub mod storage;
@@ -44,7 +45,7 @@ pub use re::Re;
 pub use storage::SparseReFile;
 pub use tree::{PTree, TPint, TreeCtx, TreeError};
 
-use pbp_aob::{ChunkId, ChunkStore, GateOp, InternStats};
+use pbp_aob::{ChunkId, ChunkStore, GateOp, InternStats, WaysError};
 
 /// Chunk width in bits (one symbol covers this many entanglement channels).
 pub const CHUNK_BITS: u64 = 64;
@@ -76,19 +77,39 @@ pub const SYM_ZERO: Sym = pbp_aob::ID_ZERO;
 /// Symbol id of the all-ones chunk (the store's canonical one).
 pub const SYM_ONE: Sym = pbp_aob::ID_ONE;
 
+/// Smallest supported `universe_ways`.
+pub const MIN_UNIVERSE_WAYS: u32 = 1;
+/// Largest supported `universe_ways` (the run arithmetic is exact far
+/// beyond that, but 2^40 channels is already a trillion possible worlds).
+pub const MAX_UNIVERSE_WAYS: u32 = 40;
+
 impl PbpContext {
     /// A context whose universe has `2^universe_ways` entanglement
-    /// channels. Must be at least [`CHUNK_WAYS`] (one chunk) and at most
-    /// 40 (the run arithmetic is exact far beyond that, but 2^40 channels
-    /// is already a trillion possible worlds).
+    /// channels, or a typed [`WaysError`] outside
+    /// [`MIN_UNIVERSE_WAYS`]`..=`[`MAX_UNIVERSE_WAYS`].
+    ///
+    /// Universes smaller than one chunk (`universe_ways < CHUNK_WAYS`)
+    /// are supported by interning at the sub-chunk degree: the store
+    /// masks padding bits on every interned word, so the RE layer's
+    /// canonical zero/one symbols are already the *masked* constants and
+    /// no measurement can observe padding.
+    pub fn try_new(universe_ways: u32) -> Result<Self, WaysError> {
+        WaysError::check(universe_ways, MIN_UNIVERSE_WAYS, MAX_UNIVERSE_WAYS)?;
+        // The store pre-interns the constant bank [0, 1, H(0)..], so
+        // SYM_ZERO / SYM_ONE are its canonical first two ids. Sub-chunk
+        // universes get a store at their own degree, which keeps every
+        // symbol masked to the live channels.
+        let store = ChunkStore::new(universe_ways.min(CHUNK_WAYS));
+        Ok(PbpContext { universe_ways, store, next_dim: 0 })
+    }
+
+    /// Panicking convenience wrapper around [`PbpContext::try_new`].
     pub fn new(universe_ways: u32) -> Self {
-        assert!(
-            (CHUNK_WAYS..=40).contains(&universe_ways),
-            "universe_ways must be in {CHUNK_WAYS}..=40, got {universe_ways}"
-        );
-        // The store pre-interns the constant bank [0, 1, H(0)..H(5)], so
-        // SYM_ZERO / SYM_ONE are its canonical first two ids.
-        PbpContext { universe_ways, store: ChunkStore::new(CHUNK_WAYS), next_dim: 0 }
+        Self::try_new(universe_ways).unwrap_or_else(|e| {
+            panic!(
+                "universe_ways must be in {MIN_UNIVERSE_WAYS}..={MAX_UNIVERSE_WAYS}: {e}"
+            )
+        })
     }
 
     /// log2 of the number of entanglement channels.
@@ -101,9 +122,10 @@ impl PbpContext {
         1u64 << self.universe_ways
     }
 
-    /// Universe size in chunks.
+    /// Universe size in chunks (1 for sub-chunk universes, whose single
+    /// chunk is masked to the live channels).
     pub fn total_chunks(&self) -> u64 {
-        1u64 << (self.universe_ways - CHUNK_WAYS)
+        1u64 << self.universe_ways.saturating_sub(CHUNK_WAYS)
     }
 
     /// Number of distinct chunk symbols interned so far (includes the
@@ -180,9 +202,22 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_universe_is_a_typed_error() {
+        assert_eq!(
+            PbpContext::try_new(0).unwrap_err(),
+            pbp_aob::WaysError { ways: 0, min: MIN_UNIVERSE_WAYS, max: MAX_UNIVERSE_WAYS }
+        );
+        assert!(PbpContext::try_new(41).is_err());
+        // Sub-chunk universes are supported (masked single-chunk store).
+        let ctx = PbpContext::try_new(5).unwrap();
+        assert_eq!(ctx.channels(), 32);
+        assert_eq!(ctx.total_chunks(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "universe_ways")]
-    fn too_small_universe_rejected() {
-        PbpContext::new(5);
+    fn too_large_universe_rejected() {
+        PbpContext::new(41);
     }
 
     #[test]

@@ -265,11 +265,7 @@ impl PbpContext {
             visit(0);
         }
         let mut e = 0u64;
-        loop {
-            let nx = self.re_next(mask, e);
-            if nx == 0 {
-                break;
-            }
+        while let Some(nx) = self.re_next(mask, e) {
             visit(nx);
             e = nx;
         }

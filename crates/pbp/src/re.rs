@@ -10,7 +10,15 @@
 //! All gate operations work run-zipper-wise with memoized symbol ops, and
 //! all measurements walk runs — nothing is ever `O(2^E)` unless the value
 //! itself has `O(2^E)` entropy.
+//!
+//! The period itself is stored in the packed hybrid encoding of
+//! [`crate::packed::PackedRuns`] — tagged `u32` command words plus a
+//! `RepeatFinder` pass that factors cross-symbol periodicity in the run
+//! list — rather than a flat `Vec<Run>`, so structured states compress
+//! superlinearly in storage while every operation still runs over the
+//! logical runs.
 
+use crate::packed::PackedRuns;
 use crate::{BinOp, PbpContext, Sym, CHUNK_BITS, CHUNK_WAYS, SYM_ONE, SYM_ZERO};
 use pbp_aob::Aob;
 
@@ -23,17 +31,29 @@ pub struct Run {
     pub len: u64,
 }
 
-/// A compressed pbit: `period` repeated `reps` times.
+/// A compressed pbit: a packed-encoded `period` repeated `reps` times.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Re {
-    period: Vec<Run>,
+    period: PackedRuns,
     reps: u64,
 }
 
 impl Re {
-    /// Runs in the stored period — the §1.2 compression measure.
+    /// Logical runs in the stored period — the §1.2 compression measure.
     pub fn storage_runs(&self) -> usize {
-        self.period.len()
+        self.period.runs()
+    }
+
+    /// Stored period footprint in packed `u32` command words — at most
+    /// `2 * storage_runs()` and, on periodic run lists, far below it.
+    pub fn packed_words(&self) -> usize {
+        self.period.words()
+    }
+
+    /// `Repeat` commands in the packed period (cross-symbol periodicity
+    /// the `RepeatFinder` factored out).
+    pub fn repeat_commands(&self) -> usize {
+        self.period.repeat_commands()
     }
 
     /// Outer repetition count.
@@ -43,12 +63,18 @@ impl Re {
 
     /// Period length in chunks.
     pub fn period_chunks(&self) -> u64 {
-        self.period.iter().map(|r| r.len).sum()
+        self.period.chunks()
     }
 
     /// Total chunks covered (must equal the context's universe).
     pub fn total_chunks(&self) -> u64 {
         self.period_chunks() * self.reps
+    }
+
+    /// `u32` words a flat `Vec<Run>` period would occupy (16 bytes per
+    /// run) — the baseline the packed encoding is measured against.
+    pub fn flat_run_words(&self) -> usize {
+        self.storage_runs() * 4
     }
 }
 
@@ -92,10 +118,8 @@ impl PbpContext {
 
     /// The constant pbit (0 or 1) — one run.
     pub fn constant(&mut self, bit: bool) -> Re {
-        Re {
-            period: vec![Run { sym: if bit { SYM_ONE } else { SYM_ZERO }, len: 1 }],
-            reps: self.total_chunks(),
-        }
+        let sym = if bit { SYM_ONE } else { SYM_ZERO };
+        Re { period: PackedRuns::pack(&[Run { sym, len: 1 }]), reps: self.total_chunks() }
     }
 
     /// The Hadamard pattern `H(k)`: bit `e` is bit `k` of channel number
@@ -107,17 +131,24 @@ impl PbpContext {
         }
         if k < CHUNK_WAYS {
             let sym = self.sym(pbp_aob::hadamard::LANE[k as usize]);
-            return Re { period: vec![Run { sym, len: 1 }], reps: self.total_chunks() };
+            return Re {
+                period: PackedRuns::pack(&[Run { sym, len: 1 }]),
+                reps: self.total_chunks(),
+            };
         }
         let m = 1u64 << (k - CHUNK_WAYS);
         Re {
-            period: vec![Run { sym: SYM_ZERO, len: m }, Run { sym: SYM_ONE, len: m }],
+            period: PackedRuns::pack(&[
+                Run { sym: SYM_ZERO, len: m },
+                Run { sym: SYM_ONE, len: m },
+            ]),
             reps: self.total_chunks() / (2 * m),
         }
     }
 
-    /// Import an explicit AoB vector (universe must match; vectors smaller
-    /// than one chunk are not supported by the RE layer).
+    /// Import an explicit AoB vector (universe must match; sub-chunk
+    /// universes store their single masked chunk symbol, so padding bits
+    /// never reach the RE layer).
     pub fn from_aob(&mut self, a: &Aob) -> Re {
         assert_eq!(
             a.ways(),
@@ -132,9 +163,7 @@ impl PbpContext {
                 _ => runs.push(Run { sym, len: 1 }),
             }
         }
-        let mut re = Re { period: runs, reps: 1 };
-        self.reduce_period(&mut re);
-        re
+        self.build_re(runs, 1)
     }
 
     /// Expand to an explicit AoB vector (test oracle; only for universes
@@ -142,9 +171,10 @@ impl PbpContext {
     pub fn to_aob(&self, re: &Re) -> Aob {
         let ways = self.universe_ways();
         let mut v = Aob::zeros(ways);
+        let runs = re.period.decode();
         let mut idx = 0usize;
         for _ in 0..re.reps {
-            for r in &re.period {
+            for r in &runs {
                 let pat = self.pattern(r.sym);
                 for _ in 0..r.len {
                     v.words_mut()[idx] = pat;
@@ -159,27 +189,30 @@ impl PbpContext {
     // Canonicalization
     // ------------------------------------------------------------------
 
-    /// Merge adjacent runs and find the smallest repeating period
-    /// (halving until the two halves differ).
-    fn reduce_period(&self, re: &mut Re) {
-        merge_adjacent(&mut re.period);
+    /// Canonicalize a raw run list — merge adjacent equal-symbol runs,
+    /// shrink the period by halving while both halves agree — then pack
+    /// it. Packing is deterministic, so structurally equal pbits compare
+    /// equal on the packed words.
+    fn build_re(&self, mut period: Vec<Run>, mut reps: u64) -> Re {
+        merge_adjacent(&mut period);
         loop {
-            let pc = re.period_chunks();
+            let pc: u64 = period.iter().map(|r| r.len).sum();
             if pc % 2 != 0 {
                 break;
             }
-            let (l, r) = split_at_chunk(&re.period, pc / 2);
+            let (l, r) = split_at_chunk(&period, pc / 2);
             let mut lm = l;
             let mut rm = r;
             merge_adjacent(&mut lm);
             merge_adjacent(&mut rm);
             if lm == rm {
-                re.period = lm;
-                re.reps *= 2;
+                period = lm;
+                reps *= 2;
             } else {
                 break;
             }
         }
+        Re { period: PackedRuns::pack(&period), reps }
     }
 
     // ------------------------------------------------------------------
@@ -193,9 +226,7 @@ impl PbpContext {
             .iter()
             .map(|r| Run { sym: self.not_sym(r.sym), len: r.len })
             .collect();
-        let mut re = Re { period, reps: a.reps };
-        self.reduce_period(&mut re);
-        re
+        self.build_re(period, a.reps)
     }
 
     fn binop(&mut self, op: BinOp, a: &Re, b: &Re) -> Re {
@@ -209,8 +240,10 @@ impl PbpContext {
         let p = if lcm >= total || total % lcm != 0 { total } else { lcm };
 
         let mut period = Vec::new();
-        let mut ia = RunCursor::new(&a.period);
-        let mut ib = RunCursor::new(&b.period);
+        let runs_a = a.period.decode();
+        let runs_b = b.period.decode();
+        let mut ia = RunCursor::new(&runs_a);
+        let mut ib = RunCursor::new(&runs_b);
         let mut covered = 0u64;
         let mut steps = 0u64;
         while covered < p {
@@ -236,10 +269,13 @@ impl PbpContext {
             ib.advance(step);
             covered += step;
         }
-        let mut re = Re { period, reps: total / p };
-        self.reduce_period(&mut re);
+        let re = self.build_re(period, total / p);
         crate::telem::RE_GATES.inc();
         crate::telem::RE_COMPRESSION.record(total / re.storage_runs().max(1) as u64);
+        crate::telem::RE_PACKED_WORDS.record(re.packed_words() as u64);
+        crate::telem::RE_PACKED_RATIO
+            .record((re.flat_run_words() / re.packed_words().max(1)) as u64);
+        crate::telem::RE_PACKED_REPEATS.add(re.repeat_commands() as u64);
         re
     }
 
@@ -280,7 +316,7 @@ impl PbpContext {
     fn sym_at_chunk(&self, re: &Re, chunk: u64) -> Sym {
         let pc = re.period_chunks();
         let mut off = chunk % pc;
-        for r in &re.period {
+        for r in re.period.iter() {
             if off < r.len {
                 return r.sym;
             }
@@ -296,46 +332,50 @@ impl PbpContext {
         (pat >> (e % CHUNK_BITS)) & 1 != 0
     }
 
-    /// `next`: lowest channel strictly above `d` holding a 1; 0 if none.
-    pub fn re_next(&self, re: &Re, d: u64) -> u64 {
+    /// `next`: lowest channel strictly above `d` holding a 1; `None` if
+    /// no such channel exists (the ISA's in-band `0` sentinel is applied
+    /// only at the GPR boundary).
+    pub fn re_next(&self, re: &Re, d: u64) -> Option<u64> {
         let n = self.channels();
         let start = d.saturating_add(1);
         if start >= n {
-            return 0;
+            return None;
         }
         let chunk = start / CHUNK_BITS;
         let bit = start % CHUNK_BITS;
         // Partial current chunk.
         let pat = self.pattern(self.sym_at_chunk(re, chunk)) & (u64::MAX << bit);
         if pat != 0 {
-            return chunk * CHUNK_BITS + pat.trailing_zeros() as u64;
+            return Some(chunk * CHUNK_BITS + pat.trailing_zeros() as u64);
         }
         // Rest of the current period after this chunk.
         let pc = re.period_chunks();
         let period_idx = chunk / pc;
         let off = chunk % pc + 1; // next chunk within period
         let mut acc = 0u64;
-        for r in &re.period {
+        for r in re.period.iter() {
             let run_end = acc + r.len;
-            if run_end > off && self.pattern(r.sym) != 0 {
+            if run_end > off && r.sym != SYM_ZERO {
                 let at = acc.max(off);
                 let abs = period_idx * pc + at;
-                return abs * CHUNK_BITS + self.pattern(r.sym).trailing_zeros() as u64;
+                return Some(abs * CHUNK_BITS + self.pattern(r.sym).trailing_zeros() as u64);
             }
             acc = run_end;
         }
         // First non-zero chunk of a full period, if any periods remain.
         if period_idx + 1 < re.reps {
             let mut acc = 0u64;
-            for r in &re.period {
-                if self.pattern(r.sym) != 0 {
+            for r in re.period.iter() {
+                if r.sym != SYM_ZERO {
                     let abs = (period_idx + 1) * pc + acc;
-                    return abs * CHUNK_BITS + self.pattern(r.sym).trailing_zeros() as u64;
+                    return Some(
+                        abs * CHUNK_BITS + self.pattern(r.sym).trailing_zeros() as u64,
+                    );
                 }
                 acc += r.len;
             }
         }
-        0
+        None
     }
 
     /// Ones in one period.
@@ -359,7 +399,7 @@ impl PbpContext {
         let mut count = (full_chunks / pc) * self.period_pop(re);
         // Partial period.
         let mut rem = full_chunks % pc;
-        for r in &re.period {
+        for r in re.period.iter() {
             let take = rem.min(r.len);
             count += take * self.pattern(r.sym).count_ones() as u64;
             rem -= take;
@@ -381,14 +421,18 @@ impl PbpContext {
         self.re_pop_all(re) - self.re_pop_prefix(re, d.saturating_add(1))
     }
 
-    /// ANY reduction.
+    /// ANY reduction. Symbol ids are canonical, so this is exact (and
+    /// padding-safe at sub-chunk universes, where the all-ones symbol is
+    /// already masked).
     pub fn re_any(&self, re: &Re) -> bool {
-        re.period.iter().any(|r| self.pattern(r.sym) != 0)
+        re.period.iter().any(|r| r.sym != SYM_ZERO)
     }
 
-    /// ALL reduction.
+    /// ALL reduction. Compares symbols against the canonical all-ones
+    /// chunk — which at sub-chunk universes is the *masked* ones pattern,
+    /// so padding bits never make ALL unreachable.
     pub fn re_all(&self, re: &Re) -> bool {
-        re.period.iter().all(|r| self.pattern(r.sym) == u64::MAX)
+        re.period.iter().all(|r| r.sym == SYM_ONE)
     }
 
     /// All 1-valued channels, capped at `limit` results.
@@ -399,10 +443,7 @@ impl PbpContext {
         }
         let mut e = 0u64;
         while out.len() < limit {
-            let nx = self.re_next(re, e);
-            if nx == 0 {
-                break;
-            }
+            let Some(nx) = self.re_next(re, e) else { break };
             out.push(nx);
             e = nx;
         }
@@ -551,7 +592,7 @@ mod tests {
         // The §2.7 worked example, on the compressed representation.
         let mut ctx = PbpContext::new(16);
         let h4 = ctx.hadamard(4);
-        assert_eq!(ctx.re_next(&h4, 42), 48);
+        assert_eq!(ctx.re_next(&h4, 42), Some(48));
     }
 
     #[test]
@@ -568,9 +609,81 @@ mod tests {
         assert!(c.storage_runs() <= 40, "{} runs", c.storage_runs());
         assert_eq!(ctx.re_pop_all(&c), ctx.channels() / 4);
         // next across a huge zero span:
-        assert_eq!(ctx.re_next(&c, 0), (1 << 30) | (1 << 35));
+        assert_eq!(ctx.re_next(&c, 0), Some((1 << 30) | (1 << 35)));
         // pops line up with the analytic value
         assert_eq!(ctx.re_pop_prefix(&c, 1 << 35), 0);
+        // The packed encoding factors the (0^a 1^a) cadence: far fewer
+        // command words than even the logical run count.
+        assert!(
+            c.packed_words() < c.storage_runs(),
+            "{} words for {} runs",
+            c.packed_words(),
+            c.storage_runs()
+        );
+        assert!(c.repeat_commands() >= 1, "RepeatFinder must fire on H&H interleave");
+    }
+
+    #[test]
+    fn packed_encoding_roundtrips_through_aob() {
+        // Sweep structured and unstructured values: to_aob must invert
+        // from_aob exactly with the packed period in between.
+        let mut ctx = PbpContext::new(10);
+        let mut patterns: Vec<Aob> = (0..12).map(|k| Aob::hadamard(10, k)).collect();
+        let mut odd = Aob::zeros(10);
+        for e in [0u64, 1, 63, 64, 500, 777, 1023] {
+            odd.set(e, true);
+        }
+        patterns.push(odd);
+        for v in &patterns {
+            let re = ctx.from_aob(v);
+            assert_eq!(&ctx.to_aob(&re), v);
+            assert!(re.packed_words() <= re.flat_run_words());
+        }
+    }
+
+    #[test]
+    fn sub_chunk_universe_measurements_respect_padding() {
+        // ways < CHUNK_WAYS: the universe is smaller than one 64-bit
+        // chunk. The store interns masked chunks, so ALL must hold for
+        // the masked ones value and nothing may leak from padding bits.
+        for ways in [1u32, 3, 5] {
+            let mut ctx = PbpContext::new(ways);
+            let n = 1u64 << ways;
+            assert_eq!(ctx.total_chunks(), 1, "ways={ways}");
+
+            let o = ctx.constant(true);
+            let z = ctx.constant(false);
+            assert!(ctx.re_all(&o), "ways={ways}: masked ones must satisfy ALL");
+            assert!(ctx.re_any(&o));
+            assert!(!ctx.re_any(&z));
+            assert_eq!(ctx.re_pop_all(&o), n);
+            assert_eq!(ctx.re_pop_all(&z), 0);
+            assert_eq!(ctx.to_aob(&o), Aob::ones(ways));
+
+            // NOT of ones is zeros — only true if padding stayed clear.
+            let nz = ctx.not(&o);
+            assert!(!ctx.re_any(&nz), "ways={ways}: padding leaked through NOT");
+
+            // next never reports a padding channel.
+            for d in 0..2 * n {
+                match ctx.re_next(&o, d) {
+                    Some(e) => assert!(e > d && e < n, "ways={ways} d={d} e={e}"),
+                    None => assert!(d + 1 >= n, "ways={ways} d={d}"),
+                }
+            }
+
+            // Round-trip and gate parity against the explicit substrate.
+            for k in 0..ways {
+                let h = ctx.hadamard(k);
+                let oracle = Aob::hadamard(ways, k);
+                assert_eq!(ctx.to_aob(&h), oracle, "ways={ways} k={k}");
+                let re2 = ctx.from_aob(&oracle);
+                assert!(ctx.re_eq(&h, &re2));
+                let x = ctx.xor(&h, &o);
+                assert_eq!(ctx.to_aob(&x), Aob::xor_of(&oracle, &Aob::ones(ways)));
+                assert_eq!(ctx.re_pop_all(&h), n / 2);
+            }
+        }
     }
 
     #[test]
@@ -615,16 +728,24 @@ impl PbpContext {
     /// and raised to its repetition count — e.g. `H(7)` at 16-way prints
     /// `(0^2 1^2)^256`. Lengths are in 64-bit chunks.
     pub fn re_notation(&self, re: &Re) -> String {
+        // Symbols are canonical ids, so the constant chunks are named by
+        // id — exact even at sub-chunk universes where the ones pattern
+        // is masked.
+        let sym_name = |s: Sym| {
+            if s == SYM_ZERO {
+                "0".to_string()
+            } else if s == SYM_ONE {
+                "1".to_string()
+            } else {
+                format!("s{s}")
+            }
+        };
         let mut body = String::new();
         for (i, r) in re.period.iter().enumerate() {
             if i > 0 {
                 body.push(' ');
             }
-            let sym = match self.pattern(r.sym) {
-                0 => "0".to_string(),
-                u64::MAX => "1".to_string(),
-                _ => format!("s{}", r.sym),
-            };
+            let sym = sym_name(r.sym);
             if r.len == 1 {
                 body.push_str(&sym);
             } else {
@@ -633,14 +754,10 @@ impl PbpContext {
         }
         if re.reps == 1 {
             body
-        } else if re.period.len() == 1 {
+        } else if re.storage_runs() == 1 {
             // A single run repeated: fold the repetition into the exponent.
-            let r = re.period[0];
-            let sym = match self.pattern(r.sym) {
-                0 => "0".to_string(),
-                u64::MAX => "1".to_string(),
-                _ => format!("s{}", r.sym),
-            };
+            let r = re.period.iter().next().expect("periods are never empty");
+            let sym = sym_name(r.sym);
             let total = r.len * re.reps;
             if total == 1 { sym } else { format!("{sym}^{total}") }
         } else {

@@ -5,8 +5,10 @@
 //! executes through the RE rewriting kernels (`O(runs)` per gate) instead
 //! of the `2^WAYS`-bit word loops. Structured states — the constant bank,
 //! Hadamard initializers, and anything a gate DAG builds from them — keep
-//! short periods, so the backend supports `ways` of 18–24 without ever
-//! allocating a multi-megabit vector.
+//! short packed periods, so the backend supports `ways` all the way to
+//! [`SparseReFile::MAX_WAYS`] (32) without ever allocating a
+//! multi-megabit vector, and down to 1 way on a padding-masked
+//! single-chunk store.
 //!
 //! The measurement family (`meas` / `next` / `pop`) walks runs directly,
 //! which is what keeps the hot path materialization-free;
@@ -18,11 +20,11 @@
 
 use std::cell::Cell;
 
-use pbp_aob::storage::{AobStorage, ConstKind, StorageBackend, WriteDelta};
-use pbp_aob::{Aob, ChunkStore, GateOp, InternStats};
+use pbp_aob::storage::{AobStorage, ConstKind, PackedStats, StorageBackend, WriteDelta};
+use pbp_aob::{Aob, ChunkStore, GateOp, InternStats, WaysError};
 use tangled_telemetry::Counter;
 
-use crate::{PbpContext, Re, CHUNK_WAYS};
+use crate::{PbpContext, Re};
 
 /// Full-vector expansions performed by the sparse backend (attributed to
 /// the Qat backend namespace; see the module docs).
@@ -39,13 +41,21 @@ pub struct SparseReFile {
 }
 
 impl SparseReFile {
-    /// Smallest supported entanglement degree (one RE chunk symbol).
-    pub const MIN_WAYS: u32 = CHUNK_WAYS;
+    /// Smallest supported entanglement degree. Sub-chunk universes
+    /// (`ways <` [`crate::CHUNK_WAYS`]) run on a padding-masked
+    /// single-chunk store, so the floor is the PBP context's own.
+    pub const MIN_WAYS: u32 = crate::MIN_UNIVERSE_WAYS;
 
-    /// All registers zero, or preloaded with the §5 constant bank.
-    ///
-    /// Panics if `ways < Self::MIN_WAYS` (the RE layer's chunk width).
-    pub fn new(ways: u32, constant_bank: bool) -> Self {
+    /// Largest supported entanglement degree. The packed-RLE periods keep
+    /// structured states small well past the explicit backends'
+    /// [`pbp_aob::HW_MAX_WAYS`]; 32 ways is where the §3.3 factoring demo
+    /// is pinned by the conformance suite.
+    pub const MAX_WAYS: u32 = 32;
+
+    /// All registers zero, or preloaded with the §5 constant bank; a
+    /// typed [`WaysError`] outside `MIN_WAYS..=MAX_WAYS`.
+    pub fn try_new(ways: u32, constant_bank: bool) -> Result<Self, WaysError> {
+        WaysError::check(ways, Self::MIN_WAYS, Self::MAX_WAYS)?;
         let mut ctx = PbpContext::new(ways);
         let zero = ctx.constant(false);
         let mut regs = vec![zero; pbp_aob::storage::REG_COUNT];
@@ -55,7 +65,13 @@ impl SparseReFile {
                 regs[(2 + k) as usize] = ctx.hadamard(k);
             }
         }
-        SparseReFile { ctx, regs, materializations: Cell::new(0) }
+        Ok(SparseReFile { ctx, regs, materializations: Cell::new(0) })
+    }
+
+    /// Panicking convenience wrapper around [`SparseReFile::try_new`].
+    pub fn new(ways: u32, constant_bank: bool) -> Self {
+        Self::try_new(ways, constant_bank)
+            .unwrap_or_else(|e| panic!("sparse-re backend: {e}"))
     }
 
     /// The RE symbol currently held by register `r` (no materialization).
@@ -166,7 +182,7 @@ impl AobStorage for SparseReFile {
         self.ctx.re_get(&self.regs[r], e)
     }
 
-    fn next(&self, r: usize, d: u64) -> u64 {
+    fn next(&self, r: usize, d: u64) -> Option<u64> {
         self.ctx.re_next(&self.regs[r], d)
     }
 
@@ -180,6 +196,16 @@ impl AobStorage for SparseReFile {
 
     fn chunk_store(&self) -> Option<&ChunkStore> {
         None
+    }
+
+    fn packed_stats(&self) -> Option<PackedStats> {
+        let mut s = PackedStats::default();
+        for re in &self.regs {
+            s.flat_words += re.flat_run_words() as u64;
+            s.packed_words += re.packed_words() as u64;
+            s.repeats += re.repeat_commands() as u64;
+        }
+        Some(s)
     }
 
     fn materializations(&self) -> u64 {
@@ -255,6 +281,80 @@ mod tests {
     }
 
     #[test]
+    fn sub_chunk_ways_match_eager() {
+        // ways < CHUNK_WAYS runs on the padding-masked single-chunk
+        // store; the full gate sweep must agree with the eager oracle and
+        // no padding bit may leak into reads or measurements.
+        for ways in [1u32, 3, 5] {
+            let mut eager = EagerFile::new(ways, true);
+            let mut sparse = SparseReFile::new(ways, true);
+            drive(&mut eager);
+            drive(&mut sparse);
+            for r in 0..pbp_aob::storage::REG_COUNT {
+                assert_eq!(eager.read(r), sparse.read(r), "ways {ways} @{r}");
+            }
+            sparse.reset_stats();
+            let n = 1u64 << ways;
+            for r in 0..8 {
+                for e in 0..n {
+                    assert_eq!(eager.meas(r, e), sparse.meas(r, e), "ways {ways} @{r} meas {e}");
+                    assert_eq!(eager.next(r, e), sparse.next(r, e), "ways {ways} @{r} next {e}");
+                    assert_eq!(
+                        eager.pop_after(r, e),
+                        sparse.pop_after(r, e),
+                        "ways {ways} @{r} pop {e}"
+                    );
+                }
+            }
+            assert_eq!(sparse.materializations(), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_ways_is_a_typed_error() {
+        assert_eq!(
+            SparseReFile::try_new(0, false).unwrap_err(),
+            WaysError { ways: 0, min: SparseReFile::MIN_WAYS, max: SparseReFile::MAX_WAYS }
+        );
+        assert_eq!(
+            SparseReFile::try_new(33, true).unwrap_err(),
+            WaysError { ways: 33, min: 1, max: 32 }
+        );
+        assert!(SparseReFile::try_new(32, true).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "ways 40 outside supported range")]
+    fn out_of_range_ways_panics_through_new() {
+        SparseReFile::new(40, false);
+    }
+
+    #[test]
+    fn ways_32_structured_states_stay_compressed() {
+        let mut f = SparseReFile::new(32, true); // constant bank preloaded
+        f.gate_bin(GateOp::And, 100, 2 + 5, 2 + 31, false); // H(5) & H(31)
+        f.gate_bin(GateOp::Xor, 101, 100, 2 + 30, false);
+        f.gate_ccnot(101, 100, 2 + 0, false);
+        f.gate_not(101, false);
+
+        let pop = f.pop_after(100, 0);
+        assert_eq!(pop + f.meas(100, 0) as u64, 1u64 << 30, "quarter of 2^32 ones");
+        assert!(!f.meas(100, (1 << 31) - 1));
+        assert!(f.meas(100, (1u64 << 31) | (1 << 5)));
+        assert_eq!(f.next(100, 0), Some((1u64 << 31) | (1 << 5)));
+
+        // Nothing materialized, every register footprint is tiny relative
+        // to the 2^32-bit universe, and the packed stats surface is live.
+        assert_eq!(f.materializations(), 0);
+        for r in [100usize, 101] {
+            assert!(f.re(r).storage_runs() < 64, "@{r} runs {}", f.re(r).storage_runs());
+        }
+        let stats = f.packed_stats().unwrap();
+        assert!(stats.packed_words > 0);
+        assert!(stats.ratio() >= 1.0, "packing must not lose to flat runs");
+    }
+
+    #[test]
     fn ways_20_structured_states_stay_compressed() {
         let mut f = SparseReFile::new(20, true); // constant bank preloaded
         // Work over the bank without touching reserved registers.
@@ -269,7 +369,7 @@ mod tests {
         assert_eq!(pop + f.meas(100, 0) as u64, 1u64 << 18, "quarter of 2^20 ones");
         assert!(!f.meas(100, (1 << 19) - 1)); // bit 19 clear
         assert!(f.meas(100, (1 << 19) | (1 << 5)));
-        assert_eq!(f.next(100, 0), (1 << 19) | (1 << 5));
+        assert_eq!(f.next(100, 0), Some((1 << 19) | (1 << 5)));
 
         // The whole computation stayed in RE form: nothing materialized,
         // and every register's period is tiny compared to 2^20 bits.

@@ -344,15 +344,16 @@ impl TreeCtx {
         (self.pattern(s) >> (e % crate::CHUNK_BITS)) & 1 != 0
     }
 
-    /// `next`: lowest 1-channel strictly above `d` (0 if none) — a single
-    /// descent guided by subtree populations, O(height).
-    pub fn next(&self, t: &PTree, d: u64) -> u64 {
+    /// `next`: lowest 1-channel strictly above `d`, `None` if no such
+    /// channel exists — a single descent guided by subtree populations,
+    /// O(height).
+    pub fn next(&self, t: &PTree, d: u64) -> Option<u64> {
         let n = 1u64 << t.ways();
         let start = d.saturating_add(1);
         if start >= n {
-            return 0;
+            return None;
         }
-        self.next_rec(t.root, t.level, 0, start).unwrap_or(0)
+        self.next_rec(t.root, t.level, 0, start)
     }
 
     fn next_rec(&self, id: TId, level: u32, base: u64, start: u64) -> Option<u64> {
@@ -508,7 +509,7 @@ mod tests {
         assert!(!t.get(&c, 1 << 6));
         assert!(!t.get(&c, 1 << 39));
         assert!(t.get(&c, (1 << 6) | (1 << 39)));
-        assert_eq!(t.next(&c, 0), (1 << 39) | (1 << 6));
+        assert_eq!(t.next(&c, 0), Some((1 << 39) | (1 << 6)));
         // And the flat representation indeed refuses:
         let mut ctx = PbpContext::new(40);
         let fa = ctx.hadamard(6);
@@ -568,8 +569,8 @@ mod tests {
         // acc = AND of all H(k) = 1 only where every bit set = last channel.
         assert_eq!(t.pop_all(&h), 1);
         let last = (1u64 << 36) - 1;
-        assert_eq!(t.next(&h, 0), last);
-        assert_eq!(t.next(&h, last), 0);
+        assert_eq!(t.next(&h, 0), Some(last));
+        assert_eq!(t.next(&h, last), None);
         assert!(t.get(&h, last));
     }
 }
@@ -700,10 +701,7 @@ impl TreeCtx {
         }
         let mut e = 0u64;
         while out.len() < limit {
-            let nx = self.next(mask, e);
-            if nx == 0 {
-                break;
-            }
+            let Some(nx) = self.next(mask, e) else { break };
             out.insert(self.tpint_value_at(p, nx));
             e = nx;
         }

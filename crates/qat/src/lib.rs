@@ -17,8 +17,8 @@
 //!   [`interned`](pbp_aob::InternedFile) hash-consed chunk ids with
 //!   memoized gate kernels (the default — the PBP redundancy argument of
 //!   §2.2), and the [`sparse-re`](pbp::SparseReFile) run-length-compressed
-//!   file that executes gates by RE rewriting and so supports `ways` of
-//!   18–24 on structured states (§3.3's scaling story moved inside the
+//!   file that executes gates by RE rewriting and so supports `ways` up
+//!   to 32 on structured states (§3.3's scaling story moved inside the
 //!   coprocessor). All three are architecturally bit-identical where their
 //!   `ways` ranges overlap, and the differential fuzzer runs them as
 //!   oracle pairs.
@@ -44,7 +44,7 @@ pub mod cost;
 use pbp_aob::storage::{AobStorage, ConstKind, GateAction};
 use pbp_aob::{
     AdaptiveFile, AdaptiveStats, Aob, ChunkStore, EagerFile, EnergyMeter, GateOp, InternStats,
-    InternedFile,
+    InternedFile, PackedStats, WaysError,
 };
 use tangled_isa::{Insn, QReg};
 
@@ -86,7 +86,7 @@ pub struct QatConfig {
     /// Entanglement degree: AoB values are `2^ways` bits. The paper's
     /// hardware uses 16; student projects used 8 (and were permitted 256-bit
     /// AoB = 8-way "to speed-up simulation"). The `sparse-re` backend
-    /// extends this to 24 in software.
+    /// extends this to 32 in software.
     pub ways: u32,
     /// §5 mode: registers `@0`,`@1` hold the constants 0 and 1 and
     /// `@2..@(2+ways)` hold `H(0)..H(ways-1)`; writes to those registers
@@ -172,18 +172,22 @@ impl BackendEntry {
         (self.min_ways..=self.max_ways).contains(&ways)
     }
 
+    /// Build a fresh register file for `cfg`, or a typed [`WaysError`]
+    /// outside the supported `ways` range.
+    pub fn try_build(&self, cfg: &QatConfig) -> Result<Box<dyn AobStorage>, WaysError> {
+        WaysError::check(cfg.ways, self.min_ways, self.max_ways)?;
+        Ok((self.build)(cfg))
+    }
+
     /// Build a fresh register file for `cfg` (panics outside the
     /// supported `ways` range).
     pub fn build(&self, cfg: &QatConfig) -> Box<dyn AobStorage> {
-        assert!(
-            self.supports_ways(cfg.ways),
-            "backend `{}` supports ways {}..={}, got {}",
-            self.backend,
-            self.min_ways,
-            self.max_ways,
-            cfg.ways
-        );
-        (self.build)(cfg)
+        self.try_build(cfg).unwrap_or_else(|_| {
+            panic!(
+                "backend `{}` supports ways {}..={}, got {}",
+                self.backend, self.min_ways, self.max_ways, cfg.ways
+            )
+        })
     }
 }
 
@@ -197,43 +201,48 @@ impl std::fmt::Debug for BackendEntry {
     }
 }
 
+// Every ways bound below derives from the backend types' own capability
+// constants (`EagerFile::MIN_WAYS`..., `SparseReFile::MAX_WAYS`...), so
+// raising a backend's range is a one-constant change and the registry,
+// the difftest oracle selection, and the adaptive pinning pivot can
+// never drift apart.
 static BACKENDS: [BackendEntry; 4] = [
     BackendEntry {
         backend: StorageBackend::Eager,
         description: "explicit 2^WAYS-bit vectors, word-loop gate kernels",
-        min_ways: 1,
-        max_ways: 16,
+        min_ways: EagerFile::MIN_WAYS,
+        max_ways: EagerFile::MAX_WAYS,
         oracle_name: "qat-eager",
         build: |cfg| Box::new(EagerFile::new(cfg.ways, cfg.constant_registers)),
     },
     BackendEntry {
         backend: StorageBackend::Interned,
         description: "hash-consed chunk ids, memoized gates, copy-on-write (default)",
-        min_ways: 1,
-        max_ways: 16,
+        min_ways: InternedFile::MIN_WAYS,
+        max_ways: InternedFile::MAX_WAYS,
         oracle_name: "qat-interned",
         build: |cfg| Box::new(InternedFile::new(cfg.ways, cfg.constant_registers)),
     },
     BackendEntry {
         backend: StorageBackend::SparseRe,
-        description: "run-length-compressed RE symbols; structured states beyond 16 ways",
-        min_ways: pbp::CHUNK_WAYS,
-        max_ways: 24,
+        description: "packed-RLE RE symbols; structured states beyond 16 ways",
+        min_ways: pbp::SparseReFile::MIN_WAYS,
+        max_ways: pbp::SparseReFile::MAX_WAYS,
         oracle_name: "qat-sparse-re",
         build: |cfg| Box::new(pbp::SparseReFile::new(cfg.ways, cfg.constant_registers)),
     },
     BackendEntry {
         backend: StorageBackend::Adaptive,
         description: "starts eager, promotes to interned when dedup telemetry pays",
-        min_ways: 1,
-        max_ways: 24,
+        min_ways: EagerFile::MIN_WAYS,
+        max_ways: pbp::SparseReFile::MAX_WAYS,
         oracle_name: "qat-adaptive",
-        // Up to the hardware's 16 ways the file starts eager and promotes
-        // to interned on its own telemetry; past that explicit vectors are
-        // the wrong floor, so the adaptive wrapper pins the sparse-re
-        // representation instead.
+        // Up to the hardware's HW_MAX_WAYS the file starts eager and
+        // promotes to interned on its own telemetry; past that explicit
+        // vectors are the wrong floor, so the adaptive wrapper pins the
+        // sparse-re representation instead.
         build: |cfg| {
-            if cfg.ways <= 16 {
+            if cfg.ways <= pbp_aob::HW_MAX_WAYS {
                 Box::new(AdaptiveFile::new(cfg.ways, cfg.constant_registers))
             } else {
                 Box::new(AdaptiveFile::pinned(Box::new(pbp::SparseReFile::new(
@@ -389,6 +398,13 @@ impl QatCoprocessor {
         self.file.intern_stats()
     }
 
+    /// Packed-period footprint of the register file, if the backend
+    /// stores packed-RLE registers (`sparse-re`, or `adaptive` pinned
+    /// past [`pbp_aob::HW_MAX_WAYS`]).
+    pub fn packed_stats(&self) -> Option<PackedStats> {
+        self.file.packed_stats()
+    }
+
     /// Full-vector materializations the backend performed (non-zero only
     /// when something read registers architecturally; the `sparse-re`
     /// gate/measurement path keeps this at 0).
@@ -523,7 +539,14 @@ impl QatCoprocessor {
             }
             Insn::QNext { d: _, a } => {
                 self.flush_energy();
-                return Ok(Some(self.file.next(a.0 as usize, d_in as u64) as u16));
+                // The ISA's in-band `0` sentinel is applied here, at the
+                // GPR boundary: storage reports "no next 1" as a typed
+                // `None`, and only the 16-bit architectural result folds
+                // that into 0 (channel 0 is never a legal `next` result,
+                // so the encoding is unambiguous).
+                return Ok(Some(
+                    self.file.next(a.0 as usize, d_in as u64).map_or(0, |e| e as u16),
+                ));
             }
             Insn::QPop { d: _, a } => {
                 self.flush_energy();
@@ -986,9 +1009,36 @@ mod tests {
         for b in StorageBackend::ALL {
             assert_eq!(backend_entry(b).backend, b);
         }
+        // Every bound is derived from the backend types' own capability
+        // constants — spot-check the table against them.
+        assert_eq!(backend_entry(StorageBackend::Eager).max_ways, pbp_aob::HW_MAX_WAYS);
+        assert_eq!(
+            backend_entry(StorageBackend::SparseRe).max_ways,
+            pbp::SparseReFile::MAX_WAYS
+        );
+        assert_eq!(
+            backend_entry(StorageBackend::Adaptive).max_ways,
+            pbp::SparseReFile::MAX_WAYS
+        );
         assert!(backend_entry(StorageBackend::SparseRe).supports_ways(20));
+        assert!(backend_entry(StorageBackend::SparseRe).supports_ways(32));
+        assert!(!backend_entry(StorageBackend::SparseRe).supports_ways(33));
         assert!(!backend_entry(StorageBackend::Eager).supports_ways(20));
-        assert!(!backend_entry(StorageBackend::SparseRe).supports_ways(4));
+        // Packed-RLE periods run on a padding-masked sub-chunk store, so
+        // small degrees are in range too.
+        assert!(backend_entry(StorageBackend::SparseRe).supports_ways(4));
+    }
+
+    #[test]
+    fn try_build_returns_typed_ways_error() {
+        let e = backend_entry(StorageBackend::Eager)
+            .try_build(&QatConfig::with_backend(StorageBackend::Eager, 20))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(e, WaysError { ways: 20, min: 1, max: pbp_aob::HW_MAX_WAYS });
+        assert!(backend_entry(StorageBackend::SparseRe)
+            .try_build(&QatConfig::with_backend(StorageBackend::SparseRe, 32))
+            .is_ok());
     }
 
     #[test]

@@ -493,7 +493,10 @@ pub fn pbp_crosscheck(prog: &[Insn], ways: u32) -> Result<(), String> {
             }
             Insn::QNext { d, a } => {
                 let e = gprs[d.num() as usize] as u64;
-                gprs[d.num() as usize] = ctx.re_next(&re[a.0 as usize], e) as u16;
+                // Same in-band encoding the Qat dispatcher applies at the
+                // GPR boundary: `None` (no next 1) folds to 0.
+                gprs[d.num() as usize] =
+                    ctx.re_next(&re[a.0 as usize], e).map_or(0, |x| x as u16);
             }
             Insn::QPop { d, a } => {
                 let e = gprs[d.num() as usize] as u64;

@@ -51,7 +51,7 @@ fn main() {
             v.storage_runs(),
             t.node_count(),
             t.pop_all(&tv),
-            t.next(&tv, 0),
+            t.next(&tv, 0).unwrap_or(0),
         );
     }
 
@@ -65,7 +65,7 @@ fn main() {
         "  tree: H(6) & H(39) at E=40 -> {} nodes, pop = 2^38 = {}, first answer channel {}",
         t.node_count(),
         t.pop_all(&c),
-        t.next(&c, 0)
+        t.next(&c, 0).unwrap_or(0)
     );
     let mut ctx = PbpContext::new(40);
     let fa = ctx.hadamard(6);

@@ -59,7 +59,8 @@ fn main() {
     println!("== §2.7 worked example ==");
     let a123 = Aob::hadamard(16, 4); // had @123,4
     let d = 42u64; //                   lex $8,42
-    let r = a123.next(d); //            next $8,@123
+    // `next` reports "none" as a typed Option; the ISA folds it to 0.
+    let r = a123.next(d).unwrap_or(0); // next $8,@123
     println!("had @123,4 ; lex $8,42 ; next $8,@123  =>  $8 = {r} (paper: 48)");
     assert_eq!(r, 48);
 }

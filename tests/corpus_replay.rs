@@ -65,6 +65,41 @@ fn corpus_intern_counters_replay_deterministically() {
     assert!(qat_lookups > 0, "no corpus program touched the Qat op cache");
 }
 
+/// The packed-RLE encoding is a pure function of the run list: two fresh
+/// sparse-re runs of any corpus program must leave bit-identical packed
+/// register files — same command-word footprint, same `Repeat` factoring
+/// decisions — and identical architectural state. This pins the
+/// `RepeatFinder`'s tie-breaking as replayable behavior.
+#[test]
+fn corpus_packed_encoding_replays_deterministically() {
+    let mut packed = 0u64;
+    for path in runner::corpus_files(&corpus_dir()) {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let img = asm::assemble(&text).unwrap();
+        let cfg = runner::corpus_diff_config(&text, StorageBackend::SparseRe);
+        if !tangled_qat::qat::backend_entry(StorageBackend::SparseRe).supports_ways(cfg.ways) {
+            continue;
+        }
+        let run = || {
+            let mut m = Machine::with_image(cfg.machine_config(), &img.words);
+            let _ = m.run(); // faulting reproducers still leave valid stats
+            m
+        };
+        let (a, b) = (run(), run());
+        let sa = a.qat.packed_stats().expect("sparse-re backend reports packed stats");
+        let sb = b.qat.packed_stats().expect("sparse-re backend reports packed stats");
+        assert_eq!(sa, sb, "{}: packed encoding not deterministic", path.display());
+        assert_eq!(a.regs, b.regs, "{}: register state diverged", path.display());
+        assert!(
+            sa.flat_words >= sa.packed_words,
+            "{}: packed encoding lost to the flat-run baseline: {sa:?}",
+            path.display()
+        );
+        packed += sa.packed_words;
+    }
+    assert!(packed > 0, "no corpus program left packed registers");
+}
+
 /// Adaptive-backend promotion decisions are a pure function of the gate
 /// sequence, never of wall-clock or allocation state: two fresh runs of
 /// any corpus program must report identical [`pbp_aob::AdaptiveStats`]

@@ -127,6 +127,97 @@ fn factoring_demo_runs_at_20_ways_on_sparse_re() {
     assert_eq!(capture(&machines[0], None), capture(&machines[1], None));
 }
 
+/// The packed-RLE register file runs the factoring demo at the backend's
+/// full 32-way ceiling with bounded memory: no register ever materializes
+/// its 2^32-bit explicit form, and the packed periods stay thousands of
+/// times smaller than the flat universe.
+#[test]
+fn factoring_demo_runs_at_32_ways_on_sparse_re() {
+    let words = factor15_words();
+    let mc = MachineConfig {
+        qat: QatConfig::with_backend(StorageBackend::SparseRe, 32),
+        ..Default::default()
+    };
+    let mut m = Machine::with_image(mc, &words);
+    m.run().expect("sparse-re at 32 ways");
+    let printed: Vec<String> = m.output.iter().map(|r| r.to_string()).collect();
+    assert_eq!(printed.join(" "), "5 3", "sparse-re at 32 ways");
+    assert_eq!(m.qat.materializations(), 0, "32-way run materialized a register");
+    // Bounded memory, concretely: the whole 256-register file fits in a
+    // few kilowords of packed commands, versus 2^32 bits (128 Mi u32
+    // words) per register eagerly.
+    let stats = m.qat.packed_stats().expect("sparse-re reports packed stats");
+    assert!(stats.packed_words > 0);
+    assert!(
+        stats.packed_words < 1 << 16,
+        "packed register file blew up: {} words",
+        stats.packed_words
+    );
+    assert!(
+        stats.ratio() >= 1.0,
+        "packed encoding lost to the flat-run baseline: {:?}",
+        stats
+    );
+}
+
+/// Packed-vs-eager equivalence pin at hardware degrees: a deterministic
+/// gate mix over the whole Table 3 set — including the aliased `cswap`
+/// corners — leaves bit-identical registers in the packed sparse-re file
+/// and the eager oracle at every ways up to the explicit backends' cap.
+#[test]
+fn packed_sparse_re_matches_eager_below_hw_max_ways() {
+    use tangled_qat::isa::{Insn, QReg, Reg};
+    let q = QReg;
+    let prog = |ways: u32| {
+        let mut p = vec![
+            Insn::QHad { a: q(0), k: 0 },
+            Insn::QHad { a: q(1), k: ways.saturating_sub(1) as u8 },
+            Insn::QHad { a: q(2), k: 2 },
+            Insn::QOne { a: q(3) },
+            Insn::QAnd { a: q(4), b: q(0), c: q(1) },
+            Insn::QOr { a: q(5), b: q(4), c: q(2) },
+            Insn::QXor { a: q(6), b: q(5), c: q(0) },
+            Insn::QNot { a: q(6) },
+            Insn::QCnot { a: q(4), b: q(5) },
+            Insn::QCnot { a: q(4), b: q(4) }, // aliased: clears
+            Insn::QCcnot { a: q(5), b: q(6), c: q(0) },
+            Insn::QCcnot { a: q(5), b: q(5), c: q(5) }, // fully aliased
+            Insn::QSwap { a: q(4), b: q(5) },
+            Insn::QCswap { a: q(5), b: q(6), c: q(1) },
+            Insn::QCswap { a: q(2), b: q(2), c: q(0) }, // aliased pair
+            Insn::QZero { a: q(3) },
+        ];
+        p.push(Insn::QHad { a: q(7), k: (ways / 2) as u8 });
+        p.push(Insn::QCswap { a: q(7), b: q(6), c: q(7) }); // data = selector
+        p
+    };
+    for ways in [1u32, 3, 6, 8, 12, 16] {
+        let mut eager =
+            qat::QatCoprocessor::new(QatConfig::with_backend(StorageBackend::Eager, ways));
+        let mut sparse =
+            qat::QatCoprocessor::new(QatConfig::with_backend(StorageBackend::SparseRe, ways));
+        for insn in prog(ways) {
+            eager.execute(insn.clone(), 0).unwrap();
+            sparse.execute(insn, 0).unwrap();
+        }
+        for r in 0..8u8 {
+            assert_eq!(eager.reg(q(r)), sparse.reg(q(r)), "ways {ways} @{r}");
+        }
+        // The measurement datapath agrees too, through the ISA encoding.
+        for r in [4u8, 5, 6, 7] {
+            for d in 0..(1u64 << ways).min(64) {
+                let en = eager
+                    .execute(Insn::QNext { d: Reg::new(8), a: q(r) }, d as u16)
+                    .unwrap();
+                let sn = sparse
+                    .execute(Insn::QNext { d: Reg::new(8), a: q(r) }, d as u16)
+                    .unwrap();
+                assert_eq!(en, sn, "ways {ways} @{r} next {d}");
+            }
+        }
+    }
+}
+
 /// The adaptive backend reproduces the factoring demo on both sides of its
 /// ways pivot: promotable eager-to-interned at 8 ways, and pinned to the
 /// RE-compressed file at 20 ways (where a dense vector would be 2^20 bits).

@@ -100,18 +100,20 @@ fn fig8_worked_example() {
     for e in 0..64u64 {
         assert_eq!(a.get(e), (e / 16) % 2 == 1, "e={e}");
     }
-    assert_eq!(a.next(42), 48);
+    assert_eq!(a.next(42), Some(48));
 }
 
 #[test]
 fn fig8_next_zero_means_none() {
     // "If there is no 1 in the remainder of the AoB vector, the value
-    // returned is 0."
+    // returned is 0." In software the substrate reports a typed `None`;
+    // the Qat dispatcher folds it into the ISA's in-band 0 at the GPR
+    // boundary.
     let a = Aob::hadamard(16, 15);
-    assert_eq!(a.next(65_535), 0);
+    assert_eq!(a.next(65_535), None);
     let z = Aob::zeros(16);
-    assert_eq!(z.next(0), 0);
-    assert_eq!(z.next(42), 0);
+    assert_eq!(z.next(0), None);
+    assert_eq!(z.next(42), None);
 }
 
 #[test]

@@ -137,6 +137,26 @@ fn sparse_re_backend_exports_its_namespace() {
             == 0,
         "sparse-re CLI run materialized a full vector"
     );
+    // The packed-RLE compression histograms ride the same export: every
+    // RE gate records its command-word footprint and its win over the
+    // flat-run baseline under `pbp.re.packed.*`.
+    for key in ["pbp.re.packed.words.count", "pbp.re.packed.ratio.count"] {
+        assert!(
+            counters.get(key).and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "`{key}` missing or zero; got keys {:?}",
+            counters.keys().collect::<Vec<_>>()
+        );
+    }
+    // Ratio samples are flat/packed >= 1: the histogram's running
+    // max must be at least 1 and the sum at least the count.
+    let ratio_sum = counters.get("pbp.re.packed.ratio.sum").and_then(|v| v.as_u64()).unwrap();
+    let ratio_count =
+        counters.get("pbp.re.packed.ratio.count").and_then(|v| v.as_u64()).unwrap();
+    assert!(
+        ratio_sum >= ratio_count,
+        "packed encoding regressed below the flat-run baseline: \
+         ratio sum {ratio_sum} < count {ratio_count}"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
