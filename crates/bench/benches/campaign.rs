@@ -11,6 +11,9 @@
 //!   workers must clear 1.5x the single-worker throughput. On a 1-CPU
 //!   host this gate is skipped and recorded as such in the artifact —
 //!   the numbers are measured honestly, not simulated.
+//! * **Live-metrics overhead** (always): attaching the flight recorder
+//!   (`--live-metrics`, interval 8, lines formatted but discarded) to a
+//!   1-worker Counters-mode campaign must cost at most 1.10x.
 //!
 //! Criterion's shim cannot expose measured durations, so this is a plain
 //! `main` with manual `Instant` timing, emitting `BENCH_campaign.json`
@@ -24,7 +27,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use tangled_bench::json::Json;
-use tangled_serve::{JobKind, JobSpec, Pool, ServeConfig};
+use tangled_serve::{FlightConfig, JobKind, JobSpec, LineSink, Pool, ServeConfig};
 use tangled_sim::difftest::{compare_all, DiffConfig};
 use tangled_sim::proggen::{encode_program, random_program, ProgGenOptions};
 
@@ -44,11 +47,19 @@ fn time_serial(progs: &[Vec<u16>], cfg: &DiffConfig) -> f64 {
     t0.elapsed().as_nanos() as f64
 }
 
-/// Pooled run: submit everything, drain everything.
-fn time_pooled(progs: &[Vec<u16>], cfg: &DiffConfig, workers: usize) -> f64 {
+/// Pooled run: submit everything, drain everything. `flight` attaches a
+/// live-metrics flight recorder (lines formatted but discarded) so the
+/// recorder's lock/format cost is measured without terminal noise.
+fn time_pooled_with(
+    progs: &[Vec<u16>],
+    cfg: &DiffConfig,
+    workers: usize,
+    flight: Option<FlightConfig>,
+) -> f64 {
     let pool = Pool::new(ServeConfig {
         workers,
         queue_cap: progs.len().max(16),
+        flight,
         ..Default::default()
     });
     let t0 = Instant::now();
@@ -64,6 +75,10 @@ fn time_pooled(progs: &[Vec<u16>], cfg: &DiffConfig, workers: usize) -> f64 {
         assert!(out.findings.is_empty(), "bench program diverged: {:?}", out.findings);
     }
     elapsed
+}
+
+fn time_pooled(progs: &[Vec<u16>], cfg: &DiffConfig, workers: usize) -> f64 {
+    time_pooled_with(progs, cfg, workers, None)
 }
 
 fn main() {
@@ -122,6 +137,26 @@ fn main() {
         if scaling_gated { "" } else { "; scaling gate skipped" }
     );
 
+    // Flight-recorder overhead: the production observability posture is
+    // Counters mode plus `--live-metrics`, so both sides of this ratio
+    // run with counters on; the only variable is the recorder (interval 8,
+    // lines formatted then discarded). Measured at one worker — the
+    // recorder's lock is most contended relative to useful work there.
+    tangled_telemetry::set_mode(tangled_telemetry::Mode::Counters);
+    let counters_ns =
+        (0..reps).map(|_| time_pooled(&progs, &cfg, 1)).fold(f64::INFINITY, f64::min);
+    let flight_cfg = FlightConfig { interval: 8, crash_dir: None, sink: LineSink::Null };
+    let flight_ns = (0..reps)
+        .map(|_| time_pooled_with(&progs, &cfg, 1, Some(flight_cfg.clone())))
+        .fold(f64::INFINITY, f64::min);
+    tangled_telemetry::set_mode(tangled_telemetry::Mode::Off);
+    let live_overhead = flight_ns / counters_ns.max(1e-9);
+    eprintln!(
+        "live-metrics overhead {live_overhead:.3}x (counters {:.1} ms -> counters+flight {:.1} ms)",
+        counters_ns / 1e6,
+        flight_ns / 1e6
+    );
+
     let doc = Json::obj([
         ("quick", Json::Bool(quick)),
         ("hardware_threads", hardware_threads.into()),
@@ -131,6 +166,14 @@ fn main() {
         ("serial_programs_per_sec", serial_pps.into()),
         ("pool_overhead_vs_serial", overhead.into()),
         ("scaling_gate_active", Json::Bool(scaling_gated)),
+        (
+            "live_metrics",
+            Json::obj([
+                ("counters_ns", counters_ns.into()),
+                ("counters_flight_ns", flight_ns.into()),
+                ("overhead", live_overhead.into()),
+            ]),
+        ),
         ("pool", Json::Arr(rows)),
     ]);
     std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
@@ -145,6 +188,13 @@ fn main() {
             eprintln!(
                 "CHECK FAILED: {max_workers}-worker scaling {scaling:.2}x < 1.5x on a \
                  {hardware_threads}-thread host"
+            );
+            std::process::exit(1);
+        }
+        if live_overhead > 1.10 {
+            eprintln!(
+                "CHECK FAILED: live-metrics flight recorder costs {live_overhead:.3}x \
+                 over plain counters (limit 1.10x)"
             );
             std::process::exit(1);
         }

@@ -6,6 +6,7 @@
 //! results). This library hosts the workload builders the benches share,
 //! so the benches themselves stay declarative.
 
+pub mod diff;
 pub mod json;
 
 use gatec::factor::compile_factoring;

@@ -8,6 +8,7 @@
 //! workers the pool has.
 
 use tangled_isa::Insn;
+use tangled_telemetry::Histogram;
 use tangled_sim::difftest::{
     compare_all, pbp_crosscheck, qsim_crosscheck, run_model, DiffConfig, Outcome,
 };
@@ -17,6 +18,15 @@ use tangled_sim::proggen::{
     ProgGenOptions, Profile,
 };
 use tangled_sim::{shrink, Coverage};
+
+/// Per-kind job latency in *simulated cycles* (the reference outcome's
+/// step count): deterministic for a fixed spec, so exported quantiles
+/// are byte-stable at any worker count. Recorded inside [`execute`],
+/// which runs under the worker's scoped capture — the samples land in
+/// each job's own metrics and merge across the campaign.
+static JOB_CYCLES_RUN: Histogram = Histogram::new("serve.job.cycles.run");
+static JOB_CYCLES_DIFFERENTIAL: Histogram = Histogram::new("serve.job.cycles.differential");
+static JOB_CYCLES_GENERATE: Histogram = Histogram::new("serve.job.cycles.generate");
 
 /// How to resolve a [`JobKind::Run`] model name to a registry entry.
 ///
@@ -53,6 +63,26 @@ pub enum JobKind {
         /// cross-checks (the fuzzer's `--cross-every` work).
         crosscheck: bool,
     },
+}
+
+impl JobKind {
+    /// Stable lowercase tag — the latency-histogram suffix
+    /// (`serve.job.cycles.<tag>`) and the live-line field name.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobKind::Run { .. } => "run",
+            JobKind::Differential { .. } => "differential",
+            JobKind::Generate { .. } => "generate",
+        }
+    }
+
+    fn cycles_histogram(&self) -> &'static Histogram {
+        match self {
+            JobKind::Run { .. } => &JOB_CYCLES_RUN,
+            JobKind::Differential { .. } => &JOB_CYCLES_DIFFERENTIAL,
+            JobKind::Generate { .. } => &JOB_CYCLES_GENERATE,
+        }
+    }
 }
 
 /// One unit of work: a kind plus the oracle configuration it runs under.
@@ -183,6 +213,19 @@ fn gen_options(seed: u64, profile: Option<Profile>, len: usize, cfg: &DiffConfig
 /// Execute one spec to completion. Pure apart from telemetry counters:
 /// no filesystem, no globals — corpus writing stays with the client.
 pub(crate) fn execute(spec: &JobSpec, resolve: ModelResolver) -> Result<JobOutput, JobError> {
+    let result = execute_kind(spec, resolve);
+    if let Ok(out) = &result {
+        if let Some(outcome) = &out.outcome {
+            // Simulated cycles, not wall time: the sample is a property
+            // of the spec alone, so the histogram (and its quantiles)
+            // is identical at any worker count.
+            spec.kind.cycles_histogram().record(outcome.steps);
+        }
+    }
+    result
+}
+
+fn execute_kind(spec: &JobSpec, resolve: ModelResolver) -> Result<JobOutput, JobError> {
     match &spec.kind {
         JobKind::Run { words, model } => {
             let entry = resolve(model).ok_or_else(|| JobError::UnknownModel(model.clone()))?;

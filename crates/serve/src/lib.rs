@@ -50,9 +50,25 @@
 //! under result arrival order. `tests/serve_determinism.rs` pins both
 //! properties.
 
+//!
+//! ## Flight recorder
+//!
+//! With [`ServeConfig::flight`] set, the pool runs a [flight
+//! recorder](flight): a heartbeat thread emits one deterministic
+//! single-line JSON snapshot ([`LIVE_SCHEMA`]) every
+//! [`FlightConfig::interval`] completed jobs (plus a final summary at
+//! shutdown), per-`JobKind` latency histograms land in each job's
+//! scoped metrics (`serve.job.cycles.<kind>`), pool pressure shows up
+//! as `serve.pool.{queue_depth,in_flight,workers_busy}` gauges, and a
+//! panicking job dumps a `crash-<jobid>.json` post-mortem
+//! ([`CRASH_SCHEMA`]) with its spec, metrics, the span ring, and the
+//! last few completed job ids.
+
+mod flight;
 mod job;
 mod pool;
 
+pub use flight::{FlightConfig, LineSink, CRASH_SCHEMA, LIVE_SCHEMA, RECENT_JOBS};
 pub use job::{
     Finding, FindingKind, JobError, JobKind, JobOutput, JobResult, JobSpec, ModelResolver,
     run_model_once,
@@ -184,5 +200,37 @@ mod tests {
 
     fn telemetry_on() {
         tangled_telemetry::set_mode(tangled_telemetry::Mode::Counters);
+    }
+
+    #[test]
+    fn flight_recorder_emits_live_lines_and_final_summary() {
+        use std::sync::{Arc, Mutex};
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let pool = Pool::new(ServeConfig {
+            workers: 1,
+            flight: Some(FlightConfig {
+                interval: 2,
+                crash_dir: None,
+                sink: LineSink::Buffer(Arc::clone(&buf)),
+            }),
+            ..Default::default()
+        });
+        for _ in 0..4 {
+            pool.submit(diff_job(add_prog())).unwrap();
+        }
+        let results = pool.drain();
+        assert_eq!(results.len(), 4);
+        let _ = pool.shutdown();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Two periodic lines (after jobs 2 and 4) plus the final summary.
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines.iter().all(|l| l.contains("\"schema\":\"tangled-live/v1\"")), "{text}");
+        assert!(lines[0].contains("\"seq\":1,\"jobs\":2,"), "{text}");
+        assert!(lines[2].contains("\"seq\":3,\"jobs\":4,"), "{text}");
+        assert!(lines[2].contains("\"differential\":4"), "{text}");
+        // Simulated cycles accumulated and quantiles derived from them.
+        assert!(!lines[2].contains("\"cycles\":0,"), "{text}");
+        assert!(lines[2].contains("\"lat_p50\":"), "{text}");
     }
 }

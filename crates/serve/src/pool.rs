@@ -25,14 +25,25 @@ use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
+use tangled_telemetry::Gauge;
+
+use crate::flight::{FlightConfig, FlightRecorder};
 use crate::job::{execute, JobError, JobResult, JobSpec, ModelResolver};
 
 /// How long a worker with no visible work sleeps before re-checking the
 /// queues. Bounds shutdown latency and missed-wakeup recovery.
 const PARK_TICK: Duration = Duration::from_millis(50);
 
+/// Jobs accepted but not yet picked up by a worker.
+static QUEUE_DEPTH: Gauge = Gauge::new("serve.pool.queue_depth");
+/// Jobs a worker has picked up and not yet delivered.
+static IN_FLIGHT: Gauge = Gauge::new("serve.pool.in_flight");
+/// Workers currently executing a real (non-cancelled) job — the
+/// utilization gauge; its `.max` is peak concurrency.
+static WORKERS_BUSY: Gauge = Gauge::new("serve.pool.workers_busy");
+
 /// Pool construction knobs.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Worker threads (clamped to at least 1).
     pub workers: usize,
@@ -42,6 +53,9 @@ pub struct ServeConfig {
     /// Model-name resolver for run jobs (tests inject synthetic cores
     /// here; production uses the engine registry).
     pub resolve_model: ModelResolver,
+    /// Flight-recorder configuration: live snapshot lines and crash
+    /// bundles. `None` (the default) records nothing.
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +64,7 @@ impl Default for ServeConfig {
             workers: 1,
             queue_cap: 256,
             resolve_model: tangled_sim::engine::model,
+            flight: None,
         }
     }
 }
@@ -59,6 +74,7 @@ impl std::fmt::Debug for ServeConfig {
         f.debug_struct("ServeConfig")
             .field("workers", &self.workers)
             .field("queue_cap", &self.queue_cap)
+            .field("flight", &self.flight)
             .finish_non_exhaustive()
     }
 }
@@ -103,6 +119,7 @@ struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
     resolve: ModelResolver,
+    flight: Option<FlightRecorder>,
     state: Mutex<State>,
     /// Workers park here; signalled on submit and shutdown.
     work_cv: Condvar,
@@ -125,6 +142,7 @@ impl Shared {
         self.results.lock().unwrap().push_back(result);
         self.results_cv.notify_all();
         self.state.lock().unwrap().pending -= 1;
+        IN_FLIGHT.dec();
         self.space_cv.notify_all();
     }
 }
@@ -147,6 +165,7 @@ impl Pool {
             injector: Injector::new(),
             stealers: locals.iter().map(Worker::stealer).collect(),
             resolve: cfg.resolve_model,
+            flight: cfg.flight.map(FlightRecorder::new),
             state: Mutex::new(State::default()),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
@@ -211,6 +230,7 @@ impl Pool {
         // the workers' exit check) so a racing shutdown can never observe
         // `pending > 0` with the job not yet visible in a queue.
         self.shared.injector.push(Job { id, spec });
+        QUEUE_DEPTH.inc();
         drop(st);
         self.shared.work_cv.notify_one();
         Ok(id)
@@ -274,10 +294,23 @@ impl Pool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        if let Some(flight) = &self.shared.flight {
+            flight.finish();
+        }
         let mut out: Vec<JobResult> =
             self.shared.results.lock().unwrap().drain(..).collect();
         out.sort_by_key(|r| r.id);
         out
+    }
+
+    /// Force a post-mortem bundle right now (`crash-<reason>.json`) with
+    /// the recorder's current snapshot, recent job ids, and the span
+    /// ring — no failing job attached. This is the client-interrupt
+    /// (SIGINT) path. Returns the written path, or `None` when no
+    /// flight recorder / crash directory is configured or the write
+    /// failed.
+    pub fn write_crash_bundle(&self, reason: &str) -> Option<std::path::PathBuf> {
+        self.shared.flight.as_ref()?.write_crash_bundle(reason, None)
     }
 
     fn begin_shutdown(&self) {
@@ -292,6 +325,9 @@ impl Drop for Pool {
         self.begin_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        if let Some(flight) = &self.shared.flight {
+            flight.finish();
         }
     }
 }
@@ -336,11 +372,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 fn worker_loop(ix: usize, shared: &Shared, local: &Worker<Job>) {
     loop {
         if let Some(job) = find_job(shared, local) {
+            QUEUE_DEPTH.dec();
+            IN_FLIGHT.inc();
             let discard = shared.state.lock().unwrap().discard;
             let result = if discard {
                 JobResult {
                     id: job.id,
-                    label: job.spec.label,
+                    label: job.spec.label.clone(),
                     worker: ix,
                     metrics: tangled_telemetry::Snapshot::default(),
                     result: Err(JobError::Cancelled),
@@ -349,14 +387,16 @@ fn worker_loop(ix: usize, shared: &Shared, local: &Worker<Job>) {
                 // The scope captures only this thread's telemetry; the
                 // panic is caught *inside* it so a dying job still
                 // reports the metrics it recorded before the panic.
+                WORKERS_BUSY.inc();
                 let (caught, metrics) = tangled_telemetry::scoped(|| {
                     std::panic::catch_unwind(AssertUnwindSafe(|| {
                         execute(&job.spec, shared.resolve)
                     }))
                 });
+                WORKERS_BUSY.dec();
                 JobResult {
                     id: job.id,
-                    label: job.spec.label,
+                    label: job.spec.label.clone(),
                     worker: ix,
                     metrics,
                     result: match caught {
@@ -365,6 +405,15 @@ fn worker_loop(ix: usize, shared: &Shared, local: &Worker<Job>) {
                     },
                 }
             };
+            if let Some(flight) = &shared.flight {
+                // A panicking job writes its post-mortem before the
+                // result is published (the bundle's recent-completed
+                // list therefore excludes the dying job itself).
+                if matches!(result.result, Err(JobError::Panic(_))) {
+                    let _ = flight.write_crash_bundle("panic", Some((&job.spec, &result)));
+                }
+                flight.note_completed(&job.spec, &result);
+            }
             shared.deliver(result);
             continue;
         }

@@ -1,5 +1,6 @@
 //! The three exporters: human-readable summary table, `metrics.json`
-//! (`tangled-metrics/v1`), and Chrome `trace_event` JSON.
+//! (`tangled-metrics/v2`, with a v1 compatibility mode), and Chrome
+//! `trace_event` JSON.
 //!
 //! All output is deterministic: keys are emitted in sorted order, values
 //! are simulated-cycle counts, and nothing depends on wall-clock time.
@@ -10,7 +11,15 @@ use crate::{Mode, Snapshot, TraceKind, TraceLog};
 
 /// Schema identifier written into the `metrics.json` `schema` field.
 /// Bump the suffix on breaking changes to field names or types.
-pub const METRICS_SCHEMA: &str = "tangled-metrics/v1";
+///
+/// v2 adds the top-level `quantiles` object (per-histogram p50/p95/p99
+/// derived from the bucket layout); the `counters` payload is unchanged
+/// from v1.
+pub const METRICS_SCHEMA: &str = "tangled-metrics/v2";
+
+/// The previous schema identifier, still emitted under
+/// [`MetricsDoc::v1_compat`] (the CLI's `--metrics-v1`).
+pub const METRICS_SCHEMA_V1: &str = "tangled-metrics/v1";
 
 /// Everything the `metrics.json` exporter needs for one run.
 pub struct MetricsDoc<'a> {
@@ -22,6 +31,9 @@ pub struct MetricsDoc<'a> {
     pub trace_events: u64,
     /// Trace events lost to ring-buffer overwrite.
     pub trace_dropped: u64,
+    /// Emit the legacy `tangled-metrics/v1` document byte-for-byte
+    /// (no `quantiles` object) for downstream tooling pinned to v1.
+    pub v1_compat: bool,
 }
 
 fn escape(s: &str, out: &mut String) {
@@ -40,19 +52,26 @@ fn escape(s: &str, out: &mut String) {
     }
 }
 
-/// Render the stable `tangled-metrics/v1` JSON document.
+/// Render the stable `tangled-metrics/v2` JSON document (or the legacy
+/// v1 document when [`MetricsDoc::v1_compat`] is set).
 ///
 /// ```json
 /// {
 ///   "counters": { "tangled.retire.lex": 42, ... },
 ///   "mode": "counters",
-///   "schema": "tangled-metrics/v1",
+///   "quantiles": {
+///     "serve.job.cycles.run": { "count": 8, "p50": 512, "p95": 1024, "p99": 1024 }
+///   },
+///   "schema": "tangled-metrics/v2",
 ///   "trace": { "dropped": 0, "events": 0 }
 /// }
 /// ```
 ///
-/// Top-level keys and counter names are sorted, so identical runs
-/// produce byte-identical files.
+/// Top-level keys, counter names, and quantile families are sorted, so
+/// identical runs produce byte-identical files. The `quantiles` object
+/// holds one entry per histogram family in the snapshot (upper-bound
+/// percentiles derived with [`crate::bucket_quantile`]); it is `{}` when
+/// no histogram recorded.
 pub fn metrics_json(doc: &MetricsDoc) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"counters\": {");
@@ -71,7 +90,29 @@ pub fn metrics_json(doc: &MetricsDoc) -> String {
     }
     out.push_str("},\n");
     let _ = write!(out, "  \"mode\": \"{}\",\n", doc.mode.name());
-    let _ = write!(out, "  \"schema\": \"{METRICS_SCHEMA}\",\n");
+    if !doc.v1_compat {
+        out.push_str("  \"quantiles\": {");
+        let mut first = true;
+        for (name, q) in doc.snapshot.histogram_quantiles() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            escape(&name, &mut out);
+            let _ = write!(
+                out,
+                "\": {{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+                q.count, q.p50, q.p95, q.p99
+            );
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+    }
+    let schema = if doc.v1_compat { METRICS_SCHEMA_V1 } else { METRICS_SCHEMA };
+    let _ = write!(out, "  \"schema\": \"{schema}\",\n");
     let _ = write!(
         out,
         "  \"trace\": {{ \"dropped\": {}, \"events\": {} }}\n",
@@ -146,7 +187,8 @@ pub fn chrome_trace(log: &TraceLog, threads: &[(u32, &str)]) -> String {
 
 /// Render a one-screen, aligned summary table of a snapshot, with a
 /// derived intern-hit-rate line when the chunk-store counters are
-/// present. This is the `--telemetry` console output.
+/// present and a p50/p95/p99 table for every histogram family. This is
+/// the `--telemetry` console output.
 pub fn render_summary(snap: &Snapshot) -> String {
     let mut out = String::from("telemetry counters\n");
     if snap.is_empty() {
@@ -165,6 +207,18 @@ pub fn render_summary(snap: &Snapshot) -> String {
             "  intern op-cache hit rate: {:.1}% ({hits}/{lookups})",
             hits as f64 / lookups as f64 * 100.0
         );
+    }
+    let quantiles = snap.histogram_quantiles();
+    if !quantiles.is_empty() {
+        out.push_str("histogram quantiles (bucket upper bounds)\n");
+        let name_w = quantiles.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, q) in &quantiles {
+            let _ = writeln!(
+                out,
+                "  {name:<name_w$}  count {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}",
+                q.count, q.p50, q.p95, q.p99
+            );
+        }
     }
     out
 }
@@ -267,14 +321,183 @@ mod tests {
         let (a, b) = with_mode(Mode::Counters, || {
             WEIRD.add(1);
             let snap = Snapshot::take();
-            let doc =
-                MetricsDoc { snapshot: &snap, mode: Mode::Counters, trace_events: 0, trace_dropped: 0 };
+            let doc = MetricsDoc {
+                snapshot: &snap,
+                mode: Mode::Counters,
+                trace_events: 0,
+                trace_dropped: 0,
+                v1_compat: false,
+            };
             (metrics_json(&doc), metrics_json(&doc))
         });
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"tangled-metrics/v1\""), "{a}");
+        assert!(a.contains("\"schema\": \"tangled-metrics/v2\""), "{a}");
+        assert!(a.contains("\"quantiles\": {"), "{a}");
         assert!(a.contains("\"mode\": \"counters\""), "{a}");
         assert!(a.contains("test.weird.\\\"quoted\\\"\\\\name"), "{a}");
+    }
+
+    #[test]
+    fn metrics_json_v1_compat_matches_legacy_bytes() {
+        let snap = Snapshot::from_pairs([("a.one", 1u64), ("b.two", 2)]);
+        let doc = MetricsDoc {
+            snapshot: &snap,
+            mode: Mode::Counters,
+            trace_events: 0,
+            trace_dropped: 0,
+            v1_compat: true,
+        };
+        let json = metrics_json(&doc);
+        // The exact v1 byte format, frozen: no quantiles key anywhere.
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {\n    \"a.one\": 1,\n    \"b.two\": 2\n  },\n  \
+             \"mode\": \"counters\",\n  \"schema\": \"tangled-metrics/v1\",\n  \
+             \"trace\": { \"dropped\": 0, \"events\": 0 }\n}\n"
+        );
+    }
+
+    #[test]
+    fn metrics_json_v2_emits_quantiles_for_histograms() {
+        static QJ_HIST: Histogram = Histogram::new("test.qjson.hist");
+        let json = with_mode(Mode::Counters, || {
+            let (_, snap) = crate::scoped(|| {
+                for v in [1u64, 2, 3, 4, 900] {
+                    QJ_HIST.record(v);
+                }
+            });
+            metrics_json(&MetricsDoc {
+                snapshot: &snap,
+                mode: Mode::Counters,
+                trace_events: 0,
+                trace_dropped: 0,
+                v1_compat: false,
+            })
+        });
+        assert!(
+            json.contains(
+                "\"test.qjson.hist\": { \"count\": 5, \"p50\": 4, \"p95\": 900, \"p99\": 900 }"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn gauge_levels_and_high_water_mark() {
+        static G: crate::Gauge = crate::Gauge::new("test.gauge.depth");
+        with_mode(Mode::Counters, || {
+            G.set(3);
+            G.add(4);
+            G.sub(5);
+            G.inc();
+            G.dec();
+            let snap = Snapshot::take();
+            assert_eq!(snap.get("test.gauge.depth"), 2);
+            assert_eq!(snap.get("test.gauge.depth.max"), 7);
+            // sub saturates at zero.
+            G.sub(100);
+            assert_eq!(G.value(), 0);
+            assert_eq!(G.high_water_mark(), 7);
+        });
+    }
+
+    #[test]
+    fn gauge_off_mode_records_nothing() {
+        static G_OFF: crate::Gauge = crate::Gauge::new("test.gauge.off");
+        with_mode(Mode::Off, || {
+            G_OFF.set(9);
+            G_OFF.add(9);
+            assert_eq!(G_OFF.value(), 0);
+            assert_eq!(Snapshot::take().get("test.gauge.off"), 0);
+        });
+    }
+
+    #[test]
+    fn gauge_scoped_capture_takes_only_the_max_cell() {
+        static G_SC: crate::Gauge = crate::Gauge::new("test.gauge.scoped");
+        with_mode(Mode::Counters, || {
+            let (_, snap) = crate::scoped(|| {
+                G_SC.set(5);
+                G_SC.set(2);
+            });
+            // The instantaneous level is process state, not job state:
+            // scoped snapshots carry only the high-water mark, which
+            // max-merges, so merged job snapshots stay order-invariant.
+            assert_eq!(snap.get("test.gauge.scoped"), 0);
+            assert_eq!(snap.get("test.gauge.scoped.max"), 5);
+        });
+    }
+
+    #[test]
+    fn bucket_quantile_integer_math() {
+        use crate::{bucket_quantile, HISTOGRAM_BUCKETS};
+        let mut b = [0u64; HISTOGRAM_BUCKETS];
+        assert_eq!(bucket_quantile(&b, 0, 50), 0);
+        // 10 samples of exactly 8 (bucket le_8 = index 3).
+        b[3] = 10;
+        assert_eq!(bucket_quantile(&b, 8, 50), 8);
+        assert_eq!(bucket_quantile(&b, 8, 99), 8);
+        // 99 small + 1 huge: p50 small bucket, p99 picks the tail.
+        let mut b = [0u64; HISTOGRAM_BUCKETS];
+        b[0] = 99;
+        b[HISTOGRAM_BUCKETS - 1] = 1;
+        assert_eq!(bucket_quantile(&b, 1 << 40, 50), 1);
+        assert_eq!(bucket_quantile(&b, 1 << 40, 99), 1);
+        assert_eq!(bucket_quantile(&b, 1 << 40, 100), 1 << 40);
+        // Upper bound clamps to the recorded max.
+        let mut b = [0u64; HISTOGRAM_BUCKETS];
+        b[10] = 4; // le_1024
+        assert_eq!(bucket_quantile(&b, 900, 95), 900);
+    }
+
+    #[test]
+    fn snapshot_histogram_quantiles_detects_families() {
+        static QF_HIST: Histogram = Histogram::new("test.qfam.hist");
+        static QF_PLAIN: Counter = Counter::new("test.qfam.plain");
+        let qs = with_mode(Mode::Counters, || {
+            let (_, snap) = crate::scoped(|| {
+                QF_PLAIN.add(2);
+                for v in [1u64, 1, 1, 1, 16] {
+                    QF_HIST.record(v);
+                }
+            });
+            snap.histogram_quantiles()
+        });
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].0, "test.qfam.hist");
+        assert_eq!(qs[0].1.count, 5);
+        assert_eq!(qs[0].1.p50, 1);
+        assert_eq!(qs[0].1.p95, 16);
+        assert_eq!(qs[0].1.p99, 16);
+    }
+
+    #[test]
+    fn summary_includes_quantile_table() {
+        static SQ_HIST: Histogram = Histogram::new("test.sq.hist");
+        let text = with_mode(Mode::Counters, || {
+            let (_, snap) = crate::scoped(|| {
+                for v in [4u64, 4, 4, 64] {
+                    SQ_HIST.record(v);
+                }
+            });
+            render_summary(&snap)
+        });
+        assert!(text.contains("histogram quantiles"), "{text}");
+        assert!(text.contains("test.sq.hist"), "{text}");
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn peek_trace_does_not_drain() {
+        with_mode(Mode::Trace, || {
+            trace_complete("ev", "t", 0, 1, 2);
+            let peeked = crate::peek_trace();
+            assert_eq!(peeked.events.len(), 1);
+            let taken = take_trace();
+            assert_eq!(taken.events.len(), 1, "peek must leave the ring intact");
+            assert_eq!(peeked.events[0], taken.events[0]);
+        });
     }
 
     #[test]

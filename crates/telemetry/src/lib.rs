@@ -6,8 +6,9 @@
 //!
 //! * [`export::render_summary`] — human-readable table (the CLI's
 //!   `--telemetry` output);
-//! * [`export::metrics_json`] — the stable `tangled-metrics/v1` JSON
-//!   schema consumed by the bench harness and CI;
+//! * [`export::metrics_json`] — the stable `tangled-metrics/v2` JSON
+//!   schema (counters + derived histogram quantiles) consumed by the
+//!   bench harness and CI, with a byte-exact v1 compatibility mode;
 //! * [`export::chrome_trace`] — Chrome `trace_event` JSON loadable in
 //!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
 //!
@@ -58,9 +59,13 @@ pub mod export;
 mod metrics;
 mod tracer;
 
-pub use metrics::{scoped, Counter, CounterBank, Histogram, Snapshot};
+pub use metrics::{
+    bucket_quantile, scoped, Counter, CounterBank, Gauge, HistQuantiles, Histogram, Snapshot,
+    HISTOGRAM_BUCKETS,
+};
 pub use tracer::{
-    take_trace, trace_complete, trace_instant, TraceEvent, TraceKind, TraceLog, TRACE_CAPACITY,
+    peek_trace, take_trace, trace_complete, trace_instant, TraceEvent, TraceKind, TraceLog,
+    TRACE_CAPACITY,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};

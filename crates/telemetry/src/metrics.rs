@@ -272,9 +272,167 @@ impl<const N: usize> Source for CounterBank<N> {
     }
 }
 
+/// A last-write-wins level meter with a static name: queue depth,
+/// in-flight jobs, busy workers.
+///
+/// Unlike a [`Counter`], a gauge moves in both directions. It reports two
+/// keys: `<name>` (the instantaneous level at snapshot time, additive
+/// across same-named handles) and `<name>.max` (the high-water mark,
+/// which max-merges in [`Snapshot::merge_from`], so merged gauge
+/// snapshots are permutation-invariant regardless of worker count or
+/// completion order). Scoped captures record only the `.max` cell — an
+/// instantaneous level is a property of the process, not of one job.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    hwm: AtomicU64,
+    registered: Once,
+}
+
+impl Gauge {
+    /// High-water-mark cell index for scoped capture (cell 0 is the
+    /// instantaneous level, which scopes do not record).
+    const MAX_CELL: usize = 1;
+
+    /// A new gauge handle. `name` becomes the `metrics.json` key; the
+    /// high-water mark is reported as `<name>.max`.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            hwm: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    #[inline]
+    fn note_level(&'static self, level: u64) {
+        self.hwm.fetch_max(level, Ordering::Relaxed);
+        local_record(self, Self::MAX_CELL, Fold::Max, level);
+    }
+
+    /// Set the level to `v`. No-op when telemetry is off.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !counters_on() {
+            return;
+        }
+        self.registered.call_once(|| register(self));
+        self.value.store(v, Ordering::Relaxed);
+        self.note_level(v);
+    }
+
+    /// Raise the level by `n`. No-op when telemetry is off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !counters_on() {
+            return;
+        }
+        self.registered.call_once(|| register(self));
+        let level = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.note_level(level);
+    }
+
+    /// Raise the level by one. No-op when telemetry is off.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Lower the level by `n`, saturating at 0. No-op when telemetry is
+    /// off.
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !counters_on() {
+            return;
+        }
+        self.registered.call_once(|| register(self));
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Lower the level by one. No-op when telemetry is off.
+    #[inline]
+    pub fn dec(&'static self) {
+        self.sub(1);
+    }
+
+    /// Current level (0 until the first enabled update).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last reset.
+    pub fn high_water_mark(&self) -> u64 {
+        self.hwm.load(Ordering::Relaxed)
+    }
+}
+
+impl Source for Gauge {
+    fn emit(&self, out: &mut BTreeMap<String, u64>) {
+        add_to(out, self.name.to_string(), self.value.load(Ordering::Relaxed));
+        add_to(out, format!("{}.max", self.name), self.hwm.load(Ordering::Relaxed));
+    }
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.hwm.store(0, Ordering::Relaxed);
+    }
+    fn cell_key(&self, cell: usize) -> String {
+        match cell {
+            Self::MAX_CELL => format!("{}.max", self.name),
+            _ => self.name.to_string(),
+        }
+    }
+}
+
 /// Number of power-of-two buckets in a [`Histogram`] (`le_1` … `le_32768`
 /// plus an overflow bucket).
 pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// Upper-bound quantile estimate from a power-of-two bucket array (the
+/// [`Histogram`] layout: bucket `k` holds samples with
+/// `2^(k-1) < v <= 2^k`, bucket 0 holds `v <= 1`, the last bucket is the
+/// overflow).
+///
+/// `pct` is a percentage in `1..=100`. The result is the upper bound of
+/// the bucket containing the `ceil(count * pct / 100)`-th sample, clamped
+/// to `max` (the recorded maximum, which is also the answer when the
+/// target lands in the overflow bucket). Pure integer arithmetic, so the
+/// same buckets always yield the same byte. Returns 0 for an empty
+/// histogram.
+pub fn bucket_quantile(buckets: &[u64; HISTOGRAM_BUCKETS], max: u64, pct: u64) -> u64 {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return 0;
+    }
+    let target = (count * pct).div_ceil(100).max(1);
+    let mut cum = 0u64;
+    for (k, &b) in buckets.iter().enumerate() {
+        cum += b;
+        if cum >= target {
+            if k == HISTOGRAM_BUCKETS - 1 {
+                return max;
+            }
+            return (1u64 << k).min(max);
+        }
+    }
+    max
+}
+
+/// Windowed quantiles derived from one histogram family in a
+/// [`Snapshot`] (see [`Snapshot::histogram_quantiles`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistQuantiles {
+    /// Total samples in the family.
+    pub count: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 95th-percentile upper bound.
+    pub p95: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+}
 
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
@@ -386,6 +544,14 @@ impl Snapshot {
         Snapshot { counters }
     }
 
+    /// Build a snapshot from explicit `(name, value)` pairs. Later
+    /// duplicates of a name overwrite earlier ones. This is the
+    /// test/tooling constructor; live snapshots come from
+    /// [`Snapshot::take`] or [`scoped`].
+    pub fn from_pairs<K: Into<String>>(pairs: impl IntoIterator<Item = (K, u64)>) -> Snapshot {
+        Snapshot { counters: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect() }
+    }
+
     /// `self - base`, per key (saturating at 0). Keys only in `base`
     /// are dropped; keys only in `self` keep their full value. Zero
     /// values are retained so exported schemas stay stable.
@@ -432,6 +598,48 @@ impl Snapshot {
     /// Iterate `(name, value)` in sorted name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Detect every histogram family in the snapshot and derive
+    /// [`HistQuantiles`] for each, sorted by family name.
+    ///
+    /// A family is a prefix `p` for which `p.count`, `p.sum`, and `p.max`
+    /// are all present (the triple a [`Histogram`] always emits); its
+    /// buckets are rebuilt from the `p.le_<2^k>` / `p.inf` keys and fed
+    /// through [`bucket_quantile`]. Purely derived from the sorted map,
+    /// so the output is deterministic.
+    pub fn histogram_quantiles(&self) -> Vec<(String, HistQuantiles)> {
+        let mut out = Vec::new();
+        for (key, _) in self.counters.iter() {
+            let Some(prefix) = key.strip_suffix(".count") else { continue };
+            if !self.counters.contains_key(&format!("{prefix}.sum"))
+                || !self.counters.contains_key(&format!("{prefix}.max"))
+            {
+                continue;
+            }
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for k in 0..HISTOGRAM_BUCKETS - 1 {
+                buckets[k] = self.get(&format!("{prefix}.le_{}", 1u64 << k));
+            }
+            buckets[HISTOGRAM_BUCKETS - 1] = self.get(&format!("{prefix}.inf"));
+            let count: u64 = buckets.iter().sum();
+            if count == 0 {
+                // A counter triple that merely looks like a histogram
+                // (or a histogram whose window saw no samples).
+                continue;
+            }
+            let max = self.get(&format!("{prefix}.max"));
+            out.push((
+                prefix.to_string(),
+                HistQuantiles {
+                    count,
+                    p50: bucket_quantile(&buckets, max, 50),
+                    p95: bucket_quantile(&buckets, max, 95),
+                    p99: bucket_quantile(&buckets, max, 99),
+                },
+            ));
+        }
+        out
     }
 
     /// Number of distinct metric names.

@@ -99,6 +99,19 @@ pub fn take_trace() -> TraceLog {
     TraceLog { events, dropped }
 }
 
+/// Copy the ring buffer without draining it: the same contents
+/// [`take_trace`] would return, but the ring keeps recording. This is
+/// the crash-bundle path — a post-mortem wants the span ring while the
+/// process may still go on to export it normally at exit.
+pub fn peek_trace() -> TraceLog {
+    let ring = RING.lock().unwrap();
+    let mut events = ring.buf.clone();
+    if ring.head != 0 {
+        events.rotate_left(ring.head);
+    }
+    TraceLog { events, dropped: ring.dropped }
+}
+
 pub(crate) fn clear() {
     let mut ring = RING.lock().unwrap();
     ring.buf.clear();

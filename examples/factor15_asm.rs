@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example factor15_asm`
 //!
 //! With `--metrics-out FILE` and/or `--trace-out FILE` the run also
-//! emits the telemetry exports: a `tangled-metrics/v1` counter snapshot
+//! emits the telemetry exports: a `tangled-metrics/v2` counter snapshot
 //! covering every simulator invocation, and a Chrome `trace_event` JSON
 //! of the 4-stage pipelined run (load it in https://ui.perfetto.dev).
 //!
@@ -163,6 +163,7 @@ fn main() {
                 mode,
                 trace_events: trace_log.events.len() as u64,
                 trace_dropped: trace_log.dropped,
+                v1_compat: false,
             };
             std::fs::write(path, export::metrics_json(&doc)).expect("write metrics");
             println!("wrote {path}");

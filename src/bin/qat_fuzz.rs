@@ -8,8 +8,10 @@
 //! divergences minimized on the workers and written to a shared,
 //! deduplicated corpus as reassemblable `.s` files. Exit status 0 means
 //! zero divergences; SIGINT drains in-flight jobs, reports, and exits
-//! 130 — with `--metrics-out`, a well-formed `tangled-metrics/v1`
-//! document is written on every exit path.
+//! 130 — with `--metrics-out`, a well-formed `tangled-metrics/v2`
+//! document is written on every exit path, and with a flight recorder
+//! active (`--live-metrics`, `--crash-dir`, or `--trace`) the SIGINT
+//! path also drops a `crash-sigint.json` post-mortem bundle.
 //!
 //! ```text
 //! qat-fuzz --seeds 1000                 # the acceptance run
@@ -52,6 +54,10 @@ struct Args {
     cross_every: u64,
     workers: usize,
     metrics_out: Option<PathBuf>,
+    metrics_v1: bool,
+    live_interval: Option<u64>,
+    crash_dir: Option<PathBuf>,
+    trace: bool,
 }
 
 impl Default for Args {
@@ -71,6 +77,10 @@ impl Default for Args {
             cross_every: 10,
             workers: 1,
             metrics_out: None,
+            metrics_v1: false,
+            live_interval: None,
+            crash_dir: None,
+            trace: false,
         }
     }
 }
@@ -95,7 +105,16 @@ OPTIONS:
   --workers N              worker threads for replay and the campaign
                            (default 1)
   --metrics-out PATH       write the merged per-job telemetry snapshot as
-                           tangled-metrics/v1 JSON on every exit path
+                           tangled-metrics/v2 JSON on every exit path
+  --metrics-v1             emit the legacy tangled-metrics/v1 document
+  --live-metrics[=N]       emit one tangled-live/v1 snapshot line to stderr
+                           every N completed jobs (default 8) plus a final
+                           summary line
+  --crash-dir DIR          write crash-*.json post-mortem bundles into DIR
+                           on a job panic or SIGINT (default: the corpus
+                           directory, once --live-metrics or --trace is on)
+  --trace                  record telemetry spans so crash bundles embed
+                           the span ring tail
   --constant-registers     enable the §5 constant-register file and emit
                            fault-adjacent Qat writes
   --inject-forwarding-bug  negative control: run a deliberately broken
@@ -139,6 +158,10 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(val("--metrics-out")?)),
+            "--metrics-v1" => args.metrics_v1 = true,
+            "--live-metrics" => args.live_interval = Some(8),
+            "--crash-dir" => args.crash_dir = Some(PathBuf::from(val("--crash-dir")?)),
+            "--trace" => args.trace = true,
             "--constant-registers" => args.constant_registers = true,
             "--inject-forwarding-bug" => args.inject_forwarding_bug = true,
             "--max-seconds" => {
@@ -150,6 +173,12 @@ fn parse_args() -> Result<Args, String> {
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
+            }
+            other if other.starts_with("--live-metrics=") => {
+                let n = other["--live-metrics=".len()..]
+                    .parse()
+                    .map_err(|_| "--live-metrics: not a number".to_string())?;
+                args.live_interval = Some(n);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -212,15 +241,17 @@ fn print_campaign_summary(
     }
 }
 
-/// Write the merged per-job snapshot as a `tangled-metrics/v1` document.
-/// Called on every exit path when `--metrics-out` was given, so even an
-/// interrupted campaign leaves a well-formed artifact.
-fn write_metrics(path: &Path, snap: &telemetry::Snapshot) {
+/// Write the merged per-job snapshot as a `tangled-metrics/v2` document
+/// (or the legacy v1 layout under `--metrics-v1`). Called on every exit
+/// path when `--metrics-out` was given, so even an interrupted campaign
+/// leaves a well-formed artifact.
+fn write_metrics(path: &Path, snap: &telemetry::Snapshot, v1_compat: bool) {
     let doc = export::MetricsDoc {
         snapshot: snap,
         mode: telemetry::mode(),
         trace_events: 0,
         trace_dropped: 0,
+        v1_compat,
     };
     if let Err(e) = std::fs::write(path, export::metrics_json(&doc)) {
         eprintln!("warning: could not write {}: {e}", path.display());
@@ -433,12 +464,27 @@ fn main() -> ExitCode {
         return injected_bug_run(&args);
     }
 
-    // Per-job counter snapshots: counters on for the whole run.
-    telemetry::set_mode(telemetry::Mode::Counters);
+    // Per-job counter snapshots: counters on for the whole run; --trace
+    // additionally fills the span ring that crash bundles embed.
+    telemetry::set_mode(if args.trace {
+        telemetry::Mode::Trace
+    } else {
+        telemetry::Mode::Counters
+    });
     install_sigint_handler();
+    // The flight recorder turns on with --live-metrics, --crash-dir, or
+    // --trace; bundles default into the corpus directory so a panic mid-
+    // campaign leaves its post-mortem next to the reproducers.
+    let flight = (args.live_interval.is_some() || args.crash_dir.is_some() || args.trace)
+        .then(|| tangled_qat::serve::FlightConfig {
+            interval: args.live_interval.unwrap_or(0),
+            crash_dir: Some(args.crash_dir.clone().unwrap_or_else(|| args.corpus.clone())),
+            sink: tangled_qat::serve::LineSink::Stderr,
+        });
     let pool = Pool::new(ServeConfig {
         workers: args.workers,
         queue_cap: (4 * args.workers).max(16),
+        flight,
         ..Default::default()
     });
     let mut campaign = Campaign::default();
@@ -457,7 +503,7 @@ fn main() -> ExitCode {
                     &campaign.metrics,
                 );
                 if let Some(p) = &args.metrics_out {
-                    write_metrics(p, &campaign.metrics);
+                    write_metrics(p, &campaign.metrics, args.metrics_v1);
                 }
                 return ExitCode::FAILURE;
             }
@@ -546,8 +592,15 @@ fn main() -> ExitCode {
         &campaign.cov,
         &campaign.metrics,
     );
+    if interrupted() {
+        // Post-mortem for the interrupted campaign: final flight
+        // snapshot, recent job ids, and the span ring tail (--trace).
+        if let Some(path) = pool.write_crash_bundle("sigint") {
+            eprintln!("crash bundle: {}", path.display());
+        }
+    }
     if let Some(p) = &args.metrics_out {
-        write_metrics(p, &campaign.metrics);
+        write_metrics(p, &campaign.metrics, args.metrics_v1);
     }
 
     if interrupted() {

@@ -17,7 +17,8 @@
 //!     --regs            dump registers at halt
 //!     --macros          assemble reversible gates as §5 macros
 //!     --telemetry       enable counters; print the telemetry summary
-//!     --metrics-out F   write tangled-metrics/v1 JSON (implies --telemetry)
+//!     --metrics-out F   write tangled-metrics/v2 JSON (implies --telemetry)
+//!     --metrics-v1      emit the legacy tangled-metrics/v1 document instead
 //!     --trace-out F     write Chrome trace_event JSON (implies full tracing;
 //!                       load in chrome://tracing or https://ui.perfetto.dev)
 //! tangled serve <prog.s>... [opts]       run many programs on the job pool
@@ -27,7 +28,19 @@
 //!     --ways N          entanglement degree (default 16)
 //!     --qat-backend B   Qat register-file storage backend
 //!     --metrics-out F   write the merged per-job telemetry snapshot as
-//!                       tangled-metrics/v1 JSON
+//!                       tangled-metrics/v2 JSON
+//!     --metrics-v1      emit the legacy tangled-metrics/v1 document instead
+//!     --live-metrics[=N]  emit one tangled-live/v1 snapshot line to stderr
+//!                       every N completed jobs (default 8) plus a final
+//!                       summary line
+//!     --crash-dir D     write crash-<jobid>.json post-mortem bundles into D
+//!                       when a job panics
+//! tangled metrics diff <baseline> <current> [opts]   perf-regression gate
+//!     --threshold F     default allowed relative change (default 0.05)
+//!     --key-threshold P=F  override threshold for keys with prefix P
+//!                       (repeatable; longest prefix wins)
+//!     --ignore P        skip keys with prefix P (repeatable)
+//!                       exits 1 when any key regressed or vanished
 //! tangled backends                       list registered simulator models
 //!                                        and Qat storage backends
 //! tangled factor <n> [--width W]         compile & run the §4 factoring demo
@@ -74,6 +87,7 @@ struct RunOpts {
     macros: bool,
     telemetry: bool,
     metrics_out: Option<String>,
+    metrics_v1: bool,
     trace_out: Option<String>,
 }
 
@@ -91,6 +105,7 @@ impl Default for RunOpts {
             macros: false,
             telemetry: false,
             metrics_out: None,
+            metrics_v1: false,
             trace_out: None,
         }
     }
@@ -146,6 +161,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             "--metrics-out" => {
                 o.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
             }
+            "--metrics-v1" => o.metrics_v1 = true,
             "--trace-out" => {
                 o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
             }
@@ -221,6 +237,7 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
                 mode,
                 trace_events: log.events.len() as u64,
                 trace_dropped: log.dropped,
+                v1_compat: o.metrics_v1,
             };
             std::fs::write(path, export::metrics_json(&doc))
                 .map_err(|e| format!("{path}: {e}"))?;
@@ -255,7 +272,7 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
 /// print each result in submission order, plus the merged per-job
 /// telemetry. The CLI face of `tangled_qat::serve`.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use tangled_qat::serve::{JobKind, JobSpec, Pool, ServeConfig};
+    use tangled_qat::serve::{FlightConfig, JobKind, JobSpec, LineSink, Pool, ServeConfig};
     use tangled_qat::sim::difftest::DiffConfig;
 
     let mut paths: Vec<&String> = Vec::new();
@@ -264,6 +281,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut backend = StorageBackend::Interned;
     let mut model: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut metrics_v1 = false;
+    let mut live_interval: Option<u64> = None;
+    let mut crash_dir: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -293,6 +313,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--metrics-out" => {
                 metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
             }
+            "--metrics-v1" => metrics_v1 = true,
+            "--live-metrics" => live_interval = Some(8),
+            "--crash-dir" => {
+                crash_dir =
+                    Some(it.next().ok_or("--crash-dir needs a path")?.into());
+            }
+            flag if flag.starts_with("--live-metrics=") => {
+                let n = flag["--live-metrics=".len()..]
+                    .parse()
+                    .map_err(|_| "--live-metrics: not a number")?;
+                live_interval = Some(n);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
             _ => paths.push(a),
         }
@@ -301,7 +333,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("serve: no programs given".into());
     }
     telemetry::set_mode(telemetry::Mode::Counters);
-    let pool = Pool::new(ServeConfig { workers, ..Default::default() });
+    // Pool gauges (`serve.pool.*`) record to the *global* registry, not
+    // the per-job scoped snapshots — take a baseline so the export can
+    // surface their delta without double-counting job counters.
+    let global_base = telemetry::Snapshot::take();
+    let flight = (live_interval.is_some() || crash_dir.is_some()).then(|| FlightConfig {
+        interval: live_interval.unwrap_or(0),
+        crash_dir: crash_dir.clone(),
+        sink: LineSink::Stderr,
+    });
+    let pool = Pool::new(ServeConfig { workers, flight, ..Default::default() });
     let cfg = DiffConfig { ways, backend, ..Default::default() };
     for path in &paths {
         let words = runner::load_words(path, false)?;
@@ -314,6 +355,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let results = pool.drain();
     let mut merged = telemetry::Snapshot::default();
+    // Fold the pool's own gauges (queue depth, in-flight, worker
+    // high-water marks) into the merged document. Only `serve.pool.*`
+    // keys are taken from the global delta: job counters also land in
+    // the global registry and would otherwise be counted twice.
+    let global_delta = telemetry::Snapshot::take().delta(&global_base);
+    let pool_keys = telemetry::Snapshot::from_pairs(
+        global_delta
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve.pool."))
+            .map(|(k, v)| (k.to_string(), v)),
+    );
+    merged.merge_from(&pool_keys);
     let mut failures = 0usize;
     for r in &results {
         merged.merge_from(&r.metrics);
@@ -351,11 +404,66 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             mode: telemetry::mode(),
             trace_events: 0,
             trace_dropped: 0,
+            v1_compat: metrics_v1,
         };
         std::fs::write(path, export::metrics_json(&doc)).map_err(|e| format!("{path}: {e}"))?;
     }
     if failures > 0 {
         return Err(format!("{failures} of {} job(s) failed", results.len()));
+    }
+    Ok(())
+}
+
+/// `tangled metrics diff` — the perf-regression gate. Compares two
+/// metrics/bench JSON artifacts with `tangled_bench::diff` and exits
+/// nonzero when any key moved past its threshold or vanished.
+fn cmd_metrics_diff(args: &[String]) -> Result<(), String> {
+    use tangled_qat::bench::diff::{diff_docs, DiffOptions};
+    use tangled_qat::bench::json::Json;
+
+    let mut files: Vec<&String> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                opts.default_threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|_| "--threshold: not a number")?;
+            }
+            "--key-threshold" => {
+                let kv = it.next().ok_or("--key-threshold needs PREFIX=FLOAT")?;
+                let (prefix, t) =
+                    kv.split_once('=').ok_or("--key-threshold needs PREFIX=FLOAT")?;
+                let t: f64 =
+                    t.parse().map_err(|_| "--key-threshold: threshold not a number")?;
+                opts.per_key.push((prefix.to_string(), t));
+            }
+            "--ignore" => {
+                opts.ignore.push(it.next().ok_or("--ignore needs a prefix")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            _ => files.push(a),
+        }
+    }
+    let [base_path, cur_path] = files[..] else {
+        return Err("metrics diff: expected <baseline.json> <current.json>".into());
+    };
+    let read = |p: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let base = read(base_path)?;
+    let current = read(cur_path)?;
+    let report = diff_docs(&base, &current, &opts);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        return Err(format!(
+            "metrics diff: {} key(s) regressed against {base_path}",
+            report.regressions().count()
+        ));
     }
     Ok(())
 }
@@ -724,6 +832,7 @@ fn main() -> ExitCode {
             Err(e) => Err(e),
         },
         ("serve", Some(_)) => cmd_serve(rest),
+        ("metrics", Some((sub, rest2))) if sub == "diff" => cmd_metrics_diff(rest2),
         ("backends", _) => cmd_backends(),
         ("factor", Some((n, opts))) => cmd_factor(n, opts),
         ("debug", Some((path, opts))) => cmd_debug(path, opts),

@@ -42,6 +42,7 @@ pub use pbp_aob as aob;
 pub use qat_coproc as qat;
 pub use qsim_baseline as qsim;
 pub use tangled_asm as asm;
+pub use tangled_bench as bench;
 pub use tangled_bfloat as bfloat;
 pub use tangled_isa as isa;
 pub use tangled_serve as serve;

@@ -220,6 +220,7 @@ fn qat_fuzz_sigint_drains_and_writes_metrics() {
             dir.join("corpus").to_str().unwrap(),
             "--metrics-out",
             metrics.to_str().unwrap(),
+            "--trace",
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -255,6 +256,101 @@ fn qat_fuzz_sigint_drains_and_writes_metrics() {
     // The metrics artifact must be present and well-formed even on the
     // interrupt path.
     let doc = std::fs::read_to_string(&metrics).unwrap();
-    assert!(doc.contains("\"schema\": \"tangled-metrics/v1\""), "{doc}");
+    assert!(doc.contains("\"schema\": \"tangled-metrics/v2\""), "{doc}");
     assert!(doc.trim_start().starts_with('{') && doc.trim_end().ends_with('}'), "{doc}");
+
+    // `--trace` arms the flight recorder, so the SIGINT path also drops
+    // a post-mortem bundle (into the corpus dir by default) with the
+    // span-ring tail flushed into it.
+    let bundle = dir.join("corpus").join("crash-sigint.json");
+    let text = std::fs::read_to_string(&bundle)
+        .unwrap_or_else(|e| panic!("{}: {e}", bundle.display()));
+    let bundle_doc = tangled_qat::bench::json::Json::parse(&text).expect("bundle parses");
+    assert_eq!(bundle_doc["schema"].as_str(), Some("tangled-crash/v1"));
+    assert_eq!(bundle_doc["reason"].as_str(), Some("sigint"));
+    assert!(bundle_doc["snapshot"]["jobs"].as_u64().is_some());
+    assert!(
+        !bundle_doc["trace"]["events"].as_array().unwrap().is_empty(),
+        "span ring not flushed into the SIGINT bundle"
+    );
+}
+
+/// `tangled serve --live-metrics` streams schema-tagged snapshot lines
+/// to stderr and a final summary line at shutdown.
+#[test]
+fn serve_live_metrics_emits_snapshot_lines() {
+    let (out, err, ok) = tangled(&[
+        "serve",
+        &asm_path("counting.s"),
+        &asm_path("counting.s"),
+        "--workers",
+        "1",
+        "--ways",
+        "8",
+        "--live-metrics=1",
+    ]);
+    assert!(ok, "{out}{err}");
+    let lines: Vec<&str> =
+        err.lines().filter(|l| l.contains("\"schema\":\"tangled-live/v1\"")).collect();
+    // One line per completed job plus the shutdown summary.
+    assert_eq!(lines.len(), 3, "{err}");
+    assert!(lines[0].contains("\"seq\":1,\"jobs\":1,"), "{err}");
+    assert!(lines[2].contains("\"jobs\":2,"), "{err}");
+    for l in &lines {
+        assert!(l.contains("\"lat_p50\":"), "{l}");
+    }
+}
+
+/// The `tangled metrics diff` gate: exit 0 on matching documents, exit 1
+/// (with a REGRESS line) once a key moves past its threshold, and per-key
+/// overrides/ignores are honored.
+#[test]
+fn metrics_diff_gate_exit_codes() {
+    let dir = std::env::temp_dir().join("tangled_cli_diff_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    std::fs::write(&base, r#"{"counters": {"cycles": 100, "insns": 50}, "wall_ns": 10}"#)
+        .unwrap();
+
+    // Identical documents pass.
+    std::fs::write(&cur, r#"{"counters": {"cycles": 100, "insns": 50}, "wall_ns": 999}"#)
+        .unwrap();
+    let (out, err, ok) = tangled(&[
+        "metrics",
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--ignore",
+        "wall_ns",
+    ]);
+    assert!(ok, "{out}{err}");
+    assert!(out.contains("0 regressions"), "{out}");
+
+    // A 20% move on a 5% threshold fails with a nonzero exit.
+    std::fs::write(&cur, r#"{"counters": {"cycles": 120, "insns": 50}, "wall_ns": 10}"#)
+        .unwrap();
+    let (out, err, ok) =
+        tangled(&["metrics", "diff", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(!ok, "regression must exit nonzero\n{out}");
+    assert!(out.contains("REGRESS counters.cycles"), "{out}");
+    assert!(err.contains("regressed"), "{err}");
+
+    // ...but a per-key threshold override lets it through.
+    let (out, _, ok) = tangled(&[
+        "metrics",
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--key-threshold",
+        "counters.cycles=0.5",
+    ]);
+    assert!(ok, "{out}");
+
+    // A vanished key is a regression even when every shared key matches.
+    std::fs::write(&cur, r#"{"counters": {"cycles": 100}, "wall_ns": 10}"#).unwrap();
+    let (out, _, ok) =
+        tangled(&["metrics", "diff", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert!(!ok, "missing key must exit nonzero\n{out}");
+    assert!(out.contains("MISSING counters.insns"), "{out}");
 }

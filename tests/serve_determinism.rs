@@ -6,7 +6,9 @@
 //! speed-up of the serial campaign rather than a different experiment.
 
 use proptest::prelude::*;
-use tangled_qat::serve::{JobKind, JobResult, JobSpec, Pool, ServeConfig};
+use tangled_qat::serve::{
+    FlightConfig, JobKind, JobResult, JobSpec, LineSink, Pool, ServeConfig,
+};
 use tangled_qat::sim::difftest::DiffConfig;
 use tangled_qat::telemetry;
 
@@ -88,6 +90,74 @@ proptest! {
         prop_assert_eq!(&forward, &reverse);
         prop_assert_eq!(&forward, &rotated);
     }
+
+    /// `delta` inverts `merge_from` on real per-job snapshots: for any
+    /// two job metric slices `a` and `b`, `merged(a, b).delta(a)`
+    /// recovers `b` on every additive key, and `.max` keys combine as
+    /// the running maximum (the gauge/histogram high-water-mark rule
+    /// that keeps merges permutation-invariant across worker counts).
+    #[test]
+    fn delta_is_the_inverse_of_merge(base in 1u64..500) {
+        telemetry::set_mode(telemetry::Mode::Counters);
+        let results = run_on(1, &job_set(base));
+        let (a, b) = (&results[0].metrics, &results[1].metrics);
+        let merged = telemetry::Snapshot::merged([a, b]);
+        let recovered = merged.delta(a);
+        for (key, merged_v) in merged.iter() {
+            if key.ends_with(".max") {
+                prop_assert_eq!(
+                    merged_v,
+                    a.get(key).max(b.get(key)),
+                    "`{}` must max-merge", key
+                );
+            } else {
+                prop_assert_eq!(
+                    recovered.get(key),
+                    b.get(key),
+                    "merged.delta(a) must recover b at `{}`", key
+                );
+            }
+        }
+    }
+}
+
+/// At one worker the flight recorder's live lines are byte-stable: two
+/// runs of the same job set produce identical output, including the
+/// final summary line. (The `cycles` stamp is simulated time, never
+/// wall-clock.)
+#[test]
+fn live_lines_are_byte_stable_at_one_worker() {
+    use std::sync::{Arc, Mutex};
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let jobs = job_set(42);
+    let capture = |jobs: &[JobSpec]| -> Vec<u8> {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let pool = Pool::new(ServeConfig {
+            workers: 1,
+            flight: Some(FlightConfig {
+                interval: 2,
+                crash_dir: None,
+                sink: LineSink::Buffer(buf.clone()),
+            }),
+            ..Default::default()
+        });
+        for j in jobs {
+            pool.submit(j.clone()).unwrap();
+        }
+        let results = pool.drain();
+        assert_eq!(results.len(), jobs.len());
+        pool.shutdown(); // flush the final summary line
+        let bytes = buf.lock().unwrap().clone();
+        bytes
+    };
+    let first = capture(&jobs);
+    let second = capture(&jobs);
+    assert!(!first.is_empty(), "no live lines captured");
+    assert_eq!(
+        String::from_utf8_lossy(&first),
+        String::from_utf8_lossy(&second),
+        "live lines differ between identical single-worker runs"
+    );
 }
 
 #[test]

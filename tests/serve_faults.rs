@@ -9,7 +9,10 @@ use std::sync::mpsc;
 use std::sync::Once;
 use std::time::{Duration, Instant};
 
-use tangled_qat::serve::{JobError, JobKind, JobSpec, Pool, ServeConfig};
+use tangled_qat::bench::json::Json;
+use tangled_qat::serve::{
+    FlightConfig, JobError, JobKind, JobSpec, LineSink, Pool, ServeConfig, CRASH_SCHEMA,
+};
 use tangled_qat::sim::difftest::DiffConfig;
 use tangled_qat::sim::engine::{Core, ModelEntry, ModelRole};
 use tangled_qat::sim::{Machine, SimError, StepEvent};
@@ -172,6 +175,58 @@ fn shutdown_joins_in_bounded_time_with_panicking_jobs_in_flight() {
             Err(other) => panic!("unexpected error kind: {other:?}"),
         }
     }
+}
+
+/// A panicking job with a flight recorder attached leaves a parseable
+/// `crash-<jobid>.json` post-mortem: the failing spec (enough to
+/// re-submit the job), the dying job's scoped metrics, the recorder
+/// snapshot, and the recently completed job ids.
+#[test]
+fn panic_writes_a_parseable_crash_bundle() {
+    quiet_panics();
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let dir = std::env::temp_dir().join(format!("tangled-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pool = Pool::new(ServeConfig {
+        workers: 1,
+        resolve_model: resolver,
+        flight: Some(FlightConfig {
+            interval: 0,
+            crash_dir: Some(dir.clone()),
+            sink: LineSink::Null,
+        }),
+        ..Default::default()
+    });
+    // Two healthy jobs first so the bundle has recent completions, then
+    // the poisoned one.
+    pool.submit(run_job("functional", "good-0")).unwrap();
+    pool.submit(run_job("functional", "good-1")).unwrap();
+    pool.submit(run_job("panic-core", "doomed")).unwrap();
+    let results = pool.drain();
+    assert!(matches!(results[2].result, Err(JobError::Panic(_))));
+
+    let bundle_path = dir.join(format!("crash-{}.json", results[2].id));
+    let text = std::fs::read_to_string(&bundle_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", bundle_path.display()));
+    let doc = Json::parse(&text).expect("crash bundle parses as JSON");
+    assert_eq!(doc["schema"].as_str(), Some(CRASH_SCHEMA));
+    assert_eq!(doc["reason"].as_str(), Some("panic"));
+    assert_eq!(doc["job"]["id"].as_u64(), Some(results[2].id));
+    assert_eq!(doc["job"]["label"].as_str(), Some("doomed"));
+    assert!(doc["job"]["error"].as_str().unwrap().contains("injected core panic"));
+    // The spec section re-describes the job precisely.
+    assert_eq!(doc["spec"]["kind"].as_str(), Some("run"));
+    assert_eq!(doc["spec"]["model"].as_str(), Some("panic-core"));
+    assert!(!doc["spec"]["words"].as_str().unwrap().is_empty());
+    // The snapshot saw the two healthy completions before the crash, and
+    // their ids are in the recent-completions ring.
+    assert_eq!(doc["snapshot"]["jobs"].as_u64(), Some(2));
+    let recent: Vec<u64> =
+        doc["recent_completed"].as_array().unwrap().iter().filter_map(|v| v.as_u64()).collect();
+    assert_eq!(recent, vec![results[0].id, results[1].id]);
+    // Counters mode records no spans; the trace section is present but empty.
+    assert_eq!(doc["trace"]["events"].as_array().unwrap().len(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

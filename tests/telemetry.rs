@@ -43,10 +43,18 @@ fn metrics_json_matches_golden_schema() {
     let text = std::fs::read_to_string(&path).expect("metrics file written");
     let doc = Json::parse(&text).expect("metrics.json parses");
 
-    assert_eq!(doc["schema"].as_str(), Some("tangled-metrics/v1"));
+    assert_eq!(doc["schema"].as_str(), Some("tangled-metrics/v2"));
     assert_eq!(doc["mode"].as_str(), Some("counters"));
     assert!(doc["trace"]["events"].as_u64().is_some());
     assert!(doc["trace"]["dropped"].as_u64().is_some());
+    // v2 always carries the quantiles block (empty on this run: the
+    // interned CLI path records no histograms; the sparse-re test below
+    // checks a populated one).
+    assert!(
+        matches!(&doc["quantiles"], Json::Obj(_)),
+        "quantiles is not an object: {:?}",
+        doc["quantiles"]
+    );
 
     let counters = match &doc["counters"] {
         Json::Obj(m) => m,
@@ -85,6 +93,24 @@ fn metrics_json_matches_golden_schema() {
     for key in ["tangled.insns", "qat.gate.qhad", "energy.toggles"] {
         assert!(counters[key].as_u64().unwrap() > 0, "`{key}` is zero");
     }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `--metrics-v1` reproduces the legacy document: v1 schema tag, no
+/// quantiles block, same counters.
+#[test]
+fn metrics_v1_flag_emits_legacy_schema() {
+    let path = out_path("v1-metrics.json");
+    run_factor15(&["--metrics-out", path.to_str().unwrap(), "--metrics-v1"]);
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = Json::parse(&text).expect("metrics.json parses");
+    assert_eq!(doc["schema"].as_str(), Some("tangled-metrics/v1"));
+    assert!(!text.contains("\"quantiles\""), "v1 document carries a quantiles block");
+    let counters = match &doc["counters"] {
+        Json::Obj(m) => m,
+        other => panic!("counters is not an object: {other:?}"),
+    };
+    assert!(counters.contains_key("tangled.insns"));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -157,6 +183,19 @@ fn sparse_re_backend_exports_its_namespace() {
         "packed encoding regressed below the flat-run baseline: \
          ratio sum {ratio_sum} < count {ratio_count}"
     );
+    // The v2 quantile block derives from the same histograms: both
+    // packed-RLE families must appear with monotone, non-zero entries.
+    for family in ["pbp.re.packed.words", "pbp.re.packed.ratio"] {
+        let q = &doc["quantiles"][family];
+        let count = q["count"].as_u64().unwrap_or(0);
+        assert!(count > 0, "quantiles missing family `{family}`: {text}");
+        let (p50, p95, p99) = (
+            q["p50"].as_u64().unwrap(),
+            q["p95"].as_u64().unwrap(),
+            q["p99"].as_u64().unwrap(),
+        );
+        assert!(p50 >= 1 && p50 <= p95 && p95 <= p99, "{family}: not monotone");
+    }
     let _ = std::fs::remove_file(&path);
 }
 
