@@ -142,6 +142,8 @@ pub struct AdaptiveFile {
     /// Gates counted since the last process-wide telemetry flush.
     unflushed_gates: u64,
     stats: AdaptiveStats,
+    /// Warm snapshot to promote into, when one is registered.
+    warm: Option<crate::WarmStoreId>,
 }
 
 impl AdaptiveFile {
@@ -151,6 +153,14 @@ impl AdaptiveFile {
     /// yourself and use
     /// [`AdaptiveFile::pinned`].
     pub fn new(ways: u32, constant_bank: bool) -> Self {
+        Self::with_warm(ways, constant_bank, None)
+    }
+
+    /// Like [`AdaptiveFile::new`], but when the file later promotes it
+    /// migrates into an [`InternedFile`](crate::InternedFile) warmed from
+    /// the given snapshot handle — a promoted adaptive file in a serve
+    /// worker then starts with the snapshot's op cache instead of cold.
+    pub fn with_warm(ways: u32, constant_bank: bool, warm: Option<crate::WarmStoreId>) -> Self {
         AdaptiveFile {
             inner: Box::new(EagerFile::new(ways, constant_bank)),
             ways,
@@ -166,6 +176,7 @@ impl AdaptiveFile {
             window_base: InternStats::default(),
             unflushed_gates: 0,
             stats: AdaptiveStats::default(),
+            warm,
         }
     }
 
@@ -189,6 +200,7 @@ impl AdaptiveFile {
             window_base: InternStats::default(),
             unflushed_gates: 0,
             stats: AdaptiveStats::default(),
+            warm: None,
         }
     }
 
@@ -219,7 +231,7 @@ impl AdaptiveFile {
     }
 
     fn promote(&mut self) {
-        let interned = crate::InternedFile::new(self.ways, false);
+        let interned = crate::InternedFile::warmed(self.ways, false, self.warm);
         self.migrate(Box::new(interned));
         self.promoted = true;
         self.dwell = 0;

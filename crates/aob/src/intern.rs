@@ -42,6 +42,8 @@ mod telem {
     pub static EVICTIONS: Counter = Counter::new("intern.evictions");
     pub static DEDUP: Counter = Counter::new("intern.dedup_hits");
     pub static CHUNKS: Counter = Counter::new("intern.chunks_interned");
+    pub static STORE_WRITTEN: Counter = Counter::new("store.chunks.written");
+    pub static STORE_ATTACHED: Counter = Counter::new("store.chunks.attached");
 }
 
 /// Identifier of an interned chunk in a [`ChunkStore`].
@@ -533,6 +535,229 @@ impl ChunkStore {
         self.cached(OpKey::Tern(TernOp::Mux, sel, t, f), |s| {
             Aob::mux_of(s.aob(sel), s.aob(t), s.aob(f))
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots: tangled-store/v1 serialization of a ChunkStore.
+// ---------------------------------------------------------------------------
+
+/// Container kind tag of a ChunkStore snapshot.
+pub const SNAPSHOT_KIND: &str = "chunks";
+
+/// Bytes per serialized op-cache entry: kind byte plus four `u32` ids.
+const OP_ENTRY_LEN: usize = 1 + 4 * 4;
+
+impl OpKey {
+    /// `(kind, a, b, c)` wire encoding; ids unused by the key are zero.
+    fn encode(self) -> (u8, u32, u32, u32) {
+        match self {
+            OpKey::Not(a) => (0, a.0, 0, 0),
+            OpKey::Bin(GateOp::And, a, b) => (1, a.0, b.0, 0),
+            OpKey::Bin(GateOp::Or, a, b) => (2, a.0, b.0, 0),
+            OpKey::Bin(GateOp::Xor, a, b) => (3, a.0, b.0, 0),
+            OpKey::Tern(TernOp::Ccnot, a, b, c) => (4, a.0, b.0, c.0),
+            OpKey::Tern(TernOp::Mux, a, b, c) => (5, a.0, b.0, c.0),
+        }
+    }
+
+    /// Inverse of [`OpKey::encode`]; `None` on an unknown kind byte.
+    fn decode(kind: u8, a: u32, b: u32, c: u32) -> Option<OpKey> {
+        let (a, b, c) = (ChunkId(a), ChunkId(b), ChunkId(c));
+        Some(match kind {
+            0 => OpKey::Not(a),
+            1 => OpKey::Bin(GateOp::And, a, b),
+            2 => OpKey::Bin(GateOp::Or, a, b),
+            3 => OpKey::Bin(GateOp::Xor, a, b),
+            4 => OpKey::Tern(TernOp::Ccnot, a, b, c),
+            5 => OpKey::Tern(TernOp::Mux, a, b, c),
+            _ => return None,
+        })
+    }
+
+    /// Whether commutative operands are in the canonical (sorted) order
+    /// the gate methods produce. Snapshots only contain canonical keys.
+    fn is_canonical(self) -> bool {
+        match self {
+            OpKey::Not(_) => true,
+            OpKey::Bin(_, a, b) => a.0 <= b.0,
+            OpKey::Tern(TernOp::Ccnot, _, b, c) => b.0 <= c.0,
+            OpKey::Tern(TernOp::Mux, ..) => true,
+        }
+    }
+}
+
+impl ChunkStore {
+    /// Serialize into a `tangled-store/v1` container (kind
+    /// [`SNAPSHOT_KIND`]). Chunks are written in id order, so loading
+    /// resolves every [`ChunkId`] to the identical value; op-cache entries
+    /// are sorted, so equal stores serialize byte-identically.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use tangled_store::io::ByteWriter;
+
+        let mut meta = ByteWriter::new();
+        meta.put_u32(self.ways);
+        meta.put_u32(self.chunks.len() as u32);
+        meta.put_u32(self.ops.len() as u32);
+        meta.put_u64(self.op_capacity as u64);
+
+        let words = Aob::words_for(self.ways);
+        let mut chunks = ByteWriter::new();
+        for c in &self.chunks {
+            debug_assert_eq!(c.words().len(), words);
+            for &w in c.words() {
+                chunks.put_u64(w);
+            }
+        }
+
+        let mut entries: Vec<[u8; OP_ENTRY_LEN]> = Vec::with_capacity(self.ops.len());
+        for (&key, &result) in &self.ops {
+            let (kind, a, b, c) = key.encode();
+            let mut e = [0u8; OP_ENTRY_LEN];
+            e[0] = kind;
+            e[1..5].copy_from_slice(&a.to_le_bytes());
+            e[5..9].copy_from_slice(&b.to_le_bytes());
+            e[9..13].copy_from_slice(&c.to_le_bytes());
+            e[13..17].copy_from_slice(&result.0.to_le_bytes());
+            entries.push(e);
+        }
+        entries.sort_unstable();
+        let mut ops = ByteWriter::new();
+        for e in &entries {
+            ops.put_bytes(e);
+        }
+
+        let mut w = tangled_store::ContainerWriter::new(SNAPSHOT_KIND);
+        w.section("meta", meta.into_bytes());
+        w.section("chunks", chunks.into_bytes());
+        w.section("ops", ops.into_bytes());
+        w.finish()
+    }
+
+    /// Save a snapshot to `path` (atomic replace). Returns bytes written.
+    pub fn save(&self, path: &std::path::Path) -> Result<u64, tangled_store::StoreError> {
+        let bytes = self.to_bytes();
+        let n = bytes.len() as u64;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        tangled_store::container::account_save(n);
+        telem::STORE_WRITTEN.add(self.chunks.len() as u64);
+        Ok(n)
+    }
+
+    /// Deserialize a snapshot. Every structural invariant is validated —
+    /// chunk padding, the constant-bank prefix, id bounds, key
+    /// canonicality — so hostile bytes yield a typed error, never a store
+    /// that later misbehaves.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ChunkStore, tangled_store::StoreError> {
+        use tangled_store::io::Cursor;
+        use tangled_store::StoreError;
+
+        let container = tangled_store::Container::from_bytes(bytes, SNAPSHOT_KIND)?;
+        let mut meta = Cursor::new(container.section("meta")?);
+        let ways = meta.u32("snapshot ways")?;
+        let chunk_count = meta.u32("snapshot chunk count")? as usize;
+        let op_count = meta.u32("snapshot op count")? as usize;
+        let op_capacity = meta.u64("snapshot op capacity")? as usize;
+        if ways > crate::bitvec::MAX_WAYS {
+            return Err(StoreError::Malformed(format!(
+                "snapshot ways {ways} exceeds the {}-way ceiling",
+                crate::bitvec::MAX_WAYS
+            )));
+        }
+        let bank = ways as usize + 2;
+        if chunk_count < bank {
+            return Err(StoreError::Malformed(format!(
+                "snapshot holds {chunk_count} chunks, fewer than the {bank}-entry constant bank"
+            )));
+        }
+
+        let words = Aob::words_for(ways);
+        let chunk_bytes = container.section("chunks")?;
+        let expect = chunk_count
+            .checked_mul(words)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| StoreError::Malformed("chunk section size overflows".to_string()))?;
+        if chunk_bytes.len() != expect {
+            return Err(StoreError::Malformed(format!(
+                "chunk section is {} bytes, expected {expect} ({chunk_count} chunks x {words} words)",
+                chunk_bytes.len()
+            )));
+        }
+
+        let mut s = ChunkStore::new(ways);
+        s.op_capacity = op_capacity.max(1);
+        let mut c = Cursor::new(chunk_bytes);
+        for id in 0..chunk_count {
+            let mut v = Aob::zeros(ways);
+            for w in v.words_mut() {
+                *w = c.u64("chunk words")?;
+            }
+            let tail = *v.words().last().expect("chunks have at least one word");
+            v.normalize();
+            if *v.words().last().expect("chunks have at least one word") != tail {
+                return Err(StoreError::Malformed(format!(
+                    "chunk {id} carries set padding bits beyond 2^{ways} channels"
+                )));
+            }
+            // Re-interning rebuilds `by_hash` and simultaneously checks the
+            // snapshot's id assignment: the constant-bank prefix must dedup
+            // onto the canonical ids, and every later chunk must be fresh.
+            let got = s.intern(v);
+            if got.0 as usize != id {
+                return Err(StoreError::Malformed(format!(
+                    "chunk {id} violates content addressing (resolves to {got:?}; duplicate or out-of-order constant bank)"
+                )));
+            }
+        }
+
+        let op_bytes = container.section("ops")?;
+        if op_bytes.len() != op_count * OP_ENTRY_LEN {
+            return Err(StoreError::Malformed(format!(
+                "op section is {} bytes, expected {op_count} x {OP_ENTRY_LEN}",
+                op_bytes.len()
+            )));
+        }
+        let mut c = Cursor::new(op_bytes);
+        for i in 0..op_count {
+            let kind = c.u8("op kind")?;
+            let a = c.u32("op id a")?;
+            let b = c.u32("op id b")?;
+            let cc = c.u32("op id c")?;
+            let result = c.u32("op result id")?;
+            let key = OpKey::decode(kind, a, b, cc).ok_or_else(|| {
+                StoreError::Malformed(format!("op entry {i} has unknown kind {kind}"))
+            })?;
+            let max = chunk_count as u32;
+            if a >= max || b >= max || cc >= max || result >= max {
+                return Err(StoreError::Malformed(format!(
+                    "op entry {i} references chunk id beyond {chunk_count}"
+                )));
+            }
+            if !key.is_canonical() {
+                return Err(StoreError::Malformed(format!(
+                    "op entry {i} has non-canonical operand order"
+                )));
+            }
+            s.ops.insert(key, ChunkId(result));
+        }
+        s.reset_stats();
+        Ok(s)
+    }
+
+    /// Load a snapshot from `path`. (`store.load.bytes` is accounted by
+    /// the container parse.)
+    pub fn load(path: &std::path::Path) -> Result<ChunkStore, tangled_store::StoreError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Account a warm attach of this store's chunks (telemetry mirror of
+    /// `store.chunks.attached`); called by the storage backends when they
+    /// adopt a pre-warmed store instead of building one.
+    pub(crate) fn note_attached(&self) {
+        telem::STORE_ATTACHED.add(self.chunks.len() as u64);
     }
 }
 

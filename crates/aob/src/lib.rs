@@ -50,12 +50,14 @@ pub mod intern;
 pub mod measure;
 pub mod parallel;
 pub mod storage;
+pub mod warm;
 
 pub use adaptive::AdaptiveFile;
 pub use bitvec::{Aob, MAX_WAYS};
 pub use energy::{EnergyMeter, EnergyModel};
 pub use entropy::EntropyReport;
 pub use intern::{ChunkId, ChunkStore, GateOp, InternStats, ID_ONE, ID_ZERO};
+pub use warm::WarmStoreId;
 pub use parallel::ParallelError;
 pub use storage::{
     AdaptiveStats, AobStorage, ConstKind, EagerFile, GateAction, InternedFile, PackedStats,

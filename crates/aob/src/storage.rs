@@ -790,7 +790,18 @@ impl InternedFile {
     /// All registers zero, or preloaded with the §5 constant bank (which
     /// coincides with the store's canonical ids by construction).
     pub fn new(ways: u32, constant_bank: bool) -> Self {
-        let store = ChunkStore::new(ways);
+        Self::with_store(ChunkStore::new(ways), constant_bank)
+    }
+
+    /// A register file warmed from an existing store — typically a
+    /// snapshot loaded through [`crate::warm`]. The store's interned
+    /// chunks and memoized op cache carry over, so gates this process has
+    /// "already seen" (in the snapshotting process) hit the cache without
+    /// ever running a kernel. Registers start from the usual reset state;
+    /// the §5 constant bank resolves to the store's canonical ids, which
+    /// are degree-stable across stores.
+    pub fn with_store(store: ChunkStore, constant_bank: bool) -> Self {
+        let ways = store.ways();
         let mut ids = vec![ID_ZERO; REG_COUNT];
         if constant_bank {
             ids[1] = ID_ONE;
@@ -799,6 +810,17 @@ impl InternedFile {
             }
         }
         InternedFile { store, ids, runs: crate::intern::FastMap::default() }
+    }
+
+    /// [`InternedFile::with_store`] over the resolved warm snapshot for
+    /// `(warm, ways)`, falling back to a cold store when nothing matching
+    /// is registered. Attaching shares every chunk payload `Arc` with the
+    /// registered snapshot and counts toward `store.chunks.attached`.
+    pub fn warmed(ways: u32, constant_bank: bool, warm: Option<crate::WarmStoreId>) -> Self {
+        match crate::warm::attach(warm, ways) {
+            Some(store) => Self::with_store(store, constant_bank),
+            None => Self::new(ways, constant_bank),
+        }
     }
 
     fn commit(&mut self, r: usize, id: ChunkId, meter: bool) -> WriteDelta {

@@ -1,0 +1,167 @@
+//! Warm-start benchmark for `tangled-store/v1` ChunkStore snapshots: how
+//! much of the factoring demo's wall time a saved snapshot buys back, and
+//! what the snapshot itself costs to save and load.
+//!
+//! * `snapshot` — `to_bytes`/`from_bytes` of the store a completed
+//!   factoring run leaves behind (the serialize/deserialize halves of
+//!   `tangled run --store-out` / `--store-in`, minus the filesystem).
+//! * `run` — the factoring program end to end on the interned backend,
+//!   cold (empty store) versus warm (attached to the registered snapshot
+//!   of a previous identical run).
+//!
+//! Like the other artifact benches this is a plain `main` with manual
+//! `Instant` timing (best of several repetitions), emitting
+//! `BENCH_store.json` at the repository root.
+//!
+//! Flags (after `--`): `--quick` shrinks the workload for CI smoke runs,
+//! `--check` exits nonzero unless the warm run compiles zero kernels
+//! (intern misses stay 0) while reproducing the cold run's architectural
+//! state bit for bit, `--out PATH` overrides the artifact path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pbp_aob::{warm, ChunkStore};
+use qat_coproc::{QatConfig, StorageBackend};
+use tangled_bench::json::Json;
+use tangled_bench::{assemble, factor15_asm, factor221_asm};
+use tangled_sim::{Machine, MachineConfig};
+
+fn machine_config(ways: u32, warm: Option<warm::WarmStoreId>) -> MachineConfig {
+    MachineConfig {
+        qat: QatConfig { warm, ..QatConfig::with_backend(StorageBackend::Interned, ways) },
+        max_steps: 50_000_000,
+    }
+}
+
+/// One end-to-end factoring run; returns the finished machine.
+fn run(words: &[u16], ways: u32, warm: Option<warm::WarmStoreId>) -> Machine {
+    let mut m = Machine::with_image(machine_config(ways, warm), words);
+    m.run().expect("factoring program halts");
+    m
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json").to_string()
+        });
+
+    let (n, ways, src, reps) =
+        if quick { (15u64, 8u32, factor15_asm(), 3u32) } else { (221, 16, factor221_asm(), 7) };
+    let words = assemble(&src);
+
+    // Seed run: produce the snapshot every warm run attaches to. The full
+    // byte round trip is deliberate — the bench must cover the same
+    // serialize/deserialize path `--store-out`/`--store-in` take.
+    let seed = run(&words, ways, None);
+    let store = seed.qat.store().expect("interned backend has a store");
+
+    let mut save_ns = f64::INFINITY;
+    let mut bytes = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        bytes = black_box(store.to_bytes());
+        save_ns = save_ns.min(t0.elapsed().as_nanos() as f64);
+    }
+    let mut load_ns = f64::INFINITY;
+    let mut loaded = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        loaded = Some(black_box(ChunkStore::from_bytes(&bytes).expect("own snapshot loads")));
+        load_ns = load_ns.min(t0.elapsed().as_nanos() as f64);
+    }
+    let snapshot = loaded.unwrap();
+    let chunks = snapshot.len();
+    let id = warm::register(snapshot);
+    eprintln!(
+        "snapshot: {} chunk(s) at {ways}-way, {} bytes, save {:.1} us, load {:.1} us",
+        chunks,
+        bytes.len(),
+        save_ns / 1e3,
+        load_ns / 1e3,
+    );
+
+    // Cold vs warm, interleaved so drift hits both equally.
+    let (mut cold_ns, mut warm_ns) = (f64::INFINITY, f64::INFINITY);
+    let mut last_cold = None;
+    let mut last_warm = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let m = run(&words, ways, None);
+        cold_ns = cold_ns.min(t0.elapsed().as_nanos() as f64);
+        last_cold = Some(m);
+
+        let t0 = Instant::now();
+        let m = run(&words, ways, Some(id));
+        warm_ns = warm_ns.min(t0.elapsed().as_nanos() as f64);
+        last_warm = Some(m);
+    }
+    let (cold, warm_run) = (last_cold.unwrap(), last_warm.unwrap());
+    let stats = warm_run.qat.intern_stats().expect("interned backend has stats");
+    let identical = warm_run.regs == cold.regs
+        && warm_run.output == cold.output
+        && warm_run.steps == cold.steps;
+    let speedup = cold_ns / warm_ns.max(1.0);
+    eprintln!(
+        "factoring({n}): cold {:.2} ms, warm {:.2} ms ({speedup:.2}x), \
+         warm misses {}, identical {identical}",
+        cold_ns / 1e6,
+        warm_ns / 1e6,
+        stats.misses,
+    );
+
+    let doc = Json::obj([
+        ("quick", Json::Bool(quick)),
+        (
+            "snapshot",
+            Json::obj([
+                ("ways", ways.into()),
+                ("chunks", chunks.into()),
+                ("bytes", bytes.len().into()),
+                ("save_ns", save_ns.into()),
+                ("load_ns", load_ns.into()),
+            ]),
+        ),
+        (
+            "run",
+            Json::obj([
+                ("n", n.into()),
+                ("cold_ns", cold_ns.into()),
+                ("warm_ns", warm_ns.into()),
+                ("speedup", speedup.into()),
+                ("warm_misses", stats.misses.into()),
+                ("warm_hits", stats.hits.into()),
+                ("warm_dedup_hits", stats.dedup_hits.into()),
+                ("identical", Json::Bool(identical)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write artifact");
+    eprintln!("wrote {out}");
+
+    if check {
+        let mut failed = false;
+        if stats.misses != 0 {
+            eprintln!(
+                "CHECK FAILED: warm start performed {} redundant kernel compiles \
+                 (intern misses must be 0)",
+                stats.misses
+            );
+            failed = true;
+        }
+        if !identical {
+            eprintln!("CHECK FAILED: warm run diverged from the cold run's state");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -55,8 +55,19 @@ impl SparseReFile {
     /// All registers zero, or preloaded with the §5 constant bank; a
     /// typed [`WaysError`] outside `MIN_WAYS..=MAX_WAYS`.
     pub fn try_new(ways: u32, constant_bank: bool) -> Result<Self, WaysError> {
+        Self::try_new_warm(ways, constant_bank, None)
+    }
+
+    /// Like [`SparseReFile::try_new`], but adopting a registered warm
+    /// snapshot for the context's sub-chunk symbol degree (snapshots of
+    /// other degrees stay cold — the attach is degree-checked).
+    pub fn try_new_warm(
+        ways: u32,
+        constant_bank: bool,
+        warm: Option<pbp_aob::WarmStoreId>,
+    ) -> Result<Self, WaysError> {
         WaysError::check(ways, Self::MIN_WAYS, Self::MAX_WAYS)?;
-        let mut ctx = PbpContext::new(ways);
+        let mut ctx = PbpContext::try_new_warm(ways, warm)?;
         let zero = ctx.constant(false);
         let mut regs = vec![zero; pbp_aob::storage::REG_COUNT];
         if constant_bank {
@@ -71,6 +82,12 @@ impl SparseReFile {
     /// Panicking convenience wrapper around [`SparseReFile::try_new`].
     pub fn new(ways: u32, constant_bank: bool) -> Self {
         Self::try_new(ways, constant_bank)
+            .unwrap_or_else(|e| panic!("sparse-re backend: {e}"))
+    }
+
+    /// Panicking convenience wrapper around [`SparseReFile::try_new_warm`].
+    pub fn warmed(ways: u32, constant_bank: bool, warm: Option<pbp_aob::WarmStoreId>) -> Self {
+        Self::try_new_warm(ways, constant_bank, warm)
             .unwrap_or_else(|e| panic!("sparse-re backend: {e}"))
     }
 

@@ -104,6 +104,14 @@ pub struct QatConfig {
     /// taken when the backend reports it pays ([`AobStorage::wants_fusion`])
     /// and energy metering is off (metering is per-instruction).
     pub fusion: bool,
+    /// Warm ChunkStore snapshot to attach the register file to (see
+    /// [`pbp_aob::warm`]): interning backends start with the snapshot's
+    /// chunks and memoized op cache instead of cold. `None` consults the
+    /// process-wide ambient default (installed by `tangled serve
+    /// --warm-store`), which also only attaches on a degree match.
+    /// Semantically invisible either way — a warm cache changes what is
+    /// *recomputed*, never what a gate produces.
+    pub warm: Option<pbp_aob::WarmStoreId>,
 }
 
 impl QatConfig {
@@ -116,6 +124,7 @@ impl QatConfig {
             meter_energy: false,
             backend: StorageBackend::Interned,
             fusion: true,
+            warm: None,
         }
     }
 
@@ -221,7 +230,7 @@ static BACKENDS: [BackendEntry; 4] = [
         min_ways: InternedFile::MIN_WAYS,
         max_ways: InternedFile::MAX_WAYS,
         oracle_name: "qat-interned",
-        build: |cfg| Box::new(InternedFile::new(cfg.ways, cfg.constant_registers)),
+        build: |cfg| Box::new(InternedFile::warmed(cfg.ways, cfg.constant_registers, cfg.warm)),
     },
     BackendEntry {
         backend: StorageBackend::SparseRe,
@@ -229,7 +238,7 @@ static BACKENDS: [BackendEntry; 4] = [
         min_ways: pbp::SparseReFile::MIN_WAYS,
         max_ways: pbp::SparseReFile::MAX_WAYS,
         oracle_name: "qat-sparse-re",
-        build: |cfg| Box::new(pbp::SparseReFile::new(cfg.ways, cfg.constant_registers)),
+        build: |cfg| Box::new(pbp::SparseReFile::warmed(cfg.ways, cfg.constant_registers, cfg.warm)),
     },
     BackendEntry {
         backend: StorageBackend::Adaptive,
@@ -243,11 +252,12 @@ static BACKENDS: [BackendEntry; 4] = [
         // sparse-re representation instead.
         build: |cfg| {
             if cfg.ways <= pbp_aob::HW_MAX_WAYS {
-                Box::new(AdaptiveFile::new(cfg.ways, cfg.constant_registers))
+                Box::new(AdaptiveFile::with_warm(cfg.ways, cfg.constant_registers, cfg.warm))
             } else {
-                Box::new(AdaptiveFile::pinned(Box::new(pbp::SparseReFile::new(
+                Box::new(AdaptiveFile::pinned(Box::new(pbp::SparseReFile::warmed(
                     cfg.ways,
                     cfg.constant_registers,
+                    cfg.warm,
                 ))))
             }
         },

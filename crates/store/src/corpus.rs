@@ -1,0 +1,576 @@
+//! The content-addressed corpus database.
+//!
+//! A [`CorpusDb`] replaces loose `fuzz/corpus/*.s` discovery with a single
+//! journal file (conventionally `corpus.tsdb`): programs are addressed by
+//! the 128-bit [`crate::hash128`] of their text, inserted exactly once
+//! (insert-by-hash dedup), and carry coverage / difftest-outcome /
+//! shrink-provenance metadata so campaigns can resume and CI can replay
+//! only what changed.
+//!
+//! ## On-disk format (`tangled-store/v1`, kind `corpusdb`)
+//!
+//! The journal shares the container prelude (magic, version, kind) but
+//! **not** the section table — a section table needs final offsets, and
+//! the whole point of a journal is cheap `O(record)` appends. After the
+//! 20-byte prelude the file is a sequence of framed records:
+//!
+//! ```text
+//! tag       u8   1 = corpus entry, 2 = campaign checkpoint
+//! len       u32  payload length in bytes
+//! checksum  u64  hash64 of the payload
+//! payload   len bytes
+//! ```
+//!
+//! Append safety: a crash mid-append leaves a *torn tail* — an incomplete
+//! frame, or a complete frame whose checksum does not match. On open, a
+//! torn **final** record is dropped (and trimmed away by the next append
+//! or [`CorpusDb::gc`]); corruption anywhere *before* the tail is a typed
+//! [`StoreError`], because silently skipping interior records would
+//! un-resume a campaign without anyone noticing.
+//!
+//! Replaying an entry record whose hash is already present *updates* the
+//! metadata (last record wins) without creating a duplicate — this is how
+//! a campaign upgrades an entry's outcome (e.g. once a reproducer is
+//! shrunk) with a plain append.
+
+use crate::io::{ByteWriter, Cursor, MAX_FIELD_LEN};
+use crate::{hash128, hash64, telem, StoreError, MAGIC, VERSION};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Kind tag of the corpus journal.
+pub const CORPUS_KIND: &str = "corpusdb";
+
+/// Conventional journal filename inside a corpus directory.
+pub const DB_FILE_NAME: &str = "corpus.tsdb";
+
+const TAG_ENTRY: u8 = 1;
+const TAG_CHECKPOINT: u8 = 2;
+
+/// One content-addressed program with its campaign metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// `hash128` of `text` — the entry's content address.
+    pub hash: u128,
+    /// Human-facing name (e.g. `repro-fuzz-000123` or an imported stem).
+    pub name: String,
+    /// The program: assembly text, headers included.
+    pub text: String,
+    /// Entanglement degree the program targets.
+    pub ways: u32,
+    /// Whether the §5 constant-register preset was active.
+    pub constant_registers: bool,
+    /// Where the entry came from: `seed`, `imported`, `reproducer`, ...
+    pub kind: String,
+    /// Generator seed that produced the program (0 when not generated).
+    pub seed: u64,
+    /// Coverage points the program reached when recorded.
+    pub coverage: u64,
+    /// Difftest outcome, e.g. `divergence`, `ok`, or empty when unknown.
+    pub outcome: String,
+    /// Shrink provenance, e.g. `ddmin 141->9 insns`; empty when unshrunk.
+    pub provenance: String,
+}
+
+impl CorpusEntry {
+    /// Build an entry from program text, computing the content address.
+    pub fn from_text(name: &str, text: &str, ways: u32, constant_registers: bool) -> Self {
+        CorpusEntry {
+            hash: hash128(text.as_bytes()),
+            name: name.to_string(),
+            text: text.to_string(),
+            ways,
+            constant_registers,
+            kind: String::new(),
+            seed: 0,
+            coverage: 0,
+            outcome: String::new(),
+            provenance: String::new(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u128(self.hash);
+        w.put_u32(self.ways);
+        w.put_u8(self.constant_registers as u8);
+        w.put_u64(self.seed);
+        w.put_u64(self.coverage);
+        w.put_str(&self.name);
+        w.put_str(&self.kind);
+        w.put_str(&self.outcome);
+        w.put_str(&self.provenance);
+        w.put_str(&self.text);
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<CorpusEntry, StoreError> {
+        let mut c = Cursor::new(payload);
+        let e = CorpusEntry {
+            hash: c.u128("entry hash")?,
+            ways: c.u32("entry ways")?,
+            constant_registers: c.u8("entry constant_registers")? != 0,
+            seed: c.u64("entry seed")?,
+            coverage: c.u64("entry coverage")?,
+            name: c.str("entry name")?,
+            kind: c.str("entry kind")?,
+            outcome: c.str("entry outcome")?,
+            provenance: c.str("entry provenance")?,
+            text: c.str("entry text")?,
+        };
+        if e.hash != hash128(e.text.as_bytes()) {
+            return Err(StoreError::Malformed(format!(
+                "entry `{}` content address does not match its text",
+                e.name
+            )));
+        }
+        Ok(e)
+    }
+}
+
+/// Campaign high-water mark, appended so `qat-fuzz --resume` can continue
+/// a run where the previous process stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalCheckpoint {
+    /// Programs generated so far (the generator index to resume from).
+    pub programs: u64,
+    /// Programs actually executed (skips excluded).
+    pub executed: u64,
+    /// Divergences found so far.
+    pub divergences: u64,
+    /// Base seed of the campaign the checkpoint belongs to.
+    pub base_seed: u64,
+}
+
+impl JournalCheckpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.programs);
+        w.put_u64(self.executed);
+        w.put_u64(self.divergences);
+        w.put_u64(self.base_seed);
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<JournalCheckpoint, StoreError> {
+        let mut c = Cursor::new(payload);
+        Ok(JournalCheckpoint {
+            programs: c.u64("checkpoint programs")?,
+            executed: c.u64("checkpoint executed")?,
+            divergences: c.u64("checkpoint divergences")?,
+            base_seed: c.u64("checkpoint base_seed")?,
+        })
+    }
+}
+
+/// Result of [`CorpusDb::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The program was new; an entry record was appended.
+    Inserted,
+    /// A bit-identical program was already present; nothing was written.
+    Duplicate,
+    /// The program was present and its metadata changed; an update record
+    /// was appended (same content address, no new entry).
+    Updated,
+}
+
+/// What [`CorpusDb::gc`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Journal size before compaction.
+    pub bytes_before: u64,
+    /// Journal size after compaction.
+    pub bytes_after: u64,
+    /// Superseded records (metadata updates, stale checkpoints, torn
+    /// tails) dropped by the rewrite.
+    pub records_dropped: u64,
+}
+
+/// The content-addressed program database over an append-safe journal.
+#[derive(Debug)]
+pub struct CorpusDb {
+    path: PathBuf,
+    entries: Vec<CorpusEntry>,
+    by_hash: HashMap<u128, usize>,
+    checkpoint: Option<JournalCheckpoint>,
+    /// Bytes of valid journal; anything past this is a torn tail that the
+    /// next append truncates away.
+    valid_len: u64,
+    /// Records read at open plus records appended since (for gc stats).
+    live_records: u64,
+    total_records: u64,
+}
+
+fn prelude() -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&crate::io::pad_name::<8>(CORPUS_KIND));
+    out
+}
+
+fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&hash64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+impl CorpusDb {
+    /// Open (or create) the journal at `path`.
+    pub fn open(path: &Path) -> Result<CorpusDb, StoreError> {
+        if !path.exists() {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            std::fs::write(path, prelude())?;
+        }
+        Self::open_existing(path)
+    }
+
+    /// Open the journal at `path`, failing if it does not exist.
+    pub fn open_existing(path: &Path) -> Result<CorpusDb, StoreError> {
+        let bytes = std::fs::read(path)?;
+        let mut db = CorpusDb {
+            path: path.to_path_buf(),
+            entries: Vec::new(),
+            by_hash: HashMap::new(),
+            checkpoint: None,
+            valid_len: 0,
+            live_records: 0,
+            total_records: 0,
+        };
+        db.replay(&bytes)?;
+        Ok(db)
+    }
+
+    /// The conventional journal path inside a corpus directory.
+    pub fn dir_path(dir: &Path) -> PathBuf {
+        dir.join(DB_FILE_NAME)
+    }
+
+    fn replay(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut c = Cursor::new(bytes);
+        let magic = c.bytes(8, "magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = c.u32("version")?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let kind = crate::io::unpad_name(c.bytes(8, "kind")?);
+        if kind != CORPUS_KIND {
+            return Err(StoreError::WrongKind {
+                expected: CORPUS_KIND.to_string(),
+                found: kind,
+            });
+        }
+        self.valid_len = c.position() as u64;
+        while !c.is_exhausted() {
+            let frame_start = c.position();
+            // An incomplete frame header or payload is a torn tail: stop
+            // replaying, keep `valid_len` at the last good frame.
+            let (tag, len, checksum) =
+                match (c.u8("tag"), c.u32("record length"), c.u64("record checksum")) {
+                    (Ok(t), Ok(l), Ok(s)) => (t, l, s),
+                    _ => break,
+                };
+            if len as usize > MAX_FIELD_LEN {
+                return Err(StoreError::Malformed(format!(
+                    "record at byte {frame_start} claims {len}-byte payload (cap {MAX_FIELD_LEN})"
+                )));
+            }
+            let payload = match c.bytes(len as usize, "record payload") {
+                Ok(p) => p,
+                Err(_) => break, // torn tail
+            };
+            if hash64(payload) != checksum {
+                // A checksum mismatch on the *final* record is a torn
+                // write; anywhere earlier it is corruption.
+                if c.is_exhausted() {
+                    break;
+                }
+                return Err(StoreError::ChecksumMismatch {
+                    section: format!("record at byte {frame_start}"),
+                });
+            }
+            match tag {
+                TAG_ENTRY => {
+                    let e = CorpusEntry::decode(payload)?;
+                    self.index(e);
+                }
+                TAG_CHECKPOINT => {
+                    self.checkpoint = Some(JournalCheckpoint::decode(payload)?);
+                }
+                other => {
+                    return Err(StoreError::Malformed(format!(
+                        "unknown record tag {other} at byte {frame_start}"
+                    )));
+                }
+            }
+            self.total_records += 1;
+            self.valid_len = c.position() as u64;
+        }
+        self.live_records = self.entries.len() as u64 + self.checkpoint.is_some() as u64;
+        telem::LOAD_BYTES.add(self.valid_len);
+        Ok(())
+    }
+
+    fn index(&mut self, e: CorpusEntry) {
+        match self.by_hash.get(&e.hash) {
+            Some(&i) => self.entries[i] = e, // metadata update: last record wins
+            None => {
+                self.by_hash.insert(e.hash, self.entries.len());
+                self.entries.push(e);
+            }
+        }
+    }
+
+    fn append(&mut self, tag: u8, payload: &[u8]) -> Result<(), StoreError> {
+        let bytes = frame(tag, payload);
+        let mut f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        // Truncate any torn tail before appending past it.
+        f.set_len(self.valid_len)?;
+        use std::io::Seek;
+        f.seek(std::io::SeekFrom::End(0))?;
+        f.write_all(&bytes)?;
+        f.flush()?;
+        self.valid_len += bytes.len() as u64;
+        self.total_records += 1;
+        telem::SAVE_BYTES.add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Insert a program by content address. A bit-identical program that
+    /// is already present with identical metadata writes nothing and
+    /// reports [`InsertOutcome::Duplicate`]; changed metadata appends an
+    /// update record ([`InsertOutcome::Updated`]).
+    pub fn insert(&mut self, mut entry: CorpusEntry) -> Result<InsertOutcome, StoreError> {
+        entry.hash = hash128(entry.text.as_bytes());
+        if let Some(&i) = self.by_hash.get(&entry.hash) {
+            telem::DB_DEDUP.inc();
+            if self.entries[i] == entry {
+                return Ok(InsertOutcome::Duplicate);
+            }
+            self.append(TAG_ENTRY, &entry.encode())?;
+            self.entries[i] = entry;
+            return Ok(InsertOutcome::Updated);
+        }
+        self.append(TAG_ENTRY, &entry.encode())?;
+        self.live_records += 1;
+        telem::DB_ENTRIES.inc();
+        self.index(entry);
+        Ok(InsertOutcome::Inserted)
+    }
+
+    /// Record the campaign high-water mark for `--resume`.
+    pub fn set_checkpoint(&mut self, cp: JournalCheckpoint) -> Result<(), StoreError> {
+        self.append(TAG_CHECKPOINT, &cp.encode())?;
+        if self.checkpoint.is_none() {
+            self.live_records += 1;
+        }
+        self.checkpoint = Some(cp);
+        Ok(())
+    }
+
+    /// The latest campaign checkpoint, if any was recorded.
+    pub fn checkpoint(&self) -> Option<JournalCheckpoint> {
+        self.checkpoint
+    }
+
+    /// All entries, in first-insertion order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up an entry by content address.
+    pub fn get(&self, hash: u128) -> Option<&CorpusEntry> {
+        self.by_hash.get(&hash).map(|&i| &self.entries[i])
+    }
+
+    /// Whether a program with this exact text is present.
+    pub fn contains_text(&self, text: &str) -> bool {
+        self.by_hash.contains_key(&hash128(text.as_bytes()))
+    }
+
+    /// Journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Valid journal size in bytes (torn tails excluded).
+    pub fn journal_bytes(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// Superseded records the journal currently carries (update records,
+    /// stale checkpoints) — what [`CorpusDb::gc`] would drop.
+    pub fn dead_records(&self) -> u64 {
+        self.total_records - self.live_records
+    }
+
+    /// Compact the journal: rewrite it with one record per live entry plus
+    /// the latest checkpoint, atomically replacing the file.
+    pub fn gc(&mut self) -> Result<GcReport, StoreError> {
+        let bytes_before = std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        let mut out = prelude();
+        for e in &self.entries {
+            out.extend_from_slice(&frame(TAG_ENTRY, &e.encode()));
+        }
+        if let Some(cp) = self.checkpoint {
+            out.extend_from_slice(&frame(TAG_CHECKPOINT, &cp.encode()));
+        }
+        let tmp = self.path.with_extension("tsdb.tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        telem::SAVE_BYTES.add(out.len() as u64);
+        let dropped = self.dead_records();
+        self.valid_len = out.len() as u64;
+        self.total_records = self.live_records;
+        Ok(GcReport {
+            bytes_before,
+            bytes_after: out.len() as u64,
+            records_dropped: dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "tangled-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn entry(name: &str, text: &str) -> CorpusEntry {
+        let mut e = CorpusEntry::from_text(name, text, 8, true);
+        e.kind = "test".to_string();
+        e
+    }
+
+    #[test]
+    fn insert_dedup_and_reload() {
+        let dir = tmpdir("basic");
+        let path = CorpusDb::dir_path(&dir);
+        let mut db = CorpusDb::open(&path).unwrap();
+        assert_eq!(db.insert(entry("a", "one @1\nsys 0\n")).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(db.insert(entry("b", "zero @9\nsys 0\n")).unwrap(), InsertOutcome::Inserted);
+        // Same text under a *different* name is a metadata update, not a
+        // new entry; bit-identical resubmission writes nothing.
+        assert_eq!(db.insert(entry("c", "one @1\nsys 0\n")).unwrap(), InsertOutcome::Updated);
+        assert_eq!(db.insert(entry("c", "one @1\nsys 0\n")).unwrap(), InsertOutcome::Duplicate);
+        assert_eq!(db.len(), 2);
+        db.set_checkpoint(JournalCheckpoint { programs: 7, ..Default::default() }).unwrap();
+
+        let db2 = CorpusDb::open_existing(&path).unwrap();
+        assert_eq!(db2.len(), 2);
+        assert_eq!(db2.entries()[0].name, "c", "last metadata record wins");
+        assert_eq!(db2.checkpoint().unwrap().programs, 7);
+        assert!(db2.contains_text("zero @9\nsys 0\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_healed() {
+        let dir = tmpdir("torn");
+        let path = CorpusDb::dir_path(&dir);
+        let mut db = CorpusDb::open(&path).unwrap();
+        db.insert(entry("a", "one @1\nsys 0\n")).unwrap();
+        db.insert(entry("b", "zero @9\nsys 0\n")).unwrap();
+        // Simulate a crash mid-append: chop bytes off the final record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let mut db2 = CorpusDb::open_existing(&path).unwrap();
+        assert_eq!(db2.len(), 1, "torn final record dropped");
+        // The next append truncates the torn tail and extends cleanly.
+        db2.insert(entry("c", "not @3\nsys 0\n")).unwrap();
+        let db3 = CorpusDb::open_existing(&path).unwrap();
+        assert_eq!(db3.len(), 2);
+        assert!(db3.contains_text("not @3\nsys 0\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_corruption_is_a_typed_error() {
+        let dir = tmpdir("corrupt");
+        let path = CorpusDb::dir_path(&dir);
+        let mut db = CorpusDb::open(&path).unwrap();
+        db.insert(entry("a", "one @1\nsys 0\n")).unwrap();
+        db.insert(entry("b", "zero @9\nsys 0\n")).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit of the *first* record (not the tail).
+        bytes[40] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            CorpusDb::open_existing(&path),
+            Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Malformed(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_compacts_superseded_records() {
+        let dir = tmpdir("gc");
+        let path = CorpusDb::dir_path(&dir);
+        let mut db = CorpusDb::open(&path).unwrap();
+        db.insert(entry("a", "one @1\nsys 0\n")).unwrap();
+        for i in 0..10 {
+            let mut e = entry("a", "one @1\nsys 0\n");
+            e.coverage = i;
+            db.insert(e).unwrap(); // 10 update records
+            db.set_checkpoint(JournalCheckpoint { programs: i, ..Default::default() }).unwrap();
+        }
+        assert!(db.dead_records() >= 18);
+        let report = db.gc().unwrap();
+        assert!(report.bytes_after < report.bytes_before);
+        assert!(report.records_dropped >= 18);
+        let db2 = CorpusDb::open_existing(&path).unwrap();
+        assert_eq!(db2.len(), 1);
+        assert_eq!(db2.entries()[0].coverage, 9);
+        assert_eq!(db2.checkpoint().unwrap().programs, 9);
+        assert_eq!(db2.dead_records(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_kind_and_magic_are_typed() {
+        let dir = tmpdir("kind");
+        let path = dir.join("x.tsdb");
+        std::fs::write(&path, b"NOTSTORE????????????").unwrap();
+        assert!(matches!(CorpusDb::open_existing(&path), Err(StoreError::BadMagic)));
+        let mut w = crate::ContainerWriter::new("chunks");
+        w.section("meta", vec![1, 2, 3]);
+        let container = w.finish();
+        std::fs::write(&path, container).unwrap();
+        assert!(matches!(
+            CorpusDb::open_existing(&path),
+            Err(StoreError::WrongKind { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

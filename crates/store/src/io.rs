@@ -1,0 +1,200 @@
+//! Bounds-checked little-endian readers/writers for the container format.
+//!
+//! Every read goes through [`Cursor`], which returns
+//! [`StoreError::Truncated`] instead of panicking when the buffer runs
+//! out — the invariant the whole crate's "hostile bytes never panic"
+//! promise rests on.
+
+use crate::StoreError;
+
+/// Hard cap on any single length-prefixed field (strings, payloads).
+/// Hostile length prefixes must not drive multi-gigabyte allocations.
+pub const MAX_FIELD_LEN: usize = 1 << 28;
+
+/// Append-only little-endian byte writer over a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u128`.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor consumed the whole buffer.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, ctx: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated(ctx));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, ctx: &'static str) -> Result<u8, StoreError> {
+        Ok(self.bytes(1, ctx)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, ctx: &'static str) -> Result<u32, StoreError> {
+        let b = self.bytes(4, ctx)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, ctx: &'static str) -> Result<u64, StoreError> {
+        let b = self.bytes(8, ctx)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `u128`.
+    pub fn u128(&mut self, ctx: &'static str) -> Result<u128, StoreError> {
+        let b = self.bytes(16, ctx)?;
+        Ok(u128::from_le_bytes(b.try_into().expect("16 bytes")))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, ctx: &'static str) -> Result<String, StoreError> {
+        let n = self.u32(ctx)? as usize;
+        if n > MAX_FIELD_LEN {
+            return Err(StoreError::Malformed(format!(
+                "{ctx}: string length {n} exceeds the {MAX_FIELD_LEN}-byte field cap"
+            )));
+        }
+        let b = self.bytes(n, ctx)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| StoreError::Malformed(format!("{ctx}: string is not UTF-8")))
+    }
+}
+
+/// Decode a NUL-padded fixed-width ASCII name field.
+pub fn unpad_name(raw: &[u8]) -> String {
+    let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+    String::from_utf8_lossy(&raw[..end]).into_owned()
+}
+
+/// Encode a name into a NUL-padded `N`-byte field. Panics if the name is
+/// too long — names are compile-time constants on the write path.
+pub fn pad_name<const N: usize>(name: &str) -> [u8; N] {
+    assert!(name.len() <= N, "name `{name}` exceeds {N} bytes");
+    let mut out = [0u8; N];
+    out[..name.len()].copy_from_slice(name.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_u128(1 << 100);
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut c = Cursor::new(&bytes);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(c.u128("d").unwrap(), 1 << 100);
+        assert_eq!(c.str("e").unwrap(), "hello");
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert!(matches!(c.u64("short"), Err(StoreError::Truncated("short"))));
+        let mut c = Cursor::new(&[255, 255, 255, 255]);
+        // A length prefix past the cap is malformed, not an allocation.
+        assert!(matches!(c.str("s"), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn name_padding() {
+        let p = pad_name::<8>("meta");
+        assert_eq!(&p, b"meta\0\0\0\0");
+        assert_eq!(unpad_name(&p), "meta");
+    }
+}

@@ -21,7 +21,6 @@
 //! qat-fuzz --constant-registers         # fault-adjacent fuzzing
 //! ```
 
-use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +36,7 @@ use tangled_qat::sim::difftest::{
 };
 use tangled_qat::sim::proggen::{encode_program, random_program, ProgGenOptions, Profile};
 use tangled_qat::sim::{shrink, Coverage};
+use tangled_qat::store::{CorpusDb, CorpusEntry, InsertOutcome, JournalCheckpoint};
 use tangled_qat::telemetry::{self, export};
 
 struct Args {
@@ -48,6 +48,7 @@ struct Args {
     profile: Option<Profile>,
     corpus: PathBuf,
     replay: bool,
+    resume: bool,
     inject_forwarding_bug: bool,
     constant_registers: bool,
     max_seconds: u64,
@@ -71,6 +72,7 @@ impl Default for Args {
             profile: None,
             corpus: PathBuf::from("fuzz/corpus"),
             replay: true,
+            resume: false,
             inject_forwarding_bug: false,
             constant_registers: false,
             max_seconds: 0,
@@ -100,8 +102,12 @@ OPTIONS:
                            (default interned); every other registered
                            backend supporting W becomes an oracle
   --profile P              balanced|alu|qat|branch|mem (default: round-robin)
-  --corpus DIR             reproducer corpus directory (default fuzz/corpus)
+  --corpus DIR             reproducer corpus directory (default fuzz/corpus);
+                           loose `*.s` files are migrated into the
+                           content-addressed `corpus.tsdb` journal on start
   --no-replay              skip replaying the corpus first
+  --resume                 continue an interrupted campaign from the
+                           journal's checkpoint (same --start-seed)
   --workers N              worker threads for replay and the campaign
                            (default 1)
   --metrics-out PATH       write the merged per-job telemetry snapshot as
@@ -151,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--corpus" => args.corpus = PathBuf::from(val("--corpus")?),
             "--no-replay" => args.replay = false,
+            "--resume" => args.resume = true,
             "--workers" => {
                 args.workers = val("--workers")?.parse().map_err(|e| format!("{e}"))?;
                 if args.workers == 0 {
@@ -332,23 +339,86 @@ fn injected_bug_run(args: &Args) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The deterministic reproducer text for a finding: the replay headers
+/// (`; ways`, `; constant-registers`) plus the disassembled program — and
+/// nothing seed-dependent, so its content address keys the *root cause*.
+/// Two workers minimizing different seeds to the same program produce one
+/// content address, and the journal dedups the insert.
+fn reproducer_text(
+    f: &tangled_qat::serve::Finding,
+    ways: u32,
+    constant_registers: bool,
+) -> String {
+    let mut text = format!("; {} reproducer\n; ways {ways}\n", f.kind.tag());
+    if f.kind == tangled_qat::serve::FindingKind::Divergence {
+        text.push_str(&format!("; constant-registers {}\n", constant_registers as u8));
+    }
+    for &i in &f.program {
+        text.push_str(&disassemble(i));
+        text.push('\n');
+    }
+    text
+}
+
+/// Open the campaign's corpus journal, migrating any loose `*.s`
+/// reproducers (the legacy layout, and the checked-in seed corpus) into
+/// it first. The migration is idempotent — re-opening an up-to-date
+/// journal inserts nothing — and files that no longer assemble are
+/// skipped with a warning rather than poisoning the database.
+fn open_campaign_db(dir: &Path) -> Result<CorpusDb, String> {
+    let path = CorpusDb::dir_path(dir);
+    let mut db = CorpusDb::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    for file in runner::corpus_files(dir) {
+        let Ok(text) = std::fs::read_to_string(&file) else { continue };
+        if db.contains_text(&text) {
+            continue;
+        }
+        if let Err(e) = asm::assemble(&text) {
+            eprintln!("warning: {} does not assemble, not imported: {e}", file.display());
+            continue;
+        }
+        let name =
+            file.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let mut entry = CorpusEntry::from_text(
+            &name,
+            &text,
+            runner::corpus_header(&text, "ways", 8) as u32,
+            runner::corpus_header(&text, "constant-registers", 0) != 0,
+        );
+        entry.kind = "imported".to_string();
+        db.insert(entry).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(db)
+}
+
 /// Client-side campaign state folded out of every finished job.
-#[derive(Default)]
 struct Campaign {
     ran: u64,
     divergences: u64,
     cancelled: u64,
     cov: Coverage,
     metrics: telemetry::Snapshot,
-    /// Encoded reproducer programs already written — the shared corpus
-    /// dedup: concurrent workers minimizing different seeds to the same
-    /// root cause produce one corpus entry, not one per seed.
-    seen_reproducers: HashSet<Vec<u16>>,
+    /// The shared reproducer corpus: insert-by-hash dedup means
+    /// concurrent workers minimizing different seeds to the same root
+    /// cause produce one journal entry, not one per seed — and unlike the
+    /// old in-memory set, the dedup holds across campaign restarts.
+    db: CorpusDb,
 }
 
 impl Campaign {
+    fn new(db: CorpusDb) -> Self {
+        Campaign {
+            ran: 0,
+            divergences: 0,
+            cancelled: 0,
+            cov: Coverage::default(),
+            metrics: telemetry::Snapshot::default(),
+            db,
+        }
+    }
+
     /// Fold one job result in: merge metrics/coverage, print and record
-    /// findings, and write (deduplicated) corpus entries.
+    /// findings, and insert (deduplicated) corpus entries.
     fn absorb(&mut self, r: &JobResult, args: &Args) {
         self.metrics.merge_from(&r.metrics);
         match &r.result {
@@ -365,33 +435,36 @@ impl Campaign {
                         f.kind.tag(),
                         f.detail
                     );
-                    if !self.seen_reproducers.insert(encode_program(&f.program)) {
-                        eprintln!("  duplicate of an existing reproducer; corpus unchanged");
-                        continue;
-                    }
-                    let mut header = vec![
-                        format!(
-                            "{} reproducer, seed {}{}",
-                            f.kind.tag(),
-                            f.seed,
-                            if r.label.is_empty() {
-                                String::new()
-                            } else {
-                                format!(", profile {}", r.label)
-                            }
-                        ),
-                        format!("ways {}", args.ways),
-                    ];
-                    if f.kind == tangled_qat::serve::FindingKind::Divergence {
-                        header.push(format!(
-                            "constant-registers {}",
-                            args.constant_registers as u8
-                        ));
-                    }
-                    header.push(f.detail.clone());
+                    let text = reproducer_text(f, args.ways, args.constant_registers);
                     let name = format!("{}_seed{}", f.kind.tag(), f.seed);
-                    let path = write_reproducer(&args.corpus, &name, &f.program, &header);
-                    eprintln!("  minimized to {} insns: {}", f.program.len(), path.display());
+                    let mut entry =
+                        CorpusEntry::from_text(&name, &text, args.ways, args.constant_registers);
+                    entry.kind = "reproducer".to_string();
+                    entry.seed = f.seed;
+                    entry.outcome = f.kind.tag().to_string();
+                    entry.provenance = f.detail.clone();
+                    if !r.label.is_empty() {
+                        entry.provenance.push_str(&format!("; profile {}", r.label));
+                    }
+                    match self.db.insert(entry) {
+                        Ok(InsertOutcome::Inserted) => {
+                            // New root cause: journal entry plus the loose
+                            // `.s` file (still the human-facing artifact).
+                            let path = self.db.path().with_file_name(format!("{name}.s"));
+                            if let Err(e) = std::fs::write(&path, &text) {
+                                eprintln!("warning: could not write {}: {e}", path.display());
+                            }
+                            eprintln!(
+                                "  minimized to {} insns: {}",
+                                f.program.len(),
+                                path.display()
+                            );
+                        }
+                        Ok(_) => eprintln!(
+                            "  duplicate of an existing reproducer (same content address); corpus unchanged"
+                        ),
+                        Err(e) => eprintln!("warning: corpus insert failed: {e}"),
+                    }
                 }
             }
             Err(JobError::Cancelled) => self.cancelled += 1,
@@ -405,30 +478,34 @@ impl Campaign {
     }
 }
 
-/// Replay every `.s` file in the corpus through the oracle as
-/// differential jobs on the pool (headers parsed by the shared
-/// [`runner`] helpers, on the campaign's backend).
+/// Replay every corpus program through the oracle as differential jobs
+/// on the pool (headers parsed by the shared [`runner`] helpers, on the
+/// campaign's backend). The journal is the source of truth; it was
+/// populated from any loose `.s` files at open.
 fn replay_corpus(
     pool: &Pool,
     campaign: &mut Campaign,
-    dir: &Path,
     backend: StorageBackend,
 ) -> Result<usize, String> {
+    let programs: Vec<(String, String)> = campaign
+        .db
+        .entries()
+        .iter()
+        .map(|e| (e.name.clone(), e.text.clone()))
+        .collect();
     let mut submitted = 0;
-    for path in runner::corpus_files(dir) {
+    for (name, text) in programs {
         if interrupted() {
             break;
         }
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
-        let img = asm::assemble(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let img = asm::assemble(&text).map_err(|e| format!("{name}: {e}"))?;
         let cfg = runner::corpus_diff_config(&text, backend);
         pool.submit(JobSpec {
             kind: JobKind::Differential { words: img.words },
             cfg,
-            label: path.display().to_string(),
+            label: name.clone(),
         })
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+        .map_err(|e| format!("{name}: {e}"))?;
         submitted += 1;
     }
     let mut failure = None;
@@ -487,11 +564,18 @@ fn main() -> ExitCode {
         flight,
         ..Default::default()
     });
-    let mut campaign = Campaign::default();
+    let db = match open_campaign_db(&args.corpus) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: corpus database: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut campaign = Campaign::new(db);
     let start = Instant::now();
 
     if args.replay {
-        match replay_corpus(&pool, &mut campaign, &args.corpus, args.backend) {
+        match replay_corpus(&pool, &mut campaign, args.backend) {
             Ok(n) => println!("corpus: {n} reproducer(s) replayed clean"),
             Err(e) => {
                 eprintln!("corpus replay divergence: {e}");
@@ -519,6 +603,22 @@ fn main() -> ExitCode {
     let profiles = Profile::all();
     let end_seed = args.start_seed + args.seeds;
     let mut next_seed = args.start_seed;
+    // --resume: skip the prefix a previous campaign already checkpointed
+    // (only a checkpoint of the *same* base seed is meaningful — a
+    // different --start-seed is a different campaign).
+    let prev = campaign.db.checkpoint().filter(|cp| cp.base_seed == args.start_seed);
+    if args.resume {
+        if let Some(cp) = prev {
+            next_seed = (args.start_seed + cp.programs).min(end_seed);
+            println!(
+                "resume: checkpoint covers {} seed(s) from {}; continuing at {next_seed}",
+                cp.programs, cp.base_seed
+            );
+        } else {
+            println!("resume: no matching checkpoint in the journal; starting fresh");
+        }
+    }
+    let resume_skip = next_seed - args.start_seed;
     let mut submitted = 0u64;
     let mut collected = 0u64;
     let mut stop_reason: Option<&str> = None;
@@ -583,6 +683,20 @@ fn main() -> ExitCode {
     }
     if let Some(reason) = stop_reason {
         println!("{reason} after {} seeds", campaign.ran);
+    }
+
+    // Journal the campaign high-water mark so `--resume` can continue an
+    // interrupted run. Discarded (still-queued) jobs are the newest
+    // submissions, so the completed seed prefix is contiguous.
+    let carried = if args.resume { prev } else { None };
+    let cp = JournalCheckpoint {
+        programs: resume_skip + submitted - campaign.cancelled,
+        executed: carried.map_or(0, |p| p.executed) + campaign.ran,
+        divergences: carried.map_or(0, |p| p.divergences) + campaign.divergences,
+        base_seed: args.start_seed,
+    };
+    if let Err(e) = campaign.db.set_checkpoint(cp) {
+        eprintln!("warning: could not checkpoint the campaign: {e}");
     }
 
     print_campaign_summary(

@@ -21,6 +21,9 @@
 //!     --metrics-v1      emit the legacy tangled-metrics/v1 document instead
 //!     --trace-out F     write Chrome trace_event JSON (implies full tracing;
 //!                       load in chrome://tracing or https://ui.perfetto.dev)
+//!     --store-in F      warm the Qat register file from a ChunkStore
+//!                       snapshot (tangled-store/v1, kind `chunks`)
+//!     --store-out F     save the run's interned ChunkStore as a snapshot
 //! tangled serve <prog.s>... [opts]       run many programs on the job pool
 //!     --workers N       worker threads (default 2)
 //!     --model NAME      run each program on one registry model instead of
@@ -35,6 +38,18 @@
 //!                       summary line
 //!     --crash-dir D     write crash-<jobid>.json post-mortem bundles into D
 //!                       when a job panics
+//!     --warm-store F    attach a ChunkStore snapshot read-only and install
+//!                       it as the ambient warm default: every worker warms
+//!                       its matching-degree register files from one shared
+//!                       copy of the chunk payloads
+//! tangled corpus <import|export|ls|stats|gc> [dir] [opts]
+//!     import DIR        migrate loose `*.s` reproducers into DIR/corpus.tsdb
+//!                       (content-addressed; re-import is a no-op)
+//!     export DIR        write journal entries back out as loose `.s` files
+//!         --out D       target directory (default: DIR)
+//!     ls DIR            one line per entry: address, ways, kind, name
+//!     stats DIR         entry/journal/checkpoint totals
+//!     gc DIR            compact superseded records out of the journal
 //! tangled metrics diff <baseline> <current> [opts]   perf-regression gate
 //!     --threshold F     default allowed relative change (default 0.05)
 //!     --key-threshold P=F  override threshold for keys with prefix P
@@ -70,7 +85,7 @@ use tangled_qat::telemetry::{self, export};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tangled <asm|dis|run> <prog.s> [options]\n       tangled serve <prog.s>... [--workers N] [--model NAME]\n       tangled factor <n> [--width W]\n       tangled backends\n(see `src/bin/tangled.rs` docs for options)"
+        "usage: tangled <asm|dis|run> <prog.s> [options]\n       tangled serve <prog.s>... [--workers N] [--model NAME] [--warm-store F]\n       tangled corpus <import|export|ls|stats|gc> [dir]\n       tangled factor <n> [--width W]\n       tangled backends\n(see `src/bin/tangled.rs` docs for options)"
     );
     ExitCode::from(2)
 }
@@ -89,6 +104,8 @@ struct RunOpts {
     metrics_out: Option<String>,
     metrics_v1: bool,
     trace_out: Option<String>,
+    store_in: Option<String>,
+    store_out: Option<String>,
 }
 
 impl Default for RunOpts {
@@ -107,6 +124,8 @@ impl Default for RunOpts {
             metrics_out: None,
             metrics_v1: false,
             trace_out: None,
+            store_in: None,
+            store_out: None,
         }
     }
 }
@@ -165,6 +184,12 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             "--trace-out" => {
                 o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
             }
+            "--store-in" => {
+                o.store_in = Some(it.next().ok_or("--store-in needs a path")?.clone());
+            }
+            "--store-out" => {
+                o.store_out = Some(it.next().ok_or("--store-out needs a path")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -177,6 +202,20 @@ fn pipeline_threads(cfg: Option<PipelineConfig>) -> Vec<(u32, &'static str)> {
         Some(StageCount::Five) => vec![(0, "IF"), (1, "ID"), (2, "EX"), (3, "MEM"), (4, "WB")],
         Some(StageCount::Four) => vec![(0, "IF"), (1, "ID"), (2, "EX"), (4, "WB")],
         None => vec![(0, "insn")],
+    }
+}
+
+/// The entanglement degree backend `b` interns chunks at for a `--ways w`
+/// run — what a warm snapshot must match. `None`: the backend keeps no
+/// chunk store at all.
+fn intern_degree(b: StorageBackend, w: u32) -> Option<u32> {
+    match b {
+        StorageBackend::Eager => None,
+        StorageBackend::SparseRe => Some(w.min(tangled_qat::pbp::CHUNK_WAYS)),
+        StorageBackend::Adaptive if w > tangled_qat::aob::HW_MAX_WAYS => {
+            Some(w.min(tangled_qat::pbp::CHUNK_WAYS))
+        }
+        _ => Some(w), // interned; adaptive within the hardware window
     }
 }
 
@@ -201,10 +240,36 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
     };
     telemetry::set_mode(mode);
     let base = telemetry::Snapshot::take();
+    // Warm start: register the snapshot and hand its copyable handle to
+    // the Qat config. The attach itself is degree-checked (a mismatch
+    // silently stays cold), so surface mismatches loudly here instead.
+    // Loaded after the telemetry baseline so `store.load.*` and the
+    // attach counters land in the exported delta.
+    let mut warm = None;
+    if let Some(sp) = &o.store_in {
+        let (id, snap_ways) = tangled_qat::aob::warm::load(std::path::Path::new(sp))
+            .map_err(|e| format!("--store-in {sp}: {e}"))?;
+        match intern_degree(o.qat_backend, o.ways) {
+            Some(d) if d == snap_ways => warm = Some(id),
+            Some(d) => {
+                return Err(format!(
+                    "--store-in {sp}: snapshot is {snap_ways}-way but backend `{}` at --ways {} interns at {d}-way (the snapshot would stay cold)",
+                    be.backend, o.ways
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "--store-in {sp}: backend `{}` keeps no chunk store to warm",
+                    be.backend
+                ));
+            }
+        }
+    }
     // Telemetry runs meter switching energy so the totals land in the
     // counter registry (metering is off by default for speed).
     let qcfg = QatConfig {
         meter_energy: mode != telemetry::Mode::Off,
+        warm,
         ..QatConfig::with_backend(o.qat_backend, o.ways)
     };
     let mcfg = MachineConfig { qat: qcfg, ..Default::default() };
@@ -223,6 +288,24 @@ fn cmd_run(path: &str, o: RunOpts) -> Result<(), String> {
     }
     let threads = pipeline_threads(core.pipeline_config());
     let finished = core.machine();
+
+    if let Some(sp) = &o.store_out {
+        let store = finished.qat.store().ok_or_else(|| {
+            format!(
+                "--store-out: backend `{}` has no interned chunk store to save \
+                 (eager, or an adaptive run that never promoted)",
+                be.backend
+            )
+        })?;
+        let bytes = store
+            .save(std::path::Path::new(sp))
+            .map_err(|e| format!("--store-out {sp}: {e}"))?;
+        println!(
+            "store: {sp} ({} chunk(s) at {}-way, {bytes} bytes)",
+            store.len(),
+            store.ways()
+        );
+    }
 
     if mode != telemetry::Mode::Off {
         let snap = telemetry::Snapshot::take().delta(&base);
@@ -284,6 +367,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut metrics_v1 = false;
     let mut live_interval: Option<u64> = None;
     let mut crash_dir: Option<std::path::PathBuf> = None;
+    let mut warm_store: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -319,6 +403,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 crash_dir =
                     Some(it.next().ok_or("--crash-dir needs a path")?.into());
             }
+            "--warm-store" => {
+                warm_store = Some(it.next().ok_or("--warm-store needs a path")?.clone());
+            }
             flag if flag.starts_with("--live-metrics=") => {
                 let n = flag["--live-metrics=".len()..]
                     .parse()
@@ -331,6 +418,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if paths.is_empty() {
         return Err("serve: no programs given".into());
+    }
+    // Attach the warm snapshot once and install it as the process-wide
+    // ambient default: every worker whose register file interns at the
+    // snapshot's degree warms from one shared copy of the chunk payloads
+    // (jobs at other degrees simply start cold).
+    if let Some(sp) = &warm_store {
+        let (id, snap_ways) = tangled_qat::aob::warm::load(std::path::Path::new(sp))
+            .map_err(|e| format!("--warm-store {sp}: {e}"))?;
+        tangled_qat::aob::warm::install_default(id);
+        let chunks =
+            tangled_qat::aob::warm::get(id).map(|s| s.len()).unwrap_or(0);
+        println!("warm store: {sp} ({chunks} chunk(s) at {snap_ways}-way, shared read-only)");
     }
     telemetry::set_mode(telemetry::Mode::Counters);
     // Pool gauges (`serve.pool.*`) record to the *global* registry, not
@@ -818,6 +917,130 @@ fn cmd_debug(path: &str, args: &[String]) -> Result<(), String> {
     dbg.prompt_loop()
 }
 
+/// `tangled corpus` — manage the content-addressed corpus database
+/// (`corpus.tsdb`, see `tangled_store::CorpusDb`). `import` migrates the
+/// legacy loose-file layout; `export` writes it back; `ls`/`stats`
+/// inspect; `gc` compacts superseded journal records.
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    use tangled_qat::store::{CorpusDb, CorpusEntry, InsertOutcome};
+
+    let (sub, rest) = args
+        .split_first()
+        .ok_or("corpus: expected import|export|ls|stats|gc")?;
+    let mut dir = std::path::PathBuf::from("fuzz/corpus");
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = rest.iter();
+    let mut dir_given = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.into()),
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            p if !dir_given => {
+                dir = p.into();
+                dir_given = true;
+            }
+            extra => return Err(format!("corpus {sub}: unexpected argument `{extra}`")),
+        }
+    }
+    let db_path = CorpusDb::dir_path(&dir);
+    let open_existing = || {
+        CorpusDb::open_existing(&db_path).map_err(|e| format!("{}: {e}", db_path.display()))
+    };
+    match sub.as_str() {
+        "import" => {
+            let files = runner::corpus_files(&dir);
+            if files.is_empty() {
+                return Err(format!("corpus import: no `.s` files in {}", dir.display()));
+            }
+            let mut db =
+                CorpusDb::open(&db_path).map_err(|e| format!("{}: {e}", db_path.display()))?;
+            let (mut inserted, mut dups) = (0u64, 0u64);
+            for path in files {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                // Imports must stay replayable: reject anything that no
+                // longer assembles rather than poisoning the database.
+                tangled_qat::asm::assemble(&text)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let name = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let mut e = CorpusEntry::from_text(
+                    &name,
+                    &text,
+                    runner::corpus_header(&text, "ways", 8) as u32,
+                    runner::corpus_header(&text, "constant-registers", 0) != 0,
+                );
+                e.kind = "imported".to_string();
+                match db.insert(e).map_err(|e| format!("{}: {e}", db_path.display()))? {
+                    InsertOutcome::Inserted => inserted += 1,
+                    _ => dups += 1,
+                }
+            }
+            println!(
+                "imported {inserted} program(s) into {} ({dups} already present, {} total)",
+                db_path.display(),
+                db.len()
+            );
+        }
+        "export" => {
+            let db = open_existing()?;
+            let target = out.unwrap_or_else(|| dir.clone());
+            std::fs::create_dir_all(&target).map_err(|e| format!("{}: {e}", target.display()))?;
+            for e in db.entries() {
+                let path = target.join(format!("{}.s", e.name));
+                std::fs::write(&path, &e.text).map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+            println!("exported {} program(s) to {}", db.len(), target.display());
+        }
+        "ls" => {
+            let db = open_existing()?;
+            for e in db.entries() {
+                println!(
+                    "{:016x} ways {:>2} {:<12} {}{}",
+                    (e.hash >> 64) as u64,
+                    e.ways,
+                    if e.kind.is_empty() { "-" } else { &e.kind },
+                    e.name,
+                    if e.outcome.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  [{}]", e.outcome)
+                    }
+                );
+            }
+        }
+        "stats" => {
+            let db = open_existing()?;
+            println!(
+                "{}: {} entry(ies), {} journal byte(s), {} superseded record(s)",
+                db_path.display(),
+                db.len(),
+                db.journal_bytes(),
+                db.dead_records()
+            );
+            match db.checkpoint() {
+                Some(cp) => println!(
+                    "checkpoint: {} program(s) from seed {}, {} executed, {} divergence(s)",
+                    cp.programs, cp.base_seed, cp.executed, cp.divergences
+                ),
+                None => println!("checkpoint: none"),
+            }
+        }
+        "gc" => {
+            let mut db = open_existing()?;
+            let r = db.gc().map_err(|e| format!("{}: {e}", db_path.display()))?;
+            println!(
+                "gc: {} -> {} byte(s), {} record(s) dropped",
+                r.bytes_before, r.bytes_after, r.records_dropped
+            );
+        }
+        other => return Err(format!("corpus: unknown subcommand `{other}`")),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -832,6 +1055,7 @@ fn main() -> ExitCode {
             Err(e) => Err(e),
         },
         ("serve", Some(_)) => cmd_serve(rest),
+        ("corpus", Some(_)) => cmd_corpus(rest),
         ("metrics", Some((sub, rest2))) if sub == "diff" => cmd_metrics_diff(rest2),
         ("backends", _) => cmd_backends(),
         ("factor", Some((n, opts))) => cmd_factor(n, opts),

@@ -68,6 +68,44 @@ pub fn corpus_files(dir: &Path) -> Vec<PathBuf> {
     paths
 }
 
+/// One corpus program ready to replay: a display label plus its assembly
+/// text (headers included).
+#[derive(Debug, Clone)]
+pub struct CorpusProgram {
+    /// Where the program came from — a journal entry name or a file path.
+    pub label: String,
+    /// The reassemblable program text.
+    pub text: String,
+}
+
+/// All programs in a corpus directory, in deterministic order.
+///
+/// When the directory holds a `corpus.tsdb` journal (see
+/// [`tangled_store::CorpusDb`]), the database is authoritative and its
+/// entries are returned in insertion order. Otherwise discovery falls
+/// back to the legacy loose-file layout: sorted `*.s` files — so the
+/// checked-in seed reproducers keep replaying with or without a journal.
+pub fn corpus_programs(dir: &Path) -> Result<Vec<CorpusProgram>, String> {
+    let db_path = tangled_store::CorpusDb::dir_path(dir);
+    if db_path.exists() {
+        let db = tangled_store::CorpusDb::open_existing(&db_path)
+            .map_err(|e| format!("{}: {e}", db_path.display()))?;
+        return Ok(db
+            .entries()
+            .iter()
+            .map(|e| CorpusProgram { label: e.name.clone(), text: e.text.clone() })
+            .collect());
+    }
+    corpus_files(dir)
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("{}: {e}", p.display()))?;
+            Ok(CorpusProgram { label: p.display().to_string(), text })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +141,30 @@ mod tests {
         assert!(files.len() >= 5, "seed corpus expected, found {}", files.len());
         assert!(files.windows(2).all(|w| w[0] < w[1]), "sorted");
         assert!(corpus_files(Path::new("no/such/dir")).is_empty());
+        // Without a journal, program discovery is the loose-file layout.
+        let programs = corpus_programs(&dir).unwrap();
+        assert_eq!(programs.len(), files.len());
+    }
+
+    #[test]
+    fn corpus_programs_prefers_the_journal() {
+        let dir = std::env::temp_dir()
+            .join(format!("tangled-runner-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("loose.s"), "; ways 8\nsys\n").unwrap();
+        // Loose layout first...
+        assert_eq!(corpus_programs(&dir).unwrap().len(), 1);
+        // ...then a journal appears and becomes authoritative.
+        let mut db = tangled_store::CorpusDb::open(&tangled_store::CorpusDb::dir_path(&dir))
+            .unwrap();
+        db.insert(tangled_store::CorpusEntry::from_text("a", "; ways 8\nadd $1,$1\nsys\n", 8, false))
+            .unwrap();
+        db.insert(tangled_store::CorpusEntry::from_text("b", "; ways 8\nnot @1\nsys\n", 8, false))
+            .unwrap();
+        let programs = corpus_programs(&dir).unwrap();
+        assert_eq!(programs.len(), 2);
+        assert_eq!(programs[0].label, "a");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -257,6 +257,86 @@ fn chrome_trace_is_wellformed_and_monotonic() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The persistent-artifact counters ride the same `tangled-metrics/v2`
+/// export: a `--store-out` run counts `store.save.bytes` and
+/// `store.chunks.written`; a `--store-in` run counts `store.load.bytes`
+/// and `store.chunks.attached`; and the corpus database counts
+/// `corpus.db.entries` / `corpus.db.dedup_hits` through the exact same
+/// snapshot-and-export path.
+#[test]
+fn store_and_corpus_counters_ride_the_v2_export() {
+    let snap_path = out_path("store-snap.tgls");
+    let (m_cold, m_warm) = (out_path("store-cold.json"), out_path("store-warm.json"));
+    run_factor15(&[
+        "--store-out",
+        snap_path.to_str().unwrap(),
+        "--metrics-out",
+        m_cold.to_str().unwrap(),
+    ]);
+    run_factor15(&[
+        "--store-in",
+        snap_path.to_str().unwrap(),
+        "--metrics-out",
+        m_warm.to_str().unwrap(),
+    ]);
+    let counters_of = |p: &PathBuf| {
+        let doc = Json::parse(&std::fs::read_to_string(p).unwrap()).unwrap();
+        match &doc["counters"] {
+            Json::Obj(m) => m.clone(),
+            other => panic!("counters is not an object: {other:?}"),
+        }
+    };
+    let cold = counters_of(&m_cold);
+    for key in ["store.save.bytes", "store.chunks.written"] {
+        assert!(
+            cold.get(key).and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "`{key}` missing or zero in a --store-out run; got keys {:?}",
+            cold.keys().collect::<Vec<_>>()
+        );
+    }
+    let warm = counters_of(&m_warm);
+    for key in ["store.load.bytes", "store.chunks.attached"] {
+        assert!(
+            warm.get(key).and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "`{key}` missing or zero in a --store-in run; got keys {:?}",
+            warm.keys().collect::<Vec<_>>()
+        );
+    }
+
+    // Corpus-database counters flow through the same registry/export
+    // plumbing, exercised in-process.
+    use tangled_qat::store::{CorpusDb, CorpusEntry};
+    use tangled_qat::telemetry::{self, export};
+    telemetry::set_mode(telemetry::Mode::Counters);
+    let base = telemetry::Snapshot::take();
+    let dir = out_path("store-corpusdb");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = CorpusDb::open(&CorpusDb::dir_path(&dir)).unwrap();
+    db.insert(CorpusEntry::from_text("a", "sys\n", 8, false)).unwrap();
+    db.insert(CorpusEntry::from_text("b", "add $1,$1\nsys\n", 8, false)).unwrap();
+    db.insert(CorpusEntry::from_text("a", "sys\n", 8, false)).unwrap(); // dedup hit
+    let delta = telemetry::Snapshot::take().delta(&base);
+    let doc = export::MetricsDoc {
+        snapshot: &delta,
+        mode: telemetry::mode(),
+        trace_events: 0,
+        trace_dropped: 0,
+        v1_compat: false,
+    };
+    let rendered = Json::parse(&export::metrics_json(&doc)).unwrap();
+    let counters = match &rendered["counters"] {
+        Json::Obj(m) => m.clone(),
+        other => panic!("counters is not an object: {other:?}"),
+    };
+    assert_eq!(counters.get("corpus.db.entries").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(counters.get("corpus.db.dedup_hits").and_then(|v| v.as_u64()), Some(1));
+    assert!(counters.get("store.save.bytes").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    for p in [snap_path, m_cold, m_warm] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 #[test]
 fn identical_runs_export_identical_snapshots() {
     let (m1, t1) = (out_path("det-m1.json"), out_path("det-t1.json"));
